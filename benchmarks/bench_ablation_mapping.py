@@ -1,0 +1,85 @@
+"""Ablation: how CDN localization error shapes the paper's findings.
+
+The substitution DESIGN.md calls out: the CDN's per-/24 location
+estimate for cellular resolvers carries error (opaqueness) and
+occasional blunders.  This sweep shows the two headline metrics trading
+off against that error — tight estimates push Fig 14's equality share
+up and Fig 2's differentials down; loose estimates do the opposite.
+The defaults (160 km, 8%) sit where both paper shapes hold.
+"""
+
+import pytest
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.analysis.report import format_table
+from repro.core.world import WorldConfig
+
+SWEEP = [
+    ("oracle (60km, no blunders)", 60.0, 0.0),
+    ("default (160km, 8%)", 160.0, 0.08),
+    ("blind (600km, 30%)", 600.0, 0.30),
+]
+
+
+@pytest.fixture(scope="module")
+def mapping_sweep():
+    results = []
+    for label, error_km, blunder in SWEEP:
+        study = CellularDNSStudy(
+            StudyConfig(
+                seed=2014,
+                device_scale=0.06,
+                duration_days=30.0,
+                interval_hours=12.0,
+                world=WorldConfig(
+                    cdn_mapping_overrides={
+                        "cellular_error_km": error_km,
+                        "cellular_blunder_prob": blunder,
+                    }
+                ),
+            )
+        )
+        study.dataset
+        results.append((label, study))
+    return results
+
+
+def _sweep_rows(sweep):
+    rows = []
+    for label, study in sweep:
+        fig2 = study.fig2_replica_differentials("tmobile").ecdf()
+        fig14 = study.fig14_public_replicas("tmobile")
+        rows.append(
+            (
+                label,
+                f"+{fig2.median:.0f}%" if not fig2.is_empty else "-",
+                f"{fig14.fraction_equal() * 100:.0f}%",
+                f"{fig14.fraction_public_not_worse() * 100:.0f}%",
+            )
+        )
+    return rows
+
+
+def bench_ablation_mapping(benchmark, mapping_sweep, emit):
+    rows = benchmark(_sweep_rows, mapping_sweep)
+    rendered = format_table(
+        [
+            "mapping accuracy",
+            "Fig2 p50 differential (tmobile)",
+            "Fig14 equal share",
+            "Fig14 public<=local",
+        ],
+        rows,
+        title=(
+            "Ablation: CDN localization error for cellular /24s.\n"
+            "Paper shapes require the middle ground: errors large enough\n"
+            "to produce Fig 2's differentials, small enough for Fig 14's\n"
+            "60-80% equality."
+        ),
+    )
+    emit("ablation_mapping", rendered)
+    # Equality share must fall monotonically as mapping degrades.
+    shares = []
+    for _, study in mapping_sweep:
+        shares.append(study.fig14_public_replicas("tmobile").fraction_equal())
+    assert shares[0] > shares[-1]

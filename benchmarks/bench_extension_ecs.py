@@ -1,0 +1,97 @@
+"""Extension: EDNS Client Subnet as the localization fix.
+
+The paper's discussion ends with "we have started to explore
+alternative approaches for improving CDN performance through better
+client localization".  EDNS Client Subnet (RFC 7871, deployed widely
+after the paper) is that fix: resolvers forward the client's /24, and
+the CDN maps on it directly instead of on the churning resolver
+address.  This bench runs the same campaign with ECS off and on and
+measures how much of the paper's replica-selection pathology disappears.
+"""
+
+import pytest
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.analysis.localization import replica_differentials
+from repro.analysis.report import format_table
+from repro.core.world import WorldConfig
+
+CARRIERS = ("att", "tmobile", "verizon", "skt")
+
+
+@pytest.fixture(scope="module")
+def ecs_pair():
+    """Two identically seeded campaigns: baseline and ECS-enabled."""
+
+    def run(ecs_enabled):
+        study = CellularDNSStudy(
+            StudyConfig(
+                seed=2014,
+                device_scale=0.08,
+                duration_days=45.0,
+                interval_hours=12.0,
+                world=WorldConfig(ecs_enabled=ecs_enabled),
+            )
+        )
+        study.dataset
+        return study
+
+    return run(False), run(True)
+
+
+def _differential_rows(pair):
+    baseline, ecs = pair
+    rows = []
+    for carrier in CARRIERS:
+        base = replica_differentials(
+            baseline.dataset, carrier, resolver_kind="local"
+        ).ecdf()
+        with_ecs = replica_differentials(
+            ecs.dataset, carrier, resolver_kind="local"
+        ).ecdf()
+        rows.append(
+            (
+                carrier,
+                f"+{base.median:.0f}%" if not base.is_empty else "-",
+                f"+{with_ecs.median:.0f}%" if not with_ecs.is_empty else "-",
+                f"{base.fraction_above(100.0) * 100:.0f}%"
+                if not base.is_empty else "-",
+                f"{with_ecs.fraction_above(100.0) * 100:.0f}%"
+                if not with_ecs.is_empty else "-",
+            )
+        )
+    return rows
+
+
+def bench_extension_ecs(benchmark, ecs_pair, emit):
+    rows = benchmark(_differential_rows, ecs_pair)
+    rendered = format_table(
+        [
+            "carrier",
+            "p50 differential (baseline)",
+            "p50 differential (ECS)",
+            ">100% share (baseline)",
+            ">100% share (ECS)",
+        ],
+        rows,
+        title=(
+            "Extension: cellular-DNS replica differentials with and without\n"
+            "EDNS Client Subnet.  ECS keys CDN mapping on the client's /24\n"
+            "(which pins the egress region), neutralising resolver churn."
+        ),
+    )
+    emit("extension_ecs", rendered)
+    baseline, ecs = ecs_pair
+    improved = 0
+    for carrier in CARRIERS:
+        base = replica_differentials(
+            baseline.dataset, carrier, resolver_kind="local"
+        ).ecdf()
+        with_ecs = replica_differentials(
+            ecs.dataset, carrier, resolver_kind="local"
+        ).ecdf()
+        if base.is_empty or with_ecs.is_empty:
+            continue
+        if with_ecs.median < base.median:
+            improved += 1
+    assert improved >= 3

@@ -1,0 +1,39 @@
+"""Fig 11: ping latencies to public DNS vs the cellular external LDNS.
+
+Paper: the cellular operator's external-facing LDNS is closer a
+significant majority of the time (10-25 ms at the median for US
+carriers; SK public resolution distance is roughly doubled) — except for
+Verizon and LG U+, whose resolvers never answer client probes.
+"""
+
+from repro.analysis.report import format_cdfs
+from repro.core.study import SK_CARRIERS, US_CARRIERS
+
+
+def _all_pings(study):
+    return {
+        carrier: study.fig11_public_distance(carrier)
+        for carrier in (*US_CARRIERS, *SK_CARRIERS)
+    }
+
+
+def bench_fig11_public_distance(benchmark, bench_study, emit):
+    pings = benchmark(_all_pings, bench_study)
+    sections = []
+    for carrier, curves in pings.items():
+        sections.append(
+            format_cdfs(
+                {
+                    "cell LDNS (external)": curves.get("local-external"),
+                    "GoogleDNS": curves.get("google"),
+                    "OpenDNS": curves.get("opendns"),
+                },
+                title=f"Fig 11 [{carrier}]: resolver ping latency",
+            )
+        )
+    emit("fig11_public_distance", "\n\n".join(sections))
+    for carrier in ("att", "skt"):
+        curves = pings[carrier]
+        assert curves["local-external"].median < curves["google"].median
+    for carrier in ("verizon", "lgu"):
+        assert "local-external" not in pings[carrier]

@@ -1,0 +1,44 @@
+"""Fig 12: Google DNS resolver consistency over time, per carrier.
+
+Paper: despite 8.8.8.8 being anycast, devices are directed to multiple
+distinct /24 clusters over time — each /24 being one of Google's ~30
+geographically distinct resolver sites — plausibly due to operator
+tunnelling wobbling the anycast routing.
+"""
+
+from repro.analysis.report import format_table
+
+
+def _google_churn_rows(study):
+    rows = []
+    for carrier in ("att", "sprint", "tmobile", "verizon", "skt", "lgu"):
+        devices = study.campaign.devices_of(carrier)
+        timelines = [
+            study.fig12_google_churn(device.device_id) for device in devices
+        ]
+        busiest = max(timelines, key=lambda t: len(t.observations))
+        rows.append(
+            (
+                carrier,
+                busiest.device_id,
+                len(busiest.observations),
+                busiest.unique_ips(),
+                busiest.unique_prefixes(),
+            )
+        )
+    return rows
+
+
+def bench_fig12_google_churn(benchmark, bench_study, emit):
+    rows = benchmark(_google_churn_rows, bench_study)
+    rendered = format_table(
+        ["carrier", "device", "obs", "google IPs", "google /24 clusters"],
+        rows,
+        title=(
+            "Fig 12: Google resolver churn per device\n"
+            "Paper shape: devices see multiple /24 clusters over time even\n"
+            "though the configured address (8.8.8.8) never changes."
+        ),
+    )
+    emit("fig12_google_churn", rendered)
+    assert max(row[4] for row in rows) >= 3

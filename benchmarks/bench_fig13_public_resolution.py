@@ -1,0 +1,36 @@
+"""Fig 13: resolution time through local vs public resolvers.
+
+Paper: "in a majority of cases, the locally configured resolver provides
+faster domain name resolutions"; public resolvers are slower on average
+(they sit outside the cellular network) but show lower variance and a
+shorter tail.
+"""
+
+from repro.analysis.report import format_cdfs
+from repro.core.study import SK_CARRIERS, US_CARRIERS
+
+
+def _all_kinds(study):
+    return {
+        carrier: study.fig13_public_resolution(carrier)
+        for carrier in (*US_CARRIERS, *SK_CARRIERS)
+    }
+
+
+def bench_fig13_public_resolution(benchmark, bench_study, emit):
+    results = benchmark(_all_kinds, bench_study)
+    sections = []
+    for carrier, curves in results.items():
+        sections.append(
+            format_cdfs(
+                curves, title=f"Fig 13 [{carrier}]: local vs public resolution"
+            )
+        )
+    emit("fig13_public_resolution", "\n\n".join(sections))
+    for carrier, curves in results.items():
+        assert curves["local"].median < curves["google"].median, carrier
+    for carrier in SK_CARRIERS:
+        curves = results[carrier]
+        # SK cache misses cross the Pacific either way; public resolvers'
+        # warmer caches give them the shorter tail (Sec 6.2).
+        assert curves["opendns"].quantile(0.9) < curves["local"].quantile(0.9)

@@ -1,0 +1,54 @@
+"""Fig 14: relative replica latency, public vs cellular DNS.
+
+Paper: aggregating replicas by /24, 60-80% of comparisons tie at exactly
+0% for every carrier; overall the replicas chosen via public DNS are
+equal or better a majority of the time (the abstract says >75%), with
+cellular DNS strictly better in roughly a quarter of cases — the
+headline "cellular DNS localizes no better than public DNS" result.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.study import SK_CARRIERS, US_CARRIERS
+
+
+def _comparisons(study):
+    results = {}
+    for carrier in (*US_CARRIERS, *SK_CARRIERS):
+        for kind in ("google", "opendns"):
+            results[(carrier, kind)] = study.fig14_public_replicas(carrier, kind)
+    return results
+
+
+def bench_fig14_public_replicas(benchmark, bench_study, emit):
+    results = benchmark(_comparisons, bench_study)
+    rows = []
+    for (carrier, kind), result in results.items():
+        ecdf = result.ecdf()
+        rows.append(
+            (
+                carrier,
+                kind,
+                len(result.percent_changes),
+                f"{result.fraction_equal() * 100:.0f}%",
+                f"{result.fraction_public_not_worse() * 100:.0f}%",
+                f"{ecdf.quantile(0.9):.0f}%" if not ecdf.is_empty else "-",
+            )
+        )
+    rendered = format_table(
+        ["carrier", "public", "n", "equal (0%)", "public<=local", "p90 change"],
+        rows,
+        title=(
+            "Fig 14: relative replica latency, public vs cellular DNS\n"
+            "Paper shape: 60-80% exactly equal after /24 aggregation; public\n"
+            "equal-or-better >75% of the time."
+        ),
+    )
+    emit("fig14_public_replicas", rendered)
+    for carrier in (*US_CARRIERS, *SK_CARRIERS):
+        result = results[(carrier, "google")]
+        assert result.fraction_public_not_worse() > 0.7, carrier
+    equal_rates = [
+        results[(carrier, "google")].fraction_equal()
+        for carrier in (*US_CARRIERS, *SK_CARRIERS)
+    ]
+    assert max(equal_rates) > 0.6

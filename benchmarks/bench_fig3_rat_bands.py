@@ -1,0 +1,39 @@
+"""Fig 3: DNS resolution time by radio technology, per carrier.
+
+Paper: "very defined performance boundaries between different radio
+technologies" — LTE fastest, a ~50 ms gap to 3G (e.g. EHRPD/EVDO on the
+CDMA carriers), and 2G (1xRTT) near a full second.
+"""
+
+from repro.analysis.report import format_cdfs
+from repro.core.study import SK_CARRIERS, US_CARRIERS
+
+
+def _per_carrier_bands(study):
+    return {
+        carrier: study.fig3_resolution_by_technology(carrier)
+        for carrier in (*US_CARRIERS, *SK_CARRIERS)
+    }
+
+
+def bench_fig3_rat_bands(benchmark, bench_study, emit):
+    bands = benchmark(_per_carrier_bands, bench_study)
+    sections = []
+    for carrier, curves in bands.items():
+        ordered = dict(
+            sorted(curves.items(), key=lambda item: item[1].median)
+        )
+        sections.append(
+            format_cdfs(ordered, title=f"Fig 3 [{carrier}]: resolution by RAT")
+        )
+    rendered = "\n\n".join(sections)
+    emit("fig3_rat_bands", rendered)
+    for carrier in ("verizon", "att", "skt"):
+        curves = bands[carrier]
+        non_lte = [
+            ecdf.median
+            for name, ecdf in curves.items()
+            if name != "LTE" and len(ecdf) >= 10
+        ]
+        if non_lte:
+            assert curves["LTE"].median < min(non_lte), carrier

@@ -1,0 +1,38 @@
+"""Fig 4: client latency to client-facing vs external-facing resolvers.
+
+Paper: SK Telecom's tiers are co-located (near-equal latency); AT&T,
+Sprint and T-Mobile's external tiers sit measurably farther from
+clients; Verizon's and LG U+'s external resolvers never answer client
+probes at all.
+"""
+
+from repro.analysis.report import format_cdfs
+from repro.core.study import SK_CARRIERS, US_CARRIERS
+
+
+def _all_distances(study):
+    return {
+        carrier: study.fig4_resolver_distance(carrier)
+        for carrier in (*US_CARRIERS, *SK_CARRIERS)
+    }
+
+
+def bench_fig4_resolver_distance(benchmark, bench_study, emit):
+    distances = benchmark(_all_distances, bench_study)
+    sections = []
+    for carrier, curves in distances.items():
+        labelled = {
+            "client-facing": curves.get("client"),
+            "external-facing": curves.get("external"),
+        }
+        sections.append(
+            format_cdfs(labelled, title=f"Fig 4 [{carrier}]: resolver pings")
+        )
+    emit("fig4_resolver_distance", "\n\n".join(sections))
+    assert "external" not in distances["verizon"]
+    assert "external" not in distances["lgu"]
+    for carrier in ("att", "sprint", "tmobile"):
+        curves = distances[carrier]
+        assert curves["external"].median > curves["client"].median
+    skt = distances["skt"]
+    assert abs(skt["external"].median - skt["client"].median) < 15.0

@@ -1,0 +1,22 @@
+"""Fig 5: DNS resolution time CDFs for the four US carriers.
+
+Paper: medians between 30 and 50 ms (comparable to wired broadband),
+with long tails above the 80th percentile caused by cache misses.
+"""
+
+from repro.analysis.report import format_cdfs
+
+
+def bench_fig5_us_resolution(benchmark, bench_study, emit):
+    curves = benchmark(bench_study.fig5_us_resolution)
+    rendered = format_cdfs(
+        curves,
+        title=(
+            "Fig 5: DNS resolution time, US carriers\n"
+            "Paper shape: 30-50 ms medians, long tail above p80."
+        ),
+    )
+    emit("fig5_us_resolution", rendered)
+    for carrier, ecdf in curves.items():
+        assert 25.0 < ecdf.median < 120.0, carrier
+        assert ecdf.quantile(0.99) > 2.0 * ecdf.median, carrier

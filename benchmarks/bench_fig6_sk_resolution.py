@@ -1,0 +1,24 @@
+"""Fig 6: DNS resolution time CDFs for the two South Korean carriers.
+
+Paper: comparable medians to the US carriers, but bimodal above the
+50th percentile — a cache miss sends the query across the Pacific to
+the (US-hosted) authorities.
+"""
+
+from repro.analysis.report import format_cdfs
+
+
+def bench_fig6_sk_resolution(benchmark, bench_study, emit):
+    curves = benchmark(bench_study.fig6_sk_resolution)
+    rendered = format_cdfs(
+        curves,
+        title=(
+            "Fig 6: DNS resolution time, SK carriers\n"
+            "Paper shape: ~30-50 ms medians, bimodal above p50."
+        ),
+    )
+    emit("fig6_sk_resolution", rendered)
+    for carrier, ecdf in curves.items():
+        assert 25.0 < ecdf.median < 80.0, carrier
+        # Bimodality: the p90 sits far above the median.
+        assert ecdf.quantile(0.9) > 3.0 * ecdf.median, carrier

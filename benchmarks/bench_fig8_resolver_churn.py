@@ -1,0 +1,48 @@
+"""Fig 8: external resolvers observed by a client over time.
+
+Paper: AT&T and Verizon clients show relatively stable mappings; Sprint
+and T-Mobile clients churn, with IP changes typically accompanied by /24
+changes; SK clients churn rapidly *within* one or two /24s (one LG U+
+client saw 65 external addresses inside two /24s in two weeks).
+"""
+
+from repro.analysis.report import format_table
+
+
+def _churn_rows(study):
+    rows = []
+    for carrier in ("att", "sprint", "tmobile", "verizon", "skt", "lgu"):
+        devices = study.campaign.devices_of(carrier)
+        timelines = [
+            study.fig8_resolver_churn(device.device_id) for device in devices
+        ]
+        busiest = max(timelines, key=lambda t: len(t.observations))
+        rows.append(
+            (
+                carrier,
+                busiest.device_id,
+                len(busiest.observations),
+                busiest.unique_ips(),
+                busiest.unique_prefixes(),
+                busiest.changes(),
+            )
+        )
+    return rows
+
+
+def bench_fig8_resolver_churn(benchmark, bench_study, emit):
+    rows = benchmark(_churn_rows, bench_study)
+    rendered = format_table(
+        ["carrier", "device", "obs", "unique IPs", "unique /24s", "changes"],
+        rows,
+        title=(
+            "Fig 8: per-device external resolver churn (busiest device)\n"
+            "Paper shape: AT&T/Verizon stable; Sprint/T-Mobile churn across\n"
+            "/24s; SK carriers churn heavily within <=2 /24s."
+        ),
+    )
+    emit("fig8_resolver_churn", rendered)
+    by_carrier = {row[0]: row for row in rows}
+    assert by_carrier["tmobile"][3] > by_carrier["att"][3]  # unique IPs
+    assert by_carrier["skt"][4] <= 2  # /24s
+    assert by_carrier["lgu"][4] <= 2

@@ -1,0 +1,44 @@
+"""Fig 9: resolver associations for clients at a static location.
+
+Paper: even filtering measurements to a 10 km radius around a client's
+home cluster, resolvers keep shifting across IPs and /24 prefixes —
+churn is not explained by mobility.
+"""
+
+from repro.analysis.report import format_table
+
+
+def _static_rows(study):
+    rows = []
+    for carrier in ("att", "tmobile", "skt", "lgu"):
+        for device in study.campaign.devices_of(carrier):
+            timeline = study.fig9_static_timeline(device.device_id)
+            if len(timeline.observations) < 20:
+                continue
+            rows.append(
+                (
+                    carrier,
+                    device.device_id,
+                    len(timeline.observations),
+                    timeline.unique_ips(),
+                    timeline.unique_prefixes(),
+                )
+            )
+            break
+    return rows
+
+
+def bench_fig9_static_clients(benchmark, bench_study, emit):
+    rows = benchmark(_static_rows, bench_study)
+    rendered = format_table(
+        ["carrier", "device", "obs (within 10km)", "unique IPs", "unique /24s"],
+        rows,
+        title=(
+            "Fig 9: resolver churn for stationary clients (10 km filter)\n"
+            "Paper shape: churn persists without any client movement."
+        ),
+    )
+    emit("fig9_static_clients", rendered)
+    churny = [row for row in rows if row[0] in ("tmobile", "lgu")]
+    assert churny
+    assert all(row[3] > 2 for row in churny)  # many IPs while static

@@ -1,0 +1,30 @@
+"""Table 1: distribution of measurement clients per operator.
+
+Paper: AT&T 33, Sprint 9, T-Mobile 31, Verizon 64 (US); SK Telecom 17,
+LG U+ 4 (SK) — 158 clients total.  The bench campaign scales that
+population down uniformly; proportions are what must hold.
+"""
+
+from repro.analysis.report import format_table
+
+PAPER_COUNTS = {
+    "AT&T": 33, "Sprint": 9, "T-Mobile": 31,
+    "Verizon": 64, "SK Telecom": 17, "LG U+": 4,
+}
+
+
+def bench_table1_clients(benchmark, bench_study, emit):
+    rows = benchmark(bench_study.table1_clients)
+    rendered = format_table(
+        ["Carrier", "# Clients (bench)", "# Clients (paper)", "Country"],
+        [
+            (name, count, PAPER_COUNTS[name], country)
+            for name, count, country in rows
+        ],
+        title="Table 1: measurement clients per operator",
+    )
+    emit("table1_clients", rendered)
+    measured = {name: count for name, count, _ in rows}
+    # Verizon is the largest population, LG U+ the smallest (paper order).
+    assert measured["Verizon"] == max(measured.values())
+    assert measured["LG U+"] == min(measured.values())

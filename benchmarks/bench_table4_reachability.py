@@ -1,0 +1,38 @@
+"""Table 4: external reachability of cellular DNS resolvers.
+
+Paper: from a university vantage, only Verizon's and AT&T's external
+resolvers answer a majority of pings (a small fraction of Sprint's);
+T-Mobile's and both SK carriers' answer none; *zero* traceroutes
+penetrate any cellular network — opaqueness extends to the DNS tier.
+"""
+
+from repro.analysis.report import format_table
+
+
+def bench_table4_reachability(benchmark, bench_study, emit):
+    rows = benchmark(bench_study.table4_reachability)
+    display = [
+        (
+            bench_study.world.operators[row.carrier].display_name,
+            row.total,
+            row.ping_responsive,
+            row.traceroute_responsive,
+            f"{row.ping_fraction * 100:.0f}%",
+        )
+        for row in rows
+    ]
+    rendered = format_table(
+        ["Provider", "Total", "Ping", "Traceroute", "Ping %"],
+        display,
+        title=(
+            "Table 4: externally reachable cellular resolvers\n"
+            "Paper shape: Verizon & AT&T majority ping-reachable; Sprint a\n"
+            "small fraction; others none; traceroutes always fail."
+        ),
+    )
+    emit("table4_reachability", rendered)
+    by_key = {row.carrier: row for row in rows}
+    assert by_key["verizon"].ping_fraction > 0.5
+    assert by_key["att"].ping_fraction > 0.5
+    assert by_key["tmobile"].ping_responsive == 0
+    assert all(row.traceroute_responsive == 0 for row in rows)

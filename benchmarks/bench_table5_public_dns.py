@@ -1,0 +1,46 @@
+"""Table 5: unique resolver IPs and /24s per provider and resolver kind.
+
+Paper: anycast public services expose many more unique resolver
+*addresses* than the cellular DNS (Google >4x for US carriers), but
+aggregated by /24 the counts become comparable, because each public
+cluster is one /24 (Google documents 30 such sites).
+"""
+
+from repro.analysis.report import format_table
+
+
+def bench_table5_public_dns(benchmark, bench_study, emit):
+    rows = benchmark(bench_study.table5_resolver_counts)
+    cells = {}
+    for row in rows:
+        cells[(row.carrier, row.resolver_kind)] = row
+    carriers = ("att", "sprint", "tmobile", "verizon", "skt", "lgu")
+    display = []
+    for carrier in carriers:
+        local = cells.get((carrier, "local"))
+        google = cells.get((carrier, "google"))
+        opendns = cells.get((carrier, "opendns"))
+        display.append(
+            (
+                carrier,
+                f"{local.unique_ips}/{local.unique_prefixes}" if local else "-",
+                f"{google.unique_ips}/{google.unique_prefixes}" if google else "-",
+                f"{opendns.unique_ips}/{opendns.unique_prefixes}" if opendns else "-",
+            )
+        )
+    rendered = format_table(
+        ["carrier", "local ip//24", "google ip//24", "opendns ip//24"],
+        display,
+        title=(
+            "Table 5: unique resolver addresses and /24s per provider\n"
+            "Paper shape: public services show many more IPs but /24 counts\n"
+            "comparable; SK locals concentrate many IPs in 1-2 /24s."
+        ),
+    )
+    emit("table5_public_dns", rendered)
+    verizon_google = cells[("verizon", "google")]
+    verizon_local = cells[("verizon", "local")]
+    assert verizon_google.unique_ips > verizon_local.unique_ips
+    for carrier in ("skt", "lgu"):
+        local = cells[(carrier, "local")]
+        assert local.unique_prefixes <= 2

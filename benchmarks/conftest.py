@@ -1,0 +1,48 @@
+"""Benchmark harness fixtures.
+
+One campaign is simulated per benchmark session and shared by every
+bench; each bench then times its *analysis* stage and prints the
+reproduced table/figure next to the paper's expectation.  Artifacts are
+also written to ``benchmarks/output/`` for inspection and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CellularDNSStudy, StudyConfig
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def bench_study() -> CellularDNSStudy:
+    """The campaign all benches analyse (runs once per session)."""
+    config = StudyConfig(
+        seed=2014,
+        device_scale=0.15,
+        min_devices=1,
+        duration_days=90.0,
+        interval_hours=12.0,
+    )
+    study = CellularDNSStudy(config)
+    study.dataset  # force the campaign now, outside any timer
+    return study
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an artifact and archive it under benchmarks/output/."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+
+    def _emit(artifact_id: str, text: str) -> None:
+        print(f"\n===== {artifact_id} =====")
+        print(text)
+        path = os.path.join(OUTPUT_DIR, f"{artifact_id}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    return _emit

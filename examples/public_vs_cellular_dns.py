@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Public DNS vs cellular DNS (the paper's Sec 6).
+
+Runs a small multi-carrier campaign and reproduces the three public-DNS
+comparisons: resolver distance (Fig 11), resolution time (Fig 13), and
+replica performance after /24 aggregation (Fig 14).
+
+Run:  python examples/public_vs_cellular_dns.py [--days 45]
+"""
+
+import argparse
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.analysis.report import format_cdfs, format_table
+from repro.core.study import SK_CARRIERS, US_CARRIERS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=float, default=45.0)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=2014)
+    args = parser.parse_args()
+
+    study = CellularDNSStudy(
+        StudyConfig(
+            seed=args.seed,
+            device_scale=args.scale,
+            duration_days=args.days,
+            interval_hours=12.0,
+        )
+    )
+    print(f"Simulating {len(study.campaign.devices)} devices over "
+          f"{args.days:.0f} days...")
+    print(f"Collected {len(study.dataset)} experiments.\n")
+
+    carriers = (*US_CARRIERS, *SK_CARRIERS)
+
+    for carrier in ("att", "skt"):
+        curves = study.fig11_public_distance(carrier)
+        print(format_cdfs(
+            {
+                "cell LDNS (external)": curves.get("local-external"),
+                "GoogleDNS": curves.get("google"),
+                "OpenDNS": curves.get("opendns"),
+            },
+            title=f"Fig 11 style [{carrier}]: resolver ping latency",
+        ))
+        print()
+
+    for carrier in ("verizon", "lgu"):
+        curves = study.fig13_public_resolution(carrier)
+        print(format_cdfs(
+            curves, title=f"Fig 13 style [{carrier}]: resolution time"
+        ))
+        print()
+
+    rows = []
+    for carrier in carriers:
+        result = study.fig14_public_replicas(carrier)
+        rows.append(
+            (
+                carrier,
+                len(result.percent_changes),
+                f"{result.fraction_equal() * 100:.0f}%",
+                f"{result.fraction_public_not_worse() * 100:.0f}%",
+            )
+        )
+    print(format_table(
+        ["carrier", "comparisons", "equal replicas", "public equal-or-better"],
+        rows,
+        title="Fig 14 style: Google-chosen vs cellular-chosen replicas",
+    ))
+    print()
+    print("The paper's punchline: despite the operator knowing where its")
+    print("clients are, replicas chosen via public DNS perform equal or")
+    print("better the large majority of the time.")
+
+
+if __name__ == "__main__":
+    main()

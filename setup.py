@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in pyproject.toml.
+
+Kept so editable installs work on environments without the ``wheel``
+package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

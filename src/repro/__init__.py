@@ -1,0 +1,44 @@
+"""Reproduction of "Behind the Curtain: Cellular DNS and Content Replica
+Selection" (Rula & Bustamante, IMC 2014).
+
+The package is organised as a set of substrates plus the paper's measurement
+and analysis pipeline:
+
+``repro.core``
+    Virtual clock, seeded randomness, IPv4 addressing, autonomous systems,
+    the :class:`~repro.core.internet.VirtualInternet` and the end-to-end
+    :class:`~repro.core.study.CellularDNSStudy` orchestrator.
+``repro.geo``
+    Geography: coordinates, distance -> latency models, US and South Korea
+    city data.
+``repro.dns``
+    DNS substrate: messages, wire format, zones, caches, authoritative and
+    recursive servers, indirect-resolution structures (pools, anycast,
+    tiers) and public anycast DNS services.
+``repro.cellnet``
+    Cellular substrate: radio technologies, 3G/LTE architectures, NAT and
+    firewall opaqueness, ephemeral addressing, mobility, carrier presets.
+``repro.cdn``
+    Content delivery: replica servers, /24-based replica mapping, CDN
+    authoritative DNS, the paper's nine-domain catalogue.
+``repro.measure``
+    The paper's client-side experiment (Sec 3.2), scheduler, campaign runner
+    and dataset container.
+``repro.analysis``
+    Cosine similarity, consistency, latency CDFs, egress identification,
+    reachability, cache analysis and report formatting.
+"""
+
+from repro.core.study import CellularDNSStudy, StudyConfig
+from repro.core.world import World, WorldConfig, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellularDNSStudy",
+    "StudyConfig",
+    "World",
+    "WorldConfig",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis pipeline: from measurement records to the paper's artifacts."""
+
+from repro.analysis.stats import ECDF, percent_increase, percentile, summarize
+from repro.analysis.similarity import (
+    cosine_similarity,
+    replica_maps_by_resolver,
+    similarity_study,
+)
+from repro.analysis.consistency import (
+    ldns_pair_table,
+    resolver_timeline,
+    unique_resolver_counts,
+)
+from repro.analysis.latency import (
+    resolution_times,
+    resolution_times_by_technology,
+    resolver_ping_latencies,
+)
+from repro.analysis.cache import cache_comparison
+from repro.analysis.localization import (
+    public_replica_comparison,
+    replica_differentials,
+)
+from repro.analysis.egress import count_egress_points
+from repro.analysis.reachability import probe_external_reachability
+
+__all__ = [
+    "ECDF",
+    "percent_increase",
+    "percentile",
+    "summarize",
+    "cosine_similarity",
+    "replica_maps_by_resolver",
+    "similarity_study",
+    "ldns_pair_table",
+    "resolver_timeline",
+    "unique_resolver_counts",
+    "resolution_times",
+    "resolution_times_by_technology",
+    "resolver_ping_latencies",
+    "cache_comparison",
+    "public_replica_comparison",
+    "replica_differentials",
+    "count_egress_points",
+    "probe_external_reachability",
+]

@@ -1,0 +1,97 @@
+"""Cache behaviour from back-to-back queries (Fig 7).
+
+The experiment issues each local-resolver lookup twice in quick
+succession.  The second query should hit the (just-populated) cache;
+comparing the two distributions exposes how often the *first* was a
+miss — the paper sees ~20% misses even for very popular names, thanks to
+the short TTLs CDNs use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import ECDF
+from repro.measure.records import Dataset
+
+
+@dataclass
+class CacheComparison:
+    """First- vs second-lookup distributions for a set of carriers."""
+
+    carriers: List[str]
+    first: ECDF
+    second: ECDF
+    #: Per-pair deltas (first - second), ms.
+    deltas: List[float] = field(default_factory=list)
+
+    def miss_rate(self, threshold_ms: float = 15.0) -> float:
+        """Estimated first-lookup miss rate.
+
+        A pair whose first lookup exceeds its second by more than
+        ``threshold_ms`` is counted as a miss (the extra time is the
+        upstream fetch).
+        """
+        if not self.deltas:
+            return 0.0
+        misses = sum(1 for delta in self.deltas if delta > threshold_ms)
+        return misses / len(self.deltas)
+
+
+def cache_comparison(
+    dataset: Dataset,
+    carriers: Optional[List[str]] = None,
+    resolver_kind: str = "local",
+) -> CacheComparison:
+    """Fig 7: pair up attempts 1 and 2 of each (experiment, domain)."""
+    if carriers is None:
+        carriers = dataset.carriers()
+    wanted = set(carriers)
+    firsts: List[float] = []
+    seconds: List[float] = []
+    deltas: List[float] = []
+    for record in dataset:
+        if record.carrier not in wanted:
+            continue
+        pairs: Dict[str, Dict[int, float]] = {}
+        for resolution in record.resolutions_via(resolver_kind):
+            pairs.setdefault(resolution.domain, {})[resolution.attempt] = (
+                resolution.resolution_ms
+            )
+        for by_attempt in pairs.values():
+            if 1 in by_attempt:
+                firsts.append(by_attempt[1])
+            if 2 in by_attempt:
+                seconds.append(by_attempt[2])
+            if 1 in by_attempt and 2 in by_attempt:
+                deltas.append(by_attempt[1] - by_attempt[2])
+    return CacheComparison(
+        carriers=list(carriers),
+        first=ECDF.from_values(firsts),
+        second=ECDF.from_values(seconds),
+        deltas=deltas,
+    )
+
+
+def per_domain_miss_rates(
+    dataset: Dataset, threshold_ms: float = 15.0
+) -> List[Tuple[str, float]]:
+    """(domain, estimated miss rate) across all carriers."""
+    by_domain: Dict[str, List[float]] = {}
+    for record in dataset:
+        pairs: Dict[str, Dict[int, float]] = {}
+        for resolution in record.resolutions_via("local"):
+            pairs.setdefault(resolution.domain, {})[resolution.attempt] = (
+                resolution.resolution_ms
+            )
+        for domain, by_attempt in pairs.items():
+            if 1 in by_attempt and 2 in by_attempt:
+                by_domain.setdefault(domain, []).append(
+                    by_attempt[1] - by_attempt[2]
+                )
+    rows = []
+    for domain, deltas in sorted(by_domain.items()):
+        misses = sum(1 for delta in deltas if delta > threshold_ms)
+        rows.append((domain, misses / len(deltas)))
+    return rows

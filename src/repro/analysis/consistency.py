@@ -1,0 +1,208 @@
+"""LDNS pairing and resolver consistency (Sec 4.1, 4.5, 6.1).
+
+Three artifacts come out of here:
+
+* **Table 3**: per carrier, the number of client-facing and
+  external-facing resolver addresses observed, and the consistency of
+  their pairings (for each client-facing address, the share of its
+  measurements going to its most common external partner).
+* **Figs 8/9/12**: per-device timelines of external resolvers,
+  enumerated in order of first appearance — both raw addresses and /24
+  prefixes — optionally filtered to a static location cluster.
+* **Table 5**: unique resolver addresses and /24s per carrier for the
+  local, Google and OpenDNS resolver kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.addressing import prefix24
+from repro.geo.coordinates import GeoPoint
+from repro.measure.records import Dataset, ExperimentRecord, RESOLVER_KINDS
+
+
+@dataclass
+class LdnsPairRow:
+    """One carrier's row of Table 3."""
+
+    carrier: str
+    client_addresses: int
+    external_addresses: int
+    pairs: int
+    #: Measurement-weighted mean of per-client-resolver max-share.
+    consistency_pct: float
+
+
+def ldns_pair_table(dataset: Dataset) -> List[LdnsPairRow]:
+    """Compute Table 3 from resolver-identification records."""
+    rows = []
+    for carrier, records in sorted(dataset.by_carrier().items()):
+        pair_counts: Dict[Tuple[str, str], int] = {}
+        for record in records:
+            identification = record.resolver_id("local")
+            if identification is None or not identification.observed_external_ip:
+                continue
+            key = (
+                identification.configured_ip,
+                identification.observed_external_ip,
+            )
+            pair_counts[key] = pair_counts.get(key, 0) + 1
+        if not pair_counts:
+            continue
+        clients = {client for client, _ in pair_counts}
+        externals = {external for _, external in pair_counts}
+        consistency = _pairing_consistency(pair_counts)
+        rows.append(
+            LdnsPairRow(
+                carrier=carrier,
+                client_addresses=len(clients),
+                external_addresses=len(externals),
+                pairs=len(pair_counts),
+                consistency_pct=consistency * 100.0,
+            )
+        )
+    return rows
+
+
+def _pairing_consistency(pair_counts: Dict[Tuple[str, str], int]) -> float:
+    """Measurement-weighted max-share consistency.
+
+    A client resolver load-balanced evenly across two externals scores
+    0.5, matching the paper's definition.
+    """
+    by_client: Dict[str, Dict[str, int]] = {}
+    for (client, external), count in pair_counts.items():
+        by_client.setdefault(client, {})[external] = count
+    weighted = 0.0
+    total = 0
+    for externals in by_client.values():
+        volume = sum(externals.values())
+        weighted += max(externals.values()) / volume * volume
+        total += volume
+    return weighted / total if total else 0.0
+
+
+@dataclass
+class ResolverTimeline:
+    """A device's external-resolver history (Figs 8, 9, 12)."""
+
+    device_id: str
+    carrier: str
+    resolver_kind: str
+    #: (time, resolver_ip) in time order.
+    observations: List[Tuple[float, str]] = field(default_factory=list)
+
+    def enumerated_ips(self) -> List[Tuple[float, int]]:
+        """(time, index) with indices assigned by first appearance."""
+        order: Dict[str, int] = {}
+        series = []
+        for at, ip in self.observations:
+            if ip not in order:
+                order[ip] = len(order) + 1
+            series.append((at, order[ip]))
+        return series
+
+    def enumerated_prefixes(self) -> List[Tuple[float, int]]:
+        """(time, index) over /24 prefixes, first-appearance order."""
+        order: Dict[str, int] = {}
+        series = []
+        for at, ip in self.observations:
+            block = prefix24(ip)
+            if block not in order:
+                order[block] = len(order) + 1
+            series.append((at, order[block]))
+        return series
+
+    def unique_ips(self) -> int:
+        """Distinct resolver addresses seen."""
+        return len({ip for _, ip in self.observations})
+
+    def unique_prefixes(self) -> int:
+        """Distinct /24s seen."""
+        return len({prefix24(ip) for _, ip in self.observations})
+
+    def changes(self) -> int:
+        """Number of consecutive-observation resolver changes."""
+        changes = 0
+        previous: Optional[str] = None
+        for _, ip in self.observations:
+            if previous is not None and ip != previous:
+                changes += 1
+            previous = ip
+        return changes
+
+
+def resolver_timeline(
+    dataset: Dataset,
+    device_id: str,
+    resolver_kind: str = "local",
+    within_km_of: Optional[GeoPoint] = None,
+    radius_km: float = 10.0,
+) -> ResolverTimeline:
+    """One device's external-resolver timeline.
+
+    ``within_km_of`` reproduces Fig 9's static-client filter: only
+    experiments within ``radius_km`` of the given centroid count.
+    """
+    records = dataset.by_device().get(device_id, [])
+    carrier = records[0].carrier if records else ""
+    timeline = ResolverTimeline(
+        device_id=device_id, carrier=carrier, resolver_kind=resolver_kind
+    )
+    for record in records:
+        if within_km_of is not None:
+            position = GeoPoint(record.latitude, record.longitude)
+            if position.distance_km(within_km_of) > radius_km:
+                continue
+        identification = record.resolver_id(resolver_kind)
+        if identification is None or not identification.observed_external_ip:
+            continue
+        timeline.observations.append(
+            (record.started_at, identification.observed_external_ip)
+        )
+    return timeline
+
+
+def device_location_centroid(records: List[ExperimentRecord]) -> Optional[GeoPoint]:
+    """Mean reported position of a device's experiments."""
+    if not records:
+        return None
+    lat = sum(record.latitude for record in records) / len(records)
+    lon = sum(record.longitude for record in records) / len(records)
+    return GeoPoint(lat, lon)
+
+
+@dataclass
+class ResolverCountRow:
+    """One (carrier, resolver kind) cell of Table 5."""
+
+    carrier: str
+    resolver_kind: str
+    unique_ips: int
+    unique_prefixes: int
+
+
+def unique_resolver_counts(dataset: Dataset) -> List[ResolverCountRow]:
+    """Table 5: distinct external resolver IPs and /24s per provider."""
+    seen: Dict[Tuple[str, str], set] = {}
+    for record in dataset:
+        for kind in RESOLVER_KINDS:
+            identification = record.resolver_id(kind)
+            if identification is None or not identification.observed_external_ip:
+                continue
+            seen.setdefault((record.carrier, kind), set()).add(
+                identification.observed_external_ip
+            )
+    rows = []
+    for (carrier, kind), addresses in sorted(seen.items()):
+        rows.append(
+            ResolverCountRow(
+                carrier=carrier,
+                resolver_kind=kind,
+                unique_ips=len(addresses),
+                unique_prefixes=len({prefix24(ip) for ip in addresses}),
+            )
+        )
+    return rows

@@ -1,0 +1,89 @@
+"""Egress-point identification from device traceroutes (Sec 5.2).
+
+The paper counts egress points by finding, in each device traceroute,
+the first hop whose address lies *outside* the operator's network and
+taking the previous responding hop as the egress router.  The analysis
+here replicates that, using an IP -> owner predicate in place of whois.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.measure.records import Dataset
+
+#: Given a carrier key and an address, says whether the carrier owns it.
+OwnershipOracle = Callable[[str, str], bool]
+
+
+@dataclass
+class EgressCount:
+    """Distinct egress points observed for one carrier."""
+
+    carrier: str
+    egress_ips: Set[str] = field(default_factory=set)
+    traceroutes_used: int = 0
+
+    @property
+    def count(self) -> int:
+        """Number of distinct egress routers seen."""
+        return len(self.egress_ips)
+
+
+def egress_ip_of_traceroute(
+    carrier: str, hops: List[List[object]], owns: OwnershipOracle
+) -> Optional[str]:
+    """The paper's rule applied to one traceroute's hops.
+
+    ``hops`` are (ttl, ip, rtt) triples; unresponsive hops carry None.
+    Returns the last in-network responding hop before the first
+    out-of-network hop.
+    """
+    previous_in_network: Optional[str] = None
+    for _, ip, _ in hops:
+        if ip is None:
+            continue
+        if owns(carrier, str(ip)):
+            previous_in_network = str(ip)
+            continue
+        # First hop outside the operator's network.
+        return previous_in_network
+    return None
+
+
+def count_egress_points(
+    dataset: Dataset, owns: OwnershipOracle
+) -> Dict[str, EgressCount]:
+    """Egress counts per carrier over all external traceroutes."""
+    counts: Dict[str, EgressCount] = {}
+    for record in dataset:
+        for traceroute in record.traceroutes:
+            if traceroute.target_kind not in ("egress-discovery", "replica"):
+                continue
+            egress = egress_ip_of_traceroute(
+                record.carrier, traceroute.hops, owns
+            )
+            entry = counts.setdefault(
+                record.carrier, EgressCount(carrier=record.carrier)
+            )
+            entry.traceroutes_used += 1
+            if egress is not None:
+                entry.egress_ips.add(egress)
+    return counts
+
+
+def world_ownership_oracle(world) -> OwnershipOracle:
+    """An ownership predicate backed by the simulated registries.
+
+    Stands in for the whois lookups the paper used to classify hop
+    addresses.
+    """
+
+    def owns(carrier: str, address: str) -> bool:
+        operator = world.operators.get(carrier)
+        if operator is None:
+            return False
+        return operator.owns_ip(address)
+
+    return owns

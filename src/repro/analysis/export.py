@@ -1,0 +1,169 @@
+"""CSV export of figure series.
+
+The benchmark harness prints quantile grids; for actual plotting (the
+paper's CDFs and timelines) each figure's raw series can be exported as
+CSV with one call.  Files are plain ``x,y`` (CDFs), ``time,index``
+(timelines) or labelled multi-column tables — loadable by any plotting
+tool without this package installed.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.consistency import ResolverTimeline
+from repro.analysis.stats import ECDF
+
+
+def export_cdf(
+    ecdf: ECDF, path: str, points: int = 200, label: str = "value"
+) -> int:
+    """Write a CDF as ``<label>,cumulative_fraction`` rows."""
+    series = ecdf.series(points=points)
+    _ensure_parent(path)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([label, "cdf"])
+        for x, y in series:
+            writer.writerow([f"{x:.4f}", f"{y:.6f}"])
+    return len(series)
+
+
+def export_cdf_family(
+    curves: Dict[str, Optional[ECDF]],
+    path: str,
+    points: int = 200,
+    label: str = "value",
+) -> int:
+    """Write several CDFs side by side: ``series,<label>,cdf`` rows."""
+    _ensure_parent(path)
+    rows = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", label, "cdf"])
+        for name, ecdf in curves.items():
+            if ecdf is None or ecdf.is_empty:
+                continue
+            for x, y in ecdf.series(points=points):
+                writer.writerow([name, f"{x:.4f}", f"{y:.6f}"])
+                rows += 1
+    return rows
+
+
+def export_timeline(
+    timeline: ResolverTimeline, path: str, by_prefix: bool = False
+) -> int:
+    """Write a resolver timeline as ``time_s,index`` rows (Figs 8/9/12)."""
+    series = (
+        timeline.enumerated_prefixes() if by_prefix else timeline.enumerated_ips()
+    )
+    _ensure_parent(path)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", "resolver_index"])
+        for at, index in series:
+            writer.writerow([f"{at:.1f}", index])
+    return len(series)
+
+
+def export_rows(
+    headers: List[str], rows: List[Tuple], path: str
+) -> int:
+    """Write an arbitrary table (the Tables 1-5)."""
+    _ensure_parent(path)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+    return len(rows)
+
+
+def export_study_figures(study, directory: str) -> List[str]:
+    """Export every figure's series for one study; returns file paths.
+
+    One CSV per artifact, named after its figure/table id.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def path_of(name: str) -> str:
+        full = os.path.join(directory, name)
+        written.append(full)
+        return full
+
+    export_cdf_family(
+        study.fig5_us_resolution(), path_of("fig5_us_resolution.csv"),
+        label="resolution_ms",
+    )
+    export_cdf_family(
+        study.fig6_sk_resolution(), path_of("fig6_sk_resolution.csv"),
+        label="resolution_ms",
+    )
+    comparison = study.fig7_cache()
+    export_cdf_family(
+        {"first": comparison.first, "second": comparison.second},
+        path_of("fig7_cache.csv"),
+        label="resolution_ms",
+    )
+    for carrier in study.world.operators:
+        export_cdf_family(
+            study.fig3_resolution_by_technology(carrier),
+            path_of(f"fig3_{carrier}.csv"),
+            label="resolution_ms",
+        )
+        export_cdf_family(
+            study.fig4_resolver_distance(carrier),
+            path_of(f"fig4_{carrier}.csv"),
+            label="rtt_ms",
+        )
+        export_cdf_family(
+            study.fig11_public_distance(carrier),
+            path_of(f"fig11_{carrier}.csv"),
+            label="rtt_ms",
+        )
+        export_cdf_family(
+            study.fig13_public_resolution(carrier),
+            path_of(f"fig13_{carrier}.csv"),
+            label="resolution_ms",
+        )
+        export_cdf(
+            study.fig2_replica_differentials(carrier).ecdf(),
+            path_of(f"fig2_{carrier}.csv"),
+            label="percent_increase",
+        )
+        export_cdf(
+            study.fig14_public_replicas(carrier).ecdf(),
+            path_of(f"fig14_{carrier}.csv"),
+            label="percent_change",
+        )
+    export_rows(
+        ["carrier", "clients", "country"],
+        study.table1_clients(),
+        path_of("table1.csv"),
+    )
+    export_rows(
+        ["carrier", "client_addrs", "external_addrs", "pairs", "consistency_pct"],
+        [
+            (r.carrier, r.client_addresses, r.external_addresses, r.pairs,
+             round(r.consistency_pct, 1))
+            for r in study.table3_ldns_pairs()
+        ],
+        path_of("table3.csv"),
+    )
+    export_rows(
+        ["carrier", "resolver_kind", "unique_ips", "unique_prefixes"],
+        [
+            (r.carrier, r.resolver_kind, r.unique_ips, r.unique_prefixes)
+            for r in study.table5_resolver_counts()
+        ],
+        path_of("table5.csv"),
+    )
+    return written
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)

@@ -1,0 +1,144 @@
+"""Latency extractions: resolution times and resolver distances.
+
+Feeds Figs 3 (resolution time by radio technology), 5/6 (resolution-time
+CDFs per carrier), 13 (local vs public resolution), 4 (client- vs
+external-facing resolver pings) and 11 (cellular vs public resolver
+pings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import ECDF, group_ecdfs
+from repro.measure.records import Dataset
+
+
+def resolution_times(
+    dataset: Dataset,
+    carrier: str,
+    resolver_kind: str = "local",
+    attempt: Optional[int] = 1,
+) -> ECDF:
+    """Resolution-time CDF for one carrier and resolver kind.
+
+    ``attempt=1`` keeps only first-of-pair queries so the back-to-back
+    cache probes don't skew the distribution (the paper plots first
+    lookups; Fig 7 handles the pairs).
+    """
+    values: List[float] = []
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        for resolution in record.resolutions_via(resolver_kind):
+            if resolution.domain.endswith(".net") and "whoami" in resolution.domain:
+                continue
+            if attempt is not None and resolution.attempt != attempt:
+                continue
+            values.append(resolution.resolution_ms)
+    return ECDF.from_values(values)
+
+
+def resolution_times_by_technology(
+    dataset: Dataset, carrier: str, resolver_kind: str = "local"
+) -> Dict[str, ECDF]:
+    """Fig 3: per-technology resolution-time CDFs for one carrier."""
+    samples: Dict[str, List[float]] = {}
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        bucket = samples.setdefault(record.technology, [])
+        for resolution in record.resolutions_via(resolver_kind):
+            if resolution.attempt != 1:
+                continue
+            bucket.append(resolution.resolution_ms)
+    return group_ecdfs(samples)
+
+
+def resolution_times_by_kind(
+    dataset: Dataset, carrier: str
+) -> Dict[str, ECDF]:
+    """Fig 13: local vs Google vs OpenDNS resolution CDFs."""
+    samples: Dict[str, List[float]] = {"local": [], "google": [], "opendns": []}
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        for resolution in record.resolutions:
+            if resolution.attempt != 1:
+                continue
+            if resolution.resolver_kind in samples:
+                samples[resolution.resolver_kind].append(resolution.resolution_ms)
+    return group_ecdfs(samples)
+
+
+def resolver_ping_latencies(
+    dataset: Dataset, carrier: str
+) -> Dict[str, ECDF]:
+    """Fig 4: ping CDFs to client-facing and external-facing resolvers.
+
+    Keys: ``client`` and ``external``; an absent key means that tier
+    never answered (Verizon and LG U+ externals in the paper).
+    """
+    samples: Dict[str, List[float]] = {"client": [], "external": []}
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        for ping in record.pings:
+            if ping.rtt_ms is None:
+                continue
+            if ping.target_kind == "resolver-client-facing":
+                samples["client"].append(ping.rtt_ms)
+            elif ping.target_kind == "resolver-external-facing":
+                samples["external"].append(ping.rtt_ms)
+    return group_ecdfs(samples)
+
+
+def public_resolver_pings(
+    dataset: Dataset, carrier: str
+) -> Dict[str, ECDF]:
+    """Fig 11: pings to the cellular LDNS vs the public anycast services.
+
+    Keys: ``local-external`` (the carrier's external-facing resolver,
+    when it answers), ``google`` and ``opendns``.
+    """
+    samples: Dict[str, List[float]] = {
+        "local-external": [],
+        "google": [],
+        "opendns": [],
+    }
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        for ping in record.pings:
+            if ping.rtt_ms is None:
+                continue
+            if ping.target_kind == "resolver-external-facing":
+                samples["local-external"].append(ping.rtt_ms)
+            elif ping.target_kind == "resolver-public-google":
+                samples["google"].append(ping.rtt_ms)
+            elif ping.target_kind == "resolver-public-opendns":
+                samples["opendns"].append(ping.rtt_ms)
+    return group_ecdfs(samples)
+
+
+def median_gap_ms(
+    first: Optional[ECDF], second: Optional[ECDF]
+) -> Optional[float]:
+    """Median difference between two CDFs (None when either is missing)."""
+    if first is None or second is None or first.is_empty or second.is_empty:
+        return None
+    return second.median - first.median
+
+
+def carriers_in(dataset: Dataset, country: Optional[str] = None) -> List[str]:
+    """Carrier keys present in the dataset, optionally by country."""
+    keys: List[Tuple[str, str]] = []
+    for record in dataset:
+        pair = (record.carrier, record.country)
+        if pair not in keys:
+            keys.append(pair)
+    return [
+        carrier
+        for carrier, carrier_country in keys
+        if country is None or carrier_country == country
+    ]

@@ -1,0 +1,177 @@
+"""Replica localization quality (Fig 2 and Fig 14).
+
+Fig 2: for each user and domain, every replica server the user was ever
+redirected to is scored as the percent increase of its mean HTTP latency
+(time-to-first-byte) over the user's best-seen replica.  Users being
+"consistently directed towards replica servers with latencies 100%
+greater than other existing replicas" is the paper's headline motivation.
+
+Fig 14: per experiment and domain, the replicas returned through a
+public resolver are compared with those returned through the cellular
+resolver, both aggregated by /24; equal prefixes score 0, otherwise the
+percent difference of the two replica sets' measured latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.stats import ECDF
+from repro.core.addressing import prefix24
+from repro.measure.records import Dataset
+
+
+@dataclass
+class ReplicaDifferentials:
+    """Fig 2 data for one carrier (optionally one domain)."""
+
+    carrier: str
+    domain: Optional[str]
+    #: Percent increases, one entry per (user, replica) pair.
+    per_replica: List[float] = field(default_factory=list)
+    #: Percent increases weighted by access counts (per observation).
+    per_access: List[float] = field(default_factory=list)
+
+    def ecdf(self, weighted: bool = False) -> ECDF:
+        """The CDF the figure plots."""
+        return ECDF.from_values(self.per_access if weighted else self.per_replica)
+
+
+def replica_differentials(
+    dataset: Dataset,
+    carrier: str,
+    domain: Optional[str] = None,
+    resolver_kind: Optional[str] = None,
+    min_samples_per_replica: int = 1,
+) -> ReplicaDifferentials:
+    """Compute Fig 2's percent-increase population for one carrier.
+
+    ``resolver_kind=None`` (the default) scores every replica the user
+    was ever redirected to, whichever resolver returned it — the paper's
+    "all replica servers seen" framing.  Pass ``"local"`` to restrict to
+    cellular-DNS redirections.
+    """
+    # (device, domain) -> replica_ip -> [ttfb samples]
+    samples: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        for http in record.http_gets:
+            if http.ttfb_ms is None:
+                continue
+            if domain is not None and http.domain != domain:
+                continue
+            if resolver_kind is not None and http.resolver_kind != resolver_kind:
+                continue
+            key = (record.device_id, http.domain)
+            samples.setdefault(key, {}).setdefault(http.replica_ip, []).append(
+                http.ttfb_ms
+            )
+    result = ReplicaDifferentials(carrier=carrier, domain=domain)
+    for replica_samples in samples.values():
+        means = {
+            replica_ip: sum(values) / len(values)
+            for replica_ip, values in replica_samples.items()
+            if len(values) >= min_samples_per_replica
+        }
+        if len(means) < 2:
+            continue
+        best = min(means.values())
+        if best <= 0:
+            continue
+        for replica_ip, mean in means.items():
+            increase = (mean / best - 1.0) * 100.0
+            result.per_replica.append(increase)
+            result.per_access.extend(
+                [increase] * len(replica_samples[replica_ip])
+            )
+    return result
+
+
+@dataclass
+class PublicReplicaComparison:
+    """Fig 14 data for one carrier and public resolver kind."""
+
+    carrier: str
+    public_kind: str
+    #: Percent change of public-resolver replica latency vs local's
+    #: (0 when the /24-aggregated replica sets match).
+    percent_changes: List[float] = field(default_factory=list)
+
+    def ecdf(self) -> ECDF:
+        """The CDF the figure plots."""
+        return ECDF.from_values(self.percent_changes)
+
+    def fraction_equal(self) -> float:
+        """Share of comparisons where both resolvers tie (same /24s)."""
+        if not self.percent_changes:
+            return 0.0
+        ties = sum(1 for value in self.percent_changes if value == 0.0)
+        return ties / len(self.percent_changes)
+
+    def fraction_public_not_worse(self) -> float:
+        """Share where the public choice is equal or better (<= 0)."""
+        if not self.percent_changes:
+            return 0.0
+        good = sum(1 for value in self.percent_changes if value <= 0.0)
+        return good / len(self.percent_changes)
+
+
+def public_replica_comparison(
+    dataset: Dataset,
+    carrier: str,
+    public_kind: str = "google",
+) -> PublicReplicaComparison:
+    """Compute Fig 14's relative replica performance for one carrier.
+
+    For each experiment and domain: take the replica /24s returned by the
+    local resolver and by the public one.  Identical /24 sets score 0.
+    Otherwise each set's latency is the mean measured TTFB of its
+    replicas in this experiment, and the score is the percent change of
+    the public set over the local set.
+    """
+    result = PublicReplicaComparison(carrier=carrier, public_kind=public_kind)
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        ttfb_of: Dict[str, List[float]] = {}
+        for http in record.http_gets:
+            if http.ttfb_ms is not None:
+                ttfb_of.setdefault(http.replica_ip, []).append(http.ttfb_ms)
+        by_domain: Dict[str, Dict[str, List[str]]] = {}
+        for resolution in record.resolutions:
+            if resolution.attempt != 1 or not resolution.addresses:
+                continue
+            by_domain.setdefault(resolution.domain, {})[
+                resolution.resolver_kind
+            ] = resolution.addresses
+        for domain, by_kind in by_domain.items():
+            local = by_kind.get("local")
+            public = by_kind.get(public_kind)
+            if not local or not public:
+                continue
+            local_blocks = {prefix24(ip) for ip in local}
+            public_blocks = {prefix24(ip) for ip in public}
+            if local_blocks == public_blocks:
+                result.percent_changes.append(0.0)
+                continue
+            local_latency = _set_latency(local, ttfb_of)
+            public_latency = _set_latency(public, ttfb_of)
+            if local_latency is None or public_latency is None:
+                continue
+            result.percent_changes.append(
+                (public_latency / local_latency - 1.0) * 100.0
+            )
+    return result
+
+
+def _set_latency(
+    addresses: List[str], ttfb_of: Dict[str, List[float]]
+) -> Optional[float]:
+    values: List[float] = []
+    for address in addresses:
+        values.extend(ttfb_of.get(address, []))
+    if not values:
+        return None
+    return sum(values) / len(values)

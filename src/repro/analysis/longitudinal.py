@@ -1,0 +1,176 @@
+"""Longitudinal analyses.
+
+The paper's stated edge over Xu et al. [25] is longitudinal coverage:
+"our study includes longitudinal data from clients which allows us to
+monitor changes in DNS configuration from mobile end hosts".  This
+module slices the campaign along time:
+
+* per-window resolver inventories (how the set of observed external
+  resolvers evolves, and when configurations *change*);
+* cumulative discovery curves (how many resolvers/egress points a
+  growing observation window reveals — the saturation behaviour that
+  says when a measurement campaign has seen enough);
+* per-window pairing consistency (does a carrier's behaviour drift?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.consistency import _pairing_consistency
+from repro.core.addressing import prefix24
+from repro.core.clock import SECONDS_PER_DAY
+from repro.measure.records import Dataset
+
+
+@dataclass
+class WindowInventory:
+    """What one carrier's resolver estate looked like in one window."""
+
+    carrier: str
+    window_start: float
+    window_end: float
+    external_ips: set = field(default_factory=set)
+    external_prefixes: set = field(default_factory=set)
+    consistency_pct: Optional[float] = None
+    observations: int = 0
+
+
+def resolver_inventory_over_time(
+    dataset: Dataset,
+    carrier: str,
+    window_days: float = 14.0,
+    resolver_kind: str = "local",
+) -> List[WindowInventory]:
+    """Windowed inventories of a carrier's observed external resolvers."""
+    window_s = window_days * SECONDS_PER_DAY
+    windows: Dict[int, WindowInventory] = {}
+    pair_counts: Dict[int, Dict[Tuple[str, str], int]] = {}
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        identification = record.resolver_id(resolver_kind)
+        if identification is None or not identification.observed_external_ip:
+            continue
+        slot = int(record.started_at // window_s)
+        window = windows.get(slot)
+        if window is None:
+            window = WindowInventory(
+                carrier=carrier,
+                window_start=slot * window_s,
+                window_end=(slot + 1) * window_s,
+            )
+            windows[slot] = window
+        external = identification.observed_external_ip
+        window.external_ips.add(external)
+        window.external_prefixes.add(prefix24(external))
+        window.observations += 1
+        pair_counts.setdefault(slot, {})
+        key = (identification.configured_ip, external)
+        pair_counts[slot][key] = pair_counts[slot].get(key, 0) + 1
+    result = []
+    for slot in sorted(windows):
+        window = windows[slot]
+        counts = pair_counts.get(slot, {})
+        if counts:
+            window.consistency_pct = _pairing_consistency(counts) * 100.0
+        result.append(window)
+    return result
+
+
+def configuration_changes(
+    inventories: List[WindowInventory],
+) -> List[Tuple[float, str]]:
+    """Detect window-to-window changes in the resolver estate.
+
+    A change is a window whose /24 set differs from the previous one —
+    the "changes in DNS configuration" the longitudinal data exposes.
+    """
+    changes: List[Tuple[float, str]] = []
+    previous: Optional[WindowInventory] = None
+    for window in inventories:
+        if previous is not None:
+            gained = window.external_prefixes - previous.external_prefixes
+            lost = previous.external_prefixes - window.external_prefixes
+            if gained or lost:
+                changes.append(
+                    (
+                        window.window_start,
+                        f"+{len(gained)}/-{len(lost)} /24s",
+                    )
+                )
+        previous = window
+    return changes
+
+
+@dataclass
+class DiscoveryCurve:
+    """Cumulative discovery of infrastructure as observation grows."""
+
+    carrier: str
+    what: str
+    #: (time, cumulative distinct count) steps, one per new discovery.
+    steps: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total distinct items discovered."""
+        return self.steps[-1][1] if self.steps else 0
+
+    def count_at(self, time_s: float) -> int:
+        """Discoveries up to ``time_s``."""
+        count = 0
+        for at, cumulative in self.steps:
+            if at > time_s:
+                break
+            count = cumulative
+        return count
+
+    def time_to_fraction(self, fraction: float) -> Optional[float]:
+        """When the curve first reached ``fraction`` of its final total."""
+        if not self.steps:
+            return None
+        target = self.total * fraction
+        for at, cumulative in self.steps:
+            if cumulative >= target:
+                return at
+        return None
+
+
+def resolver_discovery_curve(
+    dataset: Dataset, carrier: str, resolver_kind: str = "local"
+) -> DiscoveryCurve:
+    """Cumulative distinct external resolvers over campaign time."""
+    curve = DiscoveryCurve(carrier=carrier, what="external-resolvers")
+    seen: set = set()
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        identification = record.resolver_id(resolver_kind)
+        if identification is None or not identification.observed_external_ip:
+            continue
+        external = identification.observed_external_ip
+        if external not in seen:
+            seen.add(external)
+            curve.steps.append((record.started_at, len(seen)))
+    return curve
+
+
+def egress_discovery_curve(dataset: Dataset, carrier: str, owns) -> DiscoveryCurve:
+    """Cumulative distinct egress points over campaign time (Sec 5.2)."""
+    from repro.analysis.egress import egress_ip_of_traceroute
+
+    curve = DiscoveryCurve(carrier=carrier, what="egress-points")
+    seen: set = set()
+    for record in dataset:
+        if record.carrier != carrier:
+            continue
+        for trace in record.traceroutes:
+            if trace.target_kind not in ("egress-discovery", "replica"):
+                continue
+            egress = egress_ip_of_traceroute(carrier, trace.hops, owns)
+            if egress is not None and egress not in seen:
+                seen.add(egress)
+                curve.steps.append((record.started_at, len(seen)))
+    return curve

@@ -1,0 +1,75 @@
+"""External reachability of cellular resolvers (Table 4, Sec 4.4).
+
+The paper launched pings and traceroutes *from a university network*
+toward every external-facing resolver its devices had discovered.  Only
+Verizon's and AT&T's answered pings in any number; none answered
+traceroutes — cellular opaqueness extends to the DNS infrastructure.
+
+This module re-runs that campaign against the simulated Internet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.rng import RandomStream
+from repro.measure.records import Dataset
+
+
+@dataclass
+class ReachabilityRow:
+    """One carrier's row of Table 4."""
+
+    carrier: str
+    total: int
+    ping_responsive: int
+    traceroute_responsive: int
+
+    @property
+    def ping_fraction(self) -> float:
+        """Share of resolvers answering external pings."""
+        return self.ping_responsive / self.total if self.total else 0.0
+
+
+def observed_external_resolvers(dataset: Dataset) -> Dict[str, List[str]]:
+    """External resolver addresses discovered per carrier."""
+    seen: Dict[str, set] = {}
+    for record in dataset:
+        identification = record.resolver_id("local")
+        if identification is None or not identification.observed_external_ip:
+            continue
+        seen.setdefault(record.carrier, set()).add(
+            identification.observed_external_ip
+        )
+    return {carrier: sorted(ips) for carrier, ips in seen.items()}
+
+
+def probe_external_reachability(
+    world,
+    dataset: Dataset,
+    stream: Optional[RandomStream] = None,
+) -> List[ReachabilityRow]:
+    """Table 4: probe each discovered resolver from the university vantage."""
+    if stream is None:
+        stream = world.rng.stream("reachability")
+    rows: List[ReachabilityRow] = []
+    for carrier, addresses in sorted(observed_external_resolvers(dataset).items()):
+        ping_ok = 0
+        traceroute_ok = 0
+        for address in addresses:
+            origin = world.vantage.origin(stream)
+            if world.internet.measure_rtt(origin, address, stream) is not None:
+                ping_ok += 1
+            result = world.internet.traceroute(origin, address, stream)
+            if result.reached:
+                traceroute_ok += 1
+        rows.append(
+            ReachabilityRow(
+                carrier=carrier,
+                total=len(addresses),
+                ping_responsive=ping_ok,
+                traceroute_responsive=traceroute_ok,
+            )
+        )
+    return rows

@@ -1,0 +1,119 @@
+"""Plain-text rendering of tables and CDF curves.
+
+The benchmark harness prints each reproduced table/figure in a form that
+can be eyeballed against the paper: fixed-width tables for the tables,
+quantile grids for the CDFs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import ECDF
+
+#: Quantiles printed for every CDF.
+CDF_QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width table with optional title."""
+    columns = [
+        [str(header)] + [_cell(row[index]) for row in rows]
+        for index, header in enumerate(headers)
+    ]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _cell(value).ljust(width) for value, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_cdfs(
+    curves: Dict[str, Optional[ECDF]],
+    title: str = "",
+    unit: str = "ms",
+    quantiles: Sequence[float] = CDF_QUANTILES,
+) -> str:
+    """Quantile grid for a family of CDFs (one row per curve)."""
+    headers = ["series", "n"] + [f"p{int(q * 100)}" for q in quantiles]
+    rows: List[List[object]] = []
+    for name, ecdf in curves.items():
+        if ecdf is None or ecdf.is_empty:
+            rows.append([name, 0] + ["-"] * len(quantiles))
+            continue
+        rows.append(
+            [name, len(ecdf)]
+            + [f"{ecdf.quantile(q):.1f}" for q in quantiles]
+        )
+    label = f"{title} ({unit})" if title else f"({unit})"
+    return format_table(headers, rows, title=label)
+
+
+def format_timeline(
+    series: Sequence[tuple],
+    title: str = "",
+    width: int = 72,
+    left_label: str = "",
+    right_label: str = "",
+) -> str:
+    """ASCII rendering of an enumerated timeline (Figs 8, 9, 12).
+
+    ``series`` is (time, index) pairs as produced by
+    :meth:`~repro.analysis.consistency.ResolverTimeline.enumerated_ips`;
+    each dot marks one observation at that resolver index.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        lines.append("  (no observations)")
+        return "\n".join(lines)
+    start = series[0][0]
+    end = series[-1][0]
+    span = max(end - start, 1.0)
+    peak = max(index for _, index in series)
+    for level in range(peak, 0, -1):
+        row = [" "] * width
+        for at, index in series:
+            if index == level:
+                column = min(width - 1, int((at - start) / span * (width - 1)))
+                row[column] = "•"
+        lines.append(f"  {level:>3} |{''.join(row)}")
+    lines.append(f"      +{'-' * width}")
+    if left_label or right_label:
+        gap = max(1, width - len(left_label) - len(right_label))
+        lines.append(f"       {left_label}{' ' * gap}{right_label}")
+    return "\n".join(lines)
+
+
+def format_fractions(
+    rows: Dict[str, float], title: str = "", as_percent: bool = True
+) -> str:
+    """A two-column name/fraction table."""
+    factor = 100.0 if as_percent else 1.0
+    suffix = "%" if as_percent else ""
+    table_rows = [
+        [name, f"{value * factor:.1f}{suffix}"] for name, value in rows.items()
+    ]
+    return format_table(["series", "value"], table_rows, title=title)

@@ -1,0 +1,162 @@
+"""Replica-map similarity (Sec 5, Fig 10).
+
+For each DNS resolver the paper builds a *replica map*: the set of
+replica addresses the resolver was handed, weighted by how often each
+appeared.  Cosine similarity between two maps quantifies how much two
+resolvers' replica sets overlap; the paper computes it between resolvers
+in the same /24 and in different /24s, finding near-identical sets within
+a /24 and mostly disjoint sets across /24s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.addressing import prefix24
+from repro.measure.records import Dataset, ExperimentRecord
+
+
+def cosine_similarity(
+    first: Mapping[str, float], second: Mapping[str, float]
+) -> float:
+    """Cosine similarity between two weighted replica maps.
+
+    Maps are ``{replica_key: weight}``; weights need not be normalised.
+    Returns 0 for orthogonal maps, 1 for proportional ones.
+    """
+    if not first or not second:
+        return 0.0
+    dot = sum(weight * second.get(key, 0.0) for key, weight in first.items())
+    norm_first = math.sqrt(sum(weight * weight for weight in first.values()))
+    norm_second = math.sqrt(sum(weight * weight for weight in second.values()))
+    if norm_first == 0.0 or norm_second == 0.0:
+        return 0.0
+    return dot / (norm_first * norm_second)
+
+
+def _normalise(counts: Mapping[str, int]) -> Dict[str, float]:
+    total = float(sum(counts.values()))
+    if total == 0:
+        return {}
+    return {key: count / total for key, count in counts.items()}
+
+
+@dataclass
+class ReplicaMap:
+    """Observed replica distribution for one resolver and domain."""
+
+    resolver_ip: str
+    domain: str
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def observe(self, replica_ip: str) -> None:
+        """Record one redirection to ``replica_ip``."""
+        self.counts[replica_ip] = self.counts.get(replica_ip, 0) + 1
+
+    @property
+    def ratios(self) -> Dict[str, float]:
+        """The paper's <replica_ip, ratio> map."""
+        return _normalise(self.counts)
+
+    @property
+    def total_seen(self) -> int:
+        """Total redirections observed."""
+        return sum(self.counts.values())
+
+
+def replica_maps_by_resolver(
+    dataset: Dataset,
+    domain: str,
+    carrier: Optional[str] = None,
+    resolver_kind: str = "local",
+) -> Dict[str, ReplicaMap]:
+    """Replica maps keyed by *external* resolver address.
+
+    Associates each experiment's answers for ``domain`` with the external
+    resolver the experiment's identification probe observed — the same
+    join the paper performs between its resolution and whoami logs.
+    """
+    maps: Dict[str, ReplicaMap] = {}
+    for record in dataset:
+        if carrier is not None and record.carrier != carrier:
+            continue
+        resolver_ip = _external_ip_of(record, resolver_kind)
+        if resolver_ip is None:
+            continue
+        for resolution in record.resolutions_via(resolver_kind):
+            if resolution.domain != domain:
+                continue
+            replica_map = maps.get(resolver_ip)
+            if replica_map is None:
+                replica_map = ReplicaMap(resolver_ip=resolver_ip, domain=domain)
+                maps[resolver_ip] = replica_map
+            for address in resolution.addresses:
+                replica_map.observe(address)
+    return maps
+
+
+def _external_ip_of(record: ExperimentRecord, resolver_kind: str) -> Optional[str]:
+    identification = record.resolver_id(resolver_kind)
+    if identification is None:
+        return None
+    return identification.observed_external_ip
+
+
+@dataclass
+class SimilarityStudy:
+    """Fig 10's two populations of pairwise similarities."""
+
+    domain: str
+    carrier: str
+    same_prefix: List[float] = field(default_factory=list)
+    different_prefix: List[float] = field(default_factory=list)
+
+    def fraction_disjoint(self) -> float:
+        """Share of different-/24 pairs with zero overlap."""
+        if not self.different_prefix:
+            return 0.0
+        zeros = sum(1 for value in self.different_prefix if value == 0.0)
+        return zeros / len(self.different_prefix)
+
+    def median_same_prefix(self) -> float:
+        """Median similarity within a /24 (paper: close to 1)."""
+        if not self.same_prefix:
+            return 0.0
+        ordered = sorted(self.same_prefix)
+        return ordered[len(ordered) // 2]
+
+
+def similarity_study(
+    dataset: Dataset,
+    domain: str,
+    carrier: str,
+    resolver_kind: str = "local",
+    min_observations: int = 2,
+) -> SimilarityStudy:
+    """Pairwise cosine similarities, split by /24 co-residence (Fig 10)."""
+    maps = replica_maps_by_resolver(dataset, domain, carrier, resolver_kind)
+    eligible = [
+        replica_map
+        for replica_map in maps.values()
+        if replica_map.total_seen >= min_observations
+    ]
+    study = SimilarityStudy(domain=domain, carrier=carrier)
+    for index, first in enumerate(eligible):
+        for second in eligible[index + 1 :]:
+            value = cosine_similarity(first.ratios, second.ratios)
+            if prefix24(first.resolver_ip) == prefix24(second.resolver_ip):
+                study.same_prefix.append(value)
+            else:
+                study.different_prefix.append(value)
+    return study
+
+
+def replica_prefix_map(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Aggregate a replica map's weights by replica /24 (Sec 6.3)."""
+    aggregated: Dict[str, int] = {}
+    for replica_ip, count in counts.items():
+        block = prefix24(replica_ip)
+        aggregated[block] = aggregated.get(block, 0) + count
+    return _normalise(aggregated)

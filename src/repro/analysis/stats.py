@@ -1,0 +1,143 @@
+"""Statistical primitives: ECDFs, percentiles, distribution summaries.
+
+Every figure in the paper is a CDF; :class:`ECDF` is the shared
+representation the benches print and the tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) of non-empty values."""
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def percent_increase(value: float, baseline: float) -> float:
+    """Percent increase of ``value`` over ``baseline`` (0 when equal)."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (value / baseline - 1.0) * 100.0
+
+
+@dataclass
+class ECDF:
+    """An empirical CDF over a sample."""
+
+    values: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "ECDF":
+        """Build from any iterable, dropping NaNs."""
+        array = np.asarray(list(values), dtype=float)
+        array = array[~np.isnan(array)]
+        return cls(values=np.sort(array))
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no samples survived."""
+        return self.values.size == 0
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        if self.is_empty:
+            raise ValueError("ECDF of empty sample")
+        return float(np.searchsorted(self.values, x, side="right") / self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1])."""
+        if self.is_empty:
+            raise ValueError("ECDF of empty sample")
+        return float(np.quantile(self.values, q))
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.quantile(0.5)
+
+    def fraction_at_most(self, x: float) -> float:
+        """Alias of :meth:`evaluate`, reads better in assertions."""
+        return self.evaluate(x)
+
+    def fraction_above(self, x: float) -> float:
+        """P(X > x)."""
+        return 1.0 - self.evaluate(x)
+
+    def series(self, points: int = 50) -> List[tuple]:
+        """(x, F(x)) pairs suitable for printing a figure's curve."""
+        if self.is_empty:
+            return []
+        qs = np.linspace(0.0, 1.0, points)
+        return [(float(np.quantile(self.values, q)), float(q)) for q in qs]
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "ECDF(empty)"
+        return (
+            f"ECDF(n={len(self)}, p50={self.median:.1f}, "
+            f"p90={self.quantile(0.9):.1f})"
+        )
+
+
+@dataclass
+class DistributionSummary:
+    """Headline numbers for one distribution."""
+
+    count: int
+    mean: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    p99: float
+
+    def row(self) -> List[float]:
+        """Values in report-column order."""
+        return [
+            self.count,
+            self.mean,
+            self.p10,
+            self.p25,
+            self.median,
+            self.p75,
+            self.p90,
+            self.p99,
+        ]
+
+
+def summarize(values: Iterable[float]) -> Optional[DistributionSummary]:
+    """Summary of a sample, or None when it is empty."""
+    array = np.asarray(list(values), dtype=float)
+    array = array[~np.isnan(array)]
+    if array.size == 0:
+        return None
+    return DistributionSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p10=float(np.percentile(array, 10)),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+    )
+
+
+def group_ecdfs(samples: Dict[str, Iterable[float]]) -> Dict[str, ECDF]:
+    """ECDFs per group, dropping empty groups."""
+    result = {}
+    for key, values in samples.items():
+        ecdf = ECDF.from_values(values)
+        if not ecdf.is_empty:
+            result[key] = ecdf
+    return result

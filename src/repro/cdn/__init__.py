@@ -1,0 +1,19 @@
+"""CDN substrate: replicas, mapping policy, providers, domain catalogue."""
+
+from repro.cdn.catalog import DomainSpec, MEASURED_DOMAINS, domain_names
+from repro.cdn.mapping import MappingPolicy, ResolverLocator
+from repro.cdn.provider import CdnAuthority, CDNProvider, ReplicaCluster
+from repro.cdn.replica import ReplicaServer, http_ttfb_ms
+
+__all__ = [
+    "DomainSpec",
+    "MEASURED_DOMAINS",
+    "domain_names",
+    "MappingPolicy",
+    "ResolverLocator",
+    "CdnAuthority",
+    "CDNProvider",
+    "ReplicaCluster",
+    "ReplicaServer",
+    "http_ttfb_ms",
+]

@@ -1,0 +1,74 @@
+"""The nine measured mobile domains (Table 2).
+
+The paper chose nine popular mobile sites whose resolution begins with a
+CNAME — the signature of DNS-based load balancing.  The OCR of the paper
+preserves only ``m.yelp.com`` in Table 2 (plus ``buzzfeed.com`` named in
+Fig 10); the remaining entries are completed with popular CDN-served
+mobile sites of the era and documented in DESIGN.md.
+
+Each domain maps to one of the simulated CDNs; TTLs follow the paper's
+observation that CDN A records are short-lived enough to defeat caches
+~20% of the time (Fig 7), while the CNAME itself lives longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One measured domain and its CDN wiring."""
+
+    name: str
+    cdn_key: str
+    #: TTL of the terminal A records (seconds).
+    a_ttl: int
+    #: TTL of the CNAME that hands the name to the CDN.
+    cname_ttl: int
+    #: Relative query popularity (drives background cache warmth).
+    popularity: float
+    #: How many replica addresses one response carries.
+    answers_per_response: int = 2
+
+    @property
+    def edge_name(self) -> str:
+        """The CDN-side CNAME target for this domain."""
+        flattened = self.name.replace(".", "-")
+        return f"{flattened}.edge.{self.cdn_key}-sim.net"
+
+
+#: The nine domains measured in every experiment (Table 2).
+MEASURED_DOMAINS: List[DomainSpec] = [
+    DomainSpec("www.google.com", "globalcache", 60, 3600, 1.00),
+    DomainSpec("m.facebook.com", "globalcache", 30, 3600, 0.95),
+    DomainSpec("m.youtube.com", "globalcache", 45, 3600, 0.90),
+    DomainSpec("m.twitter.com", "continental", 30, 1800, 0.70),
+    DomainSpec("www.amazon.com", "continental", 60, 3600, 0.75),
+    DomainSpec("m.yelp.com", "continental", 30, 1800, 0.45),
+    DomainSpec("www.buzzfeed.com", "usonly", 20, 1800, 0.50),
+    DomainSpec("m.espn.go.com", "usonly", 30, 1800, 0.55),
+    DomainSpec("m.cnn.com", "usonly", 45, 1800, 0.60),
+]
+
+
+def domain_names() -> List[str]:
+    """The nine hostnames, in catalogue order."""
+    return [domain.name for domain in MEASURED_DOMAINS]
+
+
+def domains_by_cdn() -> Dict[str, List[DomainSpec]]:
+    """Catalogue grouped by hosting CDN."""
+    grouped: Dict[str, List[DomainSpec]] = {}
+    for domain in MEASURED_DOMAINS:
+        grouped.setdefault(domain.cdn_key, []).append(domain)
+    return grouped
+
+
+def spec_for(name: str) -> DomainSpec:
+    """Look a domain up by hostname."""
+    for domain in MEASURED_DOMAINS:
+        if domain.name == name:
+            return domain
+    raise KeyError(f"domain {name!r} is not in the measured catalogue")

@@ -1,0 +1,163 @@
+"""On-net operator CDNs (the paper's Sec 7 outlook).
+
+The paper closes by noting that "it is not surprising to see cellular
+operators taking steps to offer their own content delivery solutions"
+(Verizon had just acquired EdgeCast).  An operator CDN sidesteps both
+problems the paper diagnoses:
+
+* **no opaqueness** — the operator sees its own clients, so replica
+  selection can key on the client's attachment instead of a churning
+  resolver address;
+* **no egress detour** — replicas sit *inside* the cellular network at
+  the egress cities, so content never crosses the peering edge.
+
+:func:`build_operator_cdn` grafts such a CDN onto an existing world:
+replica clusters inside the operator's AS at its busiest egress cities,
+plus an oracle selection policy driven by the device's attachment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cdn.catalog import DomainSpec
+from repro.cdn.provider import CdnAuthority, CDNProvider, ReplicaCluster
+from repro.cdn.mapping import MappingPolicy
+from repro.cdn.replica import ReplicaServer
+from repro.cellnet.operator import Attachment, CellularOperator
+from repro.core.errors import ConfigError
+from repro.core.node import Host
+from repro.core.rng import stable_index
+from repro.geo.regions import City
+
+
+class OperatorCDN(CDNProvider):
+    """A CDN the operator runs inside its own network."""
+
+    def __init__(self, operator: CellularOperator, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.operator = operator
+        self._cluster_for_egress: Dict[str, int] = {}
+
+    def cluster_for_attachment(self, attachment: Attachment) -> ReplicaCluster:
+        """The cluster nearest the device's current egress point.
+
+        This is the oracle the paper says operators uniquely hold: the
+        network *knows* where its client is attached.
+        """
+        cached = self._cluster_for_egress.get(attachment.egress.ip)
+        if cached is None:
+            cached = min(
+                range(len(self.clusters)),
+                key=lambda index: self.clusters[index].location.distance_km(
+                    attachment.egress.location
+                ),
+            )
+            self._cluster_for_egress[attachment.egress.ip] = cached
+        return self.clusters[cached]
+
+    def select_for_attachment(
+        self, spec: DomainSpec, attachment: Attachment
+    ) -> List[ReplicaServer]:
+        """Replicas served to an attached device for one domain."""
+        cluster = self.cluster_for_attachment(attachment)
+        count = min(spec.answers_per_response, len(cluster.replicas))
+        start = stable_index(
+            self.seed, "onnet-window", spec.name, attachment.device_id,
+            modulo=len(cluster.replicas),
+        )
+        return [
+            cluster.replicas[(start + offset) % len(cluster.replicas)]
+            for offset in range(count)
+        ]
+
+
+def build_operator_cdn(
+    world,
+    carrier_key: str,
+    max_clusters: int = 64,
+    replicas_per_cluster: int = 4,
+) -> OperatorCDN:
+    """Create and register an on-net CDN for one carrier.
+
+    Clusters are placed at the operator's distinct egress cities (up to
+    ``max_clusters``), inside the operator's own AS — reachable by its
+    subscribers, invisible to the outside world like everything else in
+    a cellular network.
+    """
+    operator: CellularOperator = world.operators.get(carrier_key)
+    if operator is None:
+        raise ConfigError(f"unknown carrier {carrier_key!r}")
+    if world.allocator is None:
+        raise ConfigError("world was built without a retained allocator")
+
+    key = f"onnet-{carrier_key}"
+    if key in world.cdns:
+        return world.cdns[key]
+
+    seen_cities: Dict[str, Host] = {}
+    for egress in operator.egress_points:
+        label = f"{egress.location.latitude:.2f},{egress.location.longitude:.2f}"
+        seen_cities.setdefault(label, egress)
+        if len(seen_cities) >= max_clusters:
+            break
+
+    clusters: List[ReplicaCluster] = []
+    for index, egress in enumerate(seen_cities.values()):
+        prefix = world.allocator.allocate24()
+        operator.system.add_prefix(prefix)
+        cluster = ReplicaCluster(
+            index=index,
+            city=City(
+                name=f"{carrier_key}-egress-{index}",
+                country=operator.country,
+                location=egress.location,
+            ),
+            prefix=prefix,
+        )
+        for machine in range(replicas_per_cluster):
+            host = Host(
+                ip=prefix.host(machine + 1),
+                name=f"edge.{key}.{index}.{machine}",
+                asys=operator.system,
+                location=egress.location,
+                stack_latency_ms=0.2,
+            )
+            world.internet.register_host(host)
+            cluster.replicas.append(
+                ReplicaServer(host=host, cluster_index=index, cdn_key=key)
+            )
+        clusters.append(cluster)
+
+    adns_prefix = world.allocator.allocate24()
+    operator.system.add_prefix(adns_prefix)
+    adns_host = Host(
+        ip=adns_prefix.host(1),
+        name=f"adns.{key}",
+        asys=operator.system,
+        location=clusters[0].location,
+        stack_latency_ms=0.5,
+    )
+    world.internet.register_host(adns_host)
+
+    mapping = MappingPolicy(
+        locator=world.locate_ip,
+        cluster_locations=[cluster.location for cluster in clusters],
+        seed=operator.seed,
+        wired_error_km=0.0,
+        cellular_error_km=0.0,
+        cellular_blunder_prob=0.0,
+    )
+    authority = CdnAuthority(host=adns_host, zone_apex=f"{key}-sim.net")
+    provider = OperatorCDN(
+        operator=operator,
+        key=key,
+        system=operator.system,
+        clusters=clusters,
+        mapping=mapping,
+        authority=authority,
+        seed=operator.seed,
+    )
+    authority.provider = provider
+    world.cdns[key] = provider
+    return provider

@@ -1,0 +1,340 @@
+"""CDN providers: replica clusters plus DNS-based replica selection.
+
+A provider owns geographically spread replica clusters (one /24 per
+cluster), an authoritative server for its edge zone, and a
+:class:`~repro.cdn.mapping.MappingPolicy` that turns the querying
+resolver's address into a cluster choice — the mechanism the whole study
+revolves around.
+
+The measured domains don't host content themselves: their origin zones
+answer with a CNAME into a provider's edge zone (Sec 3.2: every chosen
+domain's resolution "initially resulted in a canonical name record").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cdn.catalog import MEASURED_DOMAINS, DomainSpec
+from repro.cdn.mapping import MappingPolicy, ResolverLocator
+from repro.cdn.replica import ReplicaServer
+from repro.core.addressing import Prefix, PrefixAllocator
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host
+from repro.core.rng import stable_index
+from repro.dns.authoritative import Authority, StaticAuthority
+from repro.dns.message import (
+    DNSMessage,
+    RCode,
+    ResourceRecord,
+    RRType,
+    make_response,
+    normalize_name,
+)
+from repro.dns.zone import Zone, ZoneDirectory
+from repro.geo.regions import City, city_named
+
+
+@dataclass
+class ReplicaCluster:
+    """One edge location: a /24 of replica servers in a city."""
+
+    index: int
+    city: City
+    prefix: Prefix
+    replicas: List[ReplicaServer] = field(default_factory=list)
+
+    @property
+    def location(self):
+        """Where the cluster sits."""
+        return self.city.location
+
+
+@dataclass
+class CdnAuthority(Authority):
+    """The provider's ADNS: maps resolver /24s to replica A records.
+
+    When a query carries an EDNS Client Subnet option, selection keys on
+    the *client's* /24 instead of the resolver's — the localization fix
+    the paper's discussion points toward (and RFC 7871 standardised).
+    """
+
+    provider: Optional["CDNProvider"] = None
+
+    def answer(
+        self,
+        query: DNSMessage,
+        client_ip: str,
+        now: float,
+        client_subnet: Optional[str] = None,
+    ) -> DNSMessage:
+        question = query.question
+        if question is None or self.provider is None:
+            return make_response(query, rcode=RCode.FORMERR)
+        if not self.serves(question.qname):
+            return make_response(query, rcode=RCode.REFUSED)
+        spec = self.provider.domain_for_edge_name(question.qname)
+        if spec is None:
+            return make_response(query, rcode=RCode.NXDOMAIN)
+        if question.qtype is not RRType.A:
+            return make_response(query, authoritative=True)
+        replicas = self.provider.select_replicas(
+            spec, client_ip, now, client_subnet=client_subnet
+        )
+        ttl = (
+            self.provider.a_ttl_override
+            if self.provider.a_ttl_override is not None
+            else spec.a_ttl
+        )
+        answers = [
+            ResourceRecord(question.qname, RRType.A, ttl, replica.ip)
+            for replica in replicas
+        ]
+        return make_response(query, answers=answers, authoritative=True)
+
+
+class CDNProvider:
+    """One content delivery network."""
+
+    def __init__(
+        self,
+        key: str,
+        system: AutonomousSystem,
+        clusters: List[ReplicaCluster],
+        mapping: MappingPolicy,
+        authority: CdnAuthority,
+        seed: int,
+        a_ttl_override: Optional[int] = None,
+    ) -> None:
+        self.key = key
+        self.system = system
+        self.clusters = clusters
+        self.mapping = mapping
+        self.authority = authority
+        self.seed = seed
+        #: When set, every answer uses this A TTL instead of the
+        #: per-domain catalogue value (cache-behaviour ablations).
+        self.a_ttl_override = a_ttl_override
+        self._domains: Dict[str, DomainSpec] = {
+            normalize_name(domain.edge_name): domain
+            for domain in MEASURED_DOMAINS
+            if domain.cdn_key == key
+        }
+        self._replica_index: Dict[str, ReplicaServer] = {
+            replica.ip: replica
+            for cluster in clusters
+            for replica in cluster.replicas
+        }
+
+    # -- selection ----------------------------------------------------------
+
+    def domain_for_edge_name(self, qname: str) -> Optional[DomainSpec]:
+        """The catalogue entry behind an edge hostname."""
+        return self._domains.get(normalize_name(qname))
+
+    def select_replicas(
+        self,
+        spec: DomainSpec,
+        resolver_ip: str,
+        now: float,
+        client_subnet: Optional[str] = None,
+    ) -> List[ReplicaServer]:
+        """The replicas returned to a resolver at ``now``.
+
+        The cluster follows the /24 mapping; within the cluster a stable
+        per-/24 window picks ``answers_per_response`` servers, so one
+        resolver prefix always sees the same small set (cosine similarity
+        ~1 within a /24, Fig 10) while different prefixes usually see
+        disjoint sets.  An ECS ``client_subnet`` replaces the resolver's
+        address as the mapping key.
+        """
+        if client_subnet is not None:
+            anchor = client_subnet.split("/")[0]
+            cluster_index = self.mapping.cluster_for(
+                anchor, now, is_client_subnet=True
+            )
+        else:
+            anchor = resolver_ip
+            cluster_index = self.mapping.cluster_for(resolver_ip, now)
+        cluster = self.clusters[cluster_index % len(self.clusters)]
+        count = min(spec.answers_per_response, len(cluster.replicas))
+        block = anchor.rsplit(".", 1)[0]
+        start = stable_index(
+            self.seed, "window", spec.name, block, modulo=len(cluster.replicas)
+        )
+        return [
+            cluster.replicas[(start + offset) % len(cluster.replicas)]
+            for offset in range(count)
+        ]
+
+    def all_replicas(self) -> List[ReplicaServer]:
+        """Every replica across clusters."""
+        return [replica for cluster in self.clusters for replica in cluster.replicas]
+
+    def replica_by_ip(self, ip: str) -> Optional[ReplicaServer]:
+        """Look a replica up by address."""
+        return self._replica_index.get(ip)
+
+    def cluster_of_ip(self, ip: str) -> Optional[ReplicaCluster]:
+        """The cluster containing an address, if any."""
+        for cluster in self.clusters:
+            if cluster.prefix.contains(ip):
+                return cluster
+        return None
+
+
+#: Edge footprints per provider: city names where clusters exist.
+CDN_FOOTPRINTS: Dict[str, List[str]] = {
+    # A Google-class network: broad US presence plus in-country SK edges.
+    "globalcache": [
+        "New York", "Los Angeles", "Chicago", "Dallas", "Seattle",
+        "Atlanta", "Miami", "Denver", "San Jose", "Washington DC",
+        "Kansas City", "Boston", "Seoul", "Busan", "Daejeon",
+    ],
+    # A large commercial CDN: strong US footprint, one SK location.
+    "continental": [
+        "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+        "San Francisco", "Atlanta", "Minneapolis", "Charlotte", "Portland",
+        "Seoul",
+    ],
+    # A US-centric CDN with no in-country SK presence.
+    "usonly": [
+        "New York", "Los Angeles", "Chicago", "Dallas",
+        "San Jose", "Washington DC", "Atlanta", "Denver",
+    ],
+}
+
+#: ASNs for the simulated providers.
+CDN_ASNS: Dict[str, int] = {
+    "globalcache": 15169,
+    "continental": 20940,
+    "usonly": 15133,
+}
+
+REPLICAS_PER_CLUSTER = 10
+
+
+def build_cdn(
+    internet: VirtualInternet,
+    directory: ZoneDirectory,
+    key: str,
+    allocator: PrefixAllocator,
+    locator: ResolverLocator,
+    seed: int,
+    mapping_overrides: Optional[dict] = None,
+    a_ttl_override: Optional[int] = None,
+) -> CDNProvider:
+    """Create, register and wire one provider from its footprint."""
+    system = AutonomousSystem(
+        asn=CDN_ASNS[key],
+        name=f"CDN {key}",
+        kind=ASKind.CDN,
+        firewall=FirewallPolicy(blocks_inbound=False),
+    )
+    internet.register_system(system)
+    clusters: List[ReplicaCluster] = []
+    for index, city_name in enumerate(CDN_FOOTPRINTS[key]):
+        city = city_named(city_name)
+        prefix = allocator.allocate24()
+        system.add_prefix(prefix)
+        cluster = ReplicaCluster(index=index, city=city, prefix=prefix)
+        for machine in range(REPLICAS_PER_CLUSTER):
+            host = Host(
+                ip=prefix.host(machine + 1),
+                name=f"edge.{key}.{city_name.lower().replace(' ', '-')}.{machine}",
+                asys=system,
+                location=city.location,
+                stack_latency_ms=0.2,
+            )
+            internet.register_host(host)
+            cluster.replicas.append(
+                ReplicaServer(host=host, cluster_index=index, cdn_key=key)
+            )
+        clusters.append(cluster)
+
+    adns_prefix = allocator.allocate24()
+    system.add_prefix(adns_prefix)
+    adns_host = Host(
+        ip=adns_prefix.host(1),
+        name=f"adns.{key}",
+        asys=system,
+        location=clusters[0].location,
+        stack_latency_ms=0.5,
+    )
+    internet.register_host(adns_host)
+
+    mapping_kwargs = dict(
+        locator=locator,
+        cluster_locations=[cluster.location for cluster in clusters],
+        seed=seed,
+    )
+    mapping_kwargs.update(mapping_overrides or {})
+    mapping = MappingPolicy(**mapping_kwargs)
+    authority = CdnAuthority(host=adns_host, zone_apex=f"{key}-sim.net")
+    provider = CDNProvider(
+        key=key,
+        system=system,
+        clusters=clusters,
+        mapping=mapping,
+        authority=authority,
+        seed=seed,
+        a_ttl_override=a_ttl_override,
+    )
+    authority.provider = provider
+    directory.register(f"{key}-sim.net", authority)
+    return provider
+
+
+def registrable_zone(name: str) -> str:
+    """The origin zone apex of a measured hostname (``m.cnn.com`` -> ``cnn.com``)."""
+    labels = normalize_name(name).split(".")
+    if len(labels) < 2:
+        return normalize_name(name)
+    return ".".join(labels[-2:])
+
+
+def build_origin_authorities(
+    internet: VirtualInternet,
+    directory: ZoneDirectory,
+    allocator: PrefixAllocator,
+    domains: Sequence[DomainSpec] = tuple(MEASURED_DOMAINS),
+) -> List[StaticAuthority]:
+    """Authorities for the measured domains' origin zones.
+
+    Each zone contains only the CNAME that hands its hostname to the
+    hosting CDN's edge zone.
+    """
+    system = AutonomousSystem(
+        asn=46489,
+        name="Origin DNS Hosting",
+        kind=ASKind.CONTENT,
+        firewall=FirewallPolicy(blocks_inbound=False),
+    )
+    internet.register_system(system)
+    prefix = allocator.allocate24()
+    system.add_prefix(prefix)
+    location = city_named("Washington DC").location
+
+    by_zone: Dict[str, List[DomainSpec]] = {}
+    for spec in domains:
+        by_zone.setdefault(registrable_zone(spec.name), []).append(spec)
+
+    authorities = []
+    for offset, (apex, specs) in enumerate(sorted(by_zone.items())):
+        host = Host(
+            ip=prefix.host(offset + 1),
+            name=f"ns1.{apex}",
+            asys=system,
+            location=location,
+            stack_latency_ms=0.5,
+        )
+        internet.register_host(host)
+        zone = Zone(apex)
+        for spec in specs:
+            zone.add_cname(spec.name, spec.edge_name, spec.cname_ttl)
+        authority = StaticAuthority(host=host, zone_apex=apex, zone=zone)
+        directory.register(apex, authority)
+        authorities.append(authority)
+    return authorities

@@ -1,0 +1,64 @@
+"""Replica servers and the HTTP time-to-first-byte model.
+
+The paper compares replicas by HTTP GET latency (time-to-first-byte) and
+by ping, preferring latency over throughput because it is less sensitive
+to device context (Gember et al. [8], Sec 3.3).  TTFB decomposes as one
+RTT for the TCP handshake, one RTT for request/first response byte, plus
+server processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host, ProbeOrigin
+from repro.core.rng import RandomStream
+
+
+@dataclass
+class ReplicaServer:
+    """One CDN edge server."""
+
+    host: Host
+    cluster_index: int
+    cdn_key: str
+    #: Median request processing time at the edge.
+    service_ms: float = 3.0
+
+    @property
+    def ip(self) -> str:
+        """The replica's public address."""
+        return self.host.ip
+
+
+def http_ttfb_ms(
+    internet: VirtualInternet,
+    origin: ProbeOrigin,
+    replica: ReplicaServer,
+    stream: RandomStream,
+) -> Optional[float]:
+    """Time-to-first-byte of an HTTP GET from ``origin`` to the replica.
+
+    None when the replica is unreachable.  Handshake and request each pay
+    a full (independently sampled) round trip.
+    """
+    handshake = internet.flow_rtt(origin, replica.ip, stream)
+    if handshake is None:
+        return None
+    request = internet.flow_rtt(origin, replica.ip, stream)
+    if request is None:
+        return None
+    service = stream.lognormal_ms(replica.service_ms, 0.5)
+    return handshake + request + service
+
+
+def ping_replica_ms(
+    internet: VirtualInternet,
+    origin: ProbeOrigin,
+    replica: ReplicaServer,
+    stream: RandomStream,
+) -> Optional[float]:
+    """Ping RTT to a replica (CDN edges answer pings)."""
+    return internet.measure_rtt(origin, replica.ip, stream)

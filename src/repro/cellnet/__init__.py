@@ -1,0 +1,28 @@
+"""Cellular network substrate: radios, core architectures, operators."""
+
+from repro.cellnet.radio import (
+    Generation,
+    RadioProfile,
+    RadioState,
+    RadioTechnology,
+    RrcStateMachine,
+)
+from repro.cellnet.architecture import CoreArchitecture, interior_hops_for
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.cellnet.operator import Attachment, CellularOperator, LocalResolution
+
+__all__ = [
+    "Generation",
+    "RadioProfile",
+    "RadioState",
+    "RadioTechnology",
+    "RrcStateMachine",
+    "CoreArchitecture",
+    "interior_hops_for",
+    "MobileDevice",
+    "MobilityModel",
+    "Attachment",
+    "CellularOperator",
+    "LocalResolution",
+]

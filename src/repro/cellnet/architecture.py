@@ -1,0 +1,85 @@
+"""Cellular core architectures: 3G hierarchy vs the flat LTE EPC.
+
+Figure 1 of the paper contrasts the 2/3G core (NodeB -> RNC -> SGSN ->
+GGSN) with LTE's Evolved Packet Core (eNodeB -> SGW -> PDN GW).  Two
+consequences matter for the measurements:
+
+* The flatter LTE core removes aggregation tiers, cutting interior
+  latency (modelled as a per-architecture core RTT adder).
+* Interior hops are invisible to traceroute either way — operators tunnel
+  aggressively (Sec 4.2), so the hops appear as ``*`` lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.cellnet.radio import Generation, RadioTechnology
+from repro.core.node import PathHop
+from repro.core.rng import RandomStream
+
+
+class CoreArchitecture(str, enum.Enum):
+    """Which packet core a session traverses."""
+
+    UMTS_3G = "3g-core"
+    LTE_EPC = "lte-epc"
+
+    @classmethod
+    def for_technology(cls, technology: RadioTechnology) -> "CoreArchitecture":
+        """LTE sessions use the EPC; everything else rides the 3G core."""
+        if technology.generation is Generation.G4:
+            return cls.LTE_EPC
+        return cls.UMTS_3G
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Latency and hop structure of one core architecture."""
+
+    #: Element names device traffic traverses before the egress router.
+    elements: List[str]
+    #: Median extra RTT contributed by the core beyond geographic
+    #: distance (aggregation, GTP tunnelling, serialisation).
+    median_core_rtt_ms: float
+    sigma: float
+
+
+_MODELS = {
+    CoreArchitecture.UMTS_3G: CoreModel(
+        elements=["nodeb", "rnc", "sgsn", "ggsn"],
+        median_core_rtt_ms=18.0,
+        sigma=0.30,
+    ),
+    CoreArchitecture.LTE_EPC: CoreModel(
+        elements=["enodeb", "sgw", "pgw"],
+        median_core_rtt_ms=6.0,
+        sigma=0.25,
+    ),
+}
+
+
+def core_model(architecture: CoreArchitecture) -> CoreModel:
+    """The latency/hop model for an architecture."""
+    return _MODELS[architecture]
+
+
+def core_rtt_ms(architecture: CoreArchitecture, stream: RandomStream) -> float:
+    """One sampled interior-core RTT contribution."""
+    model = _MODELS[architecture]
+    return stream.lognormal_ms(model.median_core_rtt_ms, model.sigma)
+
+
+def interior_hops_for(architecture: CoreArchitecture) -> List[PathHop]:
+    """Traceroute-visible structure of the core: tunnelled, silent hops.
+
+    Each core element occupies a TTL slot but never answers — the
+    behaviour that "rendered irrelevant much of the structural
+    information" the paper's traceroutes tried to gather (Sec 4.2).
+    """
+    return [
+        PathHop(host=None, ip=None, responds=False, cumulative_ms=0.0)
+        for _ in _MODELS[architecture].elements
+    ]

@@ -1,0 +1,53 @@
+"""Mobile measurement devices.
+
+A device is a probe source, not a reachable host: it lives behind its
+carrier's NAT with an ephemeral address (Balakrishnan et al. [3]), keeps
+an RRC radio state machine, and moves according to its mobility model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cellnet.mobility import MobilityModel
+from repro.cellnet.radio import RadioTechnology, RrcStateMachine
+from repro.geo.coordinates import GeoPoint
+
+
+@dataclass
+class MobileDevice:
+    """One volunteer device in the measurement campaign."""
+
+    device_id: str
+    carrier_key: str
+    mobility: MobilityModel
+    rrc: RrcStateMachine = field(default_factory=RrcStateMachine)
+    #: Technology active during the current experiment (set by the
+    #: experiment runner when it draws from the carrier's radio profile).
+    active_technology: Optional[RadioTechnology] = None
+
+    def location(self, now: float) -> GeoPoint:
+        """Where the device is at virtual ``now``."""
+        return self.mobility.location(now)
+
+    def coarse_location(self, now: float, grid_km: float = 0.1) -> GeoPoint:
+        """Location rounded to a coarse grid.
+
+        The paper records client location "rounded up to a 100-meter
+        radius area" for privacy; analyses like Fig 9 cluster on this.
+        """
+        exact = self.location(now)
+        step = grid_km / 111.32
+        return GeoPoint(
+            round(exact.latitude / step) * step,
+            round(exact.longitude / step) * step,
+        )
+
+    @property
+    def home_city_name(self) -> str:
+        """Name of the device's home city."""
+        return self.mobility.home_city.name
+
+    def __str__(self) -> str:
+        return f"{self.device_id} ({self.carrier_key}, {self.home_city_name})"

@@ -1,0 +1,367 @@
+"""Cellular operators: attachment, egress, addressing and local DNS.
+
+The operator ties the substrates together for one carrier:
+
+* it attaches devices — assigning an ephemeral client IP, an egress
+  point and a configured DNS address (all epoch-keyed pure functions, so
+  churn is reproducible);
+* it builds :class:`~repro.core.node.ProbeOrigin` objects that carry the
+  sampled radio + core latency of one probe;
+* it answers local DNS queries through its indirect resolver deployment,
+  accounting time for each leg (device -> client-facing front ->
+  external resolver -> authorities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cellnet.architecture import (
+    CoreArchitecture,
+    core_rtt_ms,
+    interior_hops_for,
+)
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.radio import RadioProfile, RadioTechnology, promotion_cost_ms
+from repro.core.addressing import Prefix
+from repro.core.asn import AutonomousSystem
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host, ProbeOrigin
+from repro.core.rng import RandomStream, stable_fraction, stable_index
+from repro.dns.indirect import DnsDeployment, ExternalResolver
+from repro.dns.message import ResourceRecord, RRType
+from repro.geo.regions import Country
+
+
+@dataclass
+class Attachment:
+    """A device's point of attachment at one instant."""
+
+    device_id: str
+    client_ip: str
+    egress: Host
+    egress_index: int
+    client_dns_ip: str
+    at: float
+
+
+@dataclass
+class LocalResolution:
+    """Outcome of one resolution through the operator's own DNS."""
+
+    qname: str
+    records: List[ResourceRecord]
+    total_ms: float
+    cache_hit: bool
+    client_facing_ip: str
+    external_ip: str
+    #: What the answer's A records contain.
+    addresses: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ChurnModel:
+    """Epoch lengths controlling how sticky assignments are."""
+
+    #: How often the device's NAT address rolls.
+    ip_epoch_s: float = 6 * 3600.0
+    #: How often the egress assignment re-rolls.
+    egress_epoch_s: float = 24 * 3600.0
+    #: How many nearest egress points the assignment spreads over.
+    egress_breadth: int = 3
+    #: How often DHCP hands the device a (possibly) new resolver address.
+    dhcp_epoch_s: float = 20 * 24 * 3600.0
+
+
+class CellularOperator:
+    """One carrier's network."""
+
+    def __init__(
+        self,
+        key: str,
+        display_name: str,
+        country: Country,
+        system: AutonomousSystem,
+        internet: VirtualInternet,
+        egress_points: List[Host],
+        deployment: DnsDeployment,
+        radio_profile: RadioProfile,
+        client_pool_prefix: Prefix,
+        seed: int,
+        churn: Optional[ChurnModel] = None,
+        front_stack_ms: float = 0.4,
+        ecs_enabled: bool = False,
+    ) -> None:
+        self.key = key
+        self.display_name = display_name
+        self.country = country
+        self.system = system
+        self.internet = internet
+        self.egress_points = egress_points
+        self.deployment = deployment
+        self.radio_profile = radio_profile
+        self.client_pool_prefix = client_pool_prefix
+        self.seed = seed
+        self.churn = churn or ChurnModel()
+        self.front_stack_ms = front_stack_ms
+        #: Whether the operator's resolvers attach EDNS Client Subnet
+        #: options to upstream queries (the paper-era baseline is off).
+        self.ecs_enabled = ecs_enabled
+        if not egress_points:
+            raise ValueError(f"{key}: operator needs egress points")
+        #: Memo of egress rankings keyed by anchor city (the ranking only
+        #: depends on coarse position, and computing it per probe is the
+        #: campaign's hottest path).
+        self._egress_ranking_memo: dict = {}
+        #: Memo of the resolver site nearest each egress point.
+        self._site_for_egress: dict = {}
+        #: Lazily collected prefixes across the operator's sibling ASes.
+        self._owned_prefixes = None
+
+    def _nearest_site_index(self, egress: Host) -> int:
+        """The resolver site closest to an egress point.
+
+        Resolver infrastructure clusters at egress points (Xu et al.
+        [25]); queries from an egress are served by the site nearest it.
+        """
+        cached = self._site_for_egress.get(egress.ip)
+        if cached is not None:
+            return cached
+        sites = self.deployment.sites
+        best = min(
+            range(len(sites)),
+            key=lambda index: sites[index].location.distance_km(egress.location),
+        )
+        self._site_for_egress[egress.ip] = best
+        return best
+
+    # -- attachment -------------------------------------------------------
+
+    def attachment(self, device: MobileDevice, now: float) -> Attachment:
+        """The device's attachment at ``now`` (pure in device and time)."""
+        egress_index = self._egress_index(device, now)
+        return Attachment(
+            device_id=device.device_id,
+            client_ip=self._client_ip(device, now),
+            egress=self.egress_points[egress_index],
+            egress_index=egress_index,
+            client_dns_ip=self._client_dns_ip(device, now),
+            at=now,
+        )
+
+    def _egress_index(self, device: MobileDevice, now: float) -> int:
+        """Egress assignment: near the device, re-rolled per epoch.
+
+        Ranked by distance from the device's location; the epoch hash
+        spreads assignments over the nearest ``egress_breadth`` points.
+        Devices are thus *usually* near their egress, but reassignment
+        moves them between metros — the root cause of resolver churn for
+        anycast deployments (Sec 4.5).
+        """
+        anchor = device.mobility.anchor_city(now)
+        ranked = self._egress_ranking_memo.get(anchor.name)
+        if ranked is None:
+            ranked = sorted(
+                range(len(self.egress_points)),
+                key=lambda index: self.egress_points[index].location.distance_km(
+                    anchor.location
+                ),
+            )
+            self._egress_ranking_memo[anchor.name] = ranked
+        breadth = min(self.churn.egress_breadth, len(ranked))
+        epoch = int(now // self.churn.egress_epoch_s)
+        pick = stable_index(
+            self.seed, "egress", device.device_id, epoch, modulo=breadth
+        )
+        return ranked[pick]
+
+    def _client_ip(self, device: MobileDevice, now: float) -> str:
+        """Ephemeral NAT address, re-leased every ip_epoch.
+
+        Pools are regionalised: each egress point owns a /24-aligned
+        slice of the operator's client block, so a client address's /24
+        identifies the egress it NATs through.  Addresses still churn
+        within (and, on egress reassignment, across) those slices —
+        Balakrishnan et al.'s ephemeral-IP behaviour [3].
+        """
+        egress_index = self._egress_index(device, now)
+        epoch = int(now // self.churn.ip_epoch_s)
+        slice_count = max(self.client_pool_prefix.size // 256, 1)
+        base = (egress_index % slice_count) * 256
+        offset = stable_index(
+            self.seed, "client-ip", device.device_id, epoch, modulo=254
+        )
+        return self.client_pool_prefix.host(base + offset + 1)
+
+    def locate_client_ip(self, address: str):
+        """Egress location a client address NATs through, if it is ours.
+
+        This is the knowledge EDNS Client Subnet unlocks for CDNs: a
+        client /24 pins the egress region even though individual
+        addresses churn.  Returns None for foreign addresses.
+        """
+        if not self.client_pool_prefix.contains(address):
+            return None
+        from repro.core.addressing import ip_to_int
+
+        offset = ip_to_int(address) - self.client_pool_prefix.network
+        egress_index = (offset // 256) % len(self.egress_points)
+        return self.egress_points[egress_index].location
+
+    def _client_dns_ip(self, device: MobileDevice, now: float) -> str:
+        """The resolver address DHCP configured on the device."""
+        epoch = int(now // self.churn.dhcp_epoch_s)
+        anchor = device.mobility.anchor_city(now)
+        address = self.deployment.client_address_for(
+            f"{device.device_id}:{epoch}", self.seed, near=anchor.location
+        )
+        return address.ip
+
+    # -- probe origins ----------------------------------------------------------
+
+    def probe_origin(
+        self,
+        device: MobileDevice,
+        now: float,
+        stream: RandomStream,
+        technology: Optional[RadioTechnology] = None,
+        pay_promotion: bool = False,
+    ) -> ProbeOrigin:
+        """Build the origin for one probe, sampling radio + core latency."""
+        if technology is None:
+            technology = device.active_technology or self.radio_profile.draw(stream)
+        attachment = self.attachment(device, now)
+        architecture = CoreArchitecture.for_technology(technology)
+        access = self.radio_profile.access_rtt_ms(technology, stream)
+        access += core_rtt_ms(architecture, stream)
+        if pay_promotion:
+            access += promotion_cost_ms(technology, device.rrc, now)
+        else:
+            device.rrc.touch(now)
+        return ProbeOrigin(
+            source_ip=attachment.client_ip,
+            asys=self.system,
+            location=device.location(now),
+            access_rtt_ms=access,
+            egress=attachment.egress,
+            interior_hops=interior_hops_for(architecture),
+            origin_id=device.device_id,
+        )
+
+    # -- local DNS ---------------------------------------------------------------
+
+    def resolve_local(
+        self,
+        device: MobileDevice,
+        origin: ProbeOrigin,
+        attachment: Attachment,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+    ) -> LocalResolution:
+        """Resolve a name through the operator's configured DNS."""
+        client_address = self._client_address_of(attachment)
+        site_hint = self._nearest_site_index(attachment.egress)
+        site = self.deployment.serving_site(client_address, site_hint)
+        front_rtt = (
+            origin.access_rtt_ms
+            + self.internet.intra_model.rtt_ms(origin.location, site.location, stream)
+            + self.front_stack_ms
+        )
+        external = self.deployment.external_for(
+            client_address, device.device_id, site_hint, now
+        )
+        gap_ms = self._tier_gap_ms(site, external, stream)
+        client_subnet = None
+        if self.ecs_enabled:
+            from repro.core.addressing import prefix24
+
+            client_subnet = prefix24(attachment.client_ip)
+        result = external.engine.resolve(
+            qname, qtype, now, stream, client_subnet=client_subnet
+        )
+        total = front_rtt + gap_ms + result.upstream_ms
+        return LocalResolution(
+            qname=result.qname,
+            records=result.records,
+            total_ms=total,
+            cache_hit=result.cache_hit,
+            client_facing_ip=client_address.ip,
+            external_ip=external.ip,
+            addresses=result.addresses(),
+        )
+
+    def _client_address_of(self, attachment: Attachment):
+        for address in self.deployment.client_addresses:
+            if address.ip == attachment.client_dns_ip:
+                return address
+        # DHCP epoch rolled between attachment and use; fall back to first.
+        return self.deployment.client_addresses[0]
+
+    def _tier_gap_ms(
+        self, site, external: ExternalResolver, stream: RandomStream
+    ) -> float:
+        """RTT between the client-facing front and the external tier."""
+        if external.site.index == site.index:
+            return self.deployment.tier_gap_ms
+        return self.deployment.tier_gap_ms + self.internet.intra_model.rtt_ms(
+            site.location, external.site.location, stream
+        )
+
+    # -- resolver probing -------------------------------------------------------
+
+    def ping_client_resolver(
+        self,
+        origin: ProbeOrigin,
+        attachment: Attachment,
+        stream: RandomStream,
+    ) -> Optional[float]:
+        """Ping the configured (client-facing) resolver from a device.
+
+        Anycast fronts answer from the serving site; fixed fronts from
+        where they live.  All carriers' client-facing resolvers answered
+        client pings in the study (Fig 4).
+        """
+        client_address = self._client_address_of(attachment)
+        site_hint = self._nearest_site_index(attachment.egress)
+        site = self.deployment.serving_site(client_address, site_hint)
+        rtt = self.internet.intra_model.rtt_ms(origin.location, site.location, stream)
+        return origin.access_rtt_ms + rtt + self.front_stack_ms
+
+    def external_resolver_for(
+        self, device: MobileDevice, attachment: Attachment, now: float
+    ) -> ExternalResolver:
+        """Which external resolver currently serves the device."""
+        client_address = self._client_address_of(attachment)
+        site_hint = self._nearest_site_index(attachment.egress)
+        return self.deployment.external_for(
+            client_address, device.device_id, site_hint, now
+        )
+
+    # -- structure accessors ------------------------------------------------------
+
+    def egress_ips(self) -> List[str]:
+        """Public addresses of all egress routers."""
+        return [host.ip for host in self.egress_points]
+
+    def owns_ip(self, address: str) -> bool:
+        """True when the address sits in any prefix of this operator.
+
+        Spans sibling ASes (Verizon's split resolver ASes share the
+        operator even though the ASNs differ).
+        """
+        if self._owned_prefixes is None:
+            prefixes = list(self.system.prefixes)
+            seen_asns = {self.system.asn}
+            for resolver in self.deployment.externals:
+                asys = resolver.host.asys
+                if asys.operator_key == self.key and asys.asn not in seen_asns:
+                    seen_asns.add(asys.asn)
+                    prefixes.extend(asys.prefixes)
+            self._owned_prefixes = prefixes
+        return any(prefix.contains(address) for prefix in self._owned_prefixes)
+
+    def __str__(self) -> str:
+        return f"{self.display_name} ({self.key})"

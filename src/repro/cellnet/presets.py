@@ -1,0 +1,609 @@
+"""Carrier presets: the six networks the paper profiles.
+
+Each preset encodes the structure the paper *measured* for that carrier
+(Sec 4, Tables 3-4, Figs 4 and 8), so that re-running the paper's
+client-side methodology against the simulated network reproduces the
+findings:
+
+================  =========================================================
+AT&T              Anycast client addresses; ~40 external resolvers behind a
+                  single configured address; externals answer pings from
+                  clients and (majority) from the Internet; relatively
+                  stable client/external mappings.
+Sprint            LDNS pools; >60% pairing consistency; pool members in
+                  different /24s; only a small fraction externally open.
+T-Mobile          Anycast front with heavy load balancing over externals in
+                  many /24s; very unstable mappings; internally pingable
+                  but externally silent.
+Verizon           Tiered resolvers, fixed 1:1 pairs (100% consistency);
+                  client-facing tier in AS 6167, external-facing in
+                  AS 22394; externals ignore clients but answer the
+                  Internet.
+SK Telecom        LDNS pools; client and external addresses inside the same
+                  /24; co-located tiers (near-equal client/external ping
+                  latency); externally silent.
+LG U+             LDNS pools; 5 client addresses, ~89 externals packed into
+                  two /24s; rapid churn within those prefixes; resolvers
+                  silent to everyone.
+================  =========================================================
+
+Egress-point counts follow Sec 5.2 (11 / 45 / 49 / 62 for AT&T, Sprint,
+T-Mobile, Verizon — a 2-10x increase over the 4-6 of Xu et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cellnet.operator import CellularOperator, ChurnModel
+from repro.cellnet.radio import RadioProfile, technologies_of
+from repro.core.addressing import PrefixAllocator
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.errors import ConfigError
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host, PingPolicy
+from repro.core.rng import stable_fraction
+from repro.dns.cache import DnsCache
+from repro.dns.indirect import (
+    AnycastPairing,
+    ClientFacingAddress,
+    DeploymentKind,
+    DnsDeployment,
+    ExternalResolver,
+    LoadBalancedPairing,
+    ResolverSite,
+    StickyPoolPairing,
+    TieredPairing,
+    group_by_site,
+)
+from repro.dns.recursive import RecursiveEngine
+from repro.dns.zone import ZoneDirectory
+from repro.geo.regions import City, Country, cities_for
+
+
+@dataclass
+class CarrierConfig:
+    """Everything needed to build one carrier."""
+
+    key: str
+    display_name: str
+    country: Country
+    asn: int
+    client_count: int
+    egress_count: int
+    deployment_kind: DeploymentKind
+    pairing_style: str  # "anycast" | "pool" | "tiered" | "loadbalance"
+    n_client_addresses: int
+    n_sites: int
+    externals_per_site: int
+    technologies: List[str] = field(default_factory=list)
+    technology_weights: List[float] = field(default_factory=list)
+    #: Number of /24s all externals share (None: one /24 per site).
+    shared_external_prefixes: Optional[int] = None
+    #: When set, externals are grouped N-per-/24 regardless of site
+    #: (T-Mobile's prefix-diverse machines); overrides per-site layout.
+    externals_per_prefix: Optional[int] = None
+    #: Machine re-pick epoch for anycast pairing (None: sticky machine).
+    anycast_machine_epoch_s: Optional[float] = None
+    #: SK-style layout: client fronts drawn from the externals' /24.
+    clients_share_external_prefix: bool = False
+    #: Verizon-style split: externals in their own AS.
+    external_asn: Optional[int] = None
+    external_ping_policy: PingPolicy = PingPolicy.INTERNAL_ONLY
+    #: Fraction of externals reachable from outside (Table 4).
+    externally_open_fraction: float = 0.0
+    external_interior_penalty_ms: float = 0.0
+    tier_gap_ms: float = 1.0
+    pool_stickiness: float = 0.7
+    pool_rehome_hours: float = 72.0
+    #: Shared pool primary (US pools) vs per-device homes (SK spray).
+    pool_shared_home: bool = True
+    lb_coherence_s: float = 600.0
+    anycast_site_flutter: float = 0.05
+    churn: ChurnModel = field(default_factory=ChurnModel)
+    background_warm_prob: float = 0.92
+    notes: str = ""
+
+
+def _radio(profile_names: List[str], weights: List[float]) -> RadioProfile:
+    return RadioProfile(technologies_of(profile_names), list(weights))
+
+
+US_GSM_TECHNOLOGIES = ["EDGE", "GPRS", "HSDPA", "HSPA", "HSPAP", "LTE", "UTMS"]
+US_CDMA_TECHNOLOGIES = ["1xRTT", "EHRPD", "EVDO_A", "LTE"]
+SKT_TECHNOLOGIES = ["HSDPA", "HSPA", "HSPAP", "HSUPA", "LTE", "UTMS"]
+LGU_TECHNOLOGIES = ["EHRPD", "LTE"]
+
+
+def att_config() -> CarrierConfig:
+    """AT&T: anycast, open externals, stable mappings."""
+    return CarrierConfig(
+        key="att",
+        display_name="AT&T",
+        country=Country.US,
+        asn=20057,
+        client_count=33,
+        egress_count=11,
+        deployment_kind=DeploymentKind.ANYCAST,
+        pairing_style="anycast",
+        n_client_addresses=2,
+        n_sites=10,
+        externals_per_site=4,
+        technologies=US_GSM_TECHNOLOGIES,
+        technology_weights=[0.015, 0.01, 0.04, 0.05, 0.12, 0.74, 0.025],
+        external_ping_policy=PingPolicy.OPEN,
+        externally_open_fraction=0.80,
+        external_interior_penalty_ms=8.0,
+        tier_gap_ms=1.0,
+        anycast_site_flutter=0.04,
+        churn=ChurnModel(
+            ip_epoch_s=6 * 3600.0,
+            egress_epoch_s=72 * 3600.0,
+            egress_breadth=2,
+        ),
+        notes="anycast fronts; ~40 externals seen behind one address",
+    )
+
+
+def sprint_config() -> CarrierConfig:
+    """Sprint: pools, >60% consistency, few externally open."""
+    return CarrierConfig(
+        key="sprint",
+        display_name="Sprint",
+        country=Country.US,
+        asn=10507,
+        client_count=9,
+        egress_count=45,
+        deployment_kind=DeploymentKind.POOL,
+        pairing_style="pool",
+        n_client_addresses=12,
+        n_sites=12,
+        externals_per_site=2,
+        technologies=US_CDMA_TECHNOLOGIES,
+        technology_weights=[0.03, 0.14, 0.15, 0.68],
+        external_ping_policy=PingPolicy.OPEN,
+        externally_open_fraction=0.12,
+        external_interior_penalty_ms=5.0,
+        tier_gap_ms=2.0,
+        pool_stickiness=0.62,
+        pool_rehome_hours=1440.0,
+        churn=ChurnModel(
+            ip_epoch_s=4 * 3600.0,
+            egress_epoch_s=24 * 3600.0,
+            egress_breadth=3,
+        ),
+        notes="LDNS pools, ~65% pairing consistency, pool members span /24s",
+    )
+
+
+def tmobile_config() -> CarrierConfig:
+    """T-Mobile: anycast front, aggressive load balancing, heavy churn."""
+    return CarrierConfig(
+        key="tmobile",
+        display_name="T-Mobile",
+        country=Country.US,
+        asn=21928,
+        client_count=31,
+        egress_count=49,
+        deployment_kind=DeploymentKind.ANYCAST,
+        pairing_style="anycast",
+        n_client_addresses=2,
+        n_sites=6,
+        externals_per_site=8,
+        technologies=US_GSM_TECHNOLOGIES,
+        technology_weights=[0.015, 0.01, 0.05, 0.07, 0.17, 0.66, 0.025],
+        externals_per_prefix=2,
+        anycast_machine_epoch_s=2 * 3600.0,
+        external_ping_policy=PingPolicy.INTERNAL_ONLY,
+        externally_open_fraction=0.0,
+        external_interior_penalty_ms=9.0,
+        tier_gap_ms=1.5,
+        anycast_site_flutter=0.12,
+        churn=ChurnModel(
+            ip_epoch_s=3 * 3600.0,
+            egress_epoch_s=8 * 3600.0,
+            egress_breadth=6,
+        ),
+        notes="anycast + heavy external load balancing across /24s",
+    )
+
+
+def verizon_config() -> CarrierConfig:
+    """Verizon: tiered pairs in split ASes, 100% consistency."""
+    return CarrierConfig(
+        key="verizon",
+        display_name="Verizon",
+        country=Country.US,
+        asn=6167,
+        client_count=64,
+        egress_count=62,
+        deployment_kind=DeploymentKind.TIERED,
+        pairing_style="tiered",
+        n_client_addresses=12,
+        n_sites=12,
+        externals_per_site=1,
+        technologies=US_CDMA_TECHNOLOGIES,
+        technology_weights=[0.02, 0.12, 0.13, 0.73],
+        external_asn=22394,
+        external_ping_policy=PingPolicy.EXTERNAL_ONLY,
+        externally_open_fraction=0.85,
+        external_interior_penalty_ms=9.0,
+        tier_gap_ms=7.0,
+        churn=ChurnModel(
+            ip_epoch_s=8 * 3600.0,
+            egress_epoch_s=96 * 3600.0,
+            egress_breadth=2,
+        ),
+        notes="tiered pairs; client AS 6167, external AS 22394",
+    )
+
+
+def sk_telecom_config() -> CarrierConfig:
+    """SK Telecom: pools inside one /24, co-located tiers."""
+    return CarrierConfig(
+        key="skt",
+        display_name="SK Telecom",
+        country=Country.SOUTH_KOREA,
+        asn=9644,
+        client_count=17,
+        egress_count=6,
+        deployment_kind=DeploymentKind.POOL,
+        pairing_style="pool",
+        n_client_addresses=2,
+        n_sites=2,
+        externals_per_site=12,
+        technologies=SKT_TECHNOLOGIES,
+        technology_weights=[0.03, 0.05, 0.09, 0.03, 0.77, 0.03],
+        shared_external_prefixes=2,
+        clients_share_external_prefix=True,
+        external_ping_policy=PingPolicy.INTERNAL_ONLY,
+        externally_open_fraction=0.0,
+        external_interior_penalty_ms=0.0,
+        tier_gap_ms=0.3,
+        pool_stickiness=0.45,
+        pool_rehome_hours=48.0,
+        pool_shared_home=False,
+        churn=ChurnModel(
+            ip_epoch_s=6 * 3600.0,
+            egress_epoch_s=48 * 3600.0,
+            egress_breadth=2,
+        ),
+        notes="pools; 2 client + 24 external addresses in one /24",
+    )
+
+
+def lg_uplus_config() -> CarrierConfig:
+    """LG U+: dense pools in two /24s, rapid churn, silent resolvers."""
+    return CarrierConfig(
+        key="lgu",
+        display_name="LG U+",
+        country=Country.SOUTH_KOREA,
+        asn=17858,
+        client_count=4,
+        egress_count=4,
+        deployment_kind=DeploymentKind.POOL,
+        pairing_style="pool",
+        n_client_addresses=5,
+        n_sites=2,
+        externals_per_site=45,
+        technologies=LGU_TECHNOLOGIES,
+        technology_weights=[0.15, 0.85],
+        shared_external_prefixes=2,
+        clients_share_external_prefix=True,
+        external_ping_policy=PingPolicy.SILENT,
+        externally_open_fraction=0.0,
+        external_interior_penalty_ms=0.0,
+        tier_gap_ms=0.3,
+        pool_stickiness=0.12,
+        pool_rehome_hours=24.0,
+        pool_shared_home=False,
+        churn=ChurnModel(
+            ip_epoch_s=4 * 3600.0,
+            egress_epoch_s=36 * 3600.0,
+            egress_breadth=2,
+        ),
+        notes="pools; 5 client + ~89 external addresses within two /24s",
+    )
+
+
+def default_carrier_configs() -> List[CarrierConfig]:
+    """The six carriers of the study, US first (as in the paper)."""
+    return [
+        att_config(),
+        sprint_config(),
+        tmobile_config(),
+        verizon_config(),
+        sk_telecom_config(),
+        lg_uplus_config(),
+    ]
+
+
+# -- builder --------------------------------------------------------------------
+
+
+def _egress_cities(config: CarrierConfig) -> List[City]:
+    """Cities hosting the carrier's egress points (round-robin by weight)."""
+    cities = sorted(
+        cities_for(config.country), key=lambda city: city.weight, reverse=True
+    )
+    return [cities[index % len(cities)] for index in range(config.egress_count)]
+
+
+def build_operator(
+    internet: VirtualInternet,
+    directory: ZoneDirectory,
+    config: CarrierConfig,
+    allocator: PrefixAllocator,
+    seed: int,
+) -> CellularOperator:
+    """Instantiate and register one carrier network."""
+    system = AutonomousSystem(
+        asn=config.asn,
+        name=config.display_name,
+        kind=ASKind.CELLULAR,
+        firewall=FirewallPolicy(blocks_inbound=True, tunneled_interior=True),
+        operator_key=config.key,
+    )
+    internet.register_system(system)
+
+    external_system = system
+    if config.external_asn is not None:
+        external_system = AutonomousSystem(
+            asn=config.external_asn,
+            name=f"{config.display_name} (resolver tier)",
+            kind=ASKind.CELLULAR,
+            firewall=FirewallPolicy(blocks_inbound=True, tunneled_interior=True),
+            operator_key=config.key,
+        )
+        internet.register_system(external_system)
+
+    # Address space: a /16 NAT pool, a /24 for egress routers, resolver /24s.
+    client_pool = allocator.allocate(16)
+    system.add_prefix(client_pool)
+    egress_prefix = allocator.allocate24()
+    system.add_prefix(egress_prefix)
+
+    egress_cities = _egress_cities(config)
+    egress_points = []
+    for index, city in enumerate(egress_cities):
+        host = Host(
+            ip=egress_prefix.host(index + 1),
+            name=f"egress-{config.key}-{index}",
+            asys=system,
+            location=city.location,
+            stack_latency_ms=0.2,
+        )
+        internet.register_host(host)
+        egress_points.append(host)
+
+    sites = [
+        ResolverSite(index=index, city=egress_cities[index % len(egress_cities)])
+        for index in range(config.n_sites)
+    ]
+
+    externals = _build_externals(
+        internet, directory, config, allocator, external_system, sites, seed
+    )
+    client_addresses = _build_client_addresses(
+        internet, config, allocator, system, sites, externals
+    )
+    pairing = _build_pairing(config, client_addresses, externals, seed)
+
+    deployment = DnsDeployment(
+        kind=config.deployment_kind,
+        client_addresses=client_addresses,
+        externals=externals,
+        sites=sites,
+        pairing=pairing,
+        tier_gap_ms=config.tier_gap_ms,
+    )
+    radio_profile = _radio(config.technologies, config.technology_weights)
+    return CellularOperator(
+        key=config.key,
+        display_name=config.display_name,
+        country=config.country,
+        system=system,
+        internet=internet,
+        egress_points=egress_points,
+        deployment=deployment,
+        radio_profile=radio_profile,
+        client_pool_prefix=client_pool,
+        seed=seed,
+        churn=config.churn,
+    )
+
+
+def _build_externals(
+    internet: VirtualInternet,
+    directory: ZoneDirectory,
+    config: CarrierConfig,
+    allocator: PrefixAllocator,
+    external_system: AutonomousSystem,
+    sites: List[ResolverSite],
+    seed: int,
+) -> List[ExternalResolver]:
+    """Create external resolver hosts + engines with the /24 layout."""
+    shared_prefixes = None
+    if config.shared_external_prefixes:
+        shared_prefixes = []
+        for _ in range(config.shared_external_prefixes):
+            prefix = allocator.allocate24()
+            external_system.add_prefix(prefix)
+            shared_prefixes.append([prefix, 0])
+
+    externals: List[ExternalResolver] = []
+    group_prefix = None
+    group_used = 0
+    for site in sites:
+        if shared_prefixes is None and config.externals_per_prefix is None:
+            site_prefix = allocator.allocate24()
+            external_system.add_prefix(site_prefix)
+            offset = 0
+        for machine in range(config.externals_per_site):
+            if shared_prefixes is not None:
+                slot = shared_prefixes[
+                    (site.index * config.externals_per_site + machine)
+                    % len(shared_prefixes)
+                ]
+                prefix = slot[0]
+                slot[1] += 1
+                ip = prefix.host(slot[1] + 9)
+            elif config.externals_per_prefix is not None:
+                if group_prefix is None or group_used >= config.externals_per_prefix:
+                    group_prefix = allocator.allocate24()
+                    external_system.add_prefix(group_prefix)
+                    group_used = 0
+                group_used += 1
+                ip = group_prefix.host(group_used)
+            else:
+                offset += 1
+                ip = site_prefix.host(offset)
+            serial = len(externals)
+            open_draw = stable_fraction(seed, "open", config.key, serial)
+            host = Host(
+                ip=ip,
+                name=f"ldns-ext-{config.key}-{serial}",
+                asys=external_system,
+                location=site.city.location,
+                responds_to_ping=config.external_ping_policy is not PingPolicy.SILENT,
+                ping_policy=config.external_ping_policy,
+                externally_open=open_draw < config.externally_open_fraction,
+                interior_penalty_ms=config.external_interior_penalty_ms,
+                stack_latency_ms=0.4,
+            )
+            internet.register_host(host)
+            engine = RecursiveEngine(
+                host=host,
+                directory=directory,
+                internet=internet,
+                cache=DnsCache(name=f"{config.key}:ext:{serial}"),
+                background_warm_prob=config.background_warm_prob,
+            )
+            externals.append(ExternalResolver(host=host, engine=engine, site=site))
+    return externals
+
+
+def _build_client_addresses(
+    internet: VirtualInternet,
+    config: CarrierConfig,
+    allocator: PrefixAllocator,
+    system: AutonomousSystem,
+    sites: List[ResolverSite],
+    externals: List[ExternalResolver],
+) -> List[ClientFacingAddress]:
+    """Create the addresses devices are configured with."""
+    addresses: List[ClientFacingAddress] = []
+    anycast = config.pairing_style in ("anycast", "loadbalance")
+    if config.clients_share_external_prefix and externals:
+        # SK layout: fronts live in the externals' /24 (high host offsets).
+        prefix = next(
+            prefix
+            for prefix in externals[0].host.asys.prefixes
+            if prefix.contains(externals[0].ip)
+        )
+        for index in range(config.n_client_addresses):
+            ip = prefix.host(200 + index)
+            host = Host(
+                ip=ip,
+                name=f"ldns-front-{config.key}-{index}",
+                asys=externals[0].host.asys,
+                location=sites[index % len(sites)].city.location,
+                ping_policy=PingPolicy.INTERNAL_ONLY,
+                stack_latency_ms=0.4,
+            )
+            internet.register_host(host)
+            addresses.append(
+                ClientFacingAddress(
+                    ip=ip, host=host, anycast=False, site_index=index % len(sites)
+                )
+            )
+        return addresses
+
+    front_prefix = allocator.allocate24()
+    system.add_prefix(front_prefix)
+    for index in range(config.n_client_addresses):
+        ip = front_prefix.host(index + 1)
+        host = Host(
+            ip=ip,
+            name=f"ldns-front-{config.key}-{index}",
+            asys=system,
+            location=sites[index % len(sites)].city.location,
+            ping_policy=PingPolicy.SILENT if anycast else PingPolicy.INTERNAL_ONLY,
+            stack_latency_ms=0.4,
+        )
+        internet.register_host(host)
+        addresses.append(
+            ClientFacingAddress(
+                ip=ip,
+                host=host,
+                anycast=anycast,
+                site_index=None if anycast else index % len(sites),
+            )
+        )
+    return addresses
+
+
+def _build_pairing(
+    config: CarrierConfig,
+    client_addresses: List[ClientFacingAddress],
+    externals: List[ExternalResolver],
+    seed: int,
+):
+    """Wire the pairing policy for the carrier's deployment style."""
+    if config.pairing_style == "anycast":
+        return AnycastPairing(
+            by_site=group_by_site(externals),
+            seed=seed,
+            site_flutter=config.anycast_site_flutter,
+            machine_epoch_s=config.anycast_machine_epoch_s,
+        )
+    if config.pairing_style == "loadbalance":
+        return LoadBalancedPairing(
+            externals=list(externals), seed=seed, coherence_s=config.lb_coherence_s
+        )
+    if config.pairing_style == "tiered":
+        if len(externals) < len(client_addresses):
+            raise ConfigError(f"{config.key}: tiered needs one external per front")
+        pair_of = {
+            address.ip: externals[index]
+            for index, address in enumerate(client_addresses)
+        }
+        return TieredPairing(pair_of=pair_of)
+    if config.pairing_style == "pool":
+        # Partition externals into pools by proximity to each front, so a
+        # front's pool members sit in its region (Fig 4: pool externals
+        # are farther than the front, but not cross-country).
+        pools: Dict[str, List[ExternalResolver]] = {
+            address.ip: [] for address in client_addresses
+        }
+        share = max(1, len(externals) // len(client_addresses))
+        remaining = list(externals)
+        for address in client_addresses:
+            front_location = (
+                address.host.location if address.host is not None else None
+            )
+            if front_location is not None:
+                remaining.sort(
+                    key=lambda resolver: resolver.site.location.distance_km(
+                        front_location
+                    )
+                )
+            take = remaining[:share]
+            pools[address.ip] = take
+            remaining = remaining[share:]
+        for position, resolver in enumerate(remaining):
+            pools[client_addresses[position % len(client_addresses)].ip].append(
+                resolver
+            )
+        for address in client_addresses:
+            if not pools[address.ip]:
+                pools[address.ip] = list(externals)
+        return StickyPoolPairing(
+            pools=pools,
+            stickiness=config.pool_stickiness,
+            rehome_period_s=config.pool_rehome_hours * 3600.0,
+            seed=seed,
+            shared_home=config.pool_shared_home,
+        )
+    raise ConfigError(f"unknown pairing style {config.pairing_style!r}")

@@ -1,0 +1,212 @@
+"""Radio access technologies and the RRC state machine.
+
+Fig 3 of the paper shows DNS resolution times falling into sharp bands by
+radio technology: LTE fastest, 3G families roughly 50 ms slower at the
+median, and 2G (1xRTT, GPRS) near a full second per resolution.  The
+latency parameters below are calibrated to those bands (and to Huang et
+al., MobiSys'12, which the paper cites for LTE's low, stable access
+latency).
+
+The RRC state machine models radio promotion: a device whose radio is
+idle pays a promotion delay on its first packet.  The paper's experiment
+script begins with a bootstrap ping precisely to absorb that cost
+(Sec 3.2), and the measurement library reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigError
+from repro.core.rng import RandomStream
+
+
+class Generation(str, enum.Enum):
+    """Cellular generation of a radio technology."""
+
+    G2 = "2G"
+    G3 = "3G"
+    G4 = "4G"
+
+
+@dataclass(frozen=True)
+class RadioLatency:
+    """Latency model of one radio technology.
+
+    ``median_rtt_ms``/``sigma`` parameterise the log-normal access RTT;
+    ``promotion_ms`` is the idle->active RRC promotion cost.
+    """
+
+    median_rtt_ms: float
+    sigma: float
+    promotion_ms: float
+
+
+class RadioTechnology(str, enum.Enum):
+    """Radio technologies reported by devices in the study (Fig 3)."""
+
+    LTE = "LTE"
+    EHRPD = "EHRPD"
+    EVDO_A = "EVDO_A"
+    ONE_X_RTT = "1xRTT"
+    HSPAP = "HSPAP"
+    HSPA = "HSPA"
+    HSDPA = "HSDPA"
+    HSUPA = "HSUPA"
+    UMTS = "UTMS"  # the paper consistently spells it UTMS; we keep that label
+    EDGE = "EDGE"
+    GPRS = "GPRS"
+
+    @property
+    def generation(self) -> Generation:
+        """Which generation the technology belongs to."""
+        return _GENERATION[self]
+
+    @property
+    def latency(self) -> RadioLatency:
+        """The technology's access-latency model."""
+        return _LATENCY[self]
+
+
+_GENERATION: Dict[RadioTechnology, Generation] = {
+    RadioTechnology.LTE: Generation.G4,
+    RadioTechnology.EHRPD: Generation.G3,
+    RadioTechnology.EVDO_A: Generation.G3,
+    RadioTechnology.ONE_X_RTT: Generation.G2,
+    RadioTechnology.HSPAP: Generation.G3,
+    RadioTechnology.HSPA: Generation.G3,
+    RadioTechnology.HSDPA: Generation.G3,
+    RadioTechnology.HSUPA: Generation.G3,
+    RadioTechnology.UMTS: Generation.G3,
+    RadioTechnology.EDGE: Generation.G2,
+    RadioTechnology.GPRS: Generation.G2,
+}
+
+#: Access RTT parameters per technology.  Medians follow the banding in
+#: Fig 3; sigmas give LTE its notably tighter distribution.
+_LATENCY: Dict[RadioTechnology, RadioLatency] = {
+    RadioTechnology.LTE: RadioLatency(28.0, 0.22, 260.0),
+    RadioTechnology.EHRPD: RadioLatency(78.0, 0.35, 900.0),
+    RadioTechnology.EVDO_A: RadioLatency(95.0, 0.38, 1100.0),
+    RadioTechnology.ONE_X_RTT: RadioLatency(850.0, 0.40, 1800.0),
+    RadioTechnology.HSPAP: RadioLatency(55.0, 0.32, 700.0),
+    RadioTechnology.HSPA: RadioLatency(75.0, 0.35, 800.0),
+    RadioTechnology.HSDPA: RadioLatency(85.0, 0.36, 850.0),
+    RadioTechnology.HSUPA: RadioLatency(80.0, 0.36, 850.0),
+    RadioTechnology.UMTS: RadioLatency(130.0, 0.38, 1200.0),
+    RadioTechnology.EDGE: RadioLatency(420.0, 0.40, 1500.0),
+    RadioTechnology.GPRS: RadioLatency(600.0, 0.42, 1700.0),
+}
+
+
+class RadioState(str, enum.Enum):
+    """RRC power states relevant to latency."""
+
+    IDLE = "idle"
+    CONNECTED = "connected"
+
+
+@dataclass
+class RrcStateMachine:
+    """Tracks radio power state across a device's measurement session.
+
+    After ``demotion_timeout_s`` without traffic the radio falls back to
+    IDLE and the next packet pays the promotion delay.
+    """
+
+    demotion_timeout_s: float = 11.0
+    state: RadioState = RadioState.IDLE
+    last_activity: float = float("-inf")
+
+    def touch(self, now: float) -> float:
+        """Register traffic at ``now``; returns the promotion cost paid."""
+        promotion = 0.0
+        if (
+            self.state is RadioState.IDLE
+            or now - self.last_activity > self.demotion_timeout_s
+        ):
+            promotion = 1.0  # caller scales by the technology's promotion_ms
+            self.state = RadioState.CONNECTED
+        self.last_activity = now
+        return promotion
+
+    def is_connected(self, now: float) -> bool:
+        """Whether the radio is still in the high-power state at ``now``."""
+        return (
+            self.state is RadioState.CONNECTED
+            and now - self.last_activity <= self.demotion_timeout_s
+        )
+
+
+@dataclass
+class RadioProfile:
+    """A carrier's mix of radio technologies.
+
+    ``weights`` give the probability that a device observes each
+    technology during an experiment; coverage varies with location and
+    time, which the per-experiment draw models.
+    """
+
+    technologies: List[RadioTechnology]
+    weights: List[float] = field(default_factory=list)
+    #: Probability that a device mid-experiment is on its drawn RAT's
+    #: band; the remainder re-draws (handoff during the experiment).
+    stability: float = 0.97
+
+    def __post_init__(self) -> None:
+        if not self.technologies:
+            raise ConfigError("radio profile needs at least one technology")
+        if not self.weights:
+            self.weights = [1.0] * len(self.technologies)
+        if len(self.weights) != len(self.technologies):
+            raise ConfigError("weights must match technologies")
+
+    def draw(self, stream: RandomStream) -> RadioTechnology:
+        """The active technology for one experiment."""
+        return stream.weighted_choice(self.technologies, self.weights)
+
+    def access_rtt_ms(
+        self, technology: RadioTechnology, stream: RandomStream
+    ) -> float:
+        """One sampled access RTT on the given technology."""
+        model = technology.latency
+        return stream.lognormal_ms(model.median_rtt_ms, model.sigma)
+
+    def lte_share(self) -> float:
+        """Fraction of weight on LTE (used in reports)."""
+        total = sum(self.weights)
+        lte = sum(
+            weight
+            for technology, weight in zip(self.technologies, self.weights)
+            if technology is RadioTechnology.LTE
+        )
+        return lte / total if total else 0.0
+
+
+def technologies_of(names: Sequence[str]) -> List[RadioTechnology]:
+    """Parse technology labels as they appear in the paper's figures."""
+    by_value = {technology.value: technology for technology in RadioTechnology}
+    result = []
+    for name in names:
+        if name not in by_value:
+            raise ConfigError(f"unknown radio technology {name!r}")
+        result.append(by_value[name])
+    return result
+
+
+def promotion_cost_ms(
+    technology: RadioTechnology, machine: RrcStateMachine, now: float
+) -> float:
+    """Promotion delay paid by a packet sent at ``now`` (0 when warm)."""
+    return machine.touch(now) * technology.latency.promotion_ms
+
+
+def band_medians() -> List[Tuple[str, float]]:
+    """(label, median access RTT) pairs, sorted fastest first."""
+    pairs = [
+        (technology.value, technology.latency.median_rtt_ms)
+        for technology in RadioTechnology
+    ]
+    return sorted(pairs, key=lambda pair: pair[1])

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Four subcommands cover the lifecycle of a study:
+
+* ``repro-study run`` — simulate a campaign and archive the dataset;
+* ``repro-study report`` — print the paper's tables/figures from a
+  dataset (or re-simulate when none is given);
+* ``repro-study validate`` — integrity-check an archived dataset;
+* ``repro-study export`` — dump every figure's series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.analysis.export import export_study_figures
+from repro.analysis.report import format_cdfs, format_table
+from repro.measure.records import Dataset
+from repro.measure.validate import validate_dataset
+
+
+def _study_from_args(args) -> CellularDNSStudy:
+    config = StudyConfig(
+        seed=args.seed,
+        device_scale=args.scale,
+        duration_days=args.days,
+        interval_hours=args.interval_hours,
+    )
+    return CellularDNSStudy(config)
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper's 158-client population")
+    parser.add_argument("--days", type=float, default=60.0)
+    parser.add_argument("--interval-hours", type=float, default=12.0)
+
+
+def _cmd_run(args) -> int:
+    study = _study_from_args(args)
+    print(f"Simulating {len(study.campaign.devices)} devices for "
+          f"{args.days:.0f} days...", file=sys.stderr)
+    dataset = study.dataset
+    written = dataset.save(args.output)
+    print(f"Wrote {written} experiments to {args.output}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    study = _study_from_args(args)
+    if args.dataset:
+        study.use_dataset(Dataset.load(args.dataset))
+    print(study.render_table1(), "\n")
+    print(study.render_table3(), "\n")
+    rows = [
+        (row.carrier, row.total, row.ping_responsive, row.traceroute_responsive)
+        for row in study.table4_reachability()
+    ]
+    print(format_table(
+        ["carrier", "resolvers", "ping ok", "traceroute ok"],
+        rows, title="Table 4: external reachability",
+    ), "\n")
+    print(study.render_fig5(), "\n")
+    print(format_cdfs(study.fig6_sk_resolution(),
+                      title="Fig 6: DNS resolution time, SK carriers"), "\n")
+    comparison = study.fig7_cache()
+    print(f"Fig 7: first-lookup cache miss rate "
+          f"{comparison.miss_rate() * 100:.0f}%\n")
+    for carrier in study.world.operators:
+        result = study.fig14_public_replicas(carrier)
+        differential = study.fig2_replica_differentials(carrier).ecdf()
+        median = f"+{differential.median:.0f}%" if not differential.is_empty else "-"
+        print(f"[{carrier}] Fig2 p50 {median} | Fig14 public equal-or-better "
+              f"{result.fraction_public_not_worse() * 100:.0f}%")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    dataset = Dataset.load(args.dataset)
+    report = validate_dataset(dataset)
+    print(report.summary())
+    for finding in report.findings[: args.max_findings]:
+        print(f"  {finding}")
+    if len(report.findings) > args.max_findings:
+        print(f"  ... and {len(report.findings) - args.max_findings} more")
+    return 0 if report.ok else 1
+
+
+def _cmd_verify(args) -> int:
+    from repro.analysis.claims import render_verification, verify_claims
+
+    study = _study_from_args(args)
+    results = verify_claims(study)
+    print(render_verification(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
+def _cmd_export(args) -> int:
+    study = _study_from_args(args)
+    if args.dataset:
+        study.use_dataset(Dataset.load(args.dataset))
+    paths = export_study_figures(study, args.output_dir)
+    print(f"Exported {len(paths)} CSV files to {args.output_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduction of 'Behind the Curtain' (IMC 2014)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="simulate a campaign to JSONL")
+    _add_scale_arguments(run)
+    run.add_argument("--output", "-o", default="campaign.jsonl")
+    run.set_defaults(handler=_cmd_run)
+
+    report = commands.add_parser("report", help="print the paper's artifacts")
+    _add_scale_arguments(report)
+    report.add_argument("--dataset", help="analyse an archived dataset instead")
+    report.set_defaults(handler=_cmd_report)
+
+    validate = commands.add_parser("validate", help="integrity-check a dataset")
+    validate.add_argument("dataset")
+    validate.add_argument("--max-findings", type=int, default=20)
+    validate.set_defaults(handler=_cmd_validate)
+
+    export = commands.add_parser("export", help="export figure series as CSV")
+    _add_scale_arguments(export)
+    export.add_argument("--dataset", help="analyse an archived dataset instead")
+    export.add_argument("--output-dir", "-o", default="figures")
+    export.set_defaults(handler=_cmd_export)
+
+    verify = commands.add_parser(
+        "verify", help="check every paper claim against a fresh campaign"
+    )
+    _add_scale_arguments(verify)
+    verify.set_defaults(handler=_cmd_verify)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Simulation core: time, randomness, addressing, ASes and the Internet."""
+
+from repro.core.addressing import (
+    AddressPool,
+    Prefix,
+    PrefixAllocator,
+    int_to_ip,
+    ip_to_int,
+    prefix24,
+    same_prefix24,
+)
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.clock import STUDY_DURATION_S, STUDY_EPOCH, VirtualClock
+from repro.core.errors import ReproError
+from repro.core.internet import TracerouteHop, TracerouteResult, VirtualInternet
+from repro.core.node import Host, PathHop, PingPolicy, ProbeOrigin
+from repro.core.rng import RandomStream, RngRegistry
+
+__all__ = [
+    "AddressPool",
+    "Prefix",
+    "PrefixAllocator",
+    "int_to_ip",
+    "ip_to_int",
+    "prefix24",
+    "same_prefix24",
+    "ASKind",
+    "AutonomousSystem",
+    "FirewallPolicy",
+    "STUDY_DURATION_S",
+    "STUDY_EPOCH",
+    "VirtualClock",
+    "ReproError",
+    "TracerouteHop",
+    "TracerouteResult",
+    "VirtualInternet",
+    "Host",
+    "PathHop",
+    "PingPolicy",
+    "ProbeOrigin",
+    "RandomStream",
+    "RngRegistry",
+]

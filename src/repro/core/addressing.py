@@ -1,0 +1,235 @@
+"""IPv4 addressing: parsing, prefixes and allocators.
+
+The paper's analysis repeatedly keys on the /24 prefix of resolver and
+replica addresses (Figs 8-10, 12, 14; Table 5), so prefix arithmetic is a
+first-class substrate here.  Addresses are represented as dotted-quad
+strings at API boundaries and as integers internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator, List, Set
+
+from repro.core.errors import AddressError, AddressPoolExhausted
+
+_MAX_IPV4 = (1 << 32) - 1
+
+
+@lru_cache(maxsize=65536)
+def ip_to_int(address: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    Raises :class:`AddressError` for anything that is not exactly four
+    decimal octets in range.  Cached: analysis passes parse the same
+    resolver/replica addresses millions of times.
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {address!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise AddressError(f"bad octet {part!r} in {address!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address."""
+    if not 0 <= value <= _MAX_IPV4:
+        raise AddressError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def is_valid_ip(address: str) -> bool:
+    """True when ``address`` parses as an IPv4 dotted quad."""
+    try:
+        ip_to_int(address)
+    except AddressError:
+        return False
+    return True
+
+
+def prefix24(address: str) -> str:
+    """The /24 prefix of an address, formatted ``a.b.c.0/24``.
+
+    This is the aggregation unit used throughout the paper's analysis.
+    """
+    value = ip_to_int(address) & 0xFFFFFF00
+    return f"{int_to_ip(value)}/24"
+
+
+def same_prefix24(first: str, second: str) -> bool:
+    """True when two addresses share a /24 prefix."""
+    return (ip_to_int(first) & 0xFFFFFF00) == (ip_to_int(second) & 0xFFFFFF00)
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (network address integer + mask length)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"bad prefix length {self.length}")
+        mask = self.mask
+        if self.network & ~mask & _MAX_IPV4:
+            raise AddressError(
+                f"network {int_to_ip(self.network)} has host bits set for /{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        try:
+            address, length_text = text.split("/")
+        except ValueError as exc:
+            raise AddressError(f"not CIDR notation: {text!r}") from exc
+        if not length_text.isdigit():
+            raise AddressError(f"bad prefix length in {text!r}")
+        return cls(ip_to_int(address), int(length_text))
+
+    @property
+    def mask(self) -> int:
+        """The netmask as an integer."""
+        if self.length == 0:
+            return 0
+        return (_MAX_IPV4 << (32 - self.length)) & _MAX_IPV4
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def contains(self, address: str) -> bool:
+        """True when ``address`` falls inside the prefix."""
+        return (ip_to_int(address) & self.mask) == self.network
+
+    def host(self, offset: int) -> str:
+        """The address at ``offset`` within the prefix."""
+        if not 0 <= offset < self.size:
+            raise AddressError(f"offset {offset} outside /{self.length}")
+        return int_to_ip(self.network + offset)
+
+    def hosts(self, skip_network_and_broadcast: bool = True) -> Iterator[str]:
+        """Iterate usable host addresses within the prefix."""
+        start = 1 if (skip_network_and_broadcast and self.length < 31) else 0
+        stop = self.size - (1 if (skip_network_and_broadcast and self.length < 31) else 0)
+        for offset in range(start, stop):
+            yield int_to_ip(self.network + offset)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Iterate the sub-prefixes of the given longer length."""
+        if new_length < self.length or new_length > 32:
+            raise AddressError(f"cannot split /{self.length} into /{new_length}")
+        step = 1 << (32 - new_length)
+        for network in range(self.network, self.network + self.size, step):
+            yield Prefix(network, new_length)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+class PrefixAllocator:
+    """Hands out disjoint sub-prefixes of a parent prefix.
+
+    Used to give each autonomous system, resolver pool and replica cluster
+    its own address block, so /24 aggregation in the analysis behaves the
+    way it does on the real Internet.
+    """
+
+    def __init__(self, parent: Prefix) -> None:
+        self.parent = parent
+        self._next_offset = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "PrefixAllocator":
+        """Build an allocator from CIDR notation."""
+        return cls(Prefix.parse(text))
+
+    def allocate(self, length: int) -> Prefix:
+        """Allocate the next free sub-prefix of the given length.
+
+        Allocation is first-fit with alignment; mixing lengths is allowed
+        as long as requests do not exceed the parent's space.
+        """
+        if length < self.parent.length or length > 32:
+            raise AddressError(
+                f"cannot allocate /{length} from {self.parent}"
+            )
+        size = 1 << (32 - length)
+        # Align the offset to the block size (CIDR blocks are aligned).
+        offset = (self._next_offset + size - 1) // size * size
+        if offset + size > self.parent.size:
+            raise AddressPoolExhausted(
+                f"{self.parent} exhausted allocating /{length}"
+            )
+        self._next_offset = offset + size
+        return Prefix(self.parent.network + offset, length)
+
+    def allocate24(self) -> Prefix:
+        """Allocate the next /24 (the common case in this simulation)."""
+        return self.allocate(24)
+
+    @property
+    def remaining(self) -> int:
+        """Number of addresses not yet covered by an allocation."""
+        return self.parent.size - self._next_offset
+
+
+@dataclass
+class AddressPool:
+    """Leases individual host addresses out of a set of prefixes.
+
+    Models both static assignment (resolvers, replicas) and the churning
+    NAT pools cellular operators draw client addresses from.
+    """
+
+    prefixes: List[Prefix] = field(default_factory=list)
+    _cursor: int = field(default=0, repr=False)
+    _leased: Set[str] = field(default_factory=set, repr=False)
+
+    def add_prefix(self, prefix: Prefix) -> None:
+        """Add a prefix to draw addresses from."""
+        self.prefixes.append(prefix)
+
+    def lease(self) -> str:
+        """Lease the next unused host address."""
+        total = sum(max(prefix.size - 2, 1) for prefix in self.prefixes)
+        if len(self._leased) >= total:
+            raise AddressPoolExhausted("address pool exhausted")
+        while True:
+            address = self._address_at(self._cursor)
+            self._cursor += 1
+            if address not in self._leased:
+                self._leased.add(address)
+                return address
+
+    def release(self, address: str) -> None:
+        """Return a leased address to the pool."""
+        self._leased.discard(address)
+
+    def lease_many(self, count: int) -> List[str]:
+        """Lease ``count`` addresses."""
+        return [self.lease() for _ in range(count)]
+
+    def _address_at(self, index: int) -> str:
+        sizes = [max(prefix.size - 2, 1) for prefix in self.prefixes]
+        total = sum(sizes)
+        index %= total
+        for prefix, size in zip(self.prefixes, sizes):
+            if index < size:
+                offset = index + (1 if prefix.length < 31 else 0)
+                return prefix.host(offset)
+            index -= size
+        raise AddressPoolExhausted("no prefixes in pool")
+
+    def __contains__(self, address: str) -> bool:
+        return any(prefix.contains(address) for prefix in self.prefixes)

@@ -1,0 +1,88 @@
+"""Autonomous systems and their reachability policies.
+
+The paper's "cellular network opaqueness" finding (Sec 4.4) is a property
+of operator firewall/NAT policy: externally originated flows are dropped,
+so cellular DNS infrastructure can only be measured from devices inside
+the network.  We model that policy at the AS level, with per-host
+exceptions for the resolvers that *did* answer external pings (Table 4:
+Verizon and AT&T majorities, a small fraction of Sprint).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.addressing import Prefix
+
+
+class ASKind(str, enum.Enum):
+    """Role of an autonomous system in the simulation."""
+
+    CELLULAR = "cellular"
+    TRANSIT = "transit"
+    CDN = "cdn"
+    PUBLIC_DNS = "public_dns"
+    UNIVERSITY = "university"
+    CONTENT = "content"
+
+
+@dataclass
+class FirewallPolicy:
+    """Inbound-flow policy for an AS.
+
+    ``blocks_inbound`` drops flows initiated outside the AS (cellular NAT
+    and firewall behaviour, Wang et al. [24]).  Responses to flows the AS
+    itself initiated always pass (NAT state).  ``tunneled_interior`` hides
+    interior hops from traceroute (MPLS/VPN tunnelling, Sec 4.2).
+    """
+
+    blocks_inbound: bool = False
+    tunneled_interior: bool = False
+
+    def admits(self, origin_asn: int, own_asn: int, host_is_open: bool) -> bool:
+        """True when a flow from ``origin_asn`` may reach a host inside."""
+        if not self.blocks_inbound:
+            return True
+        if origin_asn == own_asn:
+            return True
+        return host_is_open
+
+
+@dataclass
+class AutonomousSystem:
+    """A named AS owning address space and a firewall policy."""
+
+    asn: int
+    name: str
+    kind: ASKind
+    firewall: FirewallPolicy = field(default_factory=FirewallPolicy)
+    prefixes: List[Prefix] = field(default_factory=list)
+    #: Operator group this AS belongs to (e.g. Verizon's client-facing and
+    #: external-facing resolver ASes are distinct ASes of one operator).
+    operator_key: Optional[str] = None
+
+    def add_prefix(self, prefix: Prefix) -> None:
+        """Announce another prefix from this AS."""
+        self.prefixes.append(prefix)
+
+    def originates(self, address: str) -> bool:
+        """True when ``address`` is inside a prefix announced by this AS."""
+        return any(prefix.contains(address) for prefix in self.prefixes)
+
+    @property
+    def is_cellular(self) -> bool:
+        """True for cellular-operator ASes."""
+        return self.kind is ASKind.CELLULAR
+
+    def __str__(self) -> str:
+        return f"AS{self.asn} {self.name}"
+
+    def __hash__(self) -> int:
+        return hash(self.asn)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AutonomousSystem):
+            return NotImplemented
+        return self.asn == other.asn

@@ -1,0 +1,114 @@
+"""Transit backbone and wired vantage points.
+
+Provides the inter-domain glue the cellular operators, CDNs and public DNS
+services hang off: a transit AS with a router in every placement city, and
+the university network the paper probes cellular resolvers from (Sec 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.addressing import PrefixAllocator
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host, ProbeOrigin
+from repro.core.rng import RandomStream
+from repro.geo.regions import City, UNIVERSITY_VANTAGE_CITY
+
+#: ASN used for the synthetic transit backbone.
+TRANSIT_ASN = 3356
+#: ASN of the university vantage network (Northwestern University).
+UNIVERSITY_ASN = 103
+
+
+@dataclass
+class TransitBackbone:
+    """A flat transit AS with one router per city."""
+
+    system: AutonomousSystem
+    routers: List[Host] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        internet: VirtualInternet,
+        cities: Sequence[City],
+        allocator: PrefixAllocator,
+    ) -> "TransitBackbone":
+        """Create and register the backbone across the given cities."""
+        system = AutonomousSystem(
+            asn=TRANSIT_ASN,
+            name="Global Transit",
+            kind=ASKind.TRANSIT,
+            firewall=FirewallPolicy(blocks_inbound=False),
+        )
+        internet.register_system(system)
+        backbone = cls(system=system)
+        prefix = allocator.allocate24()
+        system.add_prefix(prefix)
+        offset = 1
+        for city in cities:
+            router = Host(
+                ip=prefix.host(offset),
+                name=f"transit.{city.name.lower().replace(' ', '-')}",
+                asys=system,
+                location=city.location,
+                stack_latency_ms=0.05,
+            )
+            internet.register_transit_router(router)
+            backbone.routers.append(router)
+            offset += 1
+        return backbone
+
+
+@dataclass
+class ExternalVantage:
+    """A wired university host used for external reachability probing.
+
+    Table 4 of the paper reports how many cellular resolvers answered
+    pings and traceroutes launched "from our university network"; this is
+    that vantage.
+    """
+
+    host: Host
+
+    @classmethod
+    def build(
+        cls, internet: VirtualInternet, allocator: PrefixAllocator
+    ) -> "ExternalVantage":
+        """Create and register the vantage host."""
+        system = AutonomousSystem(
+            asn=UNIVERSITY_ASN,
+            name="University Network",
+            kind=ASKind.UNIVERSITY,
+            firewall=FirewallPolicy(blocks_inbound=False),
+        )
+        internet.register_system(system)
+        prefix = allocator.allocate24()
+        system.add_prefix(prefix)
+        host = Host(
+            ip=prefix.host(10),
+            name="vantage.university",
+            asys=system,
+            location=UNIVERSITY_VANTAGE_CITY.location,
+            stack_latency_ms=0.05,
+        )
+        internet.register_host(host)
+        return cls(host=host)
+
+    def origin(self, stream: RandomStream) -> ProbeOrigin:
+        """A probe origin for one measurement from the campus network."""
+        return ProbeOrigin(
+            source_ip=self.host.ip,
+            asys=self.host.asys,
+            location=self.host.location,
+            access_rtt_ms=stream.uniform(0.2, 1.0),
+            origin_id="university-vantage",
+        )
+
+
+def registry_of_cities(cities: Sequence[City]) -> Dict[str, City]:
+    """Index cities by name (convenience for builders)."""
+    return {city.name: city for city in cities}

@@ -1,0 +1,87 @@
+"""Virtual time.
+
+The study covers 2014-03-01 .. 2014-08-01 (Sec 3.1).  All simulation time is
+expressed as float seconds since :data:`STUDY_EPOCH`; helpers convert to and
+from :class:`datetime.datetime` for human-readable reports (Figs 8, 9, 12
+label their x axes with calendar dates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+
+#: Start of the paper's measurement window.
+STUDY_EPOCH = datetime(2014, 3, 1, tzinfo=timezone.utc)
+
+#: End of the paper's measurement window.
+STUDY_END = datetime(2014, 8, 1, tzinfo=timezone.utc)
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+#: Length of the full study window in seconds (five months).
+STUDY_DURATION_S = (STUDY_END - STUDY_EPOCH).total_seconds()
+
+
+def to_datetime(sim_seconds: float) -> datetime:
+    """Convert simulation seconds to an aware UTC datetime."""
+    return STUDY_EPOCH + timedelta(seconds=sim_seconds)
+
+
+def from_datetime(when: datetime) -> float:
+    """Convert an aware datetime to simulation seconds."""
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=timezone.utc)
+    return (when - STUDY_EPOCH).total_seconds()
+
+
+def format_day(sim_seconds: float) -> str:
+    """Format as the short ``Mar-31`` labels used on the paper's time axes."""
+    return to_datetime(sim_seconds).strftime("%b-%d").replace("-0", "-")
+
+
+@dataclass
+class VirtualClock:
+    """A monotone virtual clock measured in seconds since the study epoch.
+
+    The clock only moves forward; components that need the current time take
+    the clock rather than a float so that long-running campaigns see a
+    consistent "now".
+    """
+
+    now: float = 0.0
+    _advances: int = field(default=0, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards by {seconds}s")
+        self.now += seconds
+        self._advances += 1
+        return self.now
+
+    def advance_to(self, target: float) -> float:
+        """Move time forward to an absolute instant (no-op if in the past)."""
+        if target > self.now:
+            self.now = target
+            self._advances += 1
+        return self.now
+
+    @property
+    def datetime(self) -> datetime:
+        """The current virtual instant as an aware UTC datetime."""
+        return to_datetime(self.now)
+
+    @property
+    def day_label(self) -> str:
+        """Short calendar label for the current instant (``Mar-31``)."""
+        return format_day(self.now)
+
+    def hours_elapsed(self) -> float:
+        """Hours since the study epoch."""
+        return self.now / SECONDS_PER_HOUR
+
+    def days_elapsed(self) -> float:
+        """Days since the study epoch."""
+        return self.now / SECONDS_PER_DAY

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the reproduction package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Network-behaviour errors
+(unreachable hosts, dropped probes) are *not* exceptions: the paper's
+methodology treats them as first-class measurement outcomes, and so do we.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string could not be parsed or allocated."""
+
+
+class AddressPoolExhausted(AddressError):
+    """An allocator ran out of address space."""
+
+
+class DNSError(ReproError):
+    """Base class for DNS substrate errors."""
+
+
+class DNSDecodeError(DNSError, ValueError):
+    """A DNS wire-format message could not be decoded."""
+
+
+class DNSEncodeError(DNSError, ValueError):
+    """A DNS message could not be encoded to wire format."""
+
+
+class ZoneError(DNSError, ValueError):
+    """A zone file or zone data structure is invalid."""
+
+
+class ResolutionError(DNSError):
+    """A recursive resolution failed (SERVFAIL-class conditions)."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A network topology is malformed (unknown node, duplicate IP...)."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A simulation, carrier or study configuration is invalid."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A measurement dataset could not be read, written or validated."""

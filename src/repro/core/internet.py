@@ -1,0 +1,330 @@
+"""The virtual Internet: address registry, reachability and timing.
+
+This is the substrate every probe rides on.  It knows which autonomous
+system announces each prefix, which hosts exist, what the firewall policy
+between two ASes allows, and how long a round trip takes given both
+endpoints' physical placement.
+
+Three probe primitives mirror the paper's methodology (Sec 3.2):
+
+* :meth:`VirtualInternet.measure_rtt` -- ICMP echo (ping) semantics.
+* :meth:`VirtualInternet.flow_rtt` -- transport flow semantics (DNS over
+  UDP, HTTP over TCP): a host that ignores pings still serves flows.
+* :meth:`VirtualInternet.traceroute` -- hop-by-hop TTL probing, including
+  the tunnelled-interior and ingress-filtering behaviour that makes
+  cellular networks opaque (Sec 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.asn import AutonomousSystem
+from repro.core.errors import TopologyError
+from repro.core.node import Host, PathHop, ProbeOrigin
+from repro.core.rng import RandomStream
+from repro.geo.coordinates import GeoPoint
+from repro.geo.latency import WanLatencyModel
+
+
+@dataclass
+class TracerouteHop:
+    """One line of traceroute output."""
+
+    ttl: int
+    ip: Optional[str]
+    rtt_ms: Optional[float]
+
+    @property
+    def responded(self) -> bool:
+        """False for the ``* * *`` lines."""
+        return self.ip is not None and self.rtt_ms is not None
+
+
+@dataclass
+class TracerouteResult:
+    """A complete traceroute: hops plus whether the destination answered."""
+
+    destination_ip: str
+    hops: List[TracerouteHop] = field(default_factory=list)
+    reached: bool = False
+
+    def responding_ips(self) -> List[str]:
+        """Addresses of all hops that answered, in path order."""
+        return [hop.ip for hop in self.hops if hop.responded and hop.ip]
+
+
+class VirtualInternet:
+    """Registry of ASes and hosts, plus routing/timing semantics."""
+
+    def __init__(
+        self,
+        wan_model: Optional[WanLatencyModel] = None,
+        intra_model: Optional[WanLatencyModel] = None,
+    ) -> None:
+        #: Model for inter-AS (wide-area) segments.
+        self.wan_model = wan_model or WanLatencyModel()
+        #: Model for operator-interior segments: more inflation (backhaul
+        #: detours through regional aggregation), slightly more overhead.
+        self.intra_model = intra_model or WanLatencyModel(
+            path_inflation=1.8, hop_overhead_ms=0.4, min_rtt_ms=0.8, jitter_sigma=0.10
+        )
+        self._systems: Dict[int, AutonomousSystem] = {}
+        self._hosts: Dict[str, Host] = {}
+        #: Transit routers by rough location, used to synthesise paths.
+        self._transit_routers: List[Host] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register_system(self, asys: AutonomousSystem) -> AutonomousSystem:
+        """Register an AS (idempotent for the same ASN/name pair)."""
+        existing = self._systems.get(asys.asn)
+        if existing is not None:
+            if existing is not asys:
+                raise TopologyError(f"ASN {asys.asn} registered twice")
+            return existing
+        self._systems[asys.asn] = asys
+        return asys
+
+    def register_host(self, host: Host) -> Host:
+        """Register a host; its AS must be registered and announce its IP."""
+        if host.ip in self._hosts:
+            raise TopologyError(f"duplicate host IP {host.ip}")
+        if host.asys.asn not in self._systems:
+            raise TopologyError(f"host {host.ip} in unregistered {host.asys}")
+        if not host.asys.originates(host.ip):
+            raise TopologyError(
+                f"{host.ip} not inside any prefix announced by {host.asys}"
+            )
+        self._hosts[host.ip] = host
+        return host
+
+    def register_transit_router(self, host: Host) -> Host:
+        """Register a backbone router used when synthesising paths."""
+        self.register_host(host)
+        self._transit_routers.append(host)
+        return host
+
+    # -- lookups -------------------------------------------------------------
+
+    def host(self, ip: str) -> Optional[Host]:
+        """The host registered at ``ip``, if any."""
+        return self._hosts.get(ip)
+
+    def system(self, asn: int) -> Optional[AutonomousSystem]:
+        """The AS registered with ``asn``, if any."""
+        return self._systems.get(asn)
+
+    def systems(self) -> List[AutonomousSystem]:
+        """All registered ASes."""
+        return list(self._systems.values())
+
+    def hosts(self) -> List[Host]:
+        """All registered hosts."""
+        return list(self._hosts.values())
+
+    def asn_of(self, ip: str) -> Optional[int]:
+        """Longest-prefix-match origin ASN for an address (whois stand-in)."""
+        best_asn = None
+        best_length = -1
+        for asys in self._systems.values():
+            for prefix in asys.prefixes:
+                if prefix.length > best_length and prefix.contains(ip):
+                    best_asn = asys.asn
+                    best_length = prefix.length
+        return best_asn
+
+    # -- reachability ---------------------------------------------------------
+
+    def admits_flow(self, origin: ProbeOrigin, destination: Host) -> bool:
+        """Whether firewalls allow a flow from ``origin`` to the host.
+
+        Sibling ASes of one operator (Verizon's 6167/22394 split) trust
+        each other; everything else is decided by the destination AS
+        firewall policy.
+        """
+        same_operator = (
+            destination.asys.operator_key is not None
+            and destination.asys.operator_key == origin.asys.operator_key
+        )
+        if same_operator:
+            return True
+        return destination.asys.firewall.admits(
+            origin.asys.asn, destination.asys.asn, destination.externally_open
+        )
+
+    # -- timing ---------------------------------------------------------------
+
+    def _one_way_budget_ms(
+        self, origin: ProbeOrigin, destination: Host, stream: RandomStream
+    ) -> float:
+        """RTT between origin and destination, before destination stack time."""
+        same_operator = (
+            destination.asys.operator_key is not None
+            and destination.asys.operator_key == origin.asys.operator_key
+        )
+        if same_operator:
+            # Interior path: radio/access plus tunnelled core distance.
+            interior = self.intra_model.rtt_ms(
+                origin.location, destination.location, stream
+            )
+            return origin.access_rtt_ms + interior + destination.interior_penalty_ms
+        # Exterior path: access + core to egress + WAN + destination interior.
+        core = self.intra_model.rtt_ms(origin.location, origin.egress_location, stream)
+        wan = self.wan_model.rtt_ms(
+            origin.egress_location, destination.location, stream
+        )
+        return (
+            origin.access_rtt_ms + core + wan + destination.interior_penalty_ms
+        )
+
+    def flow_rtt(
+        self, origin: ProbeOrigin, destination_ip: str, stream: RandomStream
+    ) -> Optional[float]:
+        """RTT for a transport flow (DNS/HTTP); None when unreachable."""
+        destination = self._hosts.get(destination_ip)
+        if destination is None:
+            return None
+        if not self.admits_flow(origin, destination):
+            return None
+        return (
+            self._one_way_budget_ms(origin, destination, stream)
+            + destination.stack_latency_ms
+        )
+
+    def measure_rtt(
+        self, origin: ProbeOrigin, destination_ip: str, stream: RandomStream
+    ) -> Optional[float]:
+        """Ping RTT; None for firewalled, absent or silent destinations."""
+        destination = self._hosts.get(destination_ip)
+        if destination is None:
+            return None
+        if not destination.responds_to_ping:
+            return None
+        same_operator = (
+            destination.asys.operator_key is not None
+            and destination.asys.operator_key == origin.asys.operator_key
+        )
+        if not destination.ping_policy.answers(same_operator):
+            return None
+        if not self.admits_flow(origin, destination):
+            return None
+        return (
+            self._one_way_budget_ms(origin, destination, stream)
+            + destination.stack_latency_ms
+        )
+
+    # -- traceroute -------------------------------------------------------------
+
+    def _transit_router_near(self, location: GeoPoint) -> Optional[Host]:
+        """Nearest registered backbone router to a location."""
+        if not self._transit_routers:
+            return None
+        return min(
+            self._transit_routers,
+            key=lambda router: router.location.distance_km(location),
+        )
+
+    def traceroute(
+        self,
+        origin: ProbeOrigin,
+        destination_ip: str,
+        stream: RandomStream,
+        max_ttl: int = 30,
+    ) -> TracerouteResult:
+        """Synthesise a traceroute with the paper's observed semantics.
+
+        * Origin-side interior hops are tunnelled: they appear as ``*``.
+        * The origin's egress router answers (this is how Sec 5.2 counts
+          egress points: previous hop of the first address outside the
+          operator's prefixes).
+        * Transit routers answer.
+        * Probes toward a cellular-interior destination die after the
+          operator's ingress router (Table 4: zero traceroutes complete).
+        """
+        result = TracerouteResult(destination_ip=destination_ip)
+        destination = self._hosts.get(destination_ip)
+        ttl = 0
+
+        def add(ip: Optional[str], rtt: Optional[float]) -> None:
+            nonlocal ttl
+            ttl += 1
+            result.hops.append(TracerouteHop(ttl=ttl, ip=ip, rtt_ms=rtt))
+
+        # 1. interior hops on the origin side (tunnelled -> silent).
+        for hop in origin.interior_hops:
+            add(hop.ip if hop.responds else None, None)
+
+        # 2. the origin's egress router, if it has one.
+        egress_rtt = None
+        if origin.egress is not None:
+            egress_rtt = origin.access_rtt_ms + self.intra_model.rtt_ms(
+                origin.location, origin.egress_location, stream
+            )
+            add(origin.egress.ip, egress_rtt)
+
+        if destination is None:
+            # Unroutable destination: trail off with stars.
+            for _ in range(3):
+                add(None, None)
+            return result
+
+        # 3. transit hops between egress and destination.
+        base = egress_rtt if egress_rtt is not None else origin.access_rtt_ms
+        src_router = self._transit_router_near(origin.egress_location)
+        dst_router = self._transit_router_near(destination.location)
+        wan_rtt = self.wan_model.rtt_ms(
+            origin.egress_location, destination.location, stream
+        )
+        transit_path: List[Host] = []
+        if src_router is not None:
+            transit_path.append(src_router)
+        if dst_router is not None and dst_router is not src_router:
+            transit_path.append(dst_router)
+        for index, router in enumerate(transit_path, start=1):
+            fraction = index / (len(transit_path) + 1)
+            add(router.ip, base + wan_rtt * fraction)
+
+        # 4. destination side.
+        destination_is_interior = (
+            destination.asys.firewall.blocks_inbound
+            and destination.asys.operator_key != origin.asys.operator_key
+        )
+        if destination_is_interior:
+            ingress = self._ingress_router_for(destination)
+            if ingress is not None and ingress.ip != (
+                origin.egress.ip if origin.egress else None
+            ):
+                add(ingress.ip, base + wan_rtt)
+            # Probes never penetrate beyond the ingress point.
+            for _ in range(3):
+                add(None, None)
+            return result
+
+        if not self.admits_flow(origin, destination):
+            for _ in range(3):
+                add(None, None)
+            return result
+
+        final_rtt = self.measure_rtt(origin, destination_ip, stream)
+        if final_rtt is None and destination.responds_to_ping is False:
+            add(None, None)
+            return result
+        add(destination.ip, final_rtt if final_rtt is not None else base + wan_rtt)
+        result.reached = True
+        return result
+
+    def _ingress_router_for(self, destination: Host) -> Optional[Host]:
+        """The operator border router an inbound probe would hit."""
+        candidates = [
+            host
+            for host in self._hosts.values()
+            if host.asys is destination.asys and host.name.startswith("egress")
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda host: host.location.distance_km(destination.location),
+        )

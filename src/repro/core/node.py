@@ -1,0 +1,129 @@
+"""Hosts and probe origins.
+
+A :class:`Host` is a reachable piece of infrastructure with a public IP:
+resolvers, egress/ingress routers, transit routers, CDN replicas,
+authoritative servers, and the university vantage point.
+
+Mobile devices are *not* hosts: they sit behind carrier NAT with ephemeral
+addresses and are never probe targets (that is the opaqueness the paper
+measures).  A device instead emits a :class:`ProbeOrigin` per measurement,
+describing where its traffic enters the wide-area network at that instant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.asn import AutonomousSystem
+from repro.geo.coordinates import GeoPoint
+
+
+class PingPolicy(str, enum.Enum):
+    """Which probe origins a host answers ICMP echo for.
+
+    The paper finds asymmetric behaviour: Verizon's external-facing
+    resolvers ignore pings from the operator's own clients yet answer the
+    open Internet (Fig 4 vs Table 4), while T-Mobile's and SK Telecom's
+    answer clients but are walled off externally.
+    """
+
+    OPEN = "open"
+    INTERNAL_ONLY = "internal_only"
+    EXTERNAL_ONLY = "external_only"
+    SILENT = "silent"
+
+    def answers(self, same_operator: bool) -> bool:
+        """Whether a host with this policy answers a given origin."""
+        if self is PingPolicy.OPEN:
+            return True
+        if self is PingPolicy.INTERNAL_ONLY:
+            return same_operator
+        if self is PingPolicy.EXTERNAL_ONLY:
+            return not same_operator
+        return False
+
+
+@dataclass
+class Host:
+    """A reachable infrastructure endpoint.
+
+    Attributes
+    ----------
+    ip:
+        Public IPv4 address (unique within a :class:`VirtualInternet`).
+    name:
+        Human-readable label (useful in reports and debugging).
+    asys:
+        The autonomous system announcing the address.
+    location:
+        Physical placement, used for latency computation.
+    responds_to_ping:
+        Whether the host answers ICMP echo at all.  Cellular external
+        resolvers in several carriers silently drop even *internal* pings
+        (Fig 4: Verizon and LG U+ external resolvers never answered).
+    externally_open:
+        Firewall exception: reachable from outside the AS even when the AS
+        blocks inbound flows (Table 4: Verizon/AT&T external resolvers).
+    interior_penalty_ms:
+        Extra RTT for hosts buried inside an operator core, beyond what
+        geography explains (deep resolver tiers).
+    stack_latency_ms:
+        Host processing time added to every answered probe.
+    """
+
+    ip: str
+    name: str
+    asys: AutonomousSystem
+    location: GeoPoint
+    responds_to_ping: bool = True
+    ping_policy: PingPolicy = PingPolicy.OPEN
+    externally_open: bool = False
+    interior_penalty_ms: float = 0.0
+    stack_latency_ms: float = 0.1
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.ip}, {self.asys})"
+
+
+@dataclass
+class PathHop:
+    """One hop on a forwarding path (used to synthesise traceroutes)."""
+
+    host: Optional[Host]
+    #: Address reported for the hop; None models a hop that never reveals
+    #: itself (tunnelled interior, RFC1918 space).
+    ip: Optional[str]
+    responds: bool
+    #: Cumulative one-way latency from the origin to this hop, ms.
+    cumulative_ms: float
+
+
+@dataclass
+class ProbeOrigin:
+    """Where a measurement originates, at one instant.
+
+    Carries everything the :class:`~repro.core.internet.VirtualInternet`
+    needs to time and route a probe: the source AS (firewall identity), the
+    physical location, the already-sampled access-network RTT (radio RTT
+    for devices; NIC/campus RTT for wired vantage points), the egress
+    router the traffic will use, and the interior hops between the source
+    and that egress.
+    """
+
+    source_ip: str
+    asys: AutonomousSystem
+    location: GeoPoint
+    access_rtt_ms: float
+    egress: Optional[Host] = None
+    interior_hops: List[PathHop] = field(default_factory=list)
+    #: Identifier of the device/vantage that generated the probe.
+    origin_id: str = ""
+
+    @property
+    def egress_location(self) -> GeoPoint:
+        """Where this origin's traffic enters the WAN."""
+        if self.egress is not None:
+            return self.egress.location
+        return self.location

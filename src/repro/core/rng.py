@@ -1,0 +1,174 @@
+"""Deterministic, named random-number streams.
+
+Every stochastic component of the simulation draws from its own named
+substream derived from a single master seed.  Two properties follow:
+
+* Runs are bit-reproducible given the same seed.
+* Adding a new component (a new device, a new resolver) does not perturb
+  the random draws of existing components, because each stream is seeded
+  independently from ``sha256(master_seed, name)`` rather than from a shared
+  sequential generator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``master_seed`` and a stream name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """A named pseudo-random stream with networking-flavoured helpers.
+
+    Wraps :class:`random.Random` and adds the distributions the latency and
+    behaviour models need (log-normal in milliseconds, bounded normal,
+    weighted choice).
+    """
+
+    def __init__(self, master_seed: int, name: str) -> None:
+        self.name = name
+        self._rng = random.Random(derive_seed(master_seed, name))
+
+    # -- passthroughs -----------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high]."""
+        return self._rng.randint(low, high)
+
+    def choice(self, options: Sequence[T]) -> T:
+        """Uniformly pick one element of a non-empty sequence."""
+        return self._rng.choice(options)
+
+    def sample(self, options: Sequence[T], k: int) -> list:
+        """Sample ``k`` distinct elements."""
+        return self._rng.sample(options, k)
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self._rng.shuffle(items)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Normal deviate."""
+        return self._rng.gauss(mu, sigma)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential deviate with the given rate (1/mean)."""
+        return self._rng.expovariate(rate)
+
+    # -- derived distributions --------------------------------------------
+
+    def weighted_choice(self, options: Sequence[T], weights: Sequence[float]) -> T:
+        """Pick one element with the given (unnormalised) weights."""
+        if len(options) != len(weights):
+            raise ValueError("options and weights must have the same length")
+        return self._rng.choices(options, weights=weights, k=1)[0]
+
+    def lognormal_ms(self, median_ms: float, sigma: float) -> float:
+        """Log-normal latency sample parameterised by its *median*.
+
+        Network latencies are right-skewed; a log-normal with ``mu =
+        ln(median)`` matches the CDF shapes reported for cellular RTTs
+        (long tail above p80, tight body).
+        """
+        if median_ms <= 0:
+            raise ValueError("median_ms must be positive")
+        return math.exp(math.log(median_ms) + sigma * self._rng.gauss(0.0, 1.0))
+
+    def bounded_gauss(self, mu: float, sigma: float, low: float, high: float) -> float:
+        """Normal deviate clamped to [low, high]."""
+        return min(high, max(low, self._rng.gauss(mu, sigma)))
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._rng.random() < probability
+
+    def __repr__(self) -> str:
+        return f"RandomStream(name={self.name!r})"
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`RandomStream` objects.
+
+    The registry hands out one stream per name; asking for the same name
+    twice returns the same stream so a component's draws stay sequential.
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = master_seed
+        self._streams: dict = {}
+
+    def stream(self, *name_parts: object) -> RandomStream:
+        """Return the stream for the given dotted name parts.
+
+        Example: ``registry.stream("device", device_id, "radio")``.
+        """
+        name = ".".join(str(part) for part in name_parts)
+        if name not in self._streams:
+            self._streams[name] = RandomStream(self.master_seed, name)
+        return self._streams[name]
+
+    def fork(self, suffix: str) -> "RngRegistry":
+        """A registry whose streams are all independent of this one's."""
+        return RngRegistry(derive_seed(self.master_seed, f"fork:{suffix}"))
+
+    def known_streams(self) -> Iterable[str]:
+        """Names of the streams created so far (for debugging)."""
+        return sorted(self._streams)
+
+    def __repr__(self) -> str:
+        return f"RngRegistry(master_seed={self.master_seed}, streams={len(self._streams)})"
+
+
+def spread_evenly(total: int, buckets: int) -> list:
+    """Split ``total`` into ``buckets`` integer parts that differ by <= 1.
+
+    Deterministic helper used when distributing clients/resolvers across
+    groups without randomness.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    base, extra = divmod(total, buckets)
+    return [base + (1 if index < extra else 0) for index in range(buckets)]
+
+
+def make_stream(seed: int, name: str = "default") -> RandomStream:
+    """Convenience constructor for a standalone stream."""
+    return RandomStream(seed, name)
+
+
+def stable_index(master_seed: int, *parts: object, modulo: int) -> int:
+    """A deterministic pseudo-random index, pure in its inputs.
+
+    Unlike a :class:`RandomStream`, the result does not depend on how many
+    draws happened before: the same ``(seed, parts)`` always yields the
+    same index.  Used for time-epoch-keyed assignments (which external
+    resolver a device maps to during hour N) so that assignment churn is
+    reproducible regardless of measurement order.
+    """
+    if modulo <= 0:
+        raise ValueError("modulo must be positive")
+    name = ":".join(str(part) for part in parts)
+    return derive_seed(master_seed, name) % modulo
+
+
+def stable_fraction(master_seed: int, *parts: object) -> float:
+    """Deterministic pseudo-random float in [0, 1), pure in its inputs."""
+    name = ":".join(str(part) for part in parts)
+    return derive_seed(master_seed, name) / float(1 << 64)

@@ -1,0 +1,255 @@
+"""World assembly: every substrate instantiated and wired together.
+
+:func:`build_world` produces the complete simulated Internet the
+measurement campaign runs against: transit backbone, university vantage,
+origin + CDN + resolver-echo authorities, Google/OpenDNS anycast
+services, and the six carrier networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdn.mapping import ResolverLocator
+from repro.cdn.provider import (
+    CDN_FOOTPRINTS,
+    CDNProvider,
+    build_cdn,
+    build_origin_authorities,
+)
+from repro.cellnet.operator import CellularOperator
+from repro.cellnet.presets import CarrierConfig, build_operator, default_carrier_configs
+from repro.core.addressing import PrefixAllocator
+from repro.core.asn import ASKind
+from repro.core.backbone import ExternalVantage, TransitBackbone
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host
+from repro.core.rng import RngRegistry
+from repro.dns.authoritative import ResolverEchoAuthority, StaticAuthority
+from repro.dns.public_dns import PublicDnsService, build_public_dns
+from repro.dns.zone import ZoneDirectory
+from repro.geo.coordinates import GeoPoint
+from repro.geo.regions import (
+    ASIA_PACIFIC_CITIES,
+    US_CITIES,
+    city_named,
+)
+
+#: The controlled zone used for resolver identification (Sec 3.2), a
+#: stand-in for the subdomain of the authors' research group site.
+WHOAMI_ZONE = "whoami.aqualab-repro.net"
+
+#: Anycast service addresses.
+GOOGLE_DNS_IP = "8.8.8.8"
+OPENDNS_IP = "208.67.222.222"
+
+#: Google Public DNS operated ~30 distributed /24 resolver sites [9].
+GOOGLE_CLUSTER_CITIES = [city.name for city in US_CITIES[:25]] + [
+    "Tokyo",
+    "Osaka",
+    "Taipei",
+    "Hong Kong",
+    "Singapore",
+]
+
+#: OpenDNS ran a smaller footprint.
+OPENDNS_CLUSTER_CITIES = [city.name for city in US_CITIES[:16]] + [
+    "Tokyo",
+    "Singapore",
+]
+
+
+@dataclass
+class WorldConfig:
+    """Knobs for world construction."""
+
+    seed: int = 2014
+    carriers: List[CarrierConfig] = field(default_factory=default_carrier_configs)
+    google_instability: float = 0.18
+    opendns_instability: float = 0.12
+    public_warm_prob: float = 0.95
+    #: Enable EDNS Client Subnet end-to-end (resolvers forward client
+    #: /24s, CDNs map on them).  Off by default: the paper predates wide
+    #: ECS deployment, and the baseline must match what it measured.
+    ecs_enabled: bool = False
+    #: Overrides forwarded to every CDN's MappingPolicy.
+    cdn_mapping_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Force one A TTL on every CDN answer (cache ablations); None keeps
+    #: the per-domain catalogue TTLs.
+    cdn_a_ttl_override: Optional[int] = None
+
+
+@dataclass
+class World:
+    """Handles to everything the measurement layer needs."""
+
+    config: WorldConfig
+    rng: RngRegistry
+    internet: VirtualInternet
+    directory: ZoneDirectory
+    backbone: TransitBackbone
+    vantage: ExternalVantage
+    operators: Dict[str, CellularOperator]
+    cdns: Dict[str, CDNProvider]
+    origin_authorities: List[StaticAuthority]
+    echo_authority: ResolverEchoAuthority
+    google_dns: PublicDnsService
+    opendns: PublicDnsService
+    #: The address allocator, kept so extensions (operator CDNs, extra
+    #: vantage points) can claim further prefixes after construction.
+    allocator: Optional[PrefixAllocator] = None
+
+    def operator(self, key: str) -> CellularOperator:
+        """Look a carrier up by key."""
+        return self.operators[key]
+
+    def public_service(self, kind: str) -> PublicDnsService:
+        """The public DNS service behind a resolver kind label."""
+        if kind == "google":
+            return self.google_dns
+        if kind == "opendns":
+            return self.opendns
+        raise KeyError(f"unknown public resolver kind {kind!r}")
+
+    def replica_owner(self, ip: str) -> Optional[CDNProvider]:
+        """Which CDN owns a replica address."""
+        for provider in self.cdns.values():
+            if provider.replica_by_ip(ip) is not None:
+                return provider
+        return None
+
+    def locate_ip(self, ip: str) -> Optional[Tuple[GeoPoint, bool]]:
+        """(location, is_cellular) of an address — the CDN's view.
+
+        This is what stands in for the measurement infrastructure real
+        CDNs run; the is_cellular bit is what degrades their estimate.
+        Client-pool addresses (which only ever reach a CDN via EDNS
+        Client Subnet) resolve to the egress region their /24 slice NATs
+        through.
+        """
+        host = self.internet.host(ip)
+        if host is not None:
+            return host.location, host.asys.kind is ASKind.CELLULAR
+        for operator in self.operators.values():
+            location = operator.locate_client_ip(ip)
+            if location is not None:
+                return location, True
+        return None
+
+
+def _echo_authority(
+    internet: VirtualInternet,
+    directory: ZoneDirectory,
+    allocator: PrefixAllocator,
+) -> ResolverEchoAuthority:
+    """The research group's ADNS serving the whoami zone."""
+    from repro.core.asn import AutonomousSystem, FirewallPolicy
+
+    system = AutonomousSystem(
+        asn=104,
+        name="Aqualab Research ADNS",
+        kind=ASKind.UNIVERSITY,
+        firewall=FirewallPolicy(blocks_inbound=False),
+    )
+    internet.register_system(system)
+    prefix = allocator.allocate24()
+    system.add_prefix(prefix)
+    host = Host(
+        ip=prefix.host(53),
+        name="adns.aqualab-repro.net",
+        asys=system,
+        location=city_named("Chicago").location,
+        stack_latency_ms=0.4,
+    )
+    internet.register_host(host)
+    authority = ResolverEchoAuthority(host=host, zone_apex=WHOAMI_ZONE)
+    directory.register(WHOAMI_ZONE, authority)
+    return authority
+
+
+def build_world(config: Optional[WorldConfig] = None) -> World:
+    """Assemble the full simulated Internet."""
+    config = config or WorldConfig()
+    rng = RngRegistry(config.seed)
+    internet = VirtualInternet()
+    directory = ZoneDirectory()
+    allocator = PrefixAllocator.parse("16.0.0.0/6")
+
+    backbone = TransitBackbone.build(
+        internet,
+        US_CITIES + ASIA_PACIFIC_CITIES,
+        allocator,
+    )
+    vantage = ExternalVantage.build(internet, allocator)
+    origin_authorities = build_origin_authorities(internet, directory, allocator)
+    echo_authority = _echo_authority(internet, directory, allocator)
+
+    world = World(
+        config=config,
+        rng=rng,
+        internet=internet,
+        directory=directory,
+        backbone=backbone,
+        vantage=vantage,
+        operators={},
+        cdns={},
+        origin_authorities=origin_authorities,
+        echo_authority=echo_authority,
+        google_dns=None,  # type: ignore[arg-type]  # filled below
+        opendns=None,  # type: ignore[arg-type]
+        allocator=allocator,
+    )
+
+    locator: ResolverLocator = world.locate_ip
+    for key in CDN_FOOTPRINTS:
+        world.cdns[key] = build_cdn(
+            internet,
+            directory,
+            key,
+            allocator,
+            locator,
+            seed=rng.stream("cdn", key).randint(0, 2**31),
+            mapping_overrides=dict(config.cdn_mapping_overrides),
+            a_ttl_override=config.cdn_a_ttl_override,
+        )
+
+    world.google_dns = build_public_dns(
+        internet,
+        directory,
+        name="GoogleDNS",
+        anycast_ip=GOOGLE_DNS_IP,
+        asn=15169 + 100000,  # distinct from the CDN AS of the same company
+        cities=[city_named(name) for name in GOOGLE_CLUSTER_CITIES],
+        allocator=allocator,
+        seed=rng.stream("public", "google").randint(0, 2**31),
+        background_warm_prob=config.public_warm_prob,
+        route_instability=config.google_instability,
+    )
+    world.opendns = build_public_dns(
+        internet,
+        directory,
+        name="OpenDNS",
+        anycast_ip=OPENDNS_IP,
+        asn=36692,
+        cities=[city_named(name) for name in OPENDNS_CLUSTER_CITIES],
+        allocator=allocator,
+        seed=rng.stream("public", "opendns").randint(0, 2**31),
+        background_warm_prob=config.public_warm_prob,
+        route_instability=config.opendns_instability,
+    )
+
+    for carrier in config.carriers:
+        operator = build_operator(
+            internet,
+            directory,
+            carrier,
+            allocator,
+            seed=rng.stream("carrier", carrier.key).randint(0, 2**31),
+        )
+        operator.ecs_enabled = config.ecs_enabled
+        world.operators[carrier.key] = operator
+    if config.ecs_enabled:
+        world.google_dns.ecs_enabled = True
+        world.opendns.ecs_enabled = True
+    return world

@@ -1,0 +1,28 @@
+"""DNS substrate: messages, wire format, zones, caches and resolvers."""
+
+from repro.dns.message import (
+    DNSMessage,
+    Question,
+    RCode,
+    ResourceRecord,
+    RRType,
+    make_query,
+    make_response,
+    normalize_name,
+)
+from repro.dns.cache import CacheStats, DnsCache
+from repro.dns.zone import Zone
+
+__all__ = [
+    "DNSMessage",
+    "Question",
+    "RCode",
+    "ResourceRecord",
+    "RRType",
+    "make_query",
+    "make_response",
+    "normalize_name",
+    "CacheStats",
+    "DnsCache",
+    "Zone",
+]

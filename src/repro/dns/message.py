@@ -1,0 +1,194 @@
+"""DNS message model (RFC 1035 subset).
+
+Covers what the study exercises: A lookups that resolve through CNAME
+chains (CDN-style server selection), TXT/PTR for completeness, NS/SOA for
+zone plumbing.  Wire encoding lives in :mod:`repro.dns.wire`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import List, Optional, Sequence
+
+from repro.core.errors import DNSError
+
+
+class RRType(enum.IntEnum):
+    """Resource record types used by the study."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    TXT = 16
+    AAAA = 28
+
+    @classmethod
+    def parse(cls, text: str) -> "RRType":
+        """Parse a type mnemonic (``"A"``, ``"CNAME"``, ...)."""
+        try:
+            return cls[text.upper()]
+        except KeyError as exc:
+            raise DNSError(f"unsupported RR type {text!r}") from exc
+
+
+class RCode(enum.IntEnum):
+    """Response codes."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@lru_cache(maxsize=16384)
+def normalize_name(name: str) -> str:
+    """Canonical form of a domain name: lower case, no trailing dot.
+
+    The empty string denotes the root.  Raises :class:`DNSError` for names
+    that violate length limits.  Cached: measurement campaigns resolve the
+    same few hundred names millions of times.
+    """
+    name = name.strip().lower().rstrip(".")
+    if len(name) > 253:
+        raise DNSError(f"name too long: {name[:40]}...")
+    for label in name.split("."):
+        if name and not label:
+            raise DNSError(f"empty label in {name!r}")
+        if len(label) > 63:
+            raise DNSError(f"label too long in {name!r}")
+    return name
+
+
+@lru_cache(maxsize=16384)
+def name_within(name: str, zone: str) -> bool:
+    """True when ``name`` is at or under ``zone`` (both normalised)."""
+    name = normalize_name(name)
+    zone = normalize_name(zone)
+    if not zone:
+        return True
+    return name == zone or name.endswith("." + zone)
+
+
+@dataclass(frozen=True)
+class Question:
+    """The question section entry of a query."""
+
+    qname: str
+    qtype: RRType = RRType.A
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", normalize_name(self.qname))
+
+    def __str__(self) -> str:
+        return f"{self.qname or '.'} {self.qtype.name}"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A resource record.
+
+    ``data`` is the presentation form of the RDATA: a dotted quad for A
+    records, a target name for CNAME/NS/PTR, free text for TXT.
+    """
+
+    name: str
+    rtype: RRType
+    ttl: int
+    data: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.ttl < 0:
+            raise DNSError(f"negative TTL on {self.name}")
+        if self.rtype in (RRType.CNAME, RRType.NS, RRType.PTR):
+            object.__setattr__(self, "data", normalize_name(self.data))
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """Copy of the record with a different TTL (cache aging)."""
+        return replace(self, ttl=ttl)
+
+    def __str__(self) -> str:
+        return f"{self.name or '.'} {self.ttl} {self.rtype.name} {self.data}"
+
+
+@dataclass
+class DNSMessage:
+    """A query or response message."""
+
+    msg_id: int = 0
+    is_response: bool = False
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    authoritative: bool = False
+    rcode: RCode = RCode.NOERROR
+    questions: List[Question] = field(default_factory=list)
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authorities: List[ResourceRecord] = field(default_factory=list)
+    additionals: List[ResourceRecord] = field(default_factory=list)
+
+    @property
+    def question(self) -> Optional[Question]:
+        """The first (usually only) question."""
+        return self.questions[0] if self.questions else None
+
+    def a_records(self) -> List[ResourceRecord]:
+        """All A records in the answer section."""
+        return [record for record in self.answers if record.rtype is RRType.A]
+
+    def answer_addresses(self) -> List[str]:
+        """Addresses from answer-section A records, in order."""
+        return [record.data for record in self.a_records()]
+
+    def cname_chain(self) -> List[str]:
+        """CNAME targets in answer-section order."""
+        return [
+            record.data for record in self.answers if record.rtype is RRType.CNAME
+        ]
+
+    def min_answer_ttl(self) -> Optional[int]:
+        """The smallest TTL in the answer section (cache lifetime)."""
+        if not self.answers:
+            return None
+        return min(record.ttl for record in self.answers)
+
+    def __str__(self) -> str:
+        kind = "response" if self.is_response else "query"
+        question = self.question
+        return f"DNS {kind} id={self.msg_id} {question} rcode={self.rcode.name}"
+
+
+def make_query(
+    qname: str, qtype: RRType = RRType.A, msg_id: int = 0
+) -> DNSMessage:
+    """Build a standard recursive query."""
+    return DNSMessage(
+        msg_id=msg_id,
+        is_response=False,
+        recursion_desired=True,
+        questions=[Question(qname, qtype)],
+    )
+
+
+def make_response(
+    query: DNSMessage,
+    answers: Sequence[ResourceRecord] = (),
+    rcode: RCode = RCode.NOERROR,
+    authoritative: bool = False,
+) -> DNSMessage:
+    """Build a response echoing the query's id and question."""
+    return DNSMessage(
+        msg_id=query.msg_id,
+        is_response=True,
+        recursion_desired=query.recursion_desired,
+        recursion_available=True,
+        authoritative=authoritative,
+        rcode=rcode,
+        questions=list(query.questions),
+        answers=list(answers),
+    )

@@ -1,0 +1,255 @@
+"""Recursive resolution engine.
+
+One engine instance backs each external-facing resolver (cellular) and
+each public-DNS cluster.  It owns a cache, knows which authority serves
+each zone, chases CNAME chains across authorities, and accounts for the
+upstream latency a cache miss costs — the mechanism behind the paper's
+Fig 7 (cache misses inflate ~20% of resolutions) and the resolution-time
+tails in Figs 5/6/13.
+
+Root and TLD referrals are assumed warm (as they are on any production
+resolver); the authority directory plays the role of that warm NS cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import ResolutionError
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host, ProbeOrigin
+from repro.core.rng import RandomStream
+from repro.dns.authoritative import Authority
+from repro.dns.cache import DnsCache
+from repro.dns.message import (
+    DNSMessage,
+    RCode,
+    ResourceRecord,
+    RRType,
+    make_query,
+    normalize_name,
+)
+from repro.dns.zone import MAX_CNAME_CHAIN, ZoneDirectory
+
+
+@dataclass
+class RecursiveResult:
+    """Outcome of one recursive resolution."""
+
+    qname: str
+    qtype: RRType
+    records: List[ResourceRecord]
+    rcode: RCode
+    #: Time spent talking to authorities (0 for cache hits).
+    upstream_ms: float
+    cache_hit: bool
+    #: IP the authorities saw as the query source (the resolver itself).
+    resolver_ip: str
+    #: Authorities contacted, in order (empty for cache hits).
+    authorities: List[str] = field(default_factory=list)
+
+    def addresses(self) -> List[str]:
+        """A-record addresses in the final answer."""
+        return [record.data for record in self.records if record.rtype is RRType.A]
+
+
+class RecursiveEngine:
+    """Cache-backed recursive resolver logic bound to a resolver host."""
+
+    def __init__(
+        self,
+        host: Host,
+        directory: ZoneDirectory,
+        internet: VirtualInternet,
+        cache: Optional[DnsCache] = None,
+        background_warm_prob: float = 0.0,
+        background_interval_s: float = 12.0,
+    ) -> None:
+        self.host = host
+        self.directory = directory
+        self.internet = internet
+        self.cache = cache or DnsCache(name=f"cache@{host.ip}")
+        #: Cap on the probability that, on what would be a cold lookup,
+        #: some other user of this resolver has already populated the
+        #: cache.  Our simulated device population is tiny compared to the
+        #: millions of subscribers behind a production LDNS, so the
+        #: background load is modelled instead of simulated
+        #: packet-by-packet.
+        self.background_warm_prob = background_warm_prob
+        #: Mean inter-arrival of background queries for a popular name at
+        #: this resolver.  The *effective* warm probability couples to the
+        #: answer's TTL: an entry with TTL t is live a fraction
+        #: ``1 - exp(-t / interval)`` of the time, which is what makes the
+        #: short CDN TTLs — and only them — produce Fig 7's miss rate.
+        self.background_interval_s = background_interval_s
+        #: Lifetime of cached negative answers (RFC 2308 stand-in).
+        self.negative_ttl_s = 60
+
+    # -- internals -------------------------------------------------------
+
+    def _origin(self, stream: RandomStream) -> ProbeOrigin:
+        """The resolver's own probe origin for upstream queries."""
+        return ProbeOrigin(
+            source_ip=self.host.ip,
+            asys=self.host.asys,
+            location=self.host.location,
+            access_rtt_ms=0.1,
+            origin_id=f"resolver:{self.host.ip}",
+        )
+
+    def _query_authority(
+        self,
+        authority: Authority,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+        client_subnet: Optional[str] = None,
+    ) -> tuple:
+        """Send one query upstream; returns (response, rtt_ms)."""
+        rtt = self.internet.flow_rtt(self._origin(stream), authority.host.ip, stream)
+        if rtt is None:
+            raise ResolutionError(
+                f"authority {authority.host.ip} unreachable from {self.host.ip}"
+            )
+        response = authority.answer(
+            make_query(qname, qtype), self.host.ip, now, client_subnet=client_subnet
+        )
+        return response, rtt
+
+    def _fetch_chain(
+        self,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+        timed: bool,
+        client_subnet: Optional[str] = None,
+    ) -> RecursiveResult:
+        """Walk authorities, chasing CNAMEs, accumulating upstream time."""
+        answers: List[ResourceRecord] = []
+        contacted: List[str] = []
+        upstream_ms = 0.0
+        current = normalize_name(qname)
+        rcode = RCode.NOERROR
+        for _ in range(MAX_CNAME_CHAIN):
+            authority = self.directory.authority_for(current)
+            if authority is None:
+                rcode = RCode.SERVFAIL
+                break
+            response, rtt = self._query_authority(
+                authority, current, qtype, now, stream, client_subnet=client_subnet
+            )
+            if timed:
+                upstream_ms += rtt
+            contacted.append(authority.host.ip)
+            rcode = response.rcode
+            if rcode is not RCode.NOERROR:
+                break
+            answers.extend(response.answers)
+            terminal = [
+                record for record in response.answers if record.rtype is qtype
+            ]
+            if terminal or not response.answers:
+                break
+            last = response.answers[-1]
+            if last.rtype is not RRType.CNAME:
+                break
+            current = last.data
+        else:
+            raise ResolutionError(f"CNAME chain too long resolving {qname}")
+        return RecursiveResult(
+            qname=normalize_name(qname),
+            qtype=qtype,
+            records=answers,
+            rcode=rcode,
+            upstream_ms=upstream_ms,
+            cache_hit=False,
+            resolver_ip=self.host.ip,
+            authorities=contacted,
+        )
+
+    # -- public API ------------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+        client_subnet: Optional[str] = None,
+    ) -> RecursiveResult:
+        """Resolve a name, serving from cache when possible.
+
+        Zero-TTL answers (the resolver-echo zone) are never cached, which
+        is exactly why the echo technique reveals the live resolver.
+
+        With ``client_subnet`` (EDNS Client Subnet, RFC 7871) the cache
+        is scoped per subnet — answers tailored to one client prefix must
+        never be served to another — and the subnet is forwarded to the
+        authorities.
+        """
+        qname = normalize_name(qname)
+        cache_name = qname if client_subnet is None else (
+            f"{client_subnet.split('/')[0]}.__ecs__.{qname}"
+        )
+        entry = self.cache.get_entry_kind(cache_name, qtype, now)
+        if entry is not None:
+            self.cache.stats.hits += 1
+            records, negative = entry
+            return RecursiveResult(
+                qname=qname,
+                qtype=qtype,
+                records=records,
+                rcode=RCode.NXDOMAIN if negative else RCode.NOERROR,
+                upstream_ms=0.0,
+                cache_hit=True,
+                resolver_ip=self.host.ip,
+            )
+        self.cache.stats.misses += 1
+        result = self._fetch_chain(
+            qname, qtype, now, stream, timed=True, client_subnet=client_subnet
+        )
+        if result.rcode is RCode.NXDOMAIN:
+            # Negative caching (RFC 2308); stand-in for the SOA minimum.
+            self.cache.put_negative(
+                cache_name, qtype, self.negative_ttl_s, now
+            )
+            return result
+        if result.rcode is not RCode.NOERROR or not result.records:
+            return result
+        ttl = min(record.ttl for record in result.records)
+        if ttl <= 0:
+            return result
+        if client_subnet is None and self._background_warm_hit(ttl, stream):
+            # Another subscriber fetched this recently: the entry is
+            # already cached, randomly aged, and our query is a hit.
+            age = stream.uniform(0.0, ttl * 0.95)
+            self.cache.put_answer(cache_name, qtype, result.records, now - age)
+            aged = self.cache.get(cache_name, qtype, now)
+            if aged is not None:
+                return RecursiveResult(
+                    qname=qname,
+                    qtype=qtype,
+                    records=aged,
+                    rcode=RCode.NOERROR,
+                    upstream_ms=0.0,
+                    cache_hit=True,
+                    resolver_ip=self.host.ip,
+                )
+        self.cache.put_answer(cache_name, qtype, result.records, now)
+        return result
+
+    def _background_warm_hit(self, ttl: int, stream: RandomStream) -> bool:
+        """Whether background traffic had this answer cached already.
+
+        The probability couples the cap (how universally popular the
+        measured names are) with the chance that, given the background
+        query rate, an entry with this TTL is currently live.
+        """
+        if self.background_warm_prob <= 0:
+            return False
+        alive = 1.0 - math.exp(-ttl / self.background_interval_s)
+        return stream.bernoulli(self.background_warm_prob * alive)

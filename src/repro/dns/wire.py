@@ -1,0 +1,259 @@
+"""RFC 1035 wire format: encoding and decoding with name compression.
+
+The simulation itself passes :class:`~repro.dns.message.DNSMessage`
+objects around, but the wire codec keeps the substrate honest: every
+message the measurement library "sends" can round-trip through real DNS
+packet bytes, and the property tests in ``tests/dns`` verify that.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.core.errors import DNSDecodeError, DNSEncodeError, DNSError
+from repro.dns.message import (
+    DNSMessage,
+    Question,
+    RCode,
+    ResourceRecord,
+    RRType,
+)
+
+_HEADER = struct.Struct("!HHHHHH")
+_CLASS_IN = 1
+_POINTER_MASK = 0xC0
+_MAX_POINTER_HOPS = 64
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+class _NameEncoder:
+    """Encodes names with RFC 1035 compression pointers."""
+
+    def __init__(self) -> None:
+        self._offsets: Dict[str, int] = {}
+
+    def encode(self, name: str, at_offset: int) -> bytes:
+        """Encode ``name`` assuming it starts at byte ``at_offset``."""
+        out = bytearray()
+        labels = name.split(".") if name else []
+        for index in range(len(labels)):
+            suffix = ".".join(labels[index:])
+            known = self._offsets.get(suffix)
+            if known is not None and known < 0x4000:
+                out += struct.pack("!H", 0xC000 | known)
+                return bytes(out)
+            self._offsets[suffix] = at_offset + len(out)
+            label = labels[index].encode("ascii")
+            if not 1 <= len(label) <= 63:
+                raise DNSEncodeError(f"bad label length in {name!r}")
+            out.append(len(label))
+            out += label
+        out.append(0)
+        return bytes(out)
+
+
+def _encode_rdata(record: ResourceRecord, encoder: _NameEncoder, offset: int) -> bytes:
+    if record.rtype is RRType.A:
+        parts = record.data.split(".")
+        if len(parts) != 4:
+            raise DNSEncodeError(f"bad A rdata {record.data!r}")
+        try:
+            return bytes(int(part) for part in parts)
+        except ValueError as exc:
+            raise DNSEncodeError(f"bad A rdata {record.data!r}") from exc
+    if record.rtype in (RRType.CNAME, RRType.NS, RRType.PTR):
+        return encoder.encode(record.data, offset)
+    if record.rtype is RRType.TXT:
+        text = record.data.encode("utf-8")
+        if len(text) > 255:
+            raise DNSEncodeError("TXT rdata too long")
+        return bytes([len(text)]) + text
+    if record.rtype is RRType.AAAA:
+        groups = record.data.split(":")
+        if len(groups) != 8:
+            raise DNSEncodeError(f"bad AAAA rdata {record.data!r} (use full form)")
+        try:
+            return b"".join(struct.pack("!H", int(group, 16)) for group in groups)
+        except ValueError as exc:
+            raise DNSEncodeError(f"bad AAAA rdata {record.data!r}") from exc
+    raise DNSEncodeError(f"cannot encode rdata for {record.rtype.name}")
+
+
+def _flags_of(message: DNSMessage) -> int:
+    flags = 0
+    if message.is_response:
+        flags |= 0x8000
+    if message.authoritative:
+        flags |= 0x0400
+    if message.recursion_desired:
+        flags |= 0x0100
+    if message.recursion_available:
+        flags |= 0x0080
+    flags |= int(message.rcode) & 0x000F
+    return flags
+
+
+def encode_message(message: DNSMessage) -> bytes:
+    """Serialise a message to wire bytes."""
+    out = bytearray(
+        _HEADER.pack(
+            message.msg_id & 0xFFFF,
+            _flags_of(message),
+            len(message.questions),
+            len(message.answers),
+            len(message.authorities),
+            len(message.additionals),
+        )
+    )
+    encoder = _NameEncoder()
+    for question in message.questions:
+        out += encoder.encode(question.qname, len(out))
+        out += struct.pack("!HH", int(question.qtype), _CLASS_IN)
+    for record in (
+        list(message.answers) + list(message.authorities) + list(message.additionals)
+    ):
+        out += encoder.encode(record.name, len(out))
+        out += struct.pack("!HHI", int(record.rtype), _CLASS_IN, record.ttl)
+        rdata_offset = len(out) + 2
+        rdata = _encode_rdata(record, encoder, rdata_offset)
+        out += struct.pack("!H", len(rdata))
+        out += rdata
+    return bytes(out)
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+def _read_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Read a (possibly compressed) name; returns (name, next_offset)."""
+    labels: List[str] = []
+    jumps = 0
+    next_offset = None
+    while True:
+        if offset >= len(data):
+            raise DNSDecodeError("name runs past end of message")
+        length = data[offset]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if offset + 1 >= len(data):
+                raise DNSDecodeError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[offset + 1]
+            if next_offset is None:
+                next_offset = offset + 2
+            jumps += 1
+            if jumps > _MAX_POINTER_HOPS:
+                raise DNSDecodeError("compression pointer loop")
+            if pointer >= offset:
+                raise DNSDecodeError("forward compression pointer")
+            offset = pointer
+            continue
+        if length & _POINTER_MASK:
+            raise DNSDecodeError(f"reserved label type 0x{length:02x}")
+        offset += 1
+        if length == 0:
+            break
+        if offset + length > len(data):
+            raise DNSDecodeError("label runs past end of message")
+        try:
+            labels.append(data[offset : offset + length].decode("ascii"))
+        except UnicodeDecodeError as exc:
+            raise DNSDecodeError("non-ASCII bytes in label") from exc
+        offset += length
+    return ".".join(labels).lower(), (next_offset if next_offset is not None else offset)
+
+
+def _decode_rdata(
+    rtype: int, data: bytes, offset: int, rdlength: int
+) -> str:
+    end = offset + rdlength
+    if end > len(data):
+        raise DNSDecodeError("rdata runs past end of message")
+    if rtype == RRType.A:
+        if rdlength != 4:
+            raise DNSDecodeError(f"A rdata length {rdlength}")
+        return ".".join(str(byte) for byte in data[offset:end])
+    if rtype in (RRType.CNAME, RRType.NS, RRType.PTR):
+        name, _ = _read_name(data, offset)
+        return name
+    if rtype == RRType.TXT:
+        if rdlength < 1 or data[offset] != rdlength - 1:
+            raise DNSDecodeError("bad TXT length byte")
+        try:
+            return data[offset + 1 : end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DNSDecodeError("invalid UTF-8 in TXT rdata") from exc
+    if rtype == RRType.AAAA:
+        if rdlength != 16:
+            raise DNSDecodeError(f"AAAA rdata length {rdlength}")
+        groups = struct.unpack("!8H", data[offset:end])
+        return ":".join(f"{group:04x}" for group in groups)
+    raise DNSDecodeError(f"cannot decode rdata for type {rtype}")
+
+
+def _read_record(data: bytes, offset: int) -> Tuple[ResourceRecord, int]:
+    name, offset = _read_name(data, offset)
+    if offset + 10 > len(data):
+        raise DNSDecodeError("truncated record header")
+    rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", data, offset)
+    offset += 10
+    if rclass != _CLASS_IN:
+        raise DNSDecodeError(f"unsupported class {rclass}")
+    try:
+        rr_type = RRType(rtype)
+    except ValueError as exc:
+        raise DNSDecodeError(f"unsupported RR type {rtype}") from exc
+    rdata = _decode_rdata(rr_type, data, offset, rdlength)
+    try:
+        record = ResourceRecord(name, rr_type, ttl, rdata)
+    except DNSError as exc:
+        raise DNSDecodeError(f"invalid record for {name!r}: {exc}") from exc
+    return record, offset + rdlength
+
+
+def decode_message(data: bytes) -> DNSMessage:
+    """Parse wire bytes back into a :class:`DNSMessage`."""
+    if len(data) < _HEADER.size:
+        raise DNSDecodeError("message shorter than header")
+    msg_id, flags, qdcount, ancount, nscount, arcount = _HEADER.unpack_from(data)
+    try:
+        rcode = RCode(flags & 0x000F)
+    except ValueError as exc:
+        raise DNSDecodeError(f"unsupported rcode {flags & 0xF}") from exc
+    message = DNSMessage(
+        msg_id=msg_id,
+        is_response=bool(flags & 0x8000),
+        authoritative=bool(flags & 0x0400),
+        recursion_desired=bool(flags & 0x0100),
+        recursion_available=bool(flags & 0x0080),
+        rcode=rcode,
+    )
+    offset = _HEADER.size
+    for _ in range(qdcount):
+        qname, offset = _read_name(data, offset)
+        if offset + 4 > len(data):
+            raise DNSDecodeError("truncated question")
+        qtype, qclass = struct.unpack_from("!HH", data, offset)
+        offset += 4
+        if qclass != _CLASS_IN:
+            raise DNSDecodeError(f"unsupported class {qclass}")
+        try:
+            rr_type = RRType(qtype)
+        except ValueError as exc:
+            raise DNSDecodeError(f"unsupported qtype {qtype}") from exc
+        try:
+            message.questions.append(Question(qname, rr_type))
+        except DNSError as exc:
+            raise DNSDecodeError(f"invalid question {qname!r}: {exc}") from exc
+    for section, count in (
+        (message.answers, ancount),
+        (message.authorities, nscount),
+        (message.additionals, arcount),
+    ):
+        for _ in range(count):
+            record, offset = _read_record(data, offset)
+            section.append(record)
+    if offset != len(data):
+        raise DNSDecodeError(f"{len(data) - offset} trailing bytes")
+    return message

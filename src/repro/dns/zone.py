@@ -1,0 +1,153 @@
+"""Authoritative zone data.
+
+A :class:`Zone` owns a subtree of the namespace, stores records, and
+answers lookups with in-zone CNAME chasing — the behaviour the paper's
+nine domains rely on ("their DNS resolution initially resulted in a
+canonical name (CNAME) record, indicating the use of DNS based load
+balancing", Sec 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import ZoneError
+from repro.dns.message import (
+    RCode,
+    ResourceRecord,
+    RRType,
+    name_within,
+    normalize_name,
+)
+
+#: Hard cap on in-zone CNAME chain length (loop protection).
+MAX_CNAME_CHAIN = 8
+
+
+@dataclass
+class Zone:
+    """Records for one zone apex and everything under it."""
+
+    apex: str
+    records: Dict[Tuple[str, RRType], List[ResourceRecord]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self.apex = normalize_name(self.apex)
+
+    # -- building ---------------------------------------------------------
+
+    def add(self, record: ResourceRecord) -> None:
+        """Add one record; it must live inside the zone."""
+        if not name_within(record.name, self.apex):
+            raise ZoneError(f"{record.name} is outside zone {self.apex}")
+        self.records.setdefault((record.name, record.rtype), []).append(record)
+
+    def add_a(self, name: str, addresses: Iterable[str], ttl: int) -> None:
+        """Add an A record set."""
+        for address in addresses:
+            self.add(ResourceRecord(name, RRType.A, ttl, address))
+
+    def add_cname(self, name: str, target: str, ttl: int) -> None:
+        """Add a CNAME; a name may carry only one."""
+        key = (normalize_name(name), RRType.CNAME)
+        if key in self.records:
+            raise ZoneError(f"duplicate CNAME at {name}")
+        self.add(ResourceRecord(name, RRType.CNAME, ttl, target))
+
+    def remove(self, name: str, rtype: RRType) -> None:
+        """Delete a record set if present."""
+        self.records.pop((normalize_name(name), rtype), None)
+
+    # -- lookups -------------------------------------------------------------
+
+    def contains(self, name: str) -> bool:
+        """True when the name falls under this zone's apex."""
+        return name_within(name, self.apex)
+
+    def get(self, name: str, rtype: RRType) -> List[ResourceRecord]:
+        """The record set for (name, type), or empty."""
+        return list(self.records.get((normalize_name(name), rtype), []))
+
+    def lookup(self, qname: str, qtype: RRType) -> Tuple[RCode, List[ResourceRecord]]:
+        """Answer a query, chasing CNAMEs while the target stays in-zone.
+
+        Returns the rcode and the answer-section records.  A chain that
+        leaves the zone ends with the last CNAME; the resolver is expected
+        to continue at the right authority.
+        """
+        qname = normalize_name(qname)
+        if not self.contains(qname):
+            return RCode.REFUSED, []
+        answers: List[ResourceRecord] = []
+        current = qname
+        for _ in range(MAX_CNAME_CHAIN):
+            direct = self.get(current, qtype)
+            if direct:
+                answers.extend(direct)
+                return RCode.NOERROR, answers
+            cnames = self.get(current, RRType.CNAME)
+            if not cnames and qtype is not RRType.CNAME:
+                break
+            if not cnames:
+                break
+            answers.extend(cnames)
+            current = cnames[0].data
+            if not self.contains(current):
+                return RCode.NOERROR, answers
+        if answers:
+            return RCode.NOERROR, answers
+        if self._name_exists(qname):
+            return RCode.NOERROR, []  # NODATA
+        return RCode.NXDOMAIN, []
+
+    def _name_exists(self, name: str) -> bool:
+        return any(existing == name for existing, _ in self.records)
+
+    def names(self) -> List[str]:
+        """All owner names in the zone."""
+        return sorted({name for name, _ in self.records})
+
+    def __len__(self) -> int:
+        return sum(len(rrset) for rrset in self.records.values())
+
+    def __str__(self) -> str:
+        return f"Zone({self.apex or '.'}, {len(self)} records)"
+
+
+@dataclass
+class ZoneDirectory:
+    """Maps names to the zone (and its owner) that should answer them.
+
+    Stands in for the root/TLD referral machinery: resolvers in this
+    simulation know which authority serves each zone, mirroring the warm
+    caches real recursive resolvers keep for NS records of popular zones.
+    """
+
+    zones: Dict[str, object] = field(default_factory=dict)
+    _lookup_memo: Dict[str, Optional[object]] = field(default_factory=dict)
+
+    def register(self, apex: str, authority: object) -> None:
+        """Register the authority serving ``apex``."""
+        apex = normalize_name(apex)
+        if apex in self.zones:
+            raise ZoneError(f"zone {apex} already registered")
+        self.zones[apex] = authority
+        self._lookup_memo.clear()
+
+    def authority_for(self, qname: str) -> Optional[object]:
+        """Longest-suffix-match authority for a name."""
+        qname = normalize_name(qname)
+        if qname in self._lookup_memo:
+            return self._lookup_memo[qname]
+        best: Optional[object] = None
+        best_length = -1
+        for apex, authority in self.zones.items():
+            if name_within(qname, apex) and len(apex) > best_length:
+                best = authority
+                best_length = len(apex)
+        if len(self._lookup_memo) < 65536:
+            self._lookup_memo[qname] = best
+        return best

@@ -1,0 +1,26 @@
+"""Geography substrate: coordinates, regions and latency models."""
+
+from repro.geo.coordinates import GeoPoint, haversine_km
+from repro.geo.latency import WanLatencyModel
+from repro.geo.regions import (
+    ASIA_PACIFIC_CITIES,
+    City,
+    Country,
+    SOUTH_KOREA_CITIES,
+    US_CITIES,
+    cities_for,
+    city_named,
+)
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "WanLatencyModel",
+    "City",
+    "Country",
+    "US_CITIES",
+    "SOUTH_KOREA_CITIES",
+    "ASIA_PACIFIC_CITIES",
+    "cities_for",
+    "city_named",
+]

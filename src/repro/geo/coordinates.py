@@ -1,0 +1,59 @@
+"""Geographic coordinates and great-circle distance."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface (degrees)."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to another point in kilometres."""
+        return haversine_km(self, other)
+
+    def offset_km(self, north_km: float, east_km: float) -> "GeoPoint":
+        """A point displaced by the given kilometre offsets.
+
+        Small-displacement approximation, used to scatter devices around a
+        city centre and to model coarse (paper: 100 m radius rounded)
+        location reporting.
+        """
+        dlat = north_km / 111.32
+        dlon = east_km / (111.32 * max(math.cos(math.radians(self.latitude)), 1e-6))
+        latitude = min(90.0, max(-90.0, self.latitude + dlat))
+        longitude = self.longitude + dlon
+        if longitude > 180.0:
+            longitude -= 360.0
+        elif longitude < -180.0:
+            longitude += 360.0
+        return GeoPoint(latitude, longitude)
+
+    def __str__(self) -> str:
+        return f"({self.latitude:.4f}, {self.longitude:.4f})"
+
+
+def haversine_km(first: GeoPoint, second: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1 = math.radians(first.latitude)
+    lat2 = math.radians(second.latitude)
+    dlat = lat2 - lat1
+    dlon = math.radians(second.longitude - first.longitude)
+    a = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))

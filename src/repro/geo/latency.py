@@ -1,0 +1,92 @@
+"""Distance -> latency model for the wired Internet segment.
+
+Every end-to-end RTT in the simulation decomposes as::
+
+    access RTT (radio or wired NIC)           -- repro.cellnet.radio
+  + operator-internal RTT (device -> egress)  -- repro.cellnet.architecture
+  + WAN RTT (egress geo -> destination geo)   -- this module
+  + destination stack time
+
+The WAN model is speed-of-light-in-fibre propagation with a path inflation
+factor (real paths are not great circles), per-AS-hop router overhead, and
+multiplicative log-normal jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rng import RandomStream
+from repro.geo.coordinates import GeoPoint
+
+#: One-way propagation delay in fibre, milliseconds per kilometre
+#: (light travels roughly 200 km per millisecond in glass).
+MS_PER_KM_ONE_WAY = 1.0 / 200.0
+
+
+@dataclass
+class WanLatencyModel:
+    """Parameterised wide-area RTT model.
+
+    Attributes
+    ----------
+    path_inflation:
+        Multiplier on great-circle distance; 1.6 reflects typical detour
+        ratios observed for inter-city Internet paths.
+    hop_overhead_ms:
+        Per-router forwarding/queueing overhead added per inferred hop.
+    min_rtt_ms:
+        Floor for same-building communication.
+    jitter_sigma:
+        Sigma of the multiplicative log-normal jitter applied to each
+        sample (0 disables jitter).
+    """
+
+    path_inflation: float = 1.6
+    hop_overhead_ms: float = 0.35
+    min_rtt_ms: float = 0.4
+    jitter_sigma: float = 0.08
+
+    def __post_init__(self) -> None:
+        # Endpoint pairs repeat heavily (devices probe many targets from
+        # one position); the deterministic part of the RTT is memoised.
+        self._base_memo: dict = {}
+
+    def base_rtt_ms(self, src: GeoPoint, dst: GeoPoint) -> float:
+        """Deterministic (jitter-free) WAN RTT between two points."""
+        key = (src.latitude, src.longitude, dst.latitude, dst.longitude)
+        cached = self._base_memo.get(key)
+        if cached is not None:
+            return cached
+        distance_km = src.distance_km(dst)
+        propagation = 2.0 * distance_km * MS_PER_KM_ONE_WAY * self.path_inflation
+        hops = self.hop_count(distance_km)
+        base = max(self.min_rtt_ms, propagation + hops * self.hop_overhead_ms)
+        if len(self._base_memo) < 1_000_000:
+            self._base_memo[key] = base
+        return base
+
+    def rtt_ms(self, src: GeoPoint, dst: GeoPoint, stream: RandomStream) -> float:
+        """One sampled WAN RTT (base plus multiplicative jitter)."""
+        base = self.base_rtt_ms(src, dst)
+        if self.jitter_sigma <= 0:
+            return base
+        return stream.lognormal_ms(base, self.jitter_sigma)
+
+    def hop_count(self, distance_km: float) -> int:
+        """Inferred router hop count for a path of the given length.
+
+        Grows with distance but saturates: intercontinental paths do not
+        accumulate hops linearly.
+        """
+        if distance_km < 5.0:
+            return 2
+        if distance_km < 100.0:
+            return 4
+        if distance_km < 500.0:
+            return 6
+        if distance_km < 1500.0:
+            return 9
+        if distance_km < 4000.0:
+            return 12
+        return 16

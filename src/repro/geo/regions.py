@@ -1,0 +1,142 @@
+"""City and region data for the two markets the paper studies.
+
+The paper places clients, cellular egress points, DNS resolver sites and
+CDN replica clusters in the US and South Korea (Sec 3.1).  Coordinates are
+approximate city centres; ``weight`` is a rough population share used when
+scattering clients.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.geo.coordinates import GeoPoint
+
+
+class Country(str, enum.Enum):
+    """Markets covered by the study, plus infrastructure-only regions."""
+
+    US = "US"
+    SOUTH_KOREA = "KR"
+    #: Asia-Pacific cities host public-DNS/CDN infrastructure only; no
+    #: study clients live there.
+    ASIA_PACIFIC = "APAC"
+
+
+@dataclass(frozen=True)
+class City:
+    """A named location used for placement."""
+
+    name: str
+    country: Country
+    location: GeoPoint
+    weight: float = 1.0
+
+    def __str__(self) -> str:
+        return f"{self.name}, {self.country.value}"
+
+
+def _us(name: str, lat: float, lon: float, weight: float) -> City:
+    return City(name, Country.US, GeoPoint(lat, lon), weight)
+
+
+def _kr(name: str, lat: float, lon: float, weight: float) -> City:
+    return City(name, Country.SOUTH_KOREA, GeoPoint(lat, lon), weight)
+
+
+#: Major US metro areas (client placement + infrastructure sites).
+US_CITIES: List[City] = [
+    _us("New York", 40.7128, -74.0060, 8.4),
+    _us("Los Angeles", 34.0522, -118.2437, 4.0),
+    _us("Chicago", 41.8781, -87.6298, 2.7),
+    _us("Houston", 29.7604, -95.3698, 2.3),
+    _us("Phoenix", 33.4484, -112.0740, 1.6),
+    _us("Philadelphia", 39.9526, -75.1652, 1.6),
+    _us("San Antonio", 29.4241, -98.4936, 1.5),
+    _us("San Diego", 32.7157, -117.1611, 1.4),
+    _us("Dallas", 32.7767, -96.7970, 1.3),
+    _us("San Jose", 37.3382, -121.8863, 1.0),
+    _us("Austin", 30.2672, -97.7431, 0.9),
+    _us("Jacksonville", 30.3322, -81.6557, 0.9),
+    _us("Columbus", 39.9612, -82.9988, 0.9),
+    _us("Indianapolis", 39.7684, -86.1581, 0.9),
+    _us("San Francisco", 37.7749, -122.4194, 0.9),
+    _us("Seattle", 47.6062, -122.3321, 0.7),
+    _us("Denver", 39.7392, -104.9903, 0.7),
+    _us("Washington DC", 38.9072, -77.0369, 0.7),
+    _us("Boston", 42.3601, -71.0589, 0.7),
+    _us("Nashville", 36.1627, -86.7816, 0.7),
+    _us("Detroit", 42.3314, -83.0458, 0.7),
+    _us("Portland", 45.5152, -122.6784, 0.6),
+    _us("Memphis", 35.1495, -90.0490, 0.6),
+    _us("Atlanta", 33.7490, -84.3880, 0.6),
+    _us("Miami", 25.7617, -80.1918, 0.5),
+    _us("Kansas City", 39.0997, -94.5786, 0.5),
+    _us("Minneapolis", 44.9778, -93.2650, 0.4),
+    _us("Salt Lake City", 40.7608, -111.8910, 0.2),
+    _us("Charlotte", 35.2271, -80.8431, 0.9),
+    _us("St. Louis", 38.6270, -90.1994, 0.3),
+]
+
+#: Major South Korean cities.
+SOUTH_KOREA_CITIES: List[City] = [
+    _kr("Seoul", 37.5665, 126.9780, 9.7),
+    _kr("Busan", 35.1796, 129.0756, 3.4),
+    _kr("Incheon", 37.4563, 126.7052, 2.9),
+    _kr("Daegu", 35.8714, 128.6014, 2.4),
+    _kr("Daejeon", 36.3504, 127.3845, 1.5),
+    _kr("Gwangju", 35.1595, 126.8526, 1.5),
+    _kr("Suwon", 37.2636, 127.0286, 1.2),
+    _kr("Ulsan", 35.5384, 129.3114, 1.1),
+    _kr("Changwon", 35.2281, 128.6811, 1.0),
+    _kr("Jeonju", 35.8242, 127.1480, 0.7),
+]
+
+def _ap(name: str, lat: float, lon: float, weight: float) -> City:
+    return City(name, Country.ASIA_PACIFIC, GeoPoint(lat, lon), weight)
+
+
+#: Asia-Pacific infrastructure sites.  In 2014 neither Google Public DNS
+#: nor OpenDNS operated resolver clusters inside South Korea; Korean
+#: queries were served from Japan, Taiwan, Hong Kong or Singapore — the
+#: root of the paper's "public DNS takes nearly twice as long" finding
+#: for the SK carriers (Sec 6.1).
+ASIA_PACIFIC_CITIES: List[City] = [
+    _ap("Tokyo", 35.6762, 139.6503, 3.0),
+    _ap("Osaka", 34.6937, 135.5023, 1.5),
+    _ap("Taipei", 25.0330, 121.5654, 1.2),
+    _ap("Hong Kong", 22.3193, 114.1694, 1.4),
+    _ap("Singapore", 1.3521, 103.8198, 1.3),
+]
+
+_BY_COUNTRY: Dict[Country, List[City]] = {
+    Country.US: US_CITIES,
+    Country.SOUTH_KOREA: SOUTH_KOREA_CITIES,
+    Country.ASIA_PACIFIC: ASIA_PACIFIC_CITIES,
+}
+
+
+def cities_for(country: Country) -> List[City]:
+    """All placement cities for a country."""
+    return list(_BY_COUNTRY[country])
+
+
+def city_named(name: str) -> City:
+    """Look a city up by name across both markets."""
+    for cities in _BY_COUNTRY.values():
+        for city in cities:
+            if city.name == name:
+                return city
+    raise KeyError(f"unknown city: {name!r}")
+
+
+def city_weights(cities: Sequence[City]) -> List[float]:
+    """Population weights aligned with ``cities`` (for weighted choice)."""
+    return [city.weight for city in cities]
+
+
+#: Where the paper's external vantage point lives (a university network in
+#: the US Midwest; the authors probed from Northwestern University).
+UNIVERSITY_VANTAGE_CITY = city_named("Chicago")

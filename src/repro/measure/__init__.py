@@ -1,0 +1,28 @@
+"""Measurement toolkit: the paper's client-side experiment pipeline."""
+
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    HttpRecord,
+    PingRecord,
+    ResolutionRecord,
+    ResolverIdRecord,
+    TracerouteRecord,
+)
+from repro.measure.experiment import ExperimentRunner
+from repro.measure.campaign import Campaign, CampaignConfig
+from repro.measure.scheduler import ExperimentSchedule
+
+__all__ = [
+    "Dataset",
+    "ExperimentRecord",
+    "HttpRecord",
+    "PingRecord",
+    "ResolutionRecord",
+    "ResolverIdRecord",
+    "TracerouteRecord",
+    "ExperimentRunner",
+    "Campaign",
+    "CampaignConfig",
+    "ExperimentSchedule",
+]

@@ -1,0 +1,134 @@
+"""Campaign runner: many devices, many experiments, one dataset.
+
+A campaign instantiates the volunteer population (Table 1's per-carrier
+client counts, scaled if asked), schedules each device's experiments
+over the study window, runs them in timestamp order and collects an
+analysable :class:`~repro.measure.records.Dataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.core.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.core.errors import ConfigError
+from repro.core.world import World
+from repro.geo.regions import cities_for, city_weights
+from repro.measure.experiment import ExperimentOptions, ExperimentRunner
+from repro.measure.records import Dataset
+from repro.measure.scheduler import ExperimentSchedule
+
+#: Per-carrier client counts from Table 1 of the paper.
+PAPER_CLIENT_COUNTS: Dict[str, int] = {
+    "att": 33,
+    "sprint": 9,
+    "tmobile": 31,
+    "verizon": 64,
+    "skt": 17,
+    "lgu": 4,
+}
+
+
+@dataclass
+class CampaignConfig:
+    """Scale and timing of a measurement campaign."""
+
+    #: Devices per carrier; None uses the paper's Table 1 counts.
+    devices_per_carrier: Optional[Dict[str, int]] = None
+    #: Uniform scale factor on the (paper or explicit) device counts.
+    device_scale: float = 1.0
+    #: Minimum devices per carrier after scaling.
+    min_devices: int = 1
+    start: float = 0.0
+    duration_days: float = 153.0  # 2014-03-01 .. 2014-08-01
+    interval_hours: float = 1.0
+    duty_cycle: float = 0.9
+    options: ExperimentOptions = field(default_factory=ExperimentOptions)
+
+    def resolved_counts(self, carrier_keys: Sequence[str]) -> Dict[str, int]:
+        """Device counts per carrier after defaults and scaling."""
+        base = dict(self.devices_per_carrier or PAPER_CLIENT_COUNTS)
+        counts = {}
+        for key in carrier_keys:
+            if key not in base:
+                raise ConfigError(f"no device count for carrier {key!r}")
+            counts[key] = max(self.min_devices, round(base[key] * self.device_scale))
+        return counts
+
+
+class Campaign:
+    """Builds the device population and runs every experiment."""
+
+    def __init__(self, world: World, config: Optional[CampaignConfig] = None):
+        self.world = world
+        self.config = config or CampaignConfig()
+        self.devices: List[MobileDevice] = self._build_devices()
+        self.runner = ExperimentRunner(world, self.config.options)
+
+    # -- population ----------------------------------------------------------
+
+    def _build_devices(self) -> List[MobileDevice]:
+        devices: List[MobileDevice] = []
+        counts = self.config.resolved_counts(list(self.world.operators))
+        for carrier_key, count in counts.items():
+            operator = self.world.operators[carrier_key]
+            cities = cities_for(operator.country)
+            weights = city_weights(cities)
+            stream = self.world.rng.stream("population", carrier_key)
+            for index in range(count):
+                device_id = f"{carrier_key}-{index:03d}"
+                home = stream.weighted_choice(cities, weights)
+                mobility = MobilityModel(
+                    home_city=home,
+                    candidate_cities=cities,
+                    seed=self.world.rng.master_seed,
+                    device_key=device_id,
+                )
+                devices.append(
+                    MobileDevice(
+                        device_id=device_id,
+                        carrier_key=carrier_key,
+                        mobility=mobility,
+                    )
+                )
+        return devices
+
+    def devices_of(self, carrier_key: str) -> List[MobileDevice]:
+        """The campaign's devices on one carrier."""
+        return [
+            device for device in self.devices if device.carrier_key == carrier_key
+        ]
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> Dataset:
+        """Run every scheduled experiment, globally time-ordered."""
+        config = self.config
+        schedule = ExperimentSchedule(
+            start=config.start,
+            end=config.start + config.duration_days * SECONDS_PER_DAY,
+            seed=self.world.rng.master_seed,
+            interval_s=config.interval_hours * SECONDS_PER_HOUR,
+            duty_cycle=config.duty_cycle,
+        )
+        queue: List[tuple] = []
+        for device in self.devices:
+            for sequence, at in enumerate(schedule.times_for(device.device_id)):
+                queue.append((at, device, sequence))
+        queue.sort(key=lambda item: (item[0], item[1].device_id))
+
+        dataset = Dataset(
+            metadata={
+                "seed": self.world.rng.master_seed,
+                "devices": len(self.devices),
+                "duration_days": config.duration_days,
+                "interval_hours": config.interval_hours,
+                "experiments": len(queue),
+            }
+        )
+        for at, device, sequence in queue:
+            dataset.add(self.runner.run(device, at, sequence))
+        return dataset

@@ -1,0 +1,245 @@
+"""Client-side probe primitives.
+
+A :class:`DeviceProbeSession` is the measurement library running on one
+device for one experiment: it holds the device's current attachment and
+issues the probes of Sec 3.2 (DNS resolutions through the local and
+public resolvers, pings, traceroutes, HTTP GETs, and the resolver
+identification trick).  Every probe samples fresh radio latency, because
+each real packet did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.operator import Attachment, CellularOperator
+from repro.cellnet.radio import RadioTechnology
+from repro.core.node import ProbeOrigin
+from repro.core.rng import RandomStream
+from repro.core.world import WHOAMI_ZONE, World
+from repro.dns.message import RRType
+from repro.measure.records import (
+    HttpRecord,
+    PingRecord,
+    ResolutionRecord,
+    ResolverIdRecord,
+    TracerouteRecord,
+)
+
+
+@dataclass
+class DeviceProbeSession:
+    """One device's measurement context during one experiment."""
+
+    world: World
+    operator: CellularOperator
+    device: MobileDevice
+    technology: RadioTechnology
+    attachment: Attachment
+    stream: RandomStream
+
+    @classmethod
+    def begin(
+        cls,
+        world: World,
+        device: MobileDevice,
+        now: float,
+        stream: RandomStream,
+    ) -> "DeviceProbeSession":
+        """Open a session: draw the active radio and attach the device."""
+        operator = world.operators[device.carrier_key]
+        technology = operator.radio_profile.draw(stream)
+        device.active_technology = technology
+        return cls(
+            world=world,
+            operator=operator,
+            device=device,
+            technology=technology,
+            attachment=operator.attachment(device, now),
+            stream=stream,
+        )
+
+    # -- origins -----------------------------------------------------------
+
+    def origin(self, now: float, pay_promotion: bool = False) -> ProbeOrigin:
+        """A fresh probe origin (new radio latency sample).
+
+        Occasionally the radio hands off mid-experiment (the profile's
+        ``stability`` knob); the affected probe rides the new technology,
+        as real in-context measurements do (Gember et al. [8]).
+        """
+        technology = self.technology
+        profile = self.operator.radio_profile
+        if not self.stream.bernoulli(profile.stability):
+            technology = profile.draw(self.stream)
+        return self.operator.probe_origin(
+            self.device,
+            now,
+            self.stream,
+            technology=technology,
+            pay_promotion=pay_promotion,
+        )
+
+    # -- probes ----------------------------------------------------------------
+
+    def bootstrap_ping(self, now: float) -> PingRecord:
+        """The radio wake-up ping that opens every experiment (Sec 3.2)."""
+        origin = self.origin(now, pay_promotion=True)
+        target = self.world.backbone.routers[0]
+        rtt = self.world.internet.measure_rtt(origin, target.ip, self.stream)
+        return PingRecord(target_ip=target.ip, target_kind="bootstrap", rtt_ms=rtt)
+
+    def dns_local(self, qname: str, now: float, attempt: int = 1) -> ResolutionRecord:
+        """Resolve through the operator-configured resolver."""
+        origin = self.origin(now)
+        result = self.operator.resolve_local(
+            self.device, origin, self.attachment, qname, RRType.A, now, self.stream
+        )
+        return ResolutionRecord(
+            domain=qname,
+            resolver_kind="local",
+            resolution_ms=result.total_ms,
+            addresses=result.addresses,
+            cname_chain=[
+                record.data
+                for record in result.records
+                if record.rtype is RRType.CNAME
+            ],
+            attempt=attempt,
+        )
+
+    def dns_public(
+        self, kind: str, qname: str, now: float, attempt: int = 1
+    ) -> ResolutionRecord:
+        """Resolve through Google DNS or OpenDNS."""
+        origin = self.origin(now)
+        service = self.world.public_service(kind)
+        outcome = service.resolve(
+            origin,
+            qname,
+            RRType.A,
+            now,
+            self.stream,
+            device_key=self.device.device_id,
+        )
+        if outcome is None:
+            return ResolutionRecord(
+                domain=qname,
+                resolver_kind=kind,
+                resolution_ms=float("nan"),
+                rcode="UNREACHABLE",
+                attempt=attempt,
+            )
+        return ResolutionRecord(
+            domain=qname,
+            resolver_kind=kind,
+            resolution_ms=outcome.total_ms,
+            addresses=outcome.result.addresses(),
+            cname_chain=[
+                record.data
+                for record in outcome.result.records
+                if record.rtype is RRType.CNAME
+            ],
+            attempt=attempt,
+        )
+
+    def ping_ip(self, ip: str, kind: str, now: float) -> PingRecord:
+        """Ping an arbitrary address from the device."""
+        origin = self.origin(now)
+        rtt = self.world.internet.measure_rtt(origin, ip, self.stream)
+        return PingRecord(target_ip=ip, target_kind=kind, rtt_ms=rtt)
+
+    def ping_configured_resolver(self, now: float) -> PingRecord:
+        """Ping the resolver address configured on the device.
+
+        Answered at the serving site (anycast-aware), so this measures
+        the *client-facing* resolver distance of Fig 4.
+        """
+        origin = self.origin(now)
+        rtt = self.operator.ping_client_resolver(origin, self.attachment, self.stream)
+        return PingRecord(
+            target_ip=self.attachment.client_dns_ip,
+            target_kind="resolver-client-facing",
+            rtt_ms=rtt,
+        )
+
+    def ping_public_resolver(self, kind: str, now: float) -> PingRecord:
+        """Ping a public service's anycast address."""
+        origin = self.origin(now)
+        service = self.world.public_service(kind)
+        rtt = service.ping(
+            origin, now, self.stream, device_key=self.device.device_id
+        )
+        return PingRecord(
+            target_ip=service.anycast_ip,
+            target_kind=f"resolver-public-{kind}",
+            rtt_ms=rtt,
+        )
+
+    def traceroute_ip(self, ip: str, kind: str, now: float) -> TracerouteRecord:
+        """Traceroute to an arbitrary address from the device."""
+        origin = self.origin(now)
+        result = self.world.internet.traceroute(origin, ip, self.stream)
+        return TracerouteRecord(
+            target_ip=ip,
+            target_kind=kind,
+            hops=[[hop.ttl, hop.ip, hop.rtt_ms] for hop in result.hops],
+            reached=result.reached,
+        )
+
+    def http_get(
+        self, replica_ip: str, domain: str, resolver_kind: str, now: float
+    ) -> HttpRecord:
+        """HTTP GET (TTFB) against one replica address."""
+        origin = self.origin(now)
+        provider = self.world.replica_owner(replica_ip)
+        if provider is None:
+            return HttpRecord(
+                replica_ip=replica_ip, domain=domain, resolver_kind=resolver_kind
+            )
+        replica = provider.replica_by_ip(replica_ip)
+        from repro.cdn.replica import http_ttfb_ms
+
+        ttfb = http_ttfb_ms(self.world.internet, origin, replica, self.stream)
+        return HttpRecord(
+            replica_ip=replica_ip,
+            domain=domain,
+            resolver_kind=resolver_kind,
+            ttfb_ms=ttfb,
+        )
+
+    def identify_resolver(
+        self, kind: str, now: float, token: str
+    ) -> ResolverIdRecord:
+        """The Mao et al. probe: learn the external resolver's address.
+
+        A unique name under the controlled zone forces a cache miss; the
+        echo authority answers with the address it saw the query from.
+        """
+        qname = f"{token}.{kind}.{WHOAMI_ZONE}"
+        if kind == "local":
+            record = self.dns_local(qname, now)
+            configured = self.attachment.client_dns_ip
+        else:
+            record = self.dns_public(kind, qname, now)
+            configured = self.world.public_service(kind).anycast_ip
+        observed: Optional[str] = (
+            record.addresses[0] if record.addresses else None
+        )
+        return ResolverIdRecord(
+            resolver_kind=kind,
+            configured_ip=configured,
+            observed_external_ip=observed,
+            resolution_ms=record.resolution_ms,
+        )
+
+    def replica_addresses(self, records: List[ResolutionRecord]) -> List[str]:
+        """Distinct replica addresses across resolutions, order-stable."""
+        seen: List[str] = []
+        for record in records:
+            for address in record.addresses:
+                if address not in seen:
+                    seen.append(address)
+        return seen

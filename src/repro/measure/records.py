@@ -1,0 +1,266 @@
+"""Measurement records and the campaign dataset.
+
+Everything the analysis consumes is recorded here, from the *client's*
+point of view: a device knows what it resolved, what came back, how long
+probes took and what its configured resolver was — but not, say, which
+cache served it.  Ground truth stays inside the simulation, exactly as it
+stayed inside the carriers during the original study.
+
+Records serialise to JSON lines so campaign output can be archived and
+re-analysed without re-simulation (the paper released its dataset; so do
+we).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO
+
+from repro.core.errors import DatasetError
+
+#: Resolver kinds a client resolves through.
+RESOLVER_LOCAL = "local"
+RESOLVER_GOOGLE = "google"
+RESOLVER_OPENDNS = "opendns"
+RESOLVER_KINDS = (RESOLVER_LOCAL, RESOLVER_GOOGLE, RESOLVER_OPENDNS)
+
+
+@dataclass
+class ResolutionRecord:
+    """One DNS resolution as observed by the device."""
+
+    domain: str
+    resolver_kind: str
+    resolution_ms: float
+    addresses: List[str] = field(default_factory=list)
+    cname_chain: List[str] = field(default_factory=list)
+    #: Which attempt in a back-to-back pair (1 or 2); Fig 7's cache probe.
+    attempt: int = 1
+    rcode: str = "NOERROR"
+
+
+@dataclass
+class PingRecord:
+    """One ping probe (rtt_ms is None when nothing answered)."""
+
+    target_ip: str
+    target_kind: str
+    rtt_ms: Optional[float] = None
+
+    @property
+    def responded(self) -> bool:
+        """Whether the target answered."""
+        return self.rtt_ms is not None
+
+
+@dataclass
+class TracerouteRecord:
+    """One traceroute, flattened to (ttl, ip, rtt) triples."""
+
+    target_ip: str
+    target_kind: str
+    hops: List[List[object]] = field(default_factory=list)
+    reached: bool = False
+
+    def hop_ips(self) -> List[str]:
+        """Responding hop addresses in path order."""
+        return [hop[1] for hop in self.hops if hop[1] is not None]
+
+
+@dataclass
+class HttpRecord:
+    """One HTTP GET to a replica address (time-to-first-byte)."""
+
+    replica_ip: str
+    domain: str
+    resolver_kind: str
+    ttfb_ms: Optional[float] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether the GET completed."""
+        return self.ttfb_ms is not None
+
+
+@dataclass
+class ResolverIdRecord:
+    """Result of the Mao et al. resolver-identification probe."""
+
+    resolver_kind: str
+    configured_ip: str
+    observed_external_ip: Optional[str] = None
+    resolution_ms: Optional[float] = None
+
+
+@dataclass
+class ExperimentRecord:
+    """One complete experiment run (Sec 3.2's script, once)."""
+
+    device_id: str
+    carrier: str
+    country: str
+    sequence: int
+    started_at: float
+    latitude: float
+    longitude: float
+    technology: str
+    generation: str
+    client_ip: str = ""
+    resolutions: List[ResolutionRecord] = field(default_factory=list)
+    pings: List[PingRecord] = field(default_factory=list)
+    traceroutes: List[TracerouteRecord] = field(default_factory=list)
+    http_gets: List[HttpRecord] = field(default_factory=list)
+    resolver_ids: List[ResolverIdRecord] = field(default_factory=list)
+
+    def resolutions_via(self, resolver_kind: str) -> List[ResolutionRecord]:
+        """Resolutions through one resolver kind."""
+        return [
+            record
+            for record in self.resolutions
+            if record.resolver_kind == resolver_kind
+        ]
+
+    def resolver_id(self, resolver_kind: str) -> Optional[ResolverIdRecord]:
+        """The identification record for one resolver kind, if present."""
+        for record in self.resolver_ids:
+            if record.resolver_kind == resolver_kind:
+                return record
+        return None
+
+    def to_json(self) -> str:
+        """One-line JSON form."""
+        return json.dumps(asdict(self), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "ExperimentRecord":
+        """Parse a line written by :meth:`to_json`."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"bad dataset line: {exc}") from exc
+        try:
+            return cls(
+                device_id=payload["device_id"],
+                carrier=payload["carrier"],
+                country=payload["country"],
+                sequence=payload["sequence"],
+                started_at=payload["started_at"],
+                latitude=payload["latitude"],
+                longitude=payload["longitude"],
+                technology=payload["technology"],
+                generation=payload["generation"],
+                client_ip=payload.get("client_ip", ""),
+                resolutions=[
+                    ResolutionRecord(**item) for item in payload.get("resolutions", [])
+                ],
+                pings=[PingRecord(**item) for item in payload.get("pings", [])],
+                traceroutes=[
+                    TracerouteRecord(**item)
+                    for item in payload.get("traceroutes", [])
+                ],
+                http_gets=[
+                    HttpRecord(**item) for item in payload.get("http_gets", [])
+                ],
+                resolver_ids=[
+                    ResolverIdRecord(**item)
+                    for item in payload.get("resolver_ids", [])
+                ],
+            )
+        except (KeyError, TypeError) as exc:
+            raise DatasetError(f"malformed experiment record: {exc}") from exc
+
+
+@dataclass
+class Dataset:
+    """An ordered collection of experiment records plus campaign metadata."""
+
+    experiments: List[ExperimentRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one experiment."""
+        self.experiments.append(record)
+
+    def by_carrier(self) -> Dict[str, List[ExperimentRecord]]:
+        """Experiments grouped by carrier key."""
+        grouped: Dict[str, List[ExperimentRecord]] = {}
+        for record in self.experiments:
+            grouped.setdefault(record.carrier, []).append(record)
+        return grouped
+
+    def by_device(self) -> Dict[str, List[ExperimentRecord]]:
+        """Experiments grouped by device, each group time-ordered."""
+        grouped: Dict[str, List[ExperimentRecord]] = {}
+        for record in self.experiments:
+            grouped.setdefault(record.device_id, []).append(record)
+        for records in grouped.values():
+            records.sort(key=lambda record: record.started_at)
+        return grouped
+
+    def carriers(self) -> List[str]:
+        """Carrier keys present, in first-seen order."""
+        seen: List[str] = []
+        for record in self.experiments:
+            if record.carrier not in seen:
+                seen.append(record.carrier)
+        return seen
+
+    def device_ids(self) -> List[str]:
+        """Distinct device ids."""
+        return sorted({record.device_id for record in self.experiments})
+
+    def filter(self, predicate) -> "Dataset":
+        """A new dataset with only the matching experiments."""
+        return Dataset(
+            experiments=[
+                record for record in self.experiments if predicate(record)
+            ],
+            metadata=dict(self.metadata),
+        )
+
+    def __len__(self) -> int:
+        return len(self.experiments)
+
+    def __iter__(self) -> Iterator[ExperimentRecord]:
+        return iter(self.experiments)
+
+    # -- persistence -------------------------------------------------------
+
+    def dump_jsonl(self, stream: TextIO) -> int:
+        """Write one JSON line per experiment; returns the line count."""
+        count = 0
+        if self.metadata:
+            stream.write(
+                json.dumps({"_metadata": self.metadata}, separators=(",", ":"))
+                + "\n"
+            )
+        for record in self.experiments:
+            stream.write(record.to_json() + "\n")
+            count += 1
+        return count
+
+    @classmethod
+    def load_jsonl(cls, lines: Iterable[str]) -> "Dataset":
+        """Read a dataset written by :meth:`dump_jsonl`."""
+        dataset = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith('{"_metadata"'):
+                dataset.metadata = json.loads(line)["_metadata"]
+                continue
+            dataset.add(ExperimentRecord.from_json(line))
+        return dataset
+
+    def save(self, path: str) -> int:
+        """Write the dataset to a file path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.dump_jsonl(handle)
+
+    @classmethod
+    def load(cls, path: str) -> "Dataset":
+        """Read a dataset from a file path."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.load_jsonl(handle)

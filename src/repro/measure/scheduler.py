@@ -1,0 +1,57 @@
+"""Experiment scheduling.
+
+Devices ran the experiment "approximately once per hour" (Sec 3.2), but
+real volunteer devices miss slots — screens off, no coverage, battery
+saver.  The schedule therefore combines a nominal interval, per-slot
+jitter, and a duty cycle, all as pure functions of (device, slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.clock import SECONDS_PER_HOUR
+from repro.core.rng import stable_fraction
+
+
+@dataclass
+class ExperimentSchedule:
+    """Per-device experiment times over a window."""
+
+    start: float
+    end: float
+    seed: int
+    interval_s: float = SECONDS_PER_HOUR
+    #: Fraction of slots that actually produce an experiment.
+    duty_cycle: float = 0.9
+    #: Jitter applied within each slot, as a fraction of the interval.
+    jitter_fraction: float = 0.3
+
+    def times_for(self, device_key: str) -> List[float]:
+        """All experiment start times for one device."""
+        return list(self.iter_times(device_key))
+
+    def iter_times(self, device_key: str) -> Iterator[float]:
+        """Generate experiment times slot by slot."""
+        if self.end <= self.start:
+            return
+        slot = 0
+        phase = stable_fraction(self.seed, "phase", device_key) * self.interval_s
+        while True:
+            base = self.start + phase + slot * self.interval_s
+            if base >= self.end:
+                return
+            keep = stable_fraction(self.seed, "duty", device_key, slot)
+            if keep < self.duty_cycle:
+                jitter = (
+                    stable_fraction(self.seed, "jitter", device_key, slot) - 0.5
+                ) * 2.0 * self.jitter_fraction * self.interval_s
+                at = min(max(self.start, base + jitter), self.end - 1.0)
+                yield at
+            slot += 1
+
+    def expected_count(self) -> int:
+        """Approximate experiments per device over the window."""
+        slots = max(0.0, (self.end - self.start) / self.interval_s)
+        return int(slots * self.duty_cycle)

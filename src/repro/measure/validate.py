@@ -1,0 +1,136 @@
+"""Dataset integrity validation.
+
+Released measurement datasets rot: fields go missing, clocks jump,
+records get truncated.  The validator checks the structural invariants
+every analysis in :mod:`repro.analysis` relies on and reports findings
+instead of failing deep inside a CDF computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.measure.records import Dataset, ExperimentRecord, RESOLVER_KINDS
+
+#: Severity levels for findings.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    """One validation finding."""
+
+    severity: str
+    record_index: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] record {self.record_index}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one dataset."""
+
+    findings: List[Finding] = field(default_factory=list)
+    records_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Findings that make analyses unsafe."""
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Findings that merely reduce coverage."""
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found."""
+        return not self.errors
+
+    def add(self, severity: str, index: int, message: str) -> None:
+        """Record one finding."""
+        self.findings.append(Finding(severity, index, message))
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.records_checked} records, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        )
+
+
+def _check_record(record: ExperimentRecord, index: int, report: ValidationReport):
+    if not record.device_id:
+        report.add(ERROR, index, "empty device_id")
+    if not record.carrier:
+        report.add(ERROR, index, "empty carrier")
+    if record.country not in ("US", "KR"):
+        report.add(WARNING, index, f"unexpected country {record.country!r}")
+    if not -90.0 <= record.latitude <= 90.0:
+        report.add(ERROR, index, f"latitude out of range: {record.latitude}")
+    if not -180.0 <= record.longitude <= 180.0:
+        report.add(ERROR, index, f"longitude out of range: {record.longitude}")
+    if record.started_at < 0:
+        report.add(ERROR, index, f"negative timestamp {record.started_at}")
+    if not record.technology:
+        report.add(WARNING, index, "missing radio technology")
+
+    for resolution in record.resolutions:
+        if resolution.resolver_kind not in RESOLVER_KINDS:
+            report.add(
+                ERROR, index,
+                f"unknown resolver kind {resolution.resolver_kind!r}",
+            )
+        if resolution.attempt not in (1, 2):
+            report.add(ERROR, index, f"bad attempt {resolution.attempt}")
+        if resolution.resolution_ms == resolution.resolution_ms and (
+            resolution.resolution_ms < 0
+        ):
+            report.add(ERROR, index, "negative resolution time")
+
+    for ping in record.pings:
+        if ping.rtt_ms is not None and ping.rtt_ms < 0:
+            report.add(ERROR, index, f"negative ping RTT to {ping.target_ip}")
+
+    for trace in record.traceroutes:
+        ttls = [hop[0] for hop in trace.hops]
+        if ttls != sorted(ttls):
+            report.add(ERROR, index, f"non-monotone TTLs to {trace.target_ip}")
+
+    for http in record.http_gets:
+        if http.ttfb_ms is not None and http.ttfb_ms <= 0:
+            report.add(ERROR, index, f"non-positive TTFB to {http.replica_ip}")
+
+    kinds = [identification.resolver_kind for identification in record.resolver_ids]
+    if len(kinds) != len(set(kinds)):
+        report.add(ERROR, index, "duplicate resolver identification kinds")
+
+
+def validate_dataset(dataset: Dataset) -> ValidationReport:
+    """Validate every record plus cross-record invariants."""
+    report = ValidationReport()
+    last_time_per_device = {}
+    sequences_per_device = {}
+    for index, record in enumerate(dataset):
+        report.records_checked += 1
+        _check_record(record, index, report)
+        previous = last_time_per_device.get(record.device_id)
+        if previous is not None and record.started_at < previous:
+            report.add(
+                ERROR, index,
+                f"device {record.device_id} time went backwards",
+            )
+        last_time_per_device[record.device_id] = record.started_at
+        seen = sequences_per_device.setdefault(record.device_id, set())
+        if record.sequence in seen:
+            report.add(
+                WARNING, index,
+                f"device {record.device_id} repeats sequence {record.sequence}",
+            )
+        seen.add(record.sequence)
+    return report

@@ -1,0 +1,67 @@
+"""Back-to-back cache analysis (Fig 7) on crafted data."""
+
+import pytest
+
+from repro.analysis.cache import cache_comparison, per_domain_miss_rates
+from repro.measure.records import Dataset, ExperimentRecord, ResolutionRecord
+
+
+def _experiment(pairs, carrier="att", device="dev-1", at=0.0):
+    """pairs: {domain: (first_ms, second_ms)}"""
+    resolutions = []
+    for domain, (first, second) in pairs.items():
+        resolutions.append(
+            ResolutionRecord(domain=domain, resolver_kind="local",
+                             resolution_ms=first, attempt=1)
+        )
+        resolutions.append(
+            ResolutionRecord(domain=domain, resolver_kind="local",
+                             resolution_ms=second, attempt=2)
+        )
+    return ExperimentRecord(
+        device_id=device, carrier=carrier, country="US", sequence=int(at),
+        started_at=at, latitude=0.0, longitude=0.0,
+        technology="LTE", generation="4G", resolutions=resolutions,
+    )
+
+
+class TestCacheComparison:
+    def test_miss_rate_counts_large_deltas(self):
+        dataset = Dataset()
+        dataset.add(_experiment({"a.com": (200.0, 50.0), "b.com": (52.0, 50.0)}))
+        comparison = cache_comparison(dataset)
+        assert comparison.miss_rate(threshold_ms=15.0) == pytest.approx(0.5)
+
+    def test_all_hits(self):
+        dataset = Dataset()
+        dataset.add(_experiment({"a.com": (50.0, 49.0)}))
+        assert cache_comparison(dataset).miss_rate() == 0.0
+
+    def test_distributions_populated(self):
+        dataset = Dataset()
+        dataset.add(_experiment({"a.com": (200.0, 50.0)}))
+        comparison = cache_comparison(dataset)
+        assert comparison.first.median == 200.0
+        assert comparison.second.median == 50.0
+
+    def test_carrier_filter(self):
+        dataset = Dataset()
+        dataset.add(_experiment({"a.com": (200.0, 50.0)}, carrier="att"))
+        dataset.add(_experiment({"a.com": (50.0, 50.0)}, carrier="skt"))
+        only_att = cache_comparison(dataset, carriers=["att"])
+        assert only_att.miss_rate() == 1.0
+
+    def test_empty_dataset(self):
+        comparison = cache_comparison(Dataset())
+        assert comparison.miss_rate() == 0.0
+        assert comparison.first.is_empty
+
+
+class TestPerDomainMissRates:
+    def test_rates_by_domain(self):
+        dataset = Dataset()
+        dataset.add(_experiment({"hot.com": (50.0, 49.0), "cold.com": (300.0, 50.0)}))
+        dataset.add(_experiment({"hot.com": (51.0, 50.0), "cold.com": (280.0, 45.0)}, at=1.0))
+        rates = dict(per_domain_miss_rates(dataset))
+        assert rates["hot.com"] == 0.0
+        assert rates["cold.com"] == 1.0

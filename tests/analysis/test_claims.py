@@ -1,0 +1,45 @@
+"""The machine-checkable claim list."""
+
+from repro.analysis.claims import (
+    Claim,
+    PAPER_CLAIMS,
+    render_verification,
+    verify_claims,
+)
+
+
+class TestClaimList:
+    def test_seventeen_claims(self):
+        assert len(PAPER_CLAIMS) == 17
+
+    def test_unique_ids(self):
+        ids = [claim.claim_id for claim in PAPER_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_artifact_covered(self):
+        artifacts = {claim.artifact for claim in PAPER_CLAIMS}
+        for expected in ("Fig 2", "Fig 7", "Fig 10", "Fig 14",
+                         "Table 3", "Table 4", "Table 5", "Sec 5.2"):
+            assert expected in artifacts
+
+
+class TestVerification:
+    def test_all_claims_pass_on_session_study(self, study):
+        results = verify_claims(study)
+        failures = [str(result) for result in results if not result.passed]
+        assert not failures, "\n".join(failures)
+
+    def test_render_includes_summary(self, study):
+        results = verify_claims(study)
+        text = render_verification(results)
+        assert f"{len(results)}/{len(results)} claims reproduced" in text
+        assert "C1" in text
+
+    def test_broken_check_reports_failure(self, study):
+        def exploding(_):
+            raise RuntimeError("boom")
+
+        claim = Claim("CX", "Fig X", "never true", exploding)
+        results = verify_claims(study, claims=[claim])
+        assert not results[0].passed
+        assert "boom" in results[0].evidence

@@ -1,0 +1,163 @@
+"""LDNS pairing consistency and resolver timelines on crafted data."""
+
+import pytest
+
+from repro.analysis.consistency import (
+    device_location_centroid,
+    ldns_pair_table,
+    resolver_timeline,
+    unique_resolver_counts,
+)
+from repro.geo.coordinates import GeoPoint
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    ResolverIdRecord,
+)
+
+
+def _experiment(
+    device="dev-1",
+    carrier="carrier-a",
+    at=0.0,
+    configured="10.0.0.1",
+    external="10.1.0.1",
+    google_external=None,
+    latitude=41.88,
+    longitude=-87.63,
+):
+    resolver_ids = [
+        ResolverIdRecord(
+            resolver_kind="local",
+            configured_ip=configured,
+            observed_external_ip=external,
+        )
+    ]
+    if google_external:
+        resolver_ids.append(
+            ResolverIdRecord(
+                resolver_kind="google",
+                configured_ip="8.8.8.8",
+                observed_external_ip=google_external,
+            )
+        )
+    return ExperimentRecord(
+        device_id=device,
+        carrier=carrier,
+        country="US",
+        sequence=int(at),
+        started_at=at,
+        latitude=latitude,
+        longitude=longitude,
+        technology="LTE",
+        generation="4G",
+        resolver_ids=resolver_ids,
+    )
+
+
+class TestLdnsPairTable:
+    def test_perfectly_consistent(self):
+        dataset = Dataset()
+        for t in range(10):
+            dataset.add(_experiment(at=float(t)))
+        rows = ldns_pair_table(dataset)
+        assert len(rows) == 1
+        assert rows[0].client_addresses == 1
+        assert rows[0].external_addresses == 1
+        assert rows[0].consistency_pct == pytest.approx(100.0)
+
+    def test_even_split_is_fifty_percent(self):
+        # The paper's worked example: equal balancing over two externals.
+        dataset = Dataset()
+        for t in range(10):
+            external = "10.1.0.1" if t % 2 == 0 else "10.1.0.2"
+            dataset.add(_experiment(at=float(t), external=external))
+        rows = ldns_pair_table(dataset)
+        assert rows[0].consistency_pct == pytest.approx(50.0)
+        assert rows[0].pairs == 2
+
+    def test_multiple_carriers_sorted(self):
+        dataset = Dataset()
+        dataset.add(_experiment(carrier="zeta"))
+        dataset.add(_experiment(carrier="alpha"))
+        rows = ldns_pair_table(dataset)
+        assert [row.carrier for row in rows] == ["alpha", "zeta"]
+
+    def test_missing_identifications_skipped(self):
+        dataset = Dataset()
+        record = _experiment()
+        record.resolver_ids = []
+        dataset.add(record)
+        assert ldns_pair_table(dataset) == []
+
+
+class TestResolverTimeline:
+    def test_enumeration_by_first_appearance(self):
+        dataset = Dataset()
+        for t, external in enumerate(["a", "b", "a", "c"]):
+            dataset.add(_experiment(at=float(t), external=f"10.1.{ord(external)}.1"))
+        timeline = resolver_timeline(dataset, "dev-1")
+        indices = [index for _, index in timeline.enumerated_ips()]
+        assert indices == [1, 2, 1, 3]
+        assert timeline.unique_ips() == 3
+        assert timeline.changes() == 3
+
+    def test_prefix_enumeration_collapses_same_24(self):
+        dataset = Dataset()
+        for t, ip in enumerate(["10.1.0.1", "10.1.0.9", "10.2.0.1"]):
+            dataset.add(_experiment(at=float(t), external=ip))
+        timeline = resolver_timeline(dataset, "dev-1")
+        assert timeline.unique_prefixes() == 2
+        assert [i for _, i in timeline.enumerated_prefixes()] == [1, 1, 2]
+
+    def test_location_filter(self):
+        dataset = Dataset()
+        dataset.add(_experiment(at=0.0, external="10.1.0.1"))
+        dataset.add(
+            _experiment(
+                at=1.0, external="10.9.0.1", latitude=34.05, longitude=-118.24
+            )
+        )
+        centroid = GeoPoint(41.88, -87.63)
+        timeline = resolver_timeline(
+            dataset, "dev-1", within_km_of=centroid, radius_km=10.0
+        )
+        assert timeline.unique_ips() == 1
+
+    def test_google_timeline(self):
+        dataset = Dataset()
+        dataset.add(_experiment(at=0.0, google_external="20.1.0.1"))
+        dataset.add(_experiment(at=1.0, google_external="20.2.0.1"))
+        timeline = resolver_timeline(dataset, "dev-1", resolver_kind="google")
+        assert timeline.unique_ips() == 2
+
+    def test_unknown_device_empty(self):
+        timeline = resolver_timeline(Dataset(), "ghost")
+        assert timeline.observations == []
+
+
+class TestUniqueResolverCounts:
+    def test_counts_ips_and_prefixes(self):
+        dataset = Dataset()
+        dataset.add(_experiment(external="10.1.0.1", google_external="20.1.0.1"))
+        dataset.add(_experiment(external="10.1.0.2", google_external="20.2.0.1"))
+        rows = unique_resolver_counts(dataset)
+        by_kind = {(row.carrier, row.resolver_kind): row for row in rows}
+        local = by_kind[("carrier-a", "local")]
+        google = by_kind[("carrier-a", "google")]
+        assert local.unique_ips == 2 and local.unique_prefixes == 1
+        assert google.unique_ips == 2 and google.unique_prefixes == 2
+
+
+class TestCentroid:
+    def test_centroid_of_records(self):
+        records = [
+            _experiment(latitude=40.0, longitude=-80.0),
+            _experiment(latitude=42.0, longitude=-90.0),
+        ]
+        centroid = device_location_centroid(records)
+        assert centroid.latitude == pytest.approx(41.0)
+        assert centroid.longitude == pytest.approx(-85.0)
+
+    def test_empty_is_none(self):
+        assert device_location_centroid([]) is None

@@ -1,0 +1,83 @@
+"""Egress-point identification (Sec 5.2) on crafted traceroutes."""
+
+from repro.analysis.egress import (
+    count_egress_points,
+    egress_ip_of_traceroute,
+    world_ownership_oracle,
+)
+from repro.measure.records import Dataset, ExperimentRecord, TracerouteRecord
+
+
+def _owns(carrier, ip):
+    return ip.startswith("10.")
+
+
+class TestEgressRule:
+    def test_previous_hop_of_first_external(self):
+        hops = [
+            [1, None, None],
+            [2, "10.0.0.1", 5.0],
+            [3, "10.0.0.9", 8.0],   # last in-network hop: the egress
+            [4, "20.0.0.1", 12.0],  # first hop outside
+            [5, "30.0.0.1", 20.0],
+        ]
+        assert egress_ip_of_traceroute("c", hops, _owns) == "10.0.0.9"
+
+    def test_unresponsive_hops_skipped(self):
+        hops = [
+            [1, None, None],
+            [2, "10.0.0.9", 8.0],
+            [3, None, None],
+            [4, "20.0.0.1", 12.0],
+        ]
+        assert egress_ip_of_traceroute("c", hops, _owns) == "10.0.0.9"
+
+    def test_no_external_hop_means_no_egress(self):
+        hops = [[1, "10.0.0.1", 1.0], [2, "10.0.0.2", 2.0]]
+        assert egress_ip_of_traceroute("c", hops, _owns) is None
+
+    def test_immediately_external_yields_none(self):
+        hops = [[1, "20.0.0.1", 1.0]]
+        assert egress_ip_of_traceroute("c", hops, _owns) is None
+
+
+class TestCounting:
+    def _dataset(self):
+        dataset = Dataset()
+        for index, egress in enumerate(["10.0.0.1", "10.0.0.2", "10.0.0.1"]):
+            dataset.add(
+                ExperimentRecord(
+                    device_id=f"dev-{index}", carrier="att", country="US",
+                    sequence=index, started_at=float(index),
+                    latitude=0.0, longitude=0.0,
+                    technology="LTE", generation="4G",
+                    traceroutes=[
+                        TracerouteRecord(
+                            target_ip="30.0.0.1",
+                            target_kind="egress-discovery",
+                            hops=[[1, egress, 5.0], [2, "20.0.0.1", 10.0]],
+                        )
+                    ],
+                )
+            )
+        return dataset
+
+    def test_distinct_egress_counted(self):
+        counts = count_egress_points(self._dataset(), _owns)
+        assert counts["att"].count == 2
+        assert counts["att"].traceroutes_used == 3
+
+    def test_non_discovery_traceroutes_ignored(self):
+        dataset = self._dataset()
+        dataset.experiments[0].traceroutes[0].target_kind = "resolver"
+        counts = count_egress_points(dataset, _owns)
+        assert counts["att"].traceroutes_used == 2
+
+
+class TestWorldOracle:
+    def test_oracle_wraps_operator_ownership(self, world):
+        owns = world_ownership_oracle(world)
+        att_egress = world.operators["att"].egress_points[0].ip
+        assert owns("att", att_egress)
+        assert not owns("att", world.vantage.host.ip)
+        assert not owns("nonexistent", att_egress)

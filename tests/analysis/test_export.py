@@ -1,0 +1,97 @@
+"""CSV export of figure series."""
+
+import csv
+
+from repro.analysis.export import (
+    export_cdf,
+    export_cdf_family,
+    export_rows,
+    export_timeline,
+)
+from repro.analysis.consistency import ResolverTimeline
+from repro.analysis.stats import ECDF
+
+
+def _read(path):
+    with open(path, newline="", encoding="utf-8") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportCdf:
+    def test_single_cdf(self, tmp_path):
+        path = tmp_path / "cdf.csv"
+        rows = export_cdf(ECDF.from_values(range(100)), str(path), points=11)
+        data = _read(path)
+        assert data[0] == ["value", "cdf"]
+        assert len(data) == rows + 1
+        # Monotone in both columns.
+        xs = [float(row[0]) for row in data[1:]]
+        ys = [float(row[1]) for row in data[1:]]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_empty_cdf_writes_header_only(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        rows = export_cdf(ECDF.from_values([]), str(path))
+        assert rows == 0
+        assert _read(path) == [["value", "cdf"]]
+
+    def test_family(self, tmp_path):
+        path = tmp_path / "family.csv"
+        curves = {
+            "a": ECDF.from_values([1.0, 2.0]),
+            "b": ECDF.from_values([3.0]),
+            "empty": ECDF.from_values([]),
+            "none": None,
+        }
+        export_cdf_family(curves, str(path), points=5)
+        data = _read(path)
+        series = {row[0] for row in data[1:]}
+        assert series == {"a", "b"}
+
+
+class TestExportTimeline:
+    def test_timeline_rows(self, tmp_path):
+        timeline = ResolverTimeline(
+            device_id="d", carrier="att", resolver_kind="local",
+            observations=[(0.0, "10.0.0.1"), (60.0, "10.0.1.1"),
+                          (120.0, "10.0.0.1")],
+        )
+        path = tmp_path / "timeline.csv"
+        export_timeline(timeline, str(path))
+        data = _read(path)
+        assert [row[1] for row in data[1:]] == ["1", "2", "1"]
+
+    def test_prefix_mode(self, tmp_path):
+        timeline = ResolverTimeline(
+            device_id="d", carrier="att", resolver_kind="local",
+            observations=[(0.0, "10.0.0.1"), (60.0, "10.0.0.200")],
+        )
+        path = tmp_path / "timeline24.csv"
+        export_timeline(timeline, str(path), by_prefix=True)
+        data = _read(path)
+        assert [row[1] for row in data[1:]] == ["1", "1"]
+
+
+class TestExportRows:
+    def test_table(self, tmp_path):
+        path = tmp_path / "table.csv"
+        count = export_rows(["a", "b"], [(1, 2), (3, 4)], str(path))
+        assert count == 2
+        assert _read(path) == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "table.csv"
+        export_rows(["a"], [(1,)], str(path))
+        assert path.exists()
+
+
+class TestExportStudyFigures:
+    def test_full_export(self, study, tmp_path):
+        from repro.analysis.export import export_study_figures
+
+        paths = export_study_figures(study, str(tmp_path / "figures"))
+        assert len(paths) > 30
+        for path in paths:
+            rows = _read(path)
+            assert rows, path  # at least a header everywhere

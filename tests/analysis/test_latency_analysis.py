@@ -1,0 +1,161 @@
+"""Latency extraction helpers on crafted data."""
+
+import pytest
+
+from repro.analysis.latency import (
+    carriers_in,
+    median_gap_ms,
+    public_resolver_pings,
+    resolution_times,
+    resolution_times_by_kind,
+    resolution_times_by_technology,
+    resolver_ping_latencies,
+)
+from repro.analysis.stats import ECDF
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    PingRecord,
+    ResolutionRecord,
+)
+
+
+def _experiment(
+    carrier="att",
+    country="US",
+    technology="LTE",
+    resolutions=(),
+    pings=(),
+    at=0.0,
+):
+    return ExperimentRecord(
+        device_id="dev-1", carrier=carrier, country=country, sequence=int(at),
+        started_at=at, latitude=0.0, longitude=0.0,
+        technology=technology, generation="4G",
+        resolutions=list(resolutions), pings=list(pings),
+    )
+
+
+def _resolution(domain="a.com", kind="local", ms=50.0, attempt=1):
+    return ResolutionRecord(
+        domain=domain, resolver_kind=kind, resolution_ms=ms, attempt=attempt
+    )
+
+
+class TestResolutionTimes:
+    def test_first_attempts_only_by_default(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                resolutions=[
+                    _resolution(ms=100.0, attempt=1),
+                    _resolution(ms=10.0, attempt=2),
+                ]
+            )
+        )
+        ecdf = resolution_times(dataset, "att")
+        assert len(ecdf) == 1
+        assert ecdf.median == 100.0
+
+    def test_attempt_none_includes_all(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                resolutions=[
+                    _resolution(ms=100.0, attempt=1),
+                    _resolution(ms=10.0, attempt=2),
+                ]
+            )
+        )
+        assert len(resolution_times(dataset, "att", attempt=None)) == 2
+
+    def test_carrier_scoped(self):
+        dataset = Dataset()
+        dataset.add(_experiment(carrier="att", resolutions=[_resolution()]))
+        dataset.add(_experiment(carrier="skt", resolutions=[_resolution(ms=99.0)]))
+        assert resolution_times(dataset, "skt").median == 99.0
+
+    def test_by_technology_buckets(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(technology="LTE", resolutions=[_resolution(ms=40.0)])
+        )
+        dataset.add(
+            _experiment(technology="EDGE", resolutions=[_resolution(ms=500.0)], at=1)
+        )
+        curves = resolution_times_by_technology(dataset, "att")
+        assert set(curves) == {"LTE", "EDGE"}
+        assert curves["EDGE"].median > curves["LTE"].median
+
+    def test_by_kind(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                resolutions=[
+                    _resolution(kind="local", ms=40.0),
+                    _resolution(kind="google", ms=60.0),
+                    _resolution(kind="opendns", ms=70.0),
+                ]
+            )
+        )
+        curves = resolution_times_by_kind(dataset, "att")
+        assert curves["local"].median < curves["google"].median
+
+
+class TestResolverPings:
+    def test_client_vs_external(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                pings=[
+                    PingRecord("10.0.0.1", "resolver-client-facing", 30.0),
+                    PingRecord("10.1.0.1", "resolver-external-facing", 55.0),
+                    PingRecord("10.1.0.2", "resolver-external-facing", None),
+                ]
+            )
+        )
+        curves = resolver_ping_latencies(dataset, "att")
+        assert curves["client"].median == 30.0
+        assert curves["external"].median == 55.0
+
+    def test_silent_tier_absent(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                pings=[PingRecord("10.0.0.1", "resolver-client-facing", 30.0)]
+            )
+        )
+        curves = resolver_ping_latencies(dataset, "att")
+        assert "external" not in curves
+
+    def test_public_pings(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                pings=[
+                    PingRecord("8.8.8.8", "resolver-public-google", 60.0),
+                    PingRecord("208.67.222.222", "resolver-public-opendns", 65.0),
+                    PingRecord("10.1.0.1", "resolver-external-facing", 45.0),
+                ]
+            )
+        )
+        curves = public_resolver_pings(dataset, "att")
+        assert curves["google"].median == 60.0
+        assert curves["opendns"].median == 65.0
+        assert curves["local-external"].median == 45.0
+
+
+class TestHelpers:
+    def test_median_gap(self):
+        first = ECDF.from_values([10.0, 20.0, 30.0])
+        second = ECDF.from_values([15.0, 25.0, 35.0])
+        assert median_gap_ms(first, second) == pytest.approx(5.0)
+        assert median_gap_ms(first, None) is None
+        assert median_gap_ms(first, ECDF.from_values([])) is None
+
+    def test_carriers_in(self):
+        dataset = Dataset()
+        dataset.add(_experiment(carrier="att", country="US"))
+        dataset.add(_experiment(carrier="skt", country="KR"))
+        assert carriers_in(dataset) == ["att", "skt"]
+        assert carriers_in(dataset, country="KR") == ["skt"]

@@ -1,0 +1,151 @@
+"""Replica differentials (Fig 2) and public comparison (Fig 14)."""
+
+import pytest
+
+from repro.analysis.localization import (
+    public_replica_comparison,
+    replica_differentials,
+)
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    HttpRecord,
+    ResolutionRecord,
+)
+
+
+def _experiment(
+    gets,
+    resolutions=(),
+    carrier="att",
+    device="dev-1",
+    at=0.0,
+):
+    """gets: list of (replica_ip, domain, resolver_kind, ttfb)."""
+    return ExperimentRecord(
+        device_id=device, carrier=carrier, country="US", sequence=int(at),
+        started_at=at, latitude=0.0, longitude=0.0,
+        technology="LTE", generation="4G",
+        resolutions=list(resolutions),
+        http_gets=[
+            HttpRecord(replica_ip=ip, domain=domain,
+                       resolver_kind=kind, ttfb_ms=ttfb)
+            for ip, domain, kind, ttfb in gets
+        ],
+    )
+
+
+class TestReplicaDifferentials:
+    def test_percent_increase_over_best(self):
+        dataset = Dataset()
+        dataset.add(
+            _experiment(
+                [
+                    ("10.1.0.1", "a.com", "local", 100.0),
+                    ("10.2.0.1", "a.com", "local", 200.0),
+                ]
+            )
+        )
+        result = replica_differentials(dataset, "att")
+        assert sorted(result.per_replica) == [0.0, 100.0]
+
+    def test_single_replica_skipped(self):
+        dataset = Dataset()
+        dataset.add(_experiment([("10.1.0.1", "a.com", "local", 100.0)]))
+        result = replica_differentials(dataset, "att")
+        assert result.per_replica == []
+
+    def test_means_across_experiments(self):
+        dataset = Dataset()
+        dataset.add(_experiment([("10.1.0.1", "a.com", "local", 80.0)], at=0.0))
+        dataset.add(_experiment([("10.1.0.1", "a.com", "local", 120.0)], at=1.0))
+        dataset.add(_experiment([("10.2.0.1", "a.com", "local", 150.0)], at=2.0))
+        result = replica_differentials(dataset, "att")
+        # mean(10.1.0.1)=100, mean(10.2.0.1)=150 -> increases 0% and 50%.
+        assert sorted(result.per_replica) == [0.0, 50.0]
+
+    def test_access_weighting(self):
+        dataset = Dataset()
+        dataset.add(_experiment([
+            ("10.1.0.1", "a.com", "local", 100.0),
+            ("10.1.0.1", "a.com", "local", 100.0),
+            ("10.2.0.1", "a.com", "local", 200.0),
+        ]))
+        result = replica_differentials(dataset, "att")
+        assert len(result.per_access) == 3
+        assert result.per_access.count(0.0) == 2
+
+    def test_domain_filter(self):
+        dataset = Dataset()
+        dataset.add(_experiment([
+            ("10.1.0.1", "a.com", "local", 100.0),
+            ("10.2.0.1", "a.com", "local", 300.0),
+            ("10.3.0.1", "b.com", "local", 100.0),
+            ("10.4.0.1", "b.com", "local", 110.0),
+        ]))
+        result = replica_differentials(dataset, "att", domain="b.com")
+        assert sorted(result.per_replica) == [0.0, pytest.approx(10.0)]
+
+    def test_resolver_kind_filter(self):
+        dataset = Dataset()
+        dataset.add(_experiment([
+            ("10.1.0.1", "a.com", "local", 100.0),
+            ("10.2.0.1", "a.com", "google", 500.0),
+        ]))
+        local_only = replica_differentials(dataset, "att", resolver_kind="local")
+        assert local_only.per_replica == []
+        all_kinds = replica_differentials(dataset, "att")
+        assert sorted(all_kinds.per_replica) == [0.0, 400.0]
+
+
+def _fig14_experiment(local_ips, google_ips, ttfbs, carrier="att", at=0.0):
+    resolutions = [
+        ResolutionRecord(domain="a.com", resolver_kind="local",
+                         resolution_ms=40.0, addresses=list(local_ips)),
+        ResolutionRecord(domain="a.com", resolver_kind="google",
+                         resolution_ms=50.0, addresses=list(google_ips)),
+    ]
+    gets = [(ip, "a.com", "local", ttfb) for ip, ttfb in ttfbs.items()]
+    return _experiment(gets, resolutions=resolutions, carrier=carrier, at=at)
+
+
+class TestPublicReplicaComparison:
+    def test_same_prefix_scores_zero(self):
+        dataset = Dataset()
+        dataset.add(_fig14_experiment(
+            ["10.1.0.1"], ["10.1.0.2"], {"10.1.0.1": 100.0, "10.1.0.2": 105.0},
+        ))
+        result = public_replica_comparison(dataset, "att")
+        assert result.percent_changes == [0.0]
+        assert result.fraction_equal() == 1.0
+
+    def test_public_worse_is_positive(self):
+        dataset = Dataset()
+        dataset.add(_fig14_experiment(
+            ["10.1.0.1"], ["10.2.0.1"], {"10.1.0.1": 100.0, "10.2.0.1": 150.0},
+        ))
+        result = public_replica_comparison(dataset, "att")
+        assert result.percent_changes == [pytest.approx(50.0)]
+        assert result.fraction_public_not_worse() == 0.0
+
+    def test_public_better_is_negative(self):
+        dataset = Dataset()
+        dataset.add(_fig14_experiment(
+            ["10.1.0.1"], ["10.2.0.1"], {"10.1.0.1": 200.0, "10.2.0.1": 100.0},
+        ))
+        result = public_replica_comparison(dataset, "att")
+        assert result.percent_changes == [pytest.approx(-50.0)]
+        assert result.fraction_public_not_worse() == 1.0
+
+    def test_unmeasured_replicas_skipped(self):
+        dataset = Dataset()
+        dataset.add(_fig14_experiment(["10.1.0.1"], ["10.2.0.1"], {}))
+        result = public_replica_comparison(dataset, "att")
+        assert result.percent_changes == []
+
+    def test_carrier_scoping(self):
+        dataset = Dataset()
+        dataset.add(_fig14_experiment(
+            ["10.1.0.1"], ["10.1.0.2"], {"10.1.0.1": 1.0}, carrier="skt",
+        ))
+        assert public_replica_comparison(dataset, "att").percent_changes == []

@@ -1,0 +1,118 @@
+"""Longitudinal analyses: inventories, changes, discovery curves."""
+
+import pytest
+
+from repro.analysis.egress import world_ownership_oracle
+from repro.analysis.longitudinal import (
+    DiscoveryCurve,
+    configuration_changes,
+    egress_discovery_curve,
+    resolver_discovery_curve,
+    resolver_inventory_over_time,
+)
+from repro.core.clock import SECONDS_PER_DAY
+from repro.measure.records import Dataset, ExperimentRecord, ResolverIdRecord
+
+
+def _record(at, external, device="dev-1", carrier="c", configured="10.0.0.1"):
+    return ExperimentRecord(
+        device_id=device, carrier=carrier, country="US",
+        sequence=int(at), started_at=at, latitude=0.0, longitude=0.0,
+        technology="LTE", generation="4G",
+        resolver_ids=[
+            ResolverIdRecord(
+                resolver_kind="local",
+                configured_ip=configured,
+                observed_external_ip=external,
+            )
+        ],
+    )
+
+
+class TestInventories:
+    def test_windows_partition_time(self):
+        dataset = Dataset()
+        dataset.add(_record(0.0, "10.1.0.1"))
+        dataset.add(_record(20 * SECONDS_PER_DAY, "10.2.0.1"))
+        inventories = resolver_inventory_over_time(dataset, "c", window_days=14)
+        assert len(inventories) == 2
+        assert inventories[0].external_prefixes == {"10.1.0.0/24"}
+        assert inventories[1].external_prefixes == {"10.2.0.0/24"}
+
+    def test_consistency_per_window(self):
+        dataset = Dataset()
+        for t in range(10):
+            dataset.add(_record(float(t), "10.1.0.1"))
+        inventories = resolver_inventory_over_time(dataset, "c")
+        assert inventories[0].consistency_pct == pytest.approx(100.0)
+
+    def test_carrier_scoped(self):
+        dataset = Dataset()
+        dataset.add(_record(0.0, "10.1.0.1", carrier="other"))
+        assert resolver_inventory_over_time(dataset, "c") == []
+
+
+class TestChanges:
+    def test_stable_estate_no_changes(self):
+        dataset = Dataset()
+        for day in range(0, 60, 10):
+            dataset.add(_record(day * SECONDS_PER_DAY, "10.1.0.1"))
+        inventories = resolver_inventory_over_time(dataset, "c")
+        assert configuration_changes(inventories) == []
+
+    def test_prefix_shift_detected(self):
+        dataset = Dataset()
+        dataset.add(_record(0.0, "10.1.0.1"))
+        dataset.add(_record(20 * SECONDS_PER_DAY, "10.2.0.1"))
+        inventories = resolver_inventory_over_time(dataset, "c", window_days=14)
+        changes = configuration_changes(inventories)
+        assert len(changes) == 1
+        assert "+1/-1" in changes[0][1]
+
+
+class TestDiscoveryCurves:
+    def test_steps_monotone(self):
+        dataset = Dataset()
+        for t, ip in enumerate(["a", "b", "a", "c"]):
+            dataset.add(_record(float(t), f"10.1.{ord(ip)}.1"))
+        curve = resolver_discovery_curve(dataset, "c")
+        counts = [count for _, count in curve.steps]
+        assert counts == [1, 2, 3]
+        assert curve.total == 3
+
+    def test_count_at(self):
+        curve = DiscoveryCurve(carrier="c", what="x",
+                               steps=[(0.0, 1), (10.0, 2), (20.0, 3)])
+        assert curve.count_at(-1.0) == 0
+        assert curve.count_at(15.0) == 2
+        assert curve.count_at(100.0) == 3
+
+    def test_time_to_fraction(self):
+        curve = DiscoveryCurve(carrier="c", what="x",
+                               steps=[(0.0, 1), (10.0, 2), (20.0, 4)])
+        assert curve.time_to_fraction(0.5) == 10.0
+        assert curve.time_to_fraction(1.0) == 20.0
+        assert DiscoveryCurve("c", "x").time_to_fraction(0.5) is None
+
+
+class TestOnRealCampaign:
+    def test_tmobile_keeps_discovering(self, study, dataset):
+        """Churny carriers discover resolvers throughout the campaign."""
+        curve = resolver_discovery_curve(dataset, "tmobile")
+        assert curve.total > 10
+        halfway = curve.time_to_fraction(0.5)
+        full = curve.time_to_fraction(1.0)
+        assert halfway is not None and full is not None
+        assert full > halfway
+
+    def test_egress_curve_bounded_by_deployment(self, study, dataset):
+        owns = world_ownership_oracle(study.world)
+        curve = egress_discovery_curve(dataset, "verizon", owns)
+        deployed = len(study.world.operators["verizon"].egress_points)
+        assert 0 < curve.total <= deployed
+
+    def test_verizon_configuration_stable(self, study, dataset):
+        inventories = resolver_inventory_over_time(dataset, "verizon")
+        # Tiered fixed pairs: the /24 estate barely moves across windows.
+        changes = configuration_changes(inventories)
+        assert len(changes) <= len(inventories)

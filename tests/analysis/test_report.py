@@ -1,0 +1,73 @@
+"""Report rendering."""
+
+from repro.analysis.report import format_cdfs, format_fractions, format_table
+from repro.analysis.stats import ECDF
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["Name", "Value"], [["alpha", 1.5], ["b", 22]], title="My Table"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "Name" in lines[1]
+        assert "alpha" in lines[3]
+        assert "1.5" in lines[3]
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["a"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestFormatCdfs:
+    def test_quantile_grid(self):
+        curves = {"att": ECDF.from_values(range(100)), "empty": ECDF.from_values([])}
+        text = format_cdfs(curves, title="Fig X")
+        assert "Fig X (ms)" in text
+        assert "p50" in text
+        att_line = next(line for line in text.splitlines() if line.startswith("att"))
+        assert "49.5" in att_line
+        empty_line = next(
+            line for line in text.splitlines() if line.startswith("empty")
+        )
+        assert "-" in empty_line
+
+    def test_none_curves_allowed(self):
+        text = format_cdfs({"x": None})
+        assert "x" in text
+
+
+class TestFormatTimeline:
+    def test_dots_at_levels(self):
+        from repro.analysis.report import format_timeline
+
+        series = [(0.0, 1), (50.0, 2), (100.0, 1)]
+        text = format_timeline(series, title="Fig 8", width=20)
+        lines = text.splitlines()
+        assert lines[0] == "Fig 8"
+        level_2 = next(line for line in lines if line.startswith("    2 |"))
+        assert "•" in level_2
+
+    def test_empty_series(self):
+        from repro.analysis.report import format_timeline
+
+        assert "(no observations)" in format_timeline([])
+
+    def test_axis_labels(self):
+        from repro.analysis.report import format_timeline
+
+        text = format_timeline(
+            [(0.0, 1)], left_label="Mar-1", right_label="Aug-1"
+        )
+        assert "Mar-1" in text and "Aug-1" in text
+
+
+class TestFormatFractions:
+    def test_percent_rendering(self):
+        text = format_fractions({"equal": 0.77}, title="Fig 14")
+        assert "77.0%" in text
+
+    def test_raw_rendering(self):
+        text = format_fractions({"equal": 0.5}, as_percent=False)
+        assert "0.5" in text

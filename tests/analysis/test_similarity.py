@@ -1,0 +1,75 @@
+"""Cosine similarity and replica maps."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.similarity import (
+    ReplicaMap,
+    cosine_similarity,
+    replica_prefix_map,
+)
+
+weight_maps = st.dictionaries(
+    st.sampled_from([f"10.0.{i}.1" for i in range(8)]),
+    st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestCosineSimilarity:
+    def test_identical_maps_give_one(self):
+        weights = {"a": 0.5, "b": 0.5}
+        assert cosine_similarity(weights, weights) == pytest.approx(1.0)
+
+    def test_disjoint_maps_give_zero(self):
+        assert cosine_similarity({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_partial_overlap_between(self):
+        value = cosine_similarity({"a": 1.0, "b": 1.0}, {"b": 1.0, "c": 1.0})
+        assert 0.0 < value < 1.0
+
+    def test_empty_maps_give_zero(self):
+        assert cosine_similarity({}, {"a": 1.0}) == 0.0
+
+    def test_scale_invariant(self):
+        a = {"x": 0.2, "y": 0.8}
+        b = {"x": 2.0, "y": 8.0}
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    @given(weight_maps, weight_maps)
+    def test_range_and_symmetry(self, a, b):
+        value = cosine_similarity(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(cosine_similarity(b, a))
+
+    @given(weight_maps)
+    def test_self_similarity_is_one(self, weights):
+        assert cosine_similarity(weights, weights) == pytest.approx(1.0)
+
+
+class TestReplicaMap:
+    def test_ratios_normalised(self):
+        replica_map = ReplicaMap(resolver_ip="10.0.0.1", domain="d")
+        replica_map.observe("10.1.0.1")
+        replica_map.observe("10.1.0.1")
+        replica_map.observe("10.2.0.1")
+        ratios = replica_map.ratios
+        assert ratios["10.1.0.1"] == pytest.approx(2 / 3)
+        assert sum(ratios.values()) == pytest.approx(1.0)
+        assert replica_map.total_seen == 3
+
+    def test_empty_ratios(self):
+        replica_map = ReplicaMap(resolver_ip="10.0.0.1", domain="d")
+        assert replica_map.ratios == {}
+
+
+class TestPrefixAggregation:
+    def test_aggregates_by_24(self):
+        counts = {"10.1.0.1": 1, "10.1.0.2": 1, "10.2.0.1": 2}
+        aggregated = replica_prefix_map(counts)
+        assert aggregated["10.1.0.0/24"] == pytest.approx(0.5)
+        assert aggregated["10.2.0.0/24"] == pytest.approx(0.5)

@@ -1,0 +1,122 @@
+"""Statistical primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    ECDF,
+    group_ecdfs,
+    percent_increase,
+    percentile,
+    summarize,
+)
+
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(floats, min_size=1, max_size=200)
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestPercentIncrease:
+    def test_equal_is_zero(self):
+        assert percent_increase(10.0, 10.0) == 0.0
+
+    def test_double_is_hundred(self):
+        assert percent_increase(20.0, 10.0) == 100.0
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            percent_increase(1.0, 0.0)
+
+
+class TestECDF:
+    def test_evaluate_endpoints(self):
+        ecdf = ECDF.from_values([1.0, 2.0, 3.0, 4.0])
+        assert ecdf.evaluate(0.5) == 0.0
+        assert ecdf.evaluate(4.0) == 1.0
+        assert ecdf.evaluate(2.0) == 0.5
+
+    def test_nan_dropped(self):
+        ecdf = ECDF.from_values([1.0, float("nan"), 3.0])
+        assert len(ecdf) == 2
+
+    def test_empty_operations_raise(self):
+        ecdf = ECDF.from_values([])
+        assert ecdf.is_empty
+        with pytest.raises(ValueError):
+            ecdf.median
+        with pytest.raises(ValueError):
+            ecdf.evaluate(1.0)
+
+    def test_series_monotone(self):
+        ecdf = ECDF.from_values(range(100))
+        series = ecdf.series(points=20)
+        xs = [x for x, _ in series]
+        ys = [y for _, y in series]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+
+    def test_fraction_above(self):
+        ecdf = ECDF.from_values([1, 2, 3, 4])
+        assert ecdf.fraction_above(2.0) == 0.5
+
+    @given(samples)
+    def test_evaluate_is_monotone(self, values):
+        ecdf = ECDF.from_values(values)
+        lo, hi = min(values) - 1, max(values) + 1
+        previous = -1.0
+        for step in range(11):
+            x = lo + (hi - lo) * step / 10.0
+            current = ecdf.evaluate(x)
+            assert current >= previous
+            previous = current
+
+    @given(samples)
+    def test_quantile_within_range(self, values):
+        ecdf = ECDF.from_values(values)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert min(values) <= ecdf.quantile(q) <= max(values)
+
+    @given(samples)
+    def test_median_splits_mass(self, values):
+        ecdf = ECDF.from_values(values)
+        median = ecdf.median
+        assert ecdf.evaluate(median) >= 0.5
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.median == 3.0
+        assert summary.p90 >= summary.median >= summary.p10
+
+    def test_empty_returns_none(self):
+        assert summarize([]) is None
+
+    def test_nan_dropped(self):
+        summary = summarize([1.0, math.nan])
+        assert summary.count == 1
+
+    def test_row_order(self):
+        summary = summarize([1.0])
+        assert summary.row()[0] == 1  # count first
+
+
+class TestGroupEcdfs:
+    def test_drops_empty_groups(self):
+        groups = group_ecdfs({"a": [1.0, 2.0], "b": []})
+        assert set(groups) == {"a"}

@@ -1,0 +1,49 @@
+"""The nine-domain catalogue (Table 2)."""
+
+import pytest
+
+from repro.cdn.catalog import (
+    MEASURED_DOMAINS,
+    domain_names,
+    domains_by_cdn,
+    spec_for,
+)
+
+
+class TestCatalogue:
+    def test_nine_domains(self):
+        assert len(MEASURED_DOMAINS) == 9
+
+    def test_paper_confirmed_entries_present(self):
+        names = domain_names()
+        assert "m.yelp.com" in names  # the only Table 2 entry the OCR kept
+        assert "www.buzzfeed.com" in names  # named in Fig 10's caption
+
+    def test_unique_names(self):
+        names = domain_names()
+        assert len(set(names)) == len(names)
+
+    def test_every_domain_has_a_cdn(self):
+        grouped = domains_by_cdn()
+        assert set(grouped) == {"globalcache", "continental", "usonly"}
+        assert sum(len(specs) for specs in grouped.values()) == 9
+
+    def test_short_a_ttls(self):
+        # CDN A records are short-lived enough to defeat caches (Fig 7).
+        assert all(spec.a_ttl <= 60 for spec in MEASURED_DOMAINS)
+
+    def test_cnames_outlive_a_records(self):
+        assert all(spec.cname_ttl > spec.a_ttl for spec in MEASURED_DOMAINS)
+
+    def test_edge_names_live_in_cdn_zone(self):
+        for spec in MEASURED_DOMAINS:
+            assert spec.edge_name.endswith(f"{spec.cdn_key}-sim.net")
+
+    def test_spec_for(self):
+        assert spec_for("m.yelp.com").name == "m.yelp.com"
+        with pytest.raises(KeyError):
+            spec_for("m.unknown.example")
+
+    def test_answers_per_response_small(self):
+        # The paper's replica sets per response are small (Sec 5.1).
+        assert all(1 <= spec.answers_per_response <= 4 for spec in MEASURED_DOMAINS)

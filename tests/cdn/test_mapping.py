@@ -1,0 +1,73 @@
+"""The /24 -> cluster mapping policy."""
+
+from repro.cdn.mapping import MappingPolicy
+from repro.geo.coordinates import GeoPoint
+from repro.geo.regions import city_named
+
+CLUSTERS = [
+    city_named("New York").location,
+    city_named("Chicago").location,
+    city_named("Los Angeles").location,
+    city_named("Seattle").location,
+]
+
+
+def _policy(is_cellular=True, **overrides):
+    location = city_named("Chicago").location
+
+    def locator(ip):
+        if ip.startswith("198.18."):
+            return location, is_cellular
+        return None
+
+    defaults = dict(locator=locator, cluster_locations=CLUSTERS, seed=4)
+    defaults.update(overrides)
+    return MappingPolicy(**defaults)
+
+
+class TestMapping:
+    def test_same_prefix_same_cluster(self):
+        policy = _policy()
+        assert policy.cluster_for("198.18.5.1", 0.0) == policy.cluster_for(
+            "198.18.5.200", 0.0
+        )
+
+    def test_wired_maps_to_nearest(self):
+        policy = _policy(is_cellular=False)
+        assert policy.cluster_for("198.18.5.1", 0.0) == 1  # Chicago
+
+    def test_cellular_with_zero_error_also_nearest(self):
+        policy = _policy(cellular_error_km=0.0, cellular_blunder_prob=0.0)
+        assert policy.cluster_for("198.18.5.1", 0.0) == 1
+
+    def test_blunders_scatter_prefixes(self):
+        policy = _policy(cellular_blunder_prob=1.0)
+        clusters = {
+            policy.cluster_for(f"198.18.{block}.1", 0.0) for block in range(40)
+        }
+        assert len(clusters) > 1
+
+    def test_unknown_space_stable(self):
+        policy = _policy()
+        first = policy.cluster_for("203.0.113.7", 0.0)
+        assert policy.cluster_for("203.0.113.99", 0.0) == first
+
+    def test_decision_stable_within_epoch(self):
+        policy = _policy()
+        early = policy.cluster_for("198.18.9.1", 0.0)
+        later = policy.cluster_for("198.18.9.1", policy.remap_epoch_s - 1.0)
+        assert early == later
+
+    def test_decisions_may_change_across_epochs(self):
+        policy = _policy(cellular_blunder_prob=0.5)
+        decisions = {
+            policy.cluster_for("198.18.9.1", epoch * policy.remap_epoch_s)
+            for epoch in range(30)
+        }
+        assert len(decisions) > 1
+
+    def test_mapped_blocks_diagnostics(self):
+        policy = _policy()
+        policy.cluster_for("198.18.9.1", 0.0)
+        policy.cluster_for("198.18.10.1", 0.0)
+        assert policy.mapped_blocks() == ["198.18.10.0/24", "198.18.9.0/24"]

@@ -1,0 +1,77 @@
+"""Property-based invariants of the mapping policy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.mapping import MappingPolicy
+from repro.geo.coordinates import GeoPoint
+from repro.geo.regions import US_CITIES
+
+CLUSTERS = [city.location for city in US_CITIES[:8]]
+
+octets = st.integers(min_value=0, max_value=255)
+ips = st.tuples(octets, octets, octets, octets).map(
+    lambda parts: ".".join(str(part) for part in parts)
+)
+times = st.floats(min_value=0.0, max_value=1.5e7, allow_nan=False)
+
+
+def _policy(seed=1, **overrides):
+    def locator(ip):
+        # Every address "lives" somewhere deterministic in the US.
+        index = sum(int(part) for part in ip.split(".")) % len(US_CITIES)
+        return US_CITIES[index].location, True
+
+    defaults = dict(locator=locator, cluster_locations=CLUSTERS, seed=seed)
+    defaults.update(overrides)
+    return MappingPolicy(**defaults)
+
+
+class TestMappingProperties:
+    @given(ips, times)
+    @settings(max_examples=200)
+    def test_decision_always_a_valid_cluster(self, ip, now):
+        policy = _policy()
+        decision = policy.cluster_for(ip, now)
+        assert 0 <= decision < len(CLUSTERS)
+
+    @given(ips, times, octets)
+    @settings(max_examples=200)
+    def test_same_slash24_same_decision(self, ip, now, last_octet):
+        policy = _policy()
+        sibling = ip.rsplit(".", 1)[0] + f".{last_octet}"
+        assert policy.cluster_for(ip, now) == policy.cluster_for(sibling, now)
+
+    @given(ips, times)
+    @settings(max_examples=100)
+    def test_stable_within_epoch(self, ip, now):
+        policy = _policy()
+        later = min(
+            now + policy.remap_epoch_s * 0.49,
+            (int(now // policy.remap_epoch_s) + 1) * policy.remap_epoch_s - 1.0,
+        )
+        assert policy.cluster_for(ip, now) == policy.cluster_for(ip, later)
+
+    @given(ips, times)
+    @settings(max_examples=100)
+    def test_ecs_and_resolver_flags_agree_on_cache(self, ip, now):
+        # Whatever got decided first for a /24 is what the cache serves,
+        # regardless of the later call's flag (one decision per block).
+        policy = _policy()
+        first = policy.cluster_for(ip, now, is_client_subnet=True)
+        second = policy.cluster_for(ip, now, is_client_subnet=False)
+        assert first == second
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=50)
+    def test_zero_error_maps_to_nearest(self, salt):
+        policy = _policy(
+            seed=salt, cellular_error_km=0.0, cellular_blunder_prob=0.0
+        )
+        ip = f"10.{salt % 256}.{(salt // 7) % 256}.1"
+        location, _ = policy.locator(ip)
+        expected = min(
+            range(len(CLUSTERS)),
+            key=lambda index: CLUSTERS[index].distance_km(location),
+        )
+        assert policy.cluster_for(ip, 0.0) == expected

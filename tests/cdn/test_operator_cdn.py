@@ -1,0 +1,105 @@
+"""On-net operator CDN extension."""
+
+import pytest
+
+from repro.cdn.catalog import spec_for
+from repro.cdn.operator_cdn import build_operator_cdn
+from repro.cdn.replica import http_ttfb_ms
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.core.errors import ConfigError
+from repro.core.world import build_world
+from repro.geo.regions import US_CITIES, city_named
+
+
+@pytest.fixture(scope="module")
+def onnet_world():
+    world = build_world()
+    build_operator_cdn(world, "verizon")
+    return world
+
+
+def _device(key, home="Seattle"):
+    return MobileDevice(
+        device_id=key,
+        carrier_key="verizon",
+        mobility=MobilityModel(
+            home_city=city_named(home),
+            candidate_cities=US_CITIES,
+            seed=77,
+            device_key=key,
+            travel_probability=0.0,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_registered_in_world(self, onnet_world):
+        assert "onnet-verizon" in onnet_world.cdns
+
+    def test_idempotent(self, onnet_world):
+        again = build_operator_cdn(onnet_world, "verizon")
+        assert again is onnet_world.cdns["onnet-verizon"]
+
+    def test_replicas_inside_operator_as(self, onnet_world):
+        provider = onnet_world.cdns["onnet-verizon"]
+        for replica in provider.all_replicas():
+            assert replica.host.asys.asn == 6167
+
+    def test_replicas_opaque_from_outside(self, onnet_world, stream):
+        provider = onnet_world.cdns["onnet-verizon"]
+        origin = onnet_world.vantage.origin(stream)
+        rtt = onnet_world.internet.measure_rtt(
+            origin, provider.all_replicas()[0].ip, stream
+        )
+        assert rtt is None  # cellular firewall applies to on-net caches too
+
+    def test_unknown_carrier_rejected(self, onnet_world):
+        with pytest.raises(ConfigError):
+            build_operator_cdn(onnet_world, "nosuch")
+
+
+class TestOracleSelection:
+    def test_cluster_follows_attachment(self, onnet_world):
+        provider = onnet_world.cdns["onnet-verizon"]
+        operator = onnet_world.operators["verizon"]
+        device = _device("onnet-dev-1", home="Seattle")
+        attachment = operator.attachment(device, now=0.0)
+        cluster = provider.cluster_for_attachment(attachment)
+        assert cluster.location.distance_km(attachment.egress.location) < 1.0
+
+    def test_selection_size(self, onnet_world):
+        provider = onnet_world.cdns["onnet-verizon"]
+        operator = onnet_world.operators["verizon"]
+        attachment = operator.attachment(_device("onnet-dev-2"), now=0.0)
+        spec = spec_for("m.cnn.com")
+        replicas = provider.select_for_attachment(spec, attachment)
+        assert len(replicas) == spec.answers_per_response
+
+    def test_onnet_beats_commercial_cdn(self, onnet_world, stream):
+        """The extension's headline: on-net replicas cut TTFB."""
+        provider = onnet_world.cdns["onnet-verizon"]
+        commercial = onnet_world.cdns["usonly"]
+        operator = onnet_world.operators["verizon"]
+        device = _device("onnet-dev-3", home="Seattle")
+        attachment = operator.attachment(device, now=0.0)
+        spec = spec_for("m.cnn.com")
+        from repro.cellnet.radio import RadioTechnology
+
+        onnet_total = 0.0
+        commercial_total = 0.0
+        for trial in range(8):
+            origin = operator.probe_origin(
+                device, float(trial), stream, technology=RadioTechnology.LTE
+            )
+            onnet_replica = provider.select_for_attachment(spec, attachment)[0]
+            commercial_replica = commercial.select_replicas(
+                spec, operator.deployment.external_ips()[0], 0.0
+            )[0]
+            onnet_total += http_ttfb_ms(
+                onnet_world.internet, origin, onnet_replica, stream
+            )
+            commercial_total += http_ttfb_ms(
+                onnet_world.internet, origin, commercial_replica, stream
+            )
+        assert onnet_total < commercial_total

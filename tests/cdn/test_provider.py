@@ -1,0 +1,124 @@
+"""CDN providers: clusters, selection, authoritative answers."""
+
+import pytest
+
+from repro.cdn.catalog import spec_for
+from repro.cdn.provider import registrable_zone
+from repro.core.addressing import prefix24
+from repro.dns.message import RCode, RRType, make_query
+
+
+class TestRegistrableZone:
+    @pytest.mark.parametrize(
+        "name,zone",
+        [
+            ("m.cnn.com", "cnn.com"),
+            ("www.buzzfeed.com", "buzzfeed.com"),
+            ("m.espn.go.com", "go.com"),
+            ("example", "example"),
+        ],
+    )
+    def test_zones(self, name, zone):
+        assert registrable_zone(name) == zone
+
+
+class TestClusters:
+    def test_cluster_per_footprint_city(self, world):
+        provider = world.cdns["usonly"]
+        assert len(provider.clusters) == 8
+
+    def test_each_cluster_owns_a_24(self, world):
+        provider = world.cdns["globalcache"]
+        prefixes = {str(cluster.prefix) for cluster in provider.clusters}
+        assert len(prefixes) == len(provider.clusters)
+        for cluster in provider.clusters:
+            for replica in cluster.replicas:
+                assert cluster.prefix.contains(replica.ip)
+
+    def test_usonly_has_no_sk_presence(self, world):
+        from repro.geo.regions import Country
+
+        provider = world.cdns["usonly"]
+        assert all(
+            cluster.city.country is Country.US for cluster in provider.clusters
+        )
+
+    def test_globalcache_has_sk_presence(self, world):
+        from repro.geo.regions import Country
+
+        provider = world.cdns["globalcache"]
+        assert any(
+            cluster.city.country is Country.SOUTH_KOREA
+            for cluster in provider.clusters
+        )
+
+    def test_cluster_of_ip(self, world):
+        provider = world.cdns["continental"]
+        replica = provider.clusters[2].replicas[0]
+        assert provider.cluster_of_ip(replica.ip) is provider.clusters[2]
+        assert provider.cluster_of_ip("203.0.113.1") is None
+
+
+class TestSelection:
+    def test_same_resolver_prefix_same_set(self, world):
+        provider = world.cdns["usonly"]
+        spec = spec_for("www.buzzfeed.com")
+        first = provider.select_replicas(spec, "198.18.7.1", 0.0)
+        second = provider.select_replicas(spec, "198.18.7.240", 0.0)
+        assert [r.ip for r in first] == [r.ip for r in second]
+
+    def test_selection_size(self, world):
+        provider = world.cdns["usonly"]
+        spec = spec_for("www.buzzfeed.com")
+        replicas = provider.select_replicas(spec, "198.18.7.1", 0.0)
+        assert len(replicas) == spec.answers_per_response
+
+    def test_selected_replicas_share_cluster(self, world):
+        provider = world.cdns["usonly"]
+        spec = spec_for("www.buzzfeed.com")
+        replicas = provider.select_replicas(spec, "198.18.7.1", 0.0)
+        assert len({prefix24(r.ip) for r in replicas}) == 1
+
+
+class TestAuthority:
+    def test_answers_edge_names_with_short_ttl(self, world):
+        provider = world.cdns["usonly"]
+        spec = spec_for("www.buzzfeed.com")
+        response = provider.authority.answer(
+            make_query(spec.edge_name), "198.18.7.1", 0.0
+        )
+        assert response.rcode is RCode.NOERROR
+        records = response.a_records()
+        assert records
+        assert all(record.ttl == spec.a_ttl for record in records)
+
+    def test_unknown_edge_name_nxdomain(self, world):
+        provider = world.cdns["usonly"]
+        response = provider.authority.answer(
+            make_query("ghost.edge.usonly-sim.net"), "198.18.7.1", 0.0
+        )
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_out_of_zone_refused(self, world):
+        provider = world.cdns["usonly"]
+        response = provider.authority.answer(
+            make_query("www.example.org"), "198.18.7.1", 0.0
+        )
+        assert response.rcode is RCode.REFUSED
+
+    def test_non_a_queries_answer_empty(self, world):
+        provider = world.cdns["usonly"]
+        spec = spec_for("www.buzzfeed.com")
+        response = provider.authority.answer(
+            make_query(spec.edge_name, RRType.TXT), "198.18.7.1", 0.0
+        )
+        assert response.rcode is RCode.NOERROR
+        assert response.answers == []
+
+
+class TestReplicaIndex:
+    def test_all_replicas_indexed(self, world):
+        provider = world.cdns["continental"]
+        replicas = provider.all_replicas()
+        assert len(replicas) == len(provider.clusters) * 10
+        assert provider.replica_by_ip(replicas[0].ip) is replicas[0]

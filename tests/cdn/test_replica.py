@@ -1,0 +1,51 @@
+"""Replica servers and the TTFB model."""
+
+from repro.cdn.replica import http_ttfb_ms, ping_replica_ms
+from repro.core.node import ProbeOrigin
+
+
+def _origin(world):
+    vantage = world.vantage
+    return ProbeOrigin(
+        source_ip=vantage.host.ip,
+        asys=vantage.host.asys,
+        location=vantage.host.location,
+        access_rtt_ms=1.0,
+    )
+
+
+class TestTtfb:
+    def test_ttfb_exceeds_single_rtt(self, world, stream):
+        provider = world.cdns["usonly"]
+        replica = provider.all_replicas()[0]
+        origin = _origin(world)
+        rtt = ping_replica_ms(world.internet, origin, replica, stream)
+        ttfb = http_ttfb_ms(world.internet, origin, replica, stream)
+        assert rtt is not None and ttfb is not None
+        # Handshake + request: roughly two round trips plus service time.
+        assert ttfb > rtt * 1.4
+
+    def test_nearby_replica_faster(self, world, stream):
+        provider = world.cdns["usonly"]
+        origin = _origin(world)  # Chicago vantage
+        chicago = next(
+            cluster for cluster in provider.clusters
+            if cluster.city.name == "Chicago"
+        ).replicas[0]
+        la = next(
+            cluster for cluster in provider.clusters
+            if cluster.city.name == "Los Angeles"
+        ).replicas[0]
+        near = sum(
+            http_ttfb_ms(world.internet, origin, chicago, stream) for _ in range(5)
+        )
+        far = sum(
+            http_ttfb_ms(world.internet, origin, la, stream) for _ in range(5)
+        )
+        assert near < far
+
+    def test_replicas_answer_pings(self, world, stream):
+        provider = world.cdns["globalcache"]
+        origin = _origin(world)
+        replica = provider.all_replicas()[0]
+        assert ping_replica_ms(world.internet, origin, replica, stream) is not None

@@ -1,0 +1,65 @@
+"""3G vs LTE core architecture models."""
+
+from repro.cellnet.architecture import (
+    CoreArchitecture,
+    core_model,
+    core_rtt_ms,
+    interior_hops_for,
+)
+from repro.cellnet.radio import RadioTechnology
+from repro.core.rng import RandomStream
+
+
+class TestArchitectureSelection:
+    def test_lte_uses_epc(self):
+        assert (
+            CoreArchitecture.for_technology(RadioTechnology.LTE)
+            is CoreArchitecture.LTE_EPC
+        )
+
+    def test_3g_and_2g_use_legacy_core(self):
+        for technology in (
+            RadioTechnology.HSPA,
+            RadioTechnology.EVDO_A,
+            RadioTechnology.GPRS,
+        ):
+            assert (
+                CoreArchitecture.for_technology(technology)
+                is CoreArchitecture.UMTS_3G
+            )
+
+
+class TestCoreModels:
+    def test_epc_is_flatter(self):
+        legacy = core_model(CoreArchitecture.UMTS_3G)
+        epc = core_model(CoreArchitecture.LTE_EPC)
+        assert len(epc.elements) < len(legacy.elements)
+        assert epc.median_core_rtt_ms < legacy.median_core_rtt_ms
+
+    def test_fig1_elements(self):
+        assert core_model(CoreArchitecture.UMTS_3G).elements == [
+            "nodeb", "rnc", "sgsn", "ggsn",
+        ]
+        assert core_model(CoreArchitecture.LTE_EPC).elements == [
+            "enodeb", "sgw", "pgw",
+        ]
+
+    def test_core_rtt_positive(self):
+        stream = RandomStream(3, "core")
+        for architecture in CoreArchitecture:
+            assert core_rtt_ms(architecture, stream) > 0.0
+
+
+class TestInteriorHops:
+    def test_hops_are_tunnelled(self):
+        for architecture in CoreArchitecture:
+            hops = interior_hops_for(architecture)
+            assert hops
+            assert all(not hop.responds for hop in hops)
+            assert all(hop.ip is None for hop in hops)
+
+    def test_hop_count_matches_elements(self):
+        for architecture in CoreArchitecture:
+            assert len(interior_hops_for(architecture)) == len(
+                core_model(architecture).elements
+            )

@@ -1,0 +1,42 @@
+"""Mobile devices."""
+
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.geo.regions import US_CITIES, city_named
+
+
+def _device(key="dev-d-1"):
+    mobility = MobilityModel(
+        home_city=city_named("Boston"),
+        candidate_cities=US_CITIES,
+        seed=7,
+        device_key=key,
+        travel_probability=0.0,
+    )
+    return MobileDevice(device_id=key, carrier_key="att", mobility=mobility)
+
+
+class TestDevice:
+    def test_location_follows_mobility(self):
+        device = _device()
+        home = city_named("Boston").location
+        assert device.location(0.0).distance_km(home) < 20.0
+
+    def test_coarse_location_snaps_to_grid(self):
+        device = _device()
+        coarse = device.coarse_location(0.0, grid_km=0.1)
+        step = 0.1 / 111.32
+        assert abs(coarse.latitude / step - round(coarse.latitude / step)) < 1e-6
+
+    def test_coarse_location_close_to_exact(self):
+        device = _device()
+        exact = device.location(0.0)
+        coarse = device.coarse_location(0.0, grid_km=0.1)
+        assert exact.distance_km(coarse) < 0.2
+
+    def test_home_city_name(self):
+        assert _device().home_city_name == "Boston"
+
+    def test_str(self):
+        text = str(_device())
+        assert "dev-d-1" in text and "att" in text

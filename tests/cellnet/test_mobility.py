@@ -1,0 +1,71 @@
+"""Mobility model: anchored wander plus occasional trips."""
+
+from repro.cellnet.mobility import MobilityModel
+from repro.core.clock import SECONDS_PER_DAY
+from repro.geo.regions import US_CITIES, city_named
+
+
+def _model(travel_probability=0.08, device_key="dev-1"):
+    return MobilityModel(
+        home_city=city_named("Chicago"),
+        candidate_cities=US_CITIES,
+        seed=99,
+        device_key=device_key,
+        travel_probability=travel_probability,
+    )
+
+
+class TestAnchoring:
+    def test_mostly_home(self):
+        model = _model()
+        epochs = [t * model.travel_epoch_s for t in range(100)]
+        home = sum(1 for t in epochs if model.anchor_city(t).name == "Chicago")
+        assert home > 80
+
+    def test_never_travels_with_zero_probability(self):
+        model = _model(travel_probability=0.0)
+        for t in range(50):
+            assert model.anchor_city(t * model.travel_epoch_s).name == "Chicago"
+
+    def test_always_travels_with_probability_one(self):
+        model = _model(travel_probability=1.0)
+        assert model.is_travelling(0.0)
+        assert model.anchor_city(0.0).name != "Chicago"
+
+    def test_deterministic(self):
+        a = _model().anchor_city(5 * 4 * SECONDS_PER_DAY)
+        b = _model().anchor_city(5 * 4 * SECONDS_PER_DAY)
+        assert a is b
+
+    def test_devices_differ(self):
+        a = _model(travel_probability=1.0, device_key="dev-a")
+        b = _model(travel_probability=1.0, device_key="dev-b")
+        trips_a = [a.anchor_city(t * a.travel_epoch_s).name for t in range(10)]
+        trips_b = [b.anchor_city(t * b.travel_epoch_s).name for t in range(10)]
+        assert trips_a != trips_b
+
+
+class TestWander:
+    def test_stays_within_wander_radius(self):
+        model = _model(travel_probability=0.0)
+        home = city_named("Chicago").location
+        for hour in range(100):
+            position = model.location(hour * 3600.0)
+            # Corner of the wander box is sqrt(2) * wander_km away at most.
+            assert home.distance_km(position) < model.wander_km * 1.5
+
+    def test_wander_changes_hourly_not_within_hour(self):
+        model = _model(travel_probability=0.0)
+        assert model.location(100.0) == model.location(200.0)
+        assert model.location(100.0) != model.location(3700.0)
+
+
+class TestStationaryWindows:
+    def test_all_home_when_never_travelling(self):
+        model = _model(travel_probability=0.0)
+        times = model.stationary_windows(0.0, 10 * 3600.0)
+        assert len(times) == 10
+
+    def test_empty_when_always_travelling(self):
+        model = _model(travel_probability=1.0)
+        assert model.stationary_windows(0.0, 10 * 3600.0) == []

@@ -1,0 +1,157 @@
+"""Cellular operator behaviour: attachment, origins, local DNS."""
+
+import pytest
+
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.core.addressing import prefix24
+from repro.dns.message import RRType
+from repro.geo.regions import US_CITIES, SOUTH_KOREA_CITIES, city_named
+
+
+def _device(world, carrier="att", home="Chicago", key="dev-op-1", travel=0.0):
+    operator = world.operators[carrier]
+    cities = US_CITIES if operator.country.value == "US" else SOUTH_KOREA_CITIES
+    mobility = MobilityModel(
+        home_city=city_named(home),
+        candidate_cities=cities,
+        seed=1234,
+        device_key=key,
+        travel_probability=travel,
+    )
+    return MobileDevice(device_id=key, carrier_key=carrier, mobility=mobility)
+
+
+class TestAttachment:
+    def test_client_ip_in_nat_pool(self, world):
+        operator = world.operators["att"]
+        device = _device(world)
+        attachment = operator.attachment(device, now=0.0)
+        assert operator.client_pool_prefix.contains(attachment.client_ip)
+
+    def test_client_ip_churns_across_epochs(self, world):
+        operator = world.operators["att"]
+        device = _device(world)
+        ips = {
+            operator.attachment(device, now=day * 86400.0).client_ip
+            for day in range(20)
+        }
+        assert len(ips) > 5
+
+    def test_attachment_pure_in_time(self, world):
+        operator = world.operators["att"]
+        device = _device(world)
+        first = operator.attachment(device, now=1000.0)
+        second = operator.attachment(device, now=1000.0)
+        assert first.client_ip == second.client_ip
+        assert first.egress.ip == second.egress.ip
+
+    def test_egress_is_near_device(self, world):
+        operator = world.operators["verizon"]
+        device = _device(world, carrier="verizon", home="Seattle")
+        attachment = operator.attachment(device, now=0.0)
+        distance = attachment.egress.location.distance_km(device.location(0.0))
+        assert distance < 2500.0
+
+    def test_configured_dns_is_deployment_address(self, world):
+        operator = world.operators["verizon"]
+        device = _device(world, carrier="verizon")
+        attachment = operator.attachment(device, now=0.0)
+        assert attachment.client_dns_ip in operator.deployment.client_ips()
+
+
+class TestProbeOrigins:
+    def test_origin_carries_radio_latency(self, world, stream):
+        operator = world.operators["att"]
+        device = _device(world, key="dev-op-2")
+        from repro.cellnet.radio import RadioTechnology
+
+        origin = operator.probe_origin(
+            device, 0.0, stream, technology=RadioTechnology.LTE
+        )
+        assert 15.0 < origin.access_rtt_ms < 150.0
+        assert origin.egress is not None
+        assert origin.interior_hops  # tunnelled core hops
+
+    def test_promotion_paid_once(self, world, stream):
+        operator = world.operators["att"]
+        device = _device(world, key="dev-op-3")
+        from repro.cellnet.radio import RadioTechnology
+
+        cold = operator.probe_origin(
+            device, 0.0, stream, technology=RadioTechnology.LTE, pay_promotion=True
+        )
+        warm = operator.probe_origin(
+            device, 1.0, stream, technology=RadioTechnology.LTE, pay_promotion=True
+        )
+        assert cold.access_rtt_ms > warm.access_rtt_ms + 150.0
+
+
+class TestLocalResolution:
+    def _resolve(self, world, stream, carrier="att", qname="www.google.com"):
+        operator = world.operators[carrier]
+        device = _device(world, carrier=carrier, key=f"dev-res-{carrier}")
+        attachment = operator.attachment(device, now=0.0)
+        from repro.cellnet.radio import RadioTechnology
+
+        origin = operator.probe_origin(
+            device, 0.0, stream, technology=RadioTechnology.LTE
+        )
+        return operator.resolve_local(
+            device, origin, attachment, qname, RRType.A, 0.0, stream
+        )
+
+    def test_returns_replica_addresses(self, world, stream):
+        result = self._resolve(world, stream)
+        assert result.addresses
+        assert result.total_ms > 0
+
+    def test_external_ip_belongs_to_deployment(self, world, stream):
+        result = self._resolve(world, stream)
+        assert result.external_ip in world.operators["att"].deployment.external_ips()
+
+    def test_client_facing_differs_from_external(self, world, stream):
+        result = self._resolve(world, stream, carrier="verizon")
+        assert result.client_facing_ip != result.external_ip
+        # Verizon's tiers live in different ASes (Sec 4.1).
+        client_asn = world.internet.asn_of(result.client_facing_ip)
+        external_asn = world.internet.asn_of(result.external_ip)
+        assert client_asn == 6167
+        assert external_asn == 22394
+
+    def test_sk_pairs_share_prefix(self, world, stream):
+        result = self._resolve(world, stream, carrier="skt")
+        assert prefix24(result.client_facing_ip) in {
+            prefix24(ip) for ip in world.operators["skt"].deployment.external_ips()
+        }
+
+
+class TestResolverPing:
+    def test_client_resolver_ping_answered_everywhere(self, world, stream):
+        for carrier in world.operators:
+            operator = world.operators[carrier]
+            device = _device(world, carrier=carrier, key=f"dev-ping-{carrier}")
+            attachment = operator.attachment(device, now=0.0)
+            from repro.cellnet.radio import RadioTechnology
+
+            origin = operator.probe_origin(
+                device, 0.0, stream, technology=RadioTechnology.LTE
+            )
+            rtt = operator.ping_client_resolver(origin, attachment, stream)
+            assert rtt is not None and rtt > 0
+
+
+class TestOwnership:
+    def test_owns_client_pool_and_egress(self, world):
+        operator = world.operators["att"]
+        assert operator.owns_ip(operator.egress_points[0].ip)
+
+    def test_owns_sibling_as_resolvers(self, world):
+        verizon = world.operators["verizon"]
+        external_ip = verizon.deployment.external_ips()[0]
+        assert verizon.owns_ip(external_ip)
+
+    def test_does_not_own_foreign_space(self, world):
+        operator = world.operators["att"]
+        google_ip = world.google_dns.clusters[0].hosts[0].ip
+        assert not operator.owns_ip(google_ip)

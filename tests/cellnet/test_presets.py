@@ -1,0 +1,120 @@
+"""Carrier presets encode the paper's per-carrier structure."""
+
+import pytest
+
+from repro.cellnet.presets import (
+    CarrierConfig,
+    att_config,
+    default_carrier_configs,
+    lg_uplus_config,
+    sk_telecom_config,
+    sprint_config,
+    tmobile_config,
+    verizon_config,
+)
+from repro.core.node import PingPolicy
+from repro.dns.indirect import DeploymentKind
+
+
+class TestConfigTable:
+    def test_six_carriers_us_first(self):
+        keys = [config.key for config in default_carrier_configs()]
+        assert keys == ["att", "sprint", "tmobile", "verizon", "skt", "lgu"]
+
+    def test_table1_client_counts(self):
+        counts = {c.key: c.client_count for c in default_carrier_configs()}
+        assert counts == {
+            "att": 33, "sprint": 9, "tmobile": 31,
+            "verizon": 64, "skt": 17, "lgu": 4,
+        }
+        assert sum(counts.values()) == 158
+
+    def test_sec52_egress_counts(self):
+        counts = {c.key: c.egress_count for c in default_carrier_configs()}
+        assert counts["att"] == 11
+        assert counts["sprint"] == 45
+        assert counts["tmobile"] == 49
+        assert counts["verizon"] == 62
+
+    def test_weights_sum_to_one(self):
+        for config in default_carrier_configs():
+            assert sum(config.technology_weights) == pytest.approx(1.0, abs=0.01)
+
+    def test_fig3_technology_panels(self):
+        # Fig 3 lists the exact technology sets seen per carrier.
+        assert set(sprint_config().technologies) == {
+            "1xRTT", "EHRPD", "EVDO_A", "LTE",
+        }
+        assert set(verizon_config().technologies) == {
+            "1xRTT", "EHRPD", "EVDO_A", "LTE",
+        }
+        assert set(lg_uplus_config().technologies) == {"EHRPD", "LTE"}
+        assert len(att_config().technologies) == 7
+        assert len(tmobile_config().technologies) == 7
+        assert "HSUPA" in sk_telecom_config().technologies
+
+
+class TestDeploymentShapes:
+    def test_att_anycast(self):
+        config = att_config()
+        assert config.deployment_kind is DeploymentKind.ANYCAST
+        assert config.n_sites * config.externals_per_site == 40
+
+    def test_verizon_tiered_split_as(self):
+        config = verizon_config()
+        assert config.deployment_kind is DeploymentKind.TIERED
+        assert config.asn == 6167
+        assert config.external_asn == 22394
+        assert config.external_ping_policy is PingPolicy.EXTERNAL_ONLY
+
+    def test_sprint_pool(self):
+        config = sprint_config()
+        assert config.deployment_kind is DeploymentKind.POOL
+        assert 0.0 < config.externally_open_fraction < 0.3
+
+    def test_sk_carriers_shared_prefixes(self):
+        assert sk_telecom_config().shared_external_prefixes == 2
+        assert lg_uplus_config().shared_external_prefixes == 2
+        assert sk_telecom_config().clients_share_external_prefix
+        assert lg_uplus_config().clients_share_external_prefix
+
+    def test_lgu_dense_and_silent(self):
+        config = lg_uplus_config()
+        assert config.n_sites * config.externals_per_site == 90
+        assert config.external_ping_policy is PingPolicy.SILENT
+
+    def test_table4_reachability_policies(self):
+        assert att_config().externally_open_fraction >= 0.5
+        assert verizon_config().externally_open_fraction >= 0.5
+        assert tmobile_config().externally_open_fraction == 0.0
+        assert sk_telecom_config().externally_open_fraction == 0.0
+
+
+class TestBuiltDeployments:
+    def test_att_external_count(self, world):
+        assert len(world.operators["att"].deployment.externals) == 40
+
+    def test_tmobile_prefix_diversity(self, world):
+        from repro.core.addressing import prefix24
+
+        deployment = world.operators["tmobile"].deployment
+        prefixes = {prefix24(ip) for ip in deployment.external_ips()}
+        # Two machines per /24 across 48 machines -> 24 prefixes.
+        assert len(prefixes) == 24
+
+    def test_verizon_pairs_one_to_one(self, world):
+        deployment = world.operators["verizon"].deployment
+        assert len(deployment.client_addresses) == len(deployment.externals)
+
+    def test_sprint_pools_are_regional(self, world):
+        deployment = world.operators["sprint"].deployment
+        pairing = deployment.pairing
+        for address in deployment.client_addresses:
+            members = pairing.pools[address.ip]
+            assert members, "every front needs a pool"
+            front_location = address.host.location
+            mean_km = sum(
+                member.site.location.distance_km(front_location)
+                for member in members
+            ) / len(members)
+            assert mean_km < 2500.0

@@ -1,0 +1,128 @@
+"""Radio technologies, latency bands and the RRC state machine."""
+
+import pytest
+
+from repro.cellnet.radio import (
+    Generation,
+    RadioProfile,
+    RadioState,
+    RadioTechnology,
+    RrcStateMachine,
+    band_medians,
+    promotion_cost_ms,
+    technologies_of,
+)
+from repro.core.errors import ConfigError
+from repro.core.rng import RandomStream
+
+
+class TestTechnologyTable:
+    def test_generations(self):
+        assert RadioTechnology.LTE.generation is Generation.G4
+        assert RadioTechnology.HSPA.generation is Generation.G3
+        assert RadioTechnology.ONE_X_RTT.generation is Generation.G2
+        assert RadioTechnology.GPRS.generation is Generation.G2
+
+    def test_paper_spelling_preserved(self):
+        # The paper writes "UTMS" throughout; labels must match its figures.
+        assert RadioTechnology.UMTS.value == "UTMS"
+
+    def test_lte_is_fastest_band(self):
+        medians = band_medians()
+        assert medians[0][0] == "LTE"
+
+    def test_2g_is_slowest(self):
+        by_label = dict(band_medians())
+        assert by_label["1xRTT"] > 500.0
+        assert by_label["GPRS"] > 500.0
+
+    def test_3g_band_sits_between(self):
+        by_label = dict(band_medians())
+        lte = by_label["LTE"]
+        for label in ("EHRPD", "EVDO_A", "HSPA", "HSDPA"):
+            assert lte < by_label[label] < 500.0
+
+    def test_fig3_band_gap_lte_vs_3g(self):
+        # ~50 ms separation between LTE and CDMA-3G at the median (Sec 3.3).
+        gap = (
+            RadioTechnology.EHRPD.latency.median_rtt_ms
+            - RadioTechnology.LTE.latency.median_rtt_ms
+        )
+        assert 30.0 < gap < 90.0
+
+    def test_technologies_of_parses_figure_labels(self):
+        parsed = technologies_of(["LTE", "UTMS", "1xRTT"])
+        assert parsed == [
+            RadioTechnology.LTE,
+            RadioTechnology.UMTS,
+            RadioTechnology.ONE_X_RTT,
+        ]
+        with pytest.raises(ConfigError):
+            technologies_of(["WIMAX"])
+
+
+class TestRrcStateMachine:
+    def test_cold_start_pays_promotion(self):
+        machine = RrcStateMachine()
+        cost = promotion_cost_ms(RadioTechnology.LTE, machine, now=0.0)
+        assert cost == RadioTechnology.LTE.latency.promotion_ms
+
+    def test_warm_radio_is_free(self):
+        machine = RrcStateMachine()
+        promotion_cost_ms(RadioTechnology.LTE, machine, now=0.0)
+        assert promotion_cost_ms(RadioTechnology.LTE, machine, now=1.0) == 0.0
+
+    def test_demotion_after_timeout(self):
+        machine = RrcStateMachine(demotion_timeout_s=11.0)
+        promotion_cost_ms(RadioTechnology.LTE, machine, now=0.0)
+        assert promotion_cost_ms(RadioTechnology.LTE, machine, now=30.0) > 0.0
+
+    def test_is_connected(self):
+        machine = RrcStateMachine(demotion_timeout_s=11.0)
+        assert not machine.is_connected(0.0)
+        machine.touch(0.0)
+        assert machine.is_connected(5.0)
+        assert not machine.is_connected(20.0)
+
+    def test_state_transitions(self):
+        machine = RrcStateMachine()
+        assert machine.state is RadioState.IDLE
+        machine.touch(0.0)
+        assert machine.state is RadioState.CONNECTED
+
+
+class TestRadioProfile:
+    def test_draw_respects_weights(self):
+        profile = RadioProfile(
+            [RadioTechnology.LTE, RadioTechnology.GPRS], [0.9, 0.1]
+        )
+        stream = RandomStream(1, "radio")
+        draws = [profile.draw(stream) for _ in range(500)]
+        assert draws.count(RadioTechnology.LTE) > 380
+
+    def test_access_rtt_in_band(self):
+        profile = RadioProfile([RadioTechnology.LTE])
+        stream = RandomStream(2, "radio")
+        samples = sorted(
+            profile.access_rtt_ms(RadioTechnology.LTE, stream) for _ in range(1001)
+        )
+        median = samples[len(samples) // 2]
+        assert 22.0 < median < 36.0
+
+    def test_default_weights(self):
+        profile = RadioProfile([RadioTechnology.LTE, RadioTechnology.HSPA])
+        assert profile.weights == [1.0, 1.0]
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            RadioProfile([RadioTechnology.LTE], [0.5, 0.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            RadioProfile([])
+
+    def test_lte_share(self):
+        profile = RadioProfile(
+            [RadioTechnology.LTE, RadioTechnology.HSPA], [3.0, 1.0]
+        )
+        assert profile.lte_share() == pytest.approx(0.75)

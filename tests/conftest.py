@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Two worlds are built per test session:
+
+* ``world`` — a pristine simulated Internet for unit-level poking.
+* ``study``/``dataset`` — a small but analysis-grade campaign (the
+  integration and analysis tests assert the paper's shape claims on it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.core.world import World, build_world
+from repro.measure.records import Dataset
+
+
+@pytest.fixture(scope="session")
+def world() -> World:
+    """A freshly built world shared by unit tests (read-mostly)."""
+    return build_world()
+
+
+@pytest.fixture(scope="session")
+def study() -> CellularDNSStudy:
+    """A small-but-real study: ~1700 experiments across all carriers."""
+    config = StudyConfig(
+        seed=2014,
+        device_scale=0.1,
+        min_devices=1,
+        duration_days=60.0,
+        interval_hours=12.0,
+    )
+    return CellularDNSStudy(config)
+
+
+@pytest.fixture(scope="session")
+def dataset(study: CellularDNSStudy) -> Dataset:
+    """The session study's dataset (campaign runs once per session)."""
+    return study.dataset
+
+
+@pytest.fixture()
+def stream(world: World):
+    """A throwaway random stream."""
+    return world.rng.fork("tests").stream("fixture")

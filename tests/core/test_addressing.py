@@ -1,0 +1,173 @@
+"""IPv4 addressing: parsing, prefixes, allocators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.addressing import (
+    AddressPool,
+    Prefix,
+    PrefixAllocator,
+    int_to_ip,
+    ip_to_int,
+    is_valid_ip,
+    prefix24,
+    same_prefix24,
+)
+from repro.core.errors import AddressError, AddressPoolExhausted
+
+
+class TestIpConversion:
+    def test_roundtrip_known(self):
+        assert ip_to_int("8.8.8.8") == 0x08080808
+        assert int_to_ip(0x08080808) == "8.8.8.8"
+
+    def test_zero_and_max(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == (1 << 32) - 1
+        assert int_to_ip(0) == "0.0.0.0"
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.04", "", "1..2.3"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            ip_to_int(bad)
+
+    def test_is_valid_ip(self):
+        assert is_valid_ip("10.0.0.1")
+        assert not is_valid_ip("10.0.0.256")
+
+    def test_int_to_ip_rejects_out_of_range(self):
+        with pytest.raises(AddressError):
+            int_to_ip(-1)
+        with pytest.raises(AddressError):
+            int_to_ip(1 << 32)
+
+
+class TestPrefix24:
+    def test_prefix24_masks_low_octet(self):
+        assert prefix24("192.168.13.77") == "192.168.13.0/24"
+
+    def test_same_prefix24(self):
+        assert same_prefix24("10.1.2.3", "10.1.2.250")
+        assert not same_prefix24("10.1.2.3", "10.1.3.3")
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_prefix24_is_idempotent(self, value):
+        ip = int_to_ip(value)
+        block = prefix24(ip)
+        anchor = block.split("/")[0]
+        assert prefix24(anchor) == block
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        assert str(prefix) == "10.0.0.0/8"
+        assert prefix.size == 1 << 24
+
+    def test_contains(self):
+        prefix = Prefix.parse("172.16.0.0/12")
+        assert prefix.contains("172.20.1.1")
+        assert not prefix.contains("172.32.0.1")
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/8")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0")
+
+    def test_host_addressing(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        assert prefix.host(1) == "192.0.2.1"
+        assert prefix.host(255) == "192.0.2.255"
+        with pytest.raises(AddressError):
+            prefix.host(256)
+
+    def test_hosts_skips_network_and_broadcast(self):
+        prefix = Prefix.parse("192.0.2.0/30")
+        assert list(prefix.hosts()) == ["192.0.2.1", "192.0.2.2"]
+
+    def test_subnets(self):
+        prefix = Prefix.parse("10.0.0.0/22")
+        subnets = list(prefix.subnets(24))
+        assert len(subnets) == 4
+        assert str(subnets[0]) == "10.0.0.0/24"
+        assert str(subnets[3]) == "10.0.3.0/24"
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_mask_covers_own_network(self, octet):
+        prefix = Prefix.parse(f"{octet}.0.0.0/8")
+        assert prefix.contains(f"{octet}.1.2.3")
+
+
+class TestPrefixAllocator:
+    def test_allocations_are_disjoint(self):
+        allocator = PrefixAllocator.parse("10.0.0.0/16")
+        first = allocator.allocate24()
+        second = allocator.allocate24()
+        assert first.network != second.network
+        assert not first.contains(second.host(1))
+
+    def test_mixed_lengths_align(self):
+        allocator = PrefixAllocator.parse("10.0.0.0/8")
+        allocator.allocate24()
+        wide = allocator.allocate(16)
+        assert wide.network % wide.size == 0
+
+    def test_exhaustion(self):
+        allocator = PrefixAllocator.parse("10.0.0.0/24")
+        allocator.allocate24()
+        with pytest.raises(AddressPoolExhausted):
+            allocator.allocate24()
+
+    def test_rejects_wider_than_parent(self):
+        allocator = PrefixAllocator.parse("10.0.0.0/24")
+        with pytest.raises(AddressError):
+            allocator.allocate(16)
+
+    def test_remaining_decreases(self):
+        allocator = PrefixAllocator.parse("10.0.0.0/22")
+        before = allocator.remaining
+        allocator.allocate24()
+        assert allocator.remaining == before - 256
+
+
+class TestAddressPool:
+    def test_lease_and_release(self):
+        pool = AddressPool()
+        pool.add_prefix(Prefix.parse("192.0.2.0/29"))
+        first = pool.lease()
+        assert first in pool
+        pool.release(first)
+        # Address becomes available again eventually.
+        leased = {pool.lease() for _ in range(5)}
+        assert len(leased) == 5
+
+    def test_exhaustion(self):
+        pool = AddressPool()
+        pool.add_prefix(Prefix.parse("192.0.2.0/30"))
+        pool.lease()
+        pool.lease()
+        with pytest.raises(AddressPoolExhausted):
+            pool.lease()
+
+    def test_lease_many(self):
+        pool = AddressPool()
+        pool.add_prefix(Prefix.parse("192.0.2.0/28"))
+        addresses = pool.lease_many(10)
+        assert len(set(addresses)) == 10

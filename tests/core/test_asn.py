@@ -1,0 +1,52 @@
+"""Autonomous systems and firewall policies."""
+
+from repro.core.addressing import Prefix
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+
+
+class TestFirewallPolicy:
+    def test_open_admits_everyone(self):
+        policy = FirewallPolicy(blocks_inbound=False)
+        assert policy.admits(1, 2, host_is_open=False)
+
+    def test_blocking_drops_outsiders(self):
+        policy = FirewallPolicy(blocks_inbound=True)
+        assert not policy.admits(1, 2, host_is_open=False)
+
+    def test_blocking_admits_same_as(self):
+        policy = FirewallPolicy(blocks_inbound=True)
+        assert policy.admits(2, 2, host_is_open=False)
+
+    def test_blocking_admits_open_host(self):
+        policy = FirewallPolicy(blocks_inbound=True)
+        assert policy.admits(1, 2, host_is_open=True)
+
+
+class TestAutonomousSystem:
+    def _system(self):
+        system = AutonomousSystem(asn=64501, name="Test", kind=ASKind.TRANSIT)
+        system.add_prefix(Prefix.parse("198.18.0.0/24"))
+        return system
+
+    def test_originates(self):
+        system = self._system()
+        assert system.originates("198.18.0.200")
+        assert not system.originates("198.19.0.1")
+
+    def test_multiple_prefixes(self):
+        system = self._system()
+        system.add_prefix(Prefix.parse("198.19.0.0/24"))
+        assert system.originates("198.19.0.1")
+
+    def test_is_cellular(self):
+        assert AutonomousSystem(1, "c", ASKind.CELLULAR).is_cellular
+        assert not self._system().is_cellular
+
+    def test_equality_by_asn(self):
+        first = AutonomousSystem(64501, "a", ASKind.TRANSIT)
+        second = AutonomousSystem(64501, "b", ASKind.CDN)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_str(self):
+        assert str(self._system()) == "AS64501 Test"

@@ -1,0 +1,37 @@
+"""Transit backbone and the university vantage."""
+
+from repro.core.addressing import PrefixAllocator
+from repro.core.backbone import ExternalVantage, TransitBackbone
+from repro.core.internet import VirtualInternet
+from repro.core.rng import RandomStream
+from repro.geo.regions import US_CITIES
+
+
+class TestTransitBackbone:
+    def test_one_router_per_city(self):
+        net = VirtualInternet()
+        backbone = TransitBackbone.build(
+            net, US_CITIES[:5], PrefixAllocator.parse("198.18.0.0/16")
+        )
+        assert len(backbone.routers) == 5
+        assert all(net.host(router.ip) is router for router in backbone.routers)
+
+    def test_routers_registered_as_transit(self):
+        net = VirtualInternet()
+        backbone = TransitBackbone.build(
+            net, US_CITIES[:3], PrefixAllocator.parse("198.18.0.0/16")
+        )
+        assert net.asn_of(backbone.routers[0].ip) == backbone.system.asn
+
+
+class TestExternalVantage:
+    def test_vantage_reachable_and_probing(self):
+        net = VirtualInternet()
+        allocator = PrefixAllocator.parse("198.18.0.0/16")
+        backbone = TransitBackbone.build(net, US_CITIES[:3], allocator)
+        vantage = ExternalVantage.build(net, allocator)
+        stream = RandomStream(1, "vantage")
+        origin = vantage.origin(stream)
+        assert origin.asys is vantage.host.asys
+        rtt = net.measure_rtt(origin, backbone.routers[0].ip, stream)
+        assert rtt is not None and rtt > 0

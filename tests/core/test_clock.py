@@ -1,0 +1,63 @@
+"""Virtual time."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.core.clock import (
+    STUDY_DURATION_S,
+    STUDY_EPOCH,
+    VirtualClock,
+    format_day,
+    from_datetime,
+    to_datetime,
+)
+
+
+class TestConversions:
+    def test_epoch_is_march_2014(self):
+        assert STUDY_EPOCH == datetime(2014, 3, 1, tzinfo=timezone.utc)
+
+    def test_duration_is_five_months(self):
+        assert STUDY_DURATION_S == 153 * 86400.0
+
+    def test_roundtrip(self):
+        when = datetime(2014, 5, 6, 12, 30, tzinfo=timezone.utc)
+        assert to_datetime(from_datetime(when)) == when
+
+    def test_naive_datetime_assumed_utc(self):
+        naive = datetime(2014, 4, 1)
+        assert from_datetime(naive) == 31 * 86400.0
+
+    def test_format_day_matches_paper_labels(self):
+        assert format_day(0.0) == "Mar-1"
+        assert format_day(30 * 86400.0) == "Mar-31"
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        clock.advance(5.0)
+        assert clock.now == 15.0
+
+    def test_advance_rejects_negative(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_advance_to_never_goes_back(self):
+        clock = VirtualClock(now=100.0)
+        clock.advance_to(50.0)
+        assert clock.now == 100.0
+        clock.advance_to(150.0)
+        assert clock.now == 150.0
+
+    def test_datetime_property(self):
+        clock = VirtualClock(now=86400.0)
+        assert clock.datetime.day == 2
+
+    def test_elapsed_helpers(self):
+        clock = VirtualClock(now=7200.0)
+        assert clock.hours_elapsed() == 2.0
+        assert clock.days_elapsed() == pytest.approx(1 / 12)

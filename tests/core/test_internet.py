@@ -1,0 +1,309 @@
+"""VirtualInternet: registration, timing, firewalls, traceroute."""
+
+import pytest
+
+from repro.core.addressing import Prefix
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.errors import TopologyError
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host, PathHop, PingPolicy, ProbeOrigin
+from repro.core.rng import RandomStream
+from repro.geo.coordinates import GeoPoint
+
+NYC = GeoPoint(40.7128, -74.0060)
+LA = GeoPoint(34.0522, -118.2437)
+CHI = GeoPoint(41.8781, -87.6298)
+
+
+def _system(asn, blocks=False, operator_key=None, prefix="198.18.0.0/24"):
+    system = AutonomousSystem(
+        asn=asn,
+        name=f"AS{asn}",
+        kind=ASKind.CELLULAR if blocks else ASKind.TRANSIT,
+        firewall=FirewallPolicy(blocks_inbound=blocks, tunneled_interior=blocks),
+        operator_key=operator_key,
+    )
+    system.add_prefix(Prefix.parse(prefix))
+    return system
+
+
+@pytest.fixture()
+def net():
+    return VirtualInternet()
+
+
+@pytest.fixture()
+def stream():
+    return RandomStream(42, "internet-tests")
+
+
+def _origin(system, location=NYC, ip="198.18.0.200", egress=None):
+    return ProbeOrigin(
+        source_ip=ip,
+        asys=system,
+        location=location,
+        access_rtt_ms=1.0,
+        egress=egress,
+        origin_id="test",
+    )
+
+
+class TestRegistration:
+    def test_register_host_requires_system(self, net):
+        system = _system(64501)
+        host = Host(ip="198.18.0.1", name="h", asys=system, location=NYC)
+        with pytest.raises(TopologyError):
+            net.register_host(host)
+
+    def test_register_host_requires_owned_prefix(self, net):
+        system = _system(64501)
+        net.register_system(system)
+        outsider = Host(ip="203.0.113.1", name="h", asys=system, location=NYC)
+        with pytest.raises(TopologyError):
+            net.register_host(outsider)
+
+    def test_duplicate_ip_rejected(self, net):
+        system = _system(64501)
+        net.register_system(system)
+        host = Host(ip="198.18.0.1", name="h", asys=system, location=NYC)
+        net.register_host(host)
+        clone = Host(ip="198.18.0.1", name="h2", asys=system, location=LA)
+        with pytest.raises(TopologyError):
+            net.register_host(clone)
+
+    def test_duplicate_asn_idempotent_for_same_object(self, net):
+        system = _system(64501)
+        net.register_system(system)
+        assert net.register_system(system) is system
+        with pytest.raises(TopologyError):
+            net.register_system(_system(64501, prefix="198.19.0.0/24"))
+
+    def test_asn_of_longest_prefix_match(self, net):
+        coarse = _system(64501, prefix="198.18.0.0/16")
+        fine = _system(64502, prefix="198.18.5.0/24")
+        net.register_system(coarse)
+        net.register_system(fine)
+        assert net.asn_of("198.18.5.9") == 64502
+        assert net.asn_of("198.18.9.9") == 64501
+        assert net.asn_of("203.0.113.1") is None
+
+
+class TestTiming:
+    def test_rtt_grows_with_distance(self, net, stream):
+        system = _system(64501, prefix="198.18.0.0/16")
+        net.register_system(system)
+        near = Host(ip="198.18.0.1", name="near", asys=system, location=NYC)
+        far = Host(ip="198.18.0.2", name="far", asys=system, location=LA)
+        net.register_host(near)
+        net.register_host(far)
+        other = _system(64502, prefix="198.19.0.0/24")
+        net.register_system(other)
+        origin = _origin(other, location=NYC, ip="198.19.0.9")
+        near_rtt = net.measure_rtt(origin, near.ip, stream)
+        far_rtt = net.measure_rtt(origin, far.ip, stream)
+        assert near_rtt is not None and far_rtt is not None
+        assert far_rtt > near_rtt
+        # NYC <-> LA is a ~40 ms RTT at 1.6x inflation.
+        assert 25.0 < far_rtt < 90.0
+
+    def test_unknown_destination_is_unreachable(self, net, stream):
+        system = _system(64501)
+        net.register_system(system)
+        origin = _origin(system)
+        assert net.measure_rtt(origin, "203.0.113.7", stream) is None
+        assert net.flow_rtt(origin, "203.0.113.7", stream) is None
+
+    def test_flow_ignores_ping_silence(self, net, stream):
+        system = _system(64501)
+        net.register_system(system)
+        silent = Host(
+            ip="198.18.0.1",
+            name="silent",
+            asys=system,
+            location=NYC,
+            responds_to_ping=False,
+        )
+        net.register_host(silent)
+        origin = _origin(system, ip="198.18.0.99")
+        assert net.measure_rtt(origin, silent.ip, stream) is None
+        assert net.flow_rtt(origin, silent.ip, stream) is not None
+
+    def test_interior_penalty_added(self, net, stream):
+        system = _system(64501, prefix="198.18.0.0/16")
+        net.register_system(system)
+        plain = Host(ip="198.18.0.1", name="plain", asys=system, location=NYC)
+        deep = Host(
+            ip="198.18.0.2",
+            name="deep",
+            asys=system,
+            location=NYC,
+            interior_penalty_ms=50.0,
+        )
+        net.register_host(plain)
+        net.register_host(deep)
+        other = _system(64502, prefix="198.19.0.0/24")
+        net.register_system(other)
+        origin = _origin(other, ip="198.19.0.9")
+        gap = net.measure_rtt(origin, deep.ip, stream) - net.measure_rtt(
+            origin, plain.ip, stream
+        )
+        assert gap > 30.0
+
+
+class TestFirewalls:
+    def _blocked_world(self, net):
+        cellular = _system(64501, blocks=True, operator_key="cell")
+        outside = _system(64502, prefix="198.19.0.0/24")
+        net.register_system(cellular)
+        net.register_system(outside)
+        inside_host = Host(
+            ip="198.18.0.1", name="resolver", asys=cellular, location=NYC
+        )
+        net.register_host(inside_host)
+        return cellular, outside, inside_host
+
+    def test_inbound_blocked(self, net, stream):
+        _, outside, inside_host = self._blocked_world(net)
+        origin = _origin(outside, ip="198.19.0.9")
+        assert net.measure_rtt(origin, inside_host.ip, stream) is None
+        assert net.flow_rtt(origin, inside_host.ip, stream) is None
+
+    def test_same_as_allowed(self, net, stream):
+        cellular, _, inside_host = self._blocked_world(net)
+        origin = _origin(cellular, ip="198.18.0.200")
+        assert net.measure_rtt(origin, inside_host.ip, stream) is not None
+
+    def test_externally_open_exception(self, net, stream):
+        cellular, outside, _ = self._blocked_world(net)
+        open_host = Host(
+            ip="198.18.0.2",
+            name="open-resolver",
+            asys=cellular,
+            location=NYC,
+            externally_open=True,
+        )
+        net.register_host(open_host)
+        origin = _origin(outside, ip="198.19.0.9")
+        assert net.measure_rtt(origin, open_host.ip, stream) is not None
+
+    def test_sibling_operator_as_trusted(self, net, stream):
+        client_tier = _system(6167, blocks=True, operator_key="vz")
+        resolver_tier = _system(
+            22394, blocks=True, operator_key="vz", prefix="198.19.0.0/24"
+        )
+        net.register_system(client_tier)
+        net.register_system(resolver_tier)
+        resolver = Host(
+            ip="198.19.0.1", name="ext", asys=resolver_tier, location=NYC
+        )
+        net.register_host(resolver)
+        origin = _origin(client_tier, ip="198.18.0.200")
+        assert net.flow_rtt(origin, resolver.ip, stream) is not None
+
+
+class TestPingPolicies:
+    def _policy_host(self, net, policy):
+        cellular = _system(64501, blocks=True, operator_key="cell")
+        outside = _system(64502, prefix="198.19.0.0/24")
+        net.register_system(cellular)
+        net.register_system(outside)
+        host = Host(
+            ip="198.18.0.1",
+            name="h",
+            asys=cellular,
+            location=NYC,
+            ping_policy=policy,
+            externally_open=True,
+        )
+        net.register_host(host)
+        inside_origin = _origin(cellular, ip="198.18.0.77")
+        outside_origin = _origin(outside, ip="198.19.0.9")
+        return host, inside_origin, outside_origin
+
+    def test_internal_only(self, net, stream):
+        host, inside, outside = self._policy_host(net, PingPolicy.INTERNAL_ONLY)
+        assert net.measure_rtt(inside, host.ip, stream) is not None
+        assert net.measure_rtt(outside, host.ip, stream) is None
+
+    def test_external_only(self, net, stream):
+        host, inside, outside = self._policy_host(net, PingPolicy.EXTERNAL_ONLY)
+        assert net.measure_rtt(inside, host.ip, stream) is None
+        assert net.measure_rtt(outside, host.ip, stream) is not None
+
+    def test_silent(self, net, stream):
+        host, inside, outside = self._policy_host(net, PingPolicy.SILENT)
+        assert net.measure_rtt(inside, host.ip, stream) is None
+        assert net.measure_rtt(outside, host.ip, stream) is None
+        # Flows still pass for the interior origin (DNS keeps working).
+        assert net.flow_rtt(inside, host.ip, stream) is not None
+
+
+class TestTraceroute:
+    def _world_with_transit(self, net):
+        cellular = _system(64501, blocks=True, operator_key="cell")
+        transit = _system(64510, prefix="198.19.0.0/24")
+        content = _system(64520, prefix="198.20.0.0/24")
+        for system in (cellular, transit, content):
+            net.register_system(system)
+        egress = Host(
+            ip="198.18.0.1", name="egress-cell-0", asys=cellular, location=CHI
+        )
+        net.register_host(egress)
+        router = Host(ip="198.19.0.1", name="transit.chi", asys=transit, location=CHI)
+        net.register_transit_router(router)
+        server = Host(ip="198.20.0.1", name="web", asys=content, location=LA)
+        net.register_host(server)
+        return cellular, egress, router, server
+
+    def test_device_traceroute_shows_egress_then_transit(self, net, stream):
+        cellular, egress, router, server = self._world_with_transit(net)
+        interior = [PathHop(host=None, ip=None, responds=False, cumulative_ms=0.0)] * 3
+        origin = ProbeOrigin(
+            source_ip="198.18.0.250",
+            asys=cellular,
+            location=CHI,
+            access_rtt_ms=30.0,
+            egress=egress,
+            interior_hops=interior,
+            origin_id="device",
+        )
+        result = net.traceroute(origin, server.ip, stream)
+        assert result.reached
+        ips = [hop.ip for hop in result.hops]
+        # Interior hops are silent, then the egress answers.
+        assert ips[:3] == [None, None, None]
+        assert ips[3] == egress.ip
+        assert router.ip in ips
+        assert ips[-1] == server.ip
+
+    def test_inbound_traceroute_stops_at_ingress(self, net, stream):
+        cellular, egress, router, server = self._world_with_transit(net)
+        resolver = Host(
+            ip="198.18.0.2",
+            name="ldns-ext",
+            asys=cellular,
+            location=CHI,
+            externally_open=True,
+        )
+        net.register_host(resolver)
+        outside = _system(64530, prefix="198.21.0.0/24")
+        net.register_system(outside)
+        origin = _origin(outside, location=LA, ip="198.21.0.5")
+        result = net.traceroute(origin, resolver.ip, stream)
+        assert not result.reached
+        assert egress.ip in result.responding_ips()
+        assert result.hops[-1].ip is None
+
+    def test_traceroute_to_unknown_trails_stars(self, net, stream):
+        cellular, egress, _, _ = self._world_with_transit(net)
+        origin = _origin(cellular, location=CHI, egress=egress)
+        result = net.traceroute(origin, "203.0.113.99", stream)
+        assert not result.reached
+        assert all(hop.ip is None for hop in result.hops[-3:])
+
+    def test_cumulative_rtts_monotone_over_transit(self, net, stream):
+        cellular, egress, router, server = self._world_with_transit(net)
+        origin = _origin(cellular, location=CHI, egress=egress, ip="198.18.0.77")
+        result = net.traceroute(origin, server.ip, stream)
+        rtts = [hop.rtt_ms for hop in result.hops if hop.rtt_ms is not None]
+        assert rtts == sorted(rtts)

@@ -1,0 +1,60 @@
+"""Hosts, ping policies and probe origins."""
+
+from repro.core.asn import ASKind, AutonomousSystem
+from repro.core.node import Host, PingPolicy, ProbeOrigin
+from repro.geo.coordinates import GeoPoint
+
+NYC = GeoPoint(40.7128, -74.0060)
+LA = GeoPoint(34.0522, -118.2437)
+
+
+class TestPingPolicy:
+    def test_open(self):
+        assert PingPolicy.OPEN.answers(same_operator=True)
+        assert PingPolicy.OPEN.answers(same_operator=False)
+
+    def test_internal_only(self):
+        assert PingPolicy.INTERNAL_ONLY.answers(same_operator=True)
+        assert not PingPolicy.INTERNAL_ONLY.answers(same_operator=False)
+
+    def test_external_only(self):
+        assert not PingPolicy.EXTERNAL_ONLY.answers(same_operator=True)
+        assert PingPolicy.EXTERNAL_ONLY.answers(same_operator=False)
+
+    def test_silent(self):
+        assert not PingPolicy.SILENT.answers(same_operator=True)
+        assert not PingPolicy.SILENT.answers(same_operator=False)
+
+
+class TestProbeOrigin:
+    def _origin(self, egress=None):
+        system = AutonomousSystem(64501, "o", ASKind.UNIVERSITY)
+        return ProbeOrigin(
+            source_ip="198.18.0.1",
+            asys=system,
+            location=NYC,
+            access_rtt_ms=1.0,
+            egress=egress,
+        )
+
+    def test_egress_location_defaults_to_own(self):
+        origin = self._origin()
+        assert origin.egress_location == NYC
+
+    def test_egress_location_follows_egress_host(self):
+        system = AutonomousSystem(64502, "cell", ASKind.CELLULAR)
+        from repro.core.addressing import Prefix
+
+        system.add_prefix(Prefix.parse("198.19.0.0/24"))
+        egress = Host(ip="198.19.0.1", name="egress", asys=system, location=LA)
+        origin = self._origin(egress=egress)
+        assert origin.egress_location == LA
+
+    def test_host_str_is_informative(self):
+        system = AutonomousSystem(64501, "Net", ASKind.CDN)
+        from repro.core.addressing import Prefix
+
+        system.add_prefix(Prefix.parse("198.18.0.0/24"))
+        host = Host(ip="198.18.0.1", name="edge", asys=system, location=NYC)
+        assert "edge" in str(host)
+        assert "198.18.0.1" in str(host)

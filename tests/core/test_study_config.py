@@ -1,0 +1,55 @@
+"""Study configuration scales and the ECS world flag."""
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.core.world import WorldConfig, build_world
+
+
+class TestStudyConfig:
+    def test_default_world_config_attached(self):
+        config = StudyConfig()
+        assert isinstance(config.world, WorldConfig)
+
+    def test_seed_propagates_to_world(self):
+        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        assert study.world.rng.master_seed == study.config.seed
+
+    def test_campaign_config_mirrors_scale(self):
+        config = StudyConfig(device_scale=0.5, duration_days=10.0)
+        campaign = config.campaign_config()
+        assert campaign.device_scale == 0.5
+        assert campaign.duration_days == 10.0
+
+    def test_smoke_scale_is_small(self):
+        smoke = StudyConfig.smoke_scale()
+        paper = StudyConfig.paper_scale()
+        assert smoke.device_scale < paper.device_scale
+        assert smoke.interval_hours > paper.interval_hours
+
+
+class TestEcsWorldFlag:
+    def test_flag_propagates_everywhere(self):
+        world = build_world(WorldConfig(ecs_enabled=True))
+        assert world.google_dns.ecs_enabled
+        assert world.opendns.ecs_enabled
+        assert all(
+            operator.ecs_enabled for operator in world.operators.values()
+        )
+
+    def test_mapping_overrides_propagate(self):
+        world = build_world(
+            WorldConfig(cdn_mapping_overrides={"cellular_blunder_prob": 0.5})
+        )
+        for provider in world.cdns.values():
+            assert provider.mapping.cellular_blunder_prob == 0.5
+
+    def test_ttl_override_propagates(self):
+        world = build_world(WorldConfig(cdn_a_ttl_override=123))
+        for provider in world.cdns.values():
+            assert provider.a_ttl_override == 123
+
+    def test_allocator_retained(self):
+        world = build_world()
+        assert world.allocator is not None
+        before = world.allocator.remaining
+        world.allocator.allocate24()
+        assert world.allocator.remaining == before - 256

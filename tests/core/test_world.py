@@ -1,0 +1,104 @@
+"""World assembly: every substrate present and wired correctly."""
+
+from repro.core.asn import ASKind
+from repro.core.world import GOOGLE_DNS_IP, OPENDNS_IP, WHOAMI_ZONE, build_world
+from repro.dns.message import RRType, make_query
+
+
+class TestWorldStructure:
+    def test_all_six_carriers(self, world):
+        assert sorted(world.operators) == [
+            "att", "lgu", "skt", "sprint", "tmobile", "verizon",
+        ]
+
+    def test_three_cdns(self, world):
+        assert sorted(world.cdns) == ["continental", "globalcache", "usonly"]
+
+    def test_google_has_thirty_clusters(self, world):
+        assert len(world.google_dns.clusters) == 30
+
+    def test_opendns_smaller_than_google(self, world):
+        assert len(world.opendns.clusters) < len(world.google_dns.clusters)
+
+    def test_public_services_by_kind(self, world):
+        assert world.public_service("google") is world.google_dns
+        assert world.public_service("opendns") is world.opendns
+        assert world.google_dns.anycast_ip == GOOGLE_DNS_IP
+        assert world.opendns.anycast_ip == OPENDNS_IP
+
+    def test_egress_counts_match_sec52(self, world):
+        expected = {"att": 11, "sprint": 45, "tmobile": 49, "verizon": 62}
+        for key, count in expected.items():
+            assert len(world.operators[key].egress_points) == count
+
+    def test_verizon_split_ases(self, world):
+        verizon = world.operators["verizon"]
+        assert verizon.system.asn == 6167
+        external_asns = {
+            resolver.host.asys.asn for resolver in verizon.deployment.externals
+        }
+        assert external_asns == {22394}
+
+    def test_sk_pools_share_prefixes(self, world):
+        from repro.core.addressing import prefix24
+
+        skt = world.operators["skt"]
+        prefixes = {prefix24(ip) for ip in skt.deployment.external_ips()}
+        assert len(prefixes) == 2
+        # Client fronts live in the externals' space (same /24 layout).
+        client_prefixes = {prefix24(ip) for ip in skt.deployment.client_ips()}
+        assert client_prefixes <= prefixes
+
+    def test_lgu_dense_pools(self, world):
+        from repro.core.addressing import prefix24
+
+        lgu = world.operators["lgu"]
+        assert len(lgu.deployment.externals) == 90
+        assert len({prefix24(ip) for ip in lgu.deployment.external_ips()}) == 2
+
+    def test_att_forty_externals(self, world):
+        assert len(world.operators["att"].deployment.externals) == 40
+
+
+class TestWorldWiring:
+    def test_locate_ip_flags_cellular(self, world):
+        resolver_ip = world.operators["att"].deployment.external_ips()[0]
+        located = world.locate_ip(resolver_ip)
+        assert located is not None and located[1] is True
+        google_ip = world.google_dns.clusters[0].hosts[0].ip
+        located = world.locate_ip(google_ip)
+        assert located is not None and located[1] is False
+        assert world.locate_ip("203.0.113.77") is None
+
+    def test_replica_owner(self, world):
+        replica = world.cdns["usonly"].all_replicas()[0]
+        assert world.replica_owner(replica.ip) is world.cdns["usonly"]
+        assert world.replica_owner("203.0.113.1") is None
+
+    def test_echo_authority_registered(self, world):
+        authority = world.directory.authority_for(f"x.{WHOAMI_ZONE}")
+        assert authority is world.echo_authority
+
+    def test_domain_resolution_chain_reaches_cdn(self, world):
+        authority = world.directory.authority_for("www.buzzfeed.com")
+        response = authority.answer(
+            make_query("www.buzzfeed.com"), "198.18.0.1", now=0.0
+        )
+        chain = response.cname_chain()
+        assert chain and chain[0].endswith("usonly-sim.net")
+
+    def test_every_registered_host_has_unique_ip(self, world):
+        hosts = world.internet.hosts()
+        assert len({host.ip for host in hosts}) == len(hosts)
+
+    def test_cellular_systems_block_inbound(self, world):
+        for operator in world.operators.values():
+            assert operator.system.firewall.blocks_inbound
+            assert operator.system.kind is ASKind.CELLULAR
+
+    def test_deterministic_construction(self):
+        first = build_world()
+        second = build_world()
+        assert sorted(h.ip for h in first.internet.hosts()) == sorted(
+            h.ip for h in second.internet.hosts()
+        )

@@ -1,0 +1,90 @@
+"""Authoritative servers, including the resolver-echo authority."""
+
+import pytest
+
+from repro.core.addressing import Prefix
+from repro.core.asn import ASKind, AutonomousSystem
+from repro.core.node import Host
+from repro.dns.authoritative import ResolverEchoAuthority, StaticAuthority
+from repro.dns.message import RCode, RRType, make_query
+from repro.dns.zone import Zone
+from repro.geo.coordinates import GeoPoint
+
+
+@pytest.fixture()
+def host():
+    system = AutonomousSystem(64501, "dns", ASKind.CONTENT)
+    system.add_prefix(Prefix.parse("198.18.0.0/24"))
+    return Host(
+        ip="198.18.0.53",
+        name="ns1",
+        asys=system,
+        location=GeoPoint(41.8781, -87.6298),
+    )
+
+
+class TestStaticAuthority:
+    def _authority(self, host):
+        zone = Zone("example.com")
+        zone.add_cname("www.example.com", "edge.cdn-sim.net", ttl=3600)
+        return StaticAuthority(host=host, zone_apex="example.com", zone=zone)
+
+    def test_answers_in_zone(self, host):
+        authority = self._authority(host)
+        response = authority.answer(make_query("www.example.com"), "10.0.0.1", 0.0)
+        assert response.rcode is RCode.NOERROR
+        assert response.authoritative
+        assert response.cname_chain() == ["edge.cdn-sim.net"]
+
+    def test_refuses_out_of_zone(self, host):
+        authority = self._authority(host)
+        response = authority.answer(make_query("www.other.org"), "10.0.0.1", 0.0)
+        assert response.rcode is RCode.REFUSED
+
+    def test_nxdomain(self, host):
+        authority = self._authority(host)
+        response = authority.answer(make_query("nope.example.com"), "10.0.0.1", 0.0)
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_default_zone_created(self, host):
+        authority = StaticAuthority(host=host, zone_apex="fresh.net")
+        assert authority.zone.apex == "fresh.net"
+
+    def test_serves(self, host):
+        authority = self._authority(host)
+        assert authority.serves("deep.sub.example.com")
+        assert not authority.serves("example.org")
+
+
+class TestResolverEchoAuthority:
+    def test_echoes_querying_resolver(self, host):
+        authority = ResolverEchoAuthority(host=host, zone_apex="whoami.probe.net")
+        response = authority.answer(
+            make_query("e1.local.whoami.probe.net"), "203.0.113.9", now=5.0
+        )
+        records = response.a_records()
+        assert len(records) == 1
+        assert records[0].data == "203.0.113.9"
+
+    def test_zero_ttl_prevents_caching(self, host):
+        authority = ResolverEchoAuthority(host=host, zone_apex="whoami.probe.net")
+        response = authority.answer(
+            make_query("x.whoami.probe.net"), "203.0.113.9", now=0.0
+        )
+        assert response.a_records()[0].ttl == 0
+
+    def test_logs_observations(self, host):
+        authority = ResolverEchoAuthority(host=host, zone_apex="whoami.probe.net")
+        authority.answer(make_query("a.google.whoami.probe.net"), "1.2.3.4", 1.0)
+        authority.answer(make_query("b.local.whoami.probe.net"), "5.6.7.8", 2.0)
+        all_entries = authority.observations_for("whoami.probe.net")
+        assert len(all_entries) == 2
+        local_only = authority.observations_for("local.whoami.probe.net")
+        assert len(local_only) == 1
+        assert local_only[0].resolver_ip == "5.6.7.8"
+
+    def test_refuses_out_of_zone(self, host):
+        authority = ResolverEchoAuthority(host=host, zone_apex="whoami.probe.net")
+        response = authority.answer(make_query("other.net"), "1.2.3.4", 0.0)
+        assert response.rcode is RCode.REFUSED
+        assert authority.log == []

@@ -1,0 +1,112 @@
+"""TTL cache semantics and statistics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import ResourceRecord, RRType
+
+
+def _a(name, ttl, ip="10.0.0.1"):
+    return ResourceRecord(name, RRType.A, ttl, ip)
+
+
+class TestBasicSemantics:
+    def test_miss_then_hit(self):
+        cache = DnsCache()
+        assert cache.get("x.com", RRType.A, now=0.0) is None
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 60)], now=0.0)
+        hit = cache.get("x.com", RRType.A, now=30.0)
+        assert hit is not None
+
+    def test_expiry(self):
+        cache = DnsCache()
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 60)], now=0.0)
+        assert cache.get("x.com", RRType.A, now=60.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_ttl_ages(self):
+        cache = DnsCache()
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 60)], now=0.0)
+        hit = cache.get("x.com", RRType.A, now=45.0)
+        assert hit[0].ttl == 15
+
+    def test_min_ttl_governs_whole_answer(self):
+        cache = DnsCache()
+        records = [
+            ResourceRecord("x.com", RRType.CNAME, 3600, "edge.net"),
+            ResourceRecord("edge.net", RRType.A, 30, "10.0.0.1"),
+        ]
+        cache.put_answer("x.com", RRType.A, records, now=0.0)
+        assert cache.get("x.com", RRType.A, now=29.0) is not None
+        assert cache.get("x.com", RRType.A, now=31.0) is None
+
+    def test_case_insensitive_keys(self):
+        cache = DnsCache()
+        cache.put_answer("X.COM", RRType.A, [_a("x.com", 60)], now=0.0)
+        assert cache.get("x.com", RRType.A, now=1.0) is not None
+
+    def test_invalidate_and_clear(self):
+        cache = DnsCache()
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 60)], now=0.0)
+        cache.invalidate("x.com", RRType.A)
+        assert len(cache) == 0
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 60)], now=0.0)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_put_groups_rrsets(self):
+        cache = DnsCache()
+        cache.put(
+            [
+                _a("x.com", 60, "10.0.0.1"),
+                _a("x.com", 60, "10.0.0.2"),
+                ResourceRecord("y.com", RRType.A, 120, "10.0.0.3"),
+            ],
+            now=0.0,
+        )
+        assert len(cache.get("x.com", RRType.A, now=1.0)) == 2
+        assert len(cache.get("y.com", RRType.A, now=1.0)) == 1
+
+    def test_flush_expired(self):
+        cache = DnsCache()
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 10)], now=0.0)
+        cache.put_answer("y.com", RRType.A, [_a("y.com", 100)], now=0.0)
+        removed = cache.flush_expired(now=50.0)
+        assert removed == 1
+        assert ("y.com", RRType.A) in cache
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = DnsCache()
+        cache.get("x.com", RRType.A, now=0.0)
+        cache.put_answer("x.com", RRType.A, [_a("x.com", 60)], now=0.0)
+        cache.get("x.com", RRType.A, now=1.0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert DnsCache().stats.hit_rate == 0.0
+
+
+class TestProperties:
+    @given(st.integers(min_value=1, max_value=86400), st.floats(0, 1e6))
+    def test_entry_lives_exactly_ttl(self, ttl, start):
+        cache = DnsCache()
+        cache.put_answer("p.com", RRType.A, [_a("p.com", ttl)], now=start)
+        assert cache.get("p.com", RRType.A, now=start + ttl - 0.5) is not None
+        assert cache.get("p.com", RRType.A, now=start + ttl + 0.5) is None
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=6))
+    def test_remaining_ttl_never_negative(self, ttls):
+        cache = DnsCache()
+        records = [
+            _a("m.com", ttl, f"10.0.0.{index + 1}")
+            for index, ttl in enumerate(ttls)
+        ]
+        cache.put_answer("m.com", RRType.A, records, now=0.0)
+        hit = cache.get("m.com", RRType.A, now=min(ttls) - 1)
+        if hit is not None:
+            assert all(record.ttl >= 0 for record in hit)

@@ -1,0 +1,132 @@
+"""EDNS Client Subnet: the localization fix the paper points toward."""
+
+import pytest
+
+from repro import build_world
+from repro.cdn.catalog import spec_for
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.core.addressing import prefix24
+from repro.core.world import WorldConfig
+from repro.dns.message import RRType
+from repro.geo.regions import US_CITIES, city_named
+
+
+@pytest.fixture(scope="module")
+def ecs_world():
+    return build_world(WorldConfig(ecs_enabled=True))
+
+
+def _device(world, carrier, home, key):
+    operator = world.operators[carrier]
+    from repro.geo.regions import cities_for
+
+    return MobileDevice(
+        device_id=key,
+        carrier_key=carrier,
+        mobility=MobilityModel(
+            home_city=city_named(home),
+            candidate_cities=cities_for(operator.country),
+            seed=404,
+            device_key=key,
+            travel_probability=0.0,
+        ),
+    )
+
+
+class TestRegionalisedPools:
+    def test_client_24_identifies_egress(self, world):
+        operator = world.operators["verizon"]
+        device = _device(world, "verizon", "Seattle", "ecs-dev-1")
+        attachment = operator.attachment(device, now=0.0)
+        located = operator.locate_client_ip(attachment.client_ip)
+        assert located is not None
+        assert located.distance_km(attachment.egress.location) < 1.0
+
+    def test_foreign_ip_not_located(self, world):
+        operator = world.operators["verizon"]
+        assert operator.locate_client_ip("203.0.113.5") is None
+
+    def test_world_locates_client_pools(self, world):
+        operator = world.operators["att"]
+        device = _device(world, "att", "Boston", "ecs-dev-2")
+        attachment = operator.attachment(device, now=0.0)
+        located = world.locate_ip(attachment.client_ip)
+        assert located is not None
+        location, is_cellular = located
+        assert is_cellular
+
+
+class TestEcsSelection:
+    def test_cdn_maps_on_client_subnet(self, ecs_world):
+        provider = ecs_world.cdns["usonly"]
+        spec = spec_for("www.buzzfeed.com")
+        operator = ecs_world.operators["verizon"]
+        seattle = _device(ecs_world, "verizon", "Seattle", "ecs-dev-3")
+        miami = _device(ecs_world, "verizon", "Miami", "ecs-dev-4")
+        picks = {}
+        for device in (seattle, miami):
+            attachment = operator.attachment(device, now=0.0)
+            subnet = prefix24(attachment.client_ip)
+            replicas = provider.select_replicas(
+                spec, "198.18.0.1", 0.0, client_subnet=subnet
+            )
+            cluster = provider.cluster_of_ip(replicas[0].ip)
+            picks[device.device_id] = cluster.city.name
+        # Opposite-coast clients land on different clusters even though
+        # the querying resolver address was identical.
+        assert picks["ecs-dev-3"] != picks["ecs-dev-4"]
+
+    def test_ecs_replicas_near_client(self, ecs_world, stream):
+        operator = ecs_world.operators["verizon"]
+        device = _device(ecs_world, "verizon", "Seattle", "ecs-dev-5")
+        attachment = operator.attachment(device, now=0.0)
+        from repro.cellnet.radio import RadioTechnology
+
+        origin = operator.probe_origin(
+            device, 0.0, stream, technology=RadioTechnology.LTE
+        )
+        result = operator.resolve_local(
+            device, origin, attachment, "www.buzzfeed.com", RRType.A, 0.0, stream
+        )
+        provider = ecs_world.cdns["usonly"]
+        cluster = provider.cluster_of_ip(result.addresses[0])
+        distance = cluster.location.distance_km(device.location(0.0))
+        assert distance < 1500.0  # Seattle's nearest usonly cluster region
+
+
+class TestEcsCacheScoping:
+    def test_answers_not_shared_across_subnets(self, ecs_world, stream):
+        engine = ecs_world.operators["verizon"].deployment.externals[0].engine
+        first = engine.resolve(
+            "www.buzzfeed.com", RRType.A, 0.0, stream,
+            client_subnet="16.7.0.0/24",
+        )
+        cross = engine.resolve(
+            "www.buzzfeed.com", RRType.A, 1.0, stream,
+            client_subnet="16.7.99.0/24",
+        )
+        same = engine.resolve(
+            "www.buzzfeed.com", RRType.A, 2.0, stream,
+            client_subnet="16.7.0.0/24",
+        )
+        assert not first.cache_hit
+        assert not cross.cache_hit  # different subnet: fresh fetch
+        assert same.cache_hit  # same subnet within TTL: served from cache
+
+    def test_ecs_skips_background_warmth(self, ecs_world, stream):
+        engine = ecs_world.operators["att"].deployment.externals[0].engine
+        engine.background_warm_prob = 1.0
+        result = engine.resolve(
+            "www.google.com", RRType.A, 0.0, stream,
+            client_subnet="16.2.5.0/24",
+        )
+        assert not result.cache_hit
+
+
+class TestBaselineUnaffected:
+    def test_default_world_has_ecs_off(self, world):
+        assert not world.google_dns.ecs_enabled
+        assert all(
+            not operator.ecs_enabled for operator in world.operators.values()
+        )

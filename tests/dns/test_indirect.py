@@ -1,0 +1,244 @@
+"""Indirect resolution structures and pairing policies."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.dns.indirect import (
+    AnycastPairing,
+    ClientFacingAddress,
+    DeploymentKind,
+    DnsDeployment,
+    LoadBalancedPairing,
+    ResolverSite,
+    StickyPoolPairing,
+    TieredPairing,
+    group_by_site,
+)
+from repro.geo.regions import city_named
+
+
+class _FakeResolver:
+    """Stands in for ExternalResolver (only .site and .ip are used)."""
+
+    def __init__(self, ip, site):
+        self.ip = ip
+        self.site = site
+        self.host = None
+
+
+def _sites(count):
+    cities = ["New York", "Los Angeles", "Chicago", "Dallas", "Seattle"]
+    return [
+        ResolverSite(index=index, city=city_named(cities[index % len(cities)]))
+        for index in range(count)
+    ]
+
+
+def _resolvers(sites, per_site):
+    resolvers = []
+    for site in sites:
+        for machine in range(per_site):
+            resolvers.append(
+                _FakeResolver(f"198.18.{site.index}.{machine + 1}", site)
+            )
+    return resolvers
+
+
+ADDRESS = ClientFacingAddress(ip="198.18.100.1", anycast=True)
+
+
+class TestTieredPairing:
+    def test_fixed_pairs(self):
+        sites = _sites(2)
+        resolvers = _resolvers(sites, 1)
+        pairing = TieredPairing(pair_of={"198.18.100.1": resolvers[0]})
+        for now in (0.0, 1e6, 2e6):
+            assert pairing.external_for(ADDRESS, "dev", 0, now) is resolvers[0]
+
+    def test_unknown_front_raises(self):
+        pairing = TieredPairing(pair_of={})
+        with pytest.raises(ConfigError):
+            pairing.external_for(ADDRESS, "dev", 0, 0.0)
+
+
+class TestStickyPoolPairing:
+    def _pairing(self, stickiness, shared_home=True, members=4):
+        sites = _sites(1)
+        pool = _resolvers(sites, members)
+        return (
+            StickyPoolPairing(
+                pools={ADDRESS.ip: pool},
+                stickiness=stickiness,
+                rehome_period_s=1e9,
+                seed=11,
+                shared_home=shared_home,
+            ),
+            pool,
+        )
+
+    def test_full_stickiness_is_constant(self):
+        pairing, pool = self._pairing(1.0)
+        picks = {
+            pairing.external_for(ADDRESS, "dev", 0, float(t)).ip
+            for t in range(50)
+        }
+        assert len(picks) == 1
+
+    def test_zero_stickiness_spreads(self):
+        pairing, pool = self._pairing(0.0)
+        picks = {
+            pairing.external_for(ADDRESS, "dev", 0, float(t)).ip
+            for t in range(200)
+        }
+        assert len(picks) == len(pool)
+
+    def test_shared_home_is_common_across_devices(self):
+        pairing, _ = self._pairing(1.0, shared_home=True)
+        a = pairing.external_for(ADDRESS, "dev-a", 0, 0.0)
+        b = pairing.external_for(ADDRESS, "dev-b", 0, 0.0)
+        assert a is b
+
+    def test_aggregate_consistency_matches_stickiness(self):
+        pairing, pool = self._pairing(0.5, members=2)
+        picks = [
+            pairing.external_for(ADDRESS, "dev", 0, float(t)).ip
+            for t in range(2000)
+        ]
+        top_share = max(picks.count(ip) for ip in set(picks)) / len(picks)
+        # stickiness 0.5 over two members -> ~75% on the primary.
+        assert 0.65 < top_share < 0.85
+
+    def test_missing_pool_raises(self):
+        pairing, _ = self._pairing(0.5)
+        other = ClientFacingAddress(ip="198.18.200.1")
+        with pytest.raises(ConfigError):
+            pairing.external_for(other, "dev", 0, 0.0)
+
+
+class TestAnycastPairing:
+    def _pairing(self, flutter=0.0, machine_epoch=None):
+        sites = _sites(3)
+        resolvers = _resolvers(sites, 2)
+        return (
+            AnycastPairing(
+                by_site=group_by_site(resolvers),
+                seed=5,
+                site_flutter=flutter,
+                machine_epoch_s=machine_epoch,
+            ),
+            resolvers,
+        )
+
+    def test_follows_site_hint(self):
+        pairing, _ = self._pairing()
+        pick = pairing.external_for(ADDRESS, "dev", 1, 0.0)
+        assert pick.site.index == 1
+
+    def test_stable_machine_without_epoch(self):
+        pairing, _ = self._pairing()
+        picks = {
+            pairing.external_for(ADDRESS, "dev", 0, float(t)).ip
+            for t in range(20)
+        }
+        assert len(picks) == 1
+
+    def test_machine_epoch_rotates(self):
+        pairing, _ = self._pairing(machine_epoch=3600.0)
+        picks = {
+            pairing.external_for(ADDRESS, "dev", 0, t * 3600.0).ip
+            for t in range(40)
+        }
+        assert len(picks) == 2  # both machines of the site get used
+
+    def test_flutter_changes_site_sometimes(self):
+        pairing, _ = self._pairing(flutter=0.5)
+        sites_seen = {
+            pairing.external_for(ADDRESS, "dev", 0, t * 3600.0).site.index
+            for t in range(60)
+        }
+        assert len(sites_seen) > 1
+
+    def test_empty_sites_raise(self):
+        pairing = AnycastPairing(by_site={}, seed=1)
+        with pytest.raises(ConfigError):
+            pairing.external_for(ADDRESS, "dev", 0, 0.0)
+
+
+class TestLoadBalancedPairing:
+    def test_spreads_over_epochs(self):
+        sites = _sites(2)
+        resolvers = _resolvers(sites, 3)
+        pairing = LoadBalancedPairing(externals=resolvers, seed=9, coherence_s=600.0)
+        picks = {
+            pairing.external_for(ADDRESS, "dev", 0, t * 600.0).ip
+            for t in range(120)
+        }
+        assert len(picks) == len(resolvers)
+
+    def test_coherent_within_epoch(self):
+        sites = _sites(2)
+        resolvers = _resolvers(sites, 3)
+        pairing = LoadBalancedPairing(externals=resolvers, seed=9, coherence_s=600.0)
+        assert (
+            pairing.external_for(ADDRESS, "dev", 0, 0.0).ip
+            == pairing.external_for(ADDRESS, "dev", 0, 599.0).ip
+        )
+
+    def test_empty_raises(self):
+        pairing = LoadBalancedPairing(externals=[], seed=1)
+        with pytest.raises(ConfigError):
+            pairing.external_for(ADDRESS, "dev", 0, 0.0)
+
+
+class TestDnsDeployment:
+    def _deployment(self):
+        sites = _sites(3)
+        resolvers = _resolvers(sites, 1)
+        addresses = [
+            ClientFacingAddress(ip="198.18.100.1", anycast=True),
+            ClientFacingAddress(ip="198.18.100.2", anycast=True),
+        ]
+        pairing = AnycastPairing(by_site=group_by_site(resolvers), seed=5)
+        return DnsDeployment(
+            kind=DeploymentKind.ANYCAST,
+            client_addresses=addresses,
+            externals=resolvers,
+            sites=sites,
+            pairing=pairing,
+        )
+
+    def test_requires_addresses_and_externals(self):
+        sites = _sites(1)
+        resolvers = _resolvers(sites, 1)
+        with pytest.raises(ConfigError):
+            DnsDeployment(
+                kind=DeploymentKind.ANYCAST,
+                client_addresses=[],
+                externals=resolvers,
+                sites=sites,
+                pairing=AnycastPairing(by_site=group_by_site(resolvers), seed=1),
+            )
+
+    def test_client_address_assignment_stable(self):
+        deployment = self._deployment()
+        first = deployment.client_address_for("device-1", seed=3)
+        again = deployment.client_address_for("device-1", seed=3)
+        assert first is again
+
+    def test_serving_site_anycast_follows_hint(self):
+        deployment = self._deployment()
+        address = deployment.client_addresses[0]
+        assert deployment.serving_site(address, 2).index == 2
+
+    def test_external_lookup_by_ip(self):
+        deployment = self._deployment()
+        ip = deployment.external_ips()[0]
+        assert deployment.external_by_ip(ip).ip == ip
+        assert deployment.external_by_ip("203.0.113.1") is None
+
+    def test_group_by_site(self):
+        sites = _sites(2)
+        resolvers = _resolvers(sites, 2)
+        grouped = group_by_site(resolvers)
+        assert sorted(grouped) == [0, 1]
+        assert all(len(members) == 2 for members in grouped.values())

@@ -1,0 +1,112 @@
+"""DNS message model."""
+
+import pytest
+
+from repro.core.errors import DNSError
+from repro.dns.message import (
+    DNSMessage,
+    Question,
+    RCode,
+    ResourceRecord,
+    RRType,
+    make_query,
+    make_response,
+    name_within,
+    normalize_name,
+)
+
+
+class TestNormalizeName:
+    def test_lowercases_and_strips_dot(self):
+        assert normalize_name("WWW.Example.COM.") == "www.example.com"
+
+    def test_root_is_empty(self):
+        assert normalize_name(".") == ""
+        assert normalize_name("") == ""
+
+    def test_rejects_long_labels(self):
+        with pytest.raises(DNSError):
+            normalize_name("a" * 64 + ".com")
+
+    def test_rejects_empty_labels(self):
+        with pytest.raises(DNSError):
+            normalize_name("a..b")
+
+    def test_rejects_overlong_names(self):
+        with pytest.raises(DNSError):
+            normalize_name(".".join(["abcd"] * 60))
+
+
+class TestNameWithin:
+    def test_exact_and_subdomain(self):
+        assert name_within("www.example.com", "example.com")
+        assert name_within("example.com", "example.com")
+
+    def test_not_suffix_trick(self):
+        assert not name_within("badexample.com", "example.com")
+
+    def test_root_contains_all(self):
+        assert name_within("anything.net", "")
+
+
+class TestResourceRecord:
+    def test_normalises_owner_and_target(self):
+        record = ResourceRecord("WWW.X.COM", RRType.CNAME, 60, "EDGE.Y.NET.")
+        assert record.name == "www.x.com"
+        assert record.data == "edge.y.net"
+
+    def test_a_data_untouched(self):
+        record = ResourceRecord("x.com", RRType.A, 60, "10.0.0.1")
+        assert record.data == "10.0.0.1"
+
+    def test_rejects_negative_ttl(self):
+        with pytest.raises(DNSError):
+            ResourceRecord("x.com", RRType.A, -1, "10.0.0.1")
+
+    def test_with_ttl(self):
+        record = ResourceRecord("x.com", RRType.A, 60, "10.0.0.1")
+        aged = record.with_ttl(10)
+        assert aged.ttl == 10 and record.ttl == 60
+
+
+class TestMessages:
+    def test_make_query(self):
+        query = make_query("www.x.com", RRType.A, msg_id=7)
+        assert query.msg_id == 7
+        assert not query.is_response
+        assert query.recursion_desired
+        assert query.question == Question("www.x.com", RRType.A)
+
+    def test_make_response_echoes_question(self):
+        query = make_query("www.x.com")
+        answer = ResourceRecord("www.x.com", RRType.A, 30, "10.0.0.1")
+        response = make_response(query, answers=[answer])
+        assert response.is_response
+        assert response.msg_id == query.msg_id
+        assert response.questions == query.questions
+        assert response.answer_addresses() == ["10.0.0.1"]
+
+    def test_rcode_propagates(self):
+        response = make_response(make_query("x.com"), rcode=RCode.NXDOMAIN)
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_cname_chain_and_a_records(self):
+        message = DNSMessage(
+            is_response=True,
+            answers=[
+                ResourceRecord("a.com", RRType.CNAME, 300, "b.net"),
+                ResourceRecord("b.net", RRType.A, 30, "10.0.0.1"),
+                ResourceRecord("b.net", RRType.A, 30, "10.0.0.2"),
+            ],
+        )
+        assert message.cname_chain() == ["b.net"]
+        assert message.answer_addresses() == ["10.0.0.1", "10.0.0.2"]
+        assert message.min_answer_ttl() == 30
+
+    def test_min_ttl_of_empty(self):
+        assert DNSMessage().min_answer_ttl() is None
+
+    def test_rrtype_parse(self):
+        assert RRType.parse("cname") is RRType.CNAME
+        with pytest.raises(DNSError):
+            RRType.parse("WKS")

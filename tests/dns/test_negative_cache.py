@@ -1,0 +1,72 @@
+"""Negative caching (RFC 2308 behaviour)."""
+
+import pytest
+
+from repro.core.rng import RandomStream
+from repro.dns.cache import DnsCache
+from repro.dns.message import RCode, RRType
+
+
+class TestCacheLayer:
+    def test_put_and_get_negative(self):
+        cache = DnsCache()
+        cache.put_negative("gone.example", RRType.A, ttl=60, now=0.0)
+        entry = cache.get_entry_kind("gone.example", RRType.A, now=30.0)
+        assert entry is not None
+        records, negative = entry
+        assert negative and records == []
+
+    def test_negative_expires(self):
+        cache = DnsCache()
+        cache.put_negative("gone.example", RRType.A, ttl=60, now=0.0)
+        assert cache.get_entry_kind("gone.example", RRType.A, now=61.0) is None
+
+    def test_zero_ttl_not_stored(self):
+        cache = DnsCache()
+        cache.put_negative("gone.example", RRType.A, ttl=0, now=0.0)
+        assert cache.get_entry_kind("gone.example", RRType.A, now=0.0) is None
+
+    def test_entry_kind_distinguishes_positive(self):
+        from repro.dns.message import ResourceRecord
+
+        cache = DnsCache()
+        cache.put_answer(
+            "live.example", RRType.A,
+            [ResourceRecord("live.example", RRType.A, 60, "10.0.0.1")],
+            now=0.0,
+        )
+        records, negative = cache.get_entry_kind("live.example", RRType.A, 1.0)
+        assert not negative and records
+
+
+class TestEngineNegativeCaching:
+    def _engine(self, world):
+        return world.operators["att"].deployment.externals[0].engine
+
+    def test_nxdomain_cached(self, world):
+        engine = self._engine(world)
+        stream = RandomStream(314, "neg")
+        first = engine.resolve("ghost.buzzfeed.com", RRType.A, 0.0, stream)
+        second = engine.resolve("ghost.buzzfeed.com", RRType.A, 5.0, stream)
+        assert first.rcode is RCode.NXDOMAIN
+        assert not first.cache_hit
+        assert second.rcode is RCode.NXDOMAIN
+        assert second.cache_hit
+        assert second.upstream_ms == 0.0
+
+    def test_negative_entry_expires(self, world):
+        engine = self._engine(world)
+        stream = RandomStream(315, "neg")
+        engine.resolve("ghost2.buzzfeed.com", RRType.A, 0.0, stream)
+        later = engine.resolve(
+            "ghost2.buzzfeed.com", RRType.A, engine.negative_ttl_s + 1.0, stream
+        )
+        assert not later.cache_hit
+
+    def test_servfail_not_cached(self, world):
+        engine = self._engine(world)
+        stream = RandomStream(316, "neg")
+        first = engine.resolve("x.unknown.zone.example", RRType.A, 0.0, stream)
+        second = engine.resolve("x.unknown.zone.example", RRType.A, 1.0, stream)
+        assert first.rcode is RCode.SERVFAIL
+        assert not second.cache_hit

@@ -1,0 +1,112 @@
+"""Public anycast DNS services."""
+
+import pytest
+
+from repro.core.addressing import prefix24
+from repro.core.node import ProbeOrigin
+from repro.core.rng import RandomStream
+from repro.dns.message import RRType
+
+
+@pytest.fixture()
+def stream():
+    return RandomStream(77, "public-dns-tests")
+
+
+def _origin(world, city_name="Chicago"):
+    from repro.geo.regions import city_named
+
+    vantage = world.vantage
+    return ProbeOrigin(
+        source_ip=vantage.host.ip,
+        asys=vantage.host.asys,
+        location=city_named(city_name).location,
+        access_rtt_ms=1.0,
+    )
+
+
+class TestAnycastRouting:
+    def test_serves_from_nearby_cluster(self, world, stream):
+        service = world.google_dns
+        service.route_instability = 0.0
+        try:
+            origin = _origin(world, "Chicago")
+            cluster = service.serving_cluster(origin, "dev", now=0.0)
+            assert cluster.city.name == "Chicago"
+        finally:
+            service.route_instability = world.config.google_instability
+
+    def test_instability_spreads_over_nearby_clusters(self, world, stream):
+        service = world.google_dns
+        origin = _origin(world, "Chicago")
+        clusters = {
+            service.serving_cluster(origin, "dev", now=t * service.wobble_epoch_s).index
+            for t in range(80)
+        }
+        assert len(clusters) > 1
+
+    def test_sk_queries_served_from_asia_pacific(self, world, stream):
+        from repro.geo.regions import Country
+
+        origin = _origin(world, "Chicago")
+        origin = ProbeOrigin(
+            source_ip=origin.source_ip,
+            asys=origin.asys,
+            location=world.operators["skt"].egress_points[0].location,
+            access_rtt_ms=1.0,
+        )
+        service = world.google_dns
+        cluster = service.serving_cluster(origin, "dev", now=0.0)
+        assert cluster.city.country is Country.ASIA_PACIFIC
+
+
+class TestResolution:
+    def test_resolves_catalogue_domain(self, world, stream):
+        origin = _origin(world)
+        outcome = world.google_dns.resolve(
+            origin, "www.google.com", RRType.A, now=0.0, stream=stream,
+            device_key="dev",
+        )
+        assert outcome is not None
+        assert outcome.result.addresses()
+        assert outcome.total_ms > world.google_dns.peering_penalty_ms
+
+    def test_external_ip_is_cluster_machine(self, world, stream):
+        origin = _origin(world)
+        outcome = world.google_dns.resolve(
+            origin, "www.google.com", RRType.A, now=0.0, stream=stream,
+            device_key="dev",
+        )
+        cluster = world.google_dns.clusters[outcome.cluster_index]
+        assert prefix24(outcome.external_ip) == str(cluster.prefix).replace(
+            "/24", "/24"
+        )
+        assert cluster.prefix.contains(outcome.external_ip)
+
+    def test_machines_rotate_over_time(self, world, stream):
+        origin = _origin(world)
+        seen = set()
+        for day in range(20):
+            outcome = world.google_dns.resolve(
+                origin, "www.google.com", RRType.A, now=day * 86400.0,
+                stream=stream, device_key="dev",
+            )
+            seen.add(outcome.external_ip)
+        assert len(seen) > 1
+
+
+class TestPing:
+    def test_ping_includes_peering_penalty(self, world, stream):
+        origin = _origin(world)
+        service = world.google_dns
+        rtts = [
+            service.ping(origin, now=0.0, stream=stream, device_key="dev")
+            for _ in range(20)
+        ]
+        assert all(rtt is not None for rtt in rtts)
+        assert min(rtts) > service.peering_penalty_ms
+
+    def test_cluster_prefixes_are_24s(self, world):
+        prefixes = world.google_dns.cluster_prefixes()
+        assert len(prefixes) == 30
+        assert all(prefix.endswith("/24") for prefix in prefixes)

@@ -1,0 +1,192 @@
+"""Recursive resolution engine: chains, caching, background warmth."""
+
+import pytest
+
+from repro.core.addressing import Prefix, PrefixAllocator
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host
+from repro.core.rng import RandomStream
+from repro.dns.authoritative import ResolverEchoAuthority, StaticAuthority
+from repro.dns.message import RCode, RRType
+from repro.dns.recursive import RecursiveEngine
+from repro.dns.zone import Zone, ZoneDirectory
+from repro.geo.coordinates import GeoPoint
+
+CHI = GeoPoint(41.8781, -87.6298)
+DC = GeoPoint(38.9072, -77.0369)
+
+
+@pytest.fixture()
+def setup():
+    """A resolver plus two authorities joined by a CNAME chain."""
+    net = VirtualInternet()
+    directory = ZoneDirectory()
+    allocator = PrefixAllocator.parse("198.18.0.0/16")
+
+    def make_host(name, location):
+        system = AutonomousSystem(
+            asn=64500 + make_host.counter,
+            name=name,
+            kind=ASKind.CONTENT,
+            firewall=FirewallPolicy(blocks_inbound=False),
+        )
+        make_host.counter += 1
+        prefix = allocator.allocate24()
+        system.add_prefix(prefix)
+        net.register_system(system)
+        host = Host(ip=prefix.host(1), name=name, asys=system, location=location)
+        net.register_host(host)
+        return host
+
+    make_host.counter = 0
+
+    origin_zone = Zone("site.com")
+    origin_zone.add_cname("www.site.com", "www-site.edge.cdn-sim.net", ttl=3600)
+    origin_authority = StaticAuthority(
+        host=make_host("ns.site.com", DC), zone_apex="site.com", zone=origin_zone
+    )
+    directory.register("site.com", origin_authority)
+
+    cdn_zone = Zone("cdn-sim.net")
+    cdn_zone.add_a("www-site.edge.cdn-sim.net", ["10.9.9.1", "10.9.9.2"], ttl=30)
+    cdn_authority = StaticAuthority(
+        host=make_host("ns.cdn-sim.net", DC), zone_apex="cdn-sim.net", zone=cdn_zone
+    )
+    directory.register("cdn-sim.net", cdn_authority)
+
+    echo = ResolverEchoAuthority(
+        host=make_host("adns.probe.net", CHI), zone_apex="whoami.probe.net"
+    )
+    directory.register("whoami.probe.net", echo)
+
+    resolver_host = make_host("resolver", CHI)
+    engine = RecursiveEngine(host=resolver_host, directory=directory, internet=net)
+    return engine, directory, echo
+
+
+class TestChainResolution:
+    def test_cross_authority_cname_chase(self, setup):
+        engine, _, _ = setup
+        stream = RandomStream(1, "resolve")
+        result = engine.resolve("www.site.com", RRType.A, now=0.0, stream=stream)
+        assert result.rcode is RCode.NOERROR
+        assert result.addresses() == ["10.9.9.1", "10.9.9.2"]
+        assert not result.cache_hit
+        assert result.upstream_ms > 0
+        assert len(result.authorities) == 2
+
+    def test_upstream_time_reflects_authority_distance(self, setup):
+        engine, _, _ = setup
+        stream = RandomStream(2, "resolve")
+        result = engine.resolve("www.site.com", RRType.A, 0.0, stream)
+        # Two Chicago->DC round trips: ~20 ms total at the very least.
+        assert result.upstream_ms > 15.0
+
+    def test_cache_hit_is_instant(self, setup):
+        engine, _, _ = setup
+        stream = RandomStream(3, "resolve")
+        engine.resolve("www.site.com", RRType.A, 0.0, stream)
+        second = engine.resolve("www.site.com", RRType.A, 5.0, stream)
+        assert second.cache_hit
+        assert second.upstream_ms == 0.0
+        assert second.addresses() == ["10.9.9.1", "10.9.9.2"]
+
+    def test_short_ttl_expires(self, setup):
+        engine, _, _ = setup
+        stream = RandomStream(4, "resolve")
+        engine.resolve("www.site.com", RRType.A, 0.0, stream)
+        third = engine.resolve("www.site.com", RRType.A, 31.0, stream)
+        assert not third.cache_hit
+
+    def test_unknown_zone_servfails(self, setup):
+        engine, _, _ = setup
+        stream = RandomStream(5, "resolve")
+        result = engine.resolve("no.such.zone.example", RRType.A, 0.0, stream)
+        assert result.rcode is RCode.SERVFAIL
+
+    def test_echo_answers_never_cached(self, setup):
+        engine, _, echo = setup
+        stream = RandomStream(6, "resolve")
+        first = engine.resolve("t1.whoami.probe.net", RRType.A, 0.0, stream)
+        second = engine.resolve("t1.whoami.probe.net", RRType.A, 1.0, stream)
+        assert first.addresses() == [engine.host.ip]
+        assert not second.cache_hit
+        assert len(echo.log) == 2
+
+
+class TestBackgroundWarmth:
+    def test_warm_cap_one_hits_most_of_the_time(self, setup):
+        # Effective warmth couples the cap with TTL liveness; for the
+        # 30 s zone TTL at the default 12 s background interval ~92% of
+        # cold lookups should find a live entry.
+        engine, _, _ = setup
+        engine.background_warm_prob = 1.0
+        stream = RandomStream(7, "warm")
+        hits = 0
+        for index in range(60):
+            result = engine.resolve(
+                "www.site.com", RRType.A, now=index * 1000.0, stream=stream
+            )
+            hits += result.cache_hit
+        assert hits > 40
+
+    def test_warm_hits_pay_no_upstream_time(self, setup):
+        engine, _, _ = setup
+        engine.background_warm_prob = 1.0
+        stream = RandomStream(8, "warm")
+        for index in range(20):
+            result = engine.resolve(
+                "www.site.com", RRType.A, now=index * 1000.0, stream=stream
+            )
+            if result.cache_hit:
+                assert result.upstream_ms == 0.0
+                a_ttls = [
+                    record.ttl
+                    for record in result.records
+                    if record.rtype is RRType.A
+                ]
+                assert a_ttls and all(0 <= ttl <= 30 for ttl in a_ttls)
+                break
+        else:
+            import pytest
+
+            pytest.fail("no warm hit in 20 cold lookups at cap 1.0")
+
+    def test_warm_probability_zero_never_synthesises(self, setup):
+        engine, _, _ = setup
+        engine.background_warm_prob = 0.0
+        stream = RandomStream(9, "warm")
+        result = engine.resolve("www.site.com", RRType.A, 0.0, stream)
+        assert not result.cache_hit
+
+    def test_zero_ttl_names_never_warm(self, setup):
+        engine, _, echo = setup
+        engine.background_warm_prob = 1.0
+        stream = RandomStream(10, "warm")
+        result = engine.resolve("t2.whoami.probe.net", RRType.A, 0.0, stream)
+        assert not result.cache_hit
+
+    def test_each_query_reaches_authority_once(self, setup):
+        # The warm path must not double-query (it would double-count
+        # observations at the echo authority and the CDN mappers).
+        engine, _, echo = setup
+        engine.background_warm_prob = 1.0
+        stream = RandomStream(11, "warm")
+        engine.resolve("t3.whoami.probe.net", RRType.A, 0.0, stream)
+        assert len(echo.observations_for("t3.whoami.probe.net")) == 1
+
+    def test_warmth_scales_with_ttl(self, setup):
+        # A 2 s TTL should warm far less often than the 30 s one.
+        engine, _, _ = setup
+        engine.background_warm_prob = 1.0
+        zone = engine.directory.authority_for("www.site.com")
+        stream = RandomStream(12, "warm")
+        short_hits = 0
+        for index in range(80):
+            alive = engine._background_warm_hit(2, stream)
+            short_hits += alive
+        long_hits = 0
+        for index in range(80):
+            long_hits += engine._background_warm_hit(60, stream)
+        assert short_hits < long_hits

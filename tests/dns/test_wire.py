@@ -1,0 +1,163 @@
+"""RFC 1035 wire codec: hand-built vectors plus round-trip properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DNSDecodeError
+from repro.dns.message import (
+    DNSMessage,
+    Question,
+    RCode,
+    ResourceRecord,
+    RRType,
+    make_query,
+    make_response,
+)
+from repro.dns.wire import decode_message, encode_message
+
+labels = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=12,
+).filter(lambda label: not label.startswith("-") and not label.endswith("-"))
+
+names = st.lists(labels, min_size=1, max_size=5).map(".".join)
+ipv4s = st.tuples(*([st.integers(0, 255)] * 4)).map(
+    lambda parts: ".".join(str(p) for p in parts)
+)
+ttls = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def a_records(owner=names):
+    return st.builds(
+        lambda name, ttl, ip: ResourceRecord(name, RRType.A, ttl, ip),
+        owner, ttls, ipv4s,
+    )
+
+
+def cname_records():
+    return st.builds(
+        lambda name, ttl, target: ResourceRecord(name, RRType.CNAME, ttl, target),
+        names, ttls, names,
+    )
+
+
+class TestVectors:
+    def test_simple_query_roundtrip(self):
+        query = make_query("www.example.com", RRType.A, msg_id=0x1234)
+        decoded = decode_message(encode_message(query))
+        assert decoded.msg_id == 0x1234
+        assert decoded.question == Question("www.example.com", RRType.A)
+        assert not decoded.is_response
+        assert decoded.recursion_desired
+
+    def test_response_flags_roundtrip(self):
+        query = make_query("x.org")
+        response = make_response(
+            query,
+            answers=[ResourceRecord("x.org", RRType.A, 300, "192.0.2.1")],
+            rcode=RCode.NXDOMAIN,
+            authoritative=True,
+        )
+        decoded = decode_message(encode_message(response))
+        assert decoded.is_response
+        assert decoded.authoritative
+        assert decoded.rcode is RCode.NXDOMAIN
+        assert decoded.answer_addresses() == ["192.0.2.1"]
+
+    def test_compression_shrinks_repeated_names(self):
+        answers = [
+            ResourceRecord("a.very.long.domain.example", RRType.A, 60, "10.0.0.1"),
+            ResourceRecord("a.very.long.domain.example", RRType.A, 60, "10.0.0.2"),
+            ResourceRecord("b.very.long.domain.example", RRType.A, 60, "10.0.0.3"),
+        ]
+        query = make_query("a.very.long.domain.example")
+        wire = encode_message(make_response(query, answers=answers))
+        # Naive encoding would repeat the 28-byte name four times.
+        assert len(wire) < 120
+
+    def test_cname_rdata_compressed_and_decoded(self):
+        query = make_query("www.site.com")
+        response = make_response(
+            query,
+            answers=[
+                ResourceRecord("www.site.com", RRType.CNAME, 600, "edge.site.com"),
+                ResourceRecord("edge.site.com", RRType.A, 30, "10.1.2.3"),
+            ],
+        )
+        decoded = decode_message(encode_message(response))
+        assert decoded.cname_chain() == ["edge.site.com"]
+        assert decoded.answer_addresses() == ["10.1.2.3"]
+
+    def test_txt_roundtrip(self):
+        record = ResourceRecord("t.example", RRType.TXT, 60, "hello world")
+        message = DNSMessage(is_response=True, answers=[record])
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == "hello world"
+
+    def test_aaaa_roundtrip(self):
+        record = ResourceRecord(
+            "t.example", RRType.AAAA, 60,
+            "2001:0db8:0000:0000:0000:0000:0000:0001",
+        )
+        message = DNSMessage(is_response=True, answers=[record])
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers[0].data == "2001:0db8:0000:0000:0000:0000:0000:0001"
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(DNSDecodeError):
+            decode_message(b"\x00\x01\x02")
+
+    def test_trailing_bytes_rejected(self):
+        wire = encode_message(make_query("x.com")) + b"\x00"
+        with pytest.raises(DNSDecodeError):
+            decode_message(wire)
+
+    def test_truncated_question(self):
+        wire = encode_message(make_query("x.com"))
+        with pytest.raises(DNSDecodeError):
+            decode_message(wire[:-2])
+
+    def test_pointer_loop_rejected(self):
+        # Header claiming one question, then a self-referencing pointer.
+        import struct
+
+        header = struct.pack("!HHHHHH", 1, 0, 1, 0, 0, 0)
+        evil = header + struct.pack("!H", 0xC000 | 12) + struct.pack("!HH", 1, 1)
+        with pytest.raises(DNSDecodeError):
+            decode_message(evil)
+
+
+class TestRoundTripProperties:
+    @given(st.integers(0, 0xFFFF), names, st.sampled_from([RRType.A, RRType.CNAME, RRType.TXT]))
+    def test_query_roundtrip(self, msg_id, qname, qtype):
+        query = make_query(qname, qtype, msg_id=msg_id)
+        decoded = decode_message(encode_message(query))
+        assert decoded.msg_id == msg_id
+        assert decoded.question.qname == qname.lower()
+        assert decoded.question.qtype is qtype
+
+    @given(st.lists(a_records() | cname_records(), min_size=0, max_size=8))
+    def test_response_roundtrip(self, answers):
+        query = make_query("probe.example.net")
+        response = make_response(query, answers=answers)
+        decoded = decode_message(encode_message(response))
+        assert decoded.answers == answers
+
+    @given(
+        st.lists(a_records(), max_size=4),
+        st.lists(cname_records(), max_size=4),
+    )
+    def test_sections_keep_separation(self, answers, authorities):
+        message = DNSMessage(
+            msg_id=1,
+            is_response=True,
+            answers=list(answers),
+            authorities=list(authorities),
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.answers == list(answers)
+        assert decoded.authorities == list(authorities)

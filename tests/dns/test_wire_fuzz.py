@@ -1,0 +1,57 @@
+"""Wire-codec robustness: arbitrary and mutated bytes must never crash.
+
+The decoder's contract is: return a message or raise
+:class:`DNSDecodeError`.  Anything else (IndexError, struct.error,
+infinite loop) is a bug; these fuzz properties pin that down.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DNSDecodeError
+from repro.dns.message import DNSMessage, make_query
+from repro.dns.wire import decode_message, encode_message
+
+
+class TestDecodeFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=300)
+    def test_arbitrary_bytes_never_crash(self, data):
+        try:
+            message = decode_message(data)
+        except DNSDecodeError:
+            return
+        assert isinstance(message, DNSMessage)
+
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_single_byte_mutations_never_crash(self, position, value):
+        wire = bytearray(encode_message(make_query("www.example.com")))
+        position %= len(wire)
+        wire[position] = value
+        try:
+            decode_message(bytes(wire))
+        except DNSDecodeError:
+            pass
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_truncations_never_crash(self, cut):
+        wire = encode_message(make_query("fuzz.example.net"))
+        truncated = wire[: max(0, len(wire) - cut)]
+        try:
+            decode_message(truncated)
+        except DNSDecodeError:
+            pass
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_appended_garbage_rejected(self, garbage):
+        wire = encode_message(make_query("x.org")) + garbage
+        try:
+            message = decode_message(wire)
+        except DNSDecodeError:
+            return
+        # Only possible if the garbage happened to parse as records for
+        # the header's counts — impossible here since counts are fixed.
+        assert isinstance(message, DNSMessage)

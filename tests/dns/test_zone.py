@@ -1,0 +1,105 @@
+"""Zones and the zone directory."""
+
+import pytest
+
+from repro.core.errors import ZoneError
+from repro.dns.message import RCode, ResourceRecord, RRType
+from repro.dns.zone import Zone, ZoneDirectory
+
+
+@pytest.fixture()
+def zone():
+    z = Zone("example.com")
+    z.add_a("www.example.com", ["10.0.0.1", "10.0.0.2"], ttl=60)
+    z.add_cname("m.example.com", "www.example.com", ttl=300)
+    z.add_cname("cdn.example.com", "edge.other-cdn.net", ttl=300)
+    return z
+
+
+class TestZoneBuilding:
+    def test_rejects_out_of_zone_records(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add(ResourceRecord("www.other.com", RRType.A, 60, "10.0.0.1"))
+
+    def test_rejects_duplicate_cname(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add_cname("m.example.com", "elsewhere.example.com", ttl=60)
+
+    def test_len_counts_records(self, zone):
+        assert len(zone) == 4
+
+    def test_remove(self, zone):
+        zone.remove("www.example.com", RRType.A)
+        rcode, answers = zone.lookup("www.example.com", RRType.A)
+        assert answers == []
+
+
+class TestZoneLookup:
+    def test_direct_a(self, zone):
+        rcode, answers = zone.lookup("www.example.com", RRType.A)
+        assert rcode is RCode.NOERROR
+        assert [r.data for r in answers] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_cname_chase_in_zone(self, zone):
+        rcode, answers = zone.lookup("m.example.com", RRType.A)
+        assert rcode is RCode.NOERROR
+        assert answers[0].rtype is RRType.CNAME
+        assert [r.data for r in answers if r.rtype is RRType.A] == [
+            "10.0.0.1",
+            "10.0.0.2",
+        ]
+
+    def test_cname_leaving_zone_ends_chain(self, zone):
+        rcode, answers = zone.lookup("cdn.example.com", RRType.A)
+        assert rcode is RCode.NOERROR
+        assert len(answers) == 1
+        assert answers[0].data == "edge.other-cdn.net"
+
+    def test_nxdomain(self, zone):
+        rcode, answers = zone.lookup("missing.example.com", RRType.A)
+        assert rcode is RCode.NXDOMAIN
+
+    def test_nodata_for_existing_name(self, zone):
+        rcode, answers = zone.lookup("www.example.com", RRType.TXT)
+        assert rcode is RCode.NOERROR
+        assert answers == []
+
+    def test_out_of_zone_refused(self, zone):
+        rcode, _ = zone.lookup("www.other.com", RRType.A)
+        assert rcode is RCode.REFUSED
+
+    def test_cname_loop_protection(self):
+        zone = Zone("loop.net")
+        zone.add_cname("a.loop.net", "b.loop.net", ttl=60)
+        zone.add_cname("b.loop.net", "a.loop.net", ttl=60)
+        rcode, answers = zone.lookup("a.loop.net", RRType.A)
+        # The chase gives up without hanging; partial chain is returned.
+        assert rcode is RCode.NOERROR
+        assert len(answers) <= 2 * 8
+
+
+class TestZoneDirectory:
+    def test_longest_suffix_wins(self):
+        directory = ZoneDirectory()
+        directory.register("com", "com-authority")
+        directory.register("example.com", "example-authority")
+        assert directory.authority_for("www.example.com") == "example-authority"
+        assert directory.authority_for("other.com") == "com-authority"
+
+    def test_unknown_returns_none(self):
+        directory = ZoneDirectory()
+        directory.register("example.com", "x")
+        assert directory.authority_for("nowhere.org") is None
+
+    def test_duplicate_registration_rejected(self):
+        directory = ZoneDirectory()
+        directory.register("example.com", "x")
+        with pytest.raises(ZoneError):
+            directory.register("example.com", "y")
+
+    def test_memo_invalidated_by_register(self):
+        directory = ZoneDirectory()
+        directory.register("com", "com-authority")
+        assert directory.authority_for("www.example.com") == "com-authority"
+        directory.register("example.com", "example-authority")
+        assert directory.authority_for("www.example.com") == "example-authority"

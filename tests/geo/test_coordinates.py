@@ -1,0 +1,61 @@
+"""Coordinates and great-circle distance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.coordinates import EARTH_RADIUS_KM, GeoPoint, haversine_km
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+points = st.builds(GeoPoint, latitudes, longitudes)
+
+
+class TestGeoPoint:
+    def test_validates_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_validates_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_known_distance_nyc_la(self):
+        nyc = GeoPoint(40.7128, -74.0060)
+        la = GeoPoint(34.0522, -118.2437)
+        assert 3900.0 < nyc.distance_km(la) < 4000.0
+
+    def test_known_distance_seoul_tokyo(self):
+        seoul = GeoPoint(37.5665, 126.9780)
+        tokyo = GeoPoint(35.6762, 139.6503)
+        assert 1100.0 < seoul.distance_km(tokyo) < 1250.0
+
+    def test_offset_km_moves_roughly_right_amount(self):
+        chicago = GeoPoint(41.8781, -87.6298)
+        moved = chicago.offset_km(10.0, 0.0)
+        assert chicago.distance_km(moved) == pytest.approx(10.0, rel=0.02)
+
+    def test_offset_wraps_longitude(self):
+        edge = GeoPoint(0.0, 179.99)
+        wrapped = edge.offset_km(0.0, 300.0)
+        assert -180.0 <= wrapped.longitude <= 180.0
+
+
+class TestHaversineProperties:
+    @given(points)
+    def test_self_distance_zero(self, point):
+        assert haversine_km(point, point) == pytest.approx(0.0, abs=1e-6)
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), rel=1e-9)
+
+    @given(points, points)
+    def test_bounded_by_half_circumference(self, a, b):
+        import math
+
+        assert haversine_km(a, b) <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(points, points)
+    def test_non_negative(self, a, b):
+        assert haversine_km(a, b) >= 0.0

@@ -1,0 +1,59 @@
+"""WAN latency model."""
+
+import pytest
+
+from repro.core.rng import RandomStream
+from repro.geo.coordinates import GeoPoint
+from repro.geo.latency import WanLatencyModel
+
+NYC = GeoPoint(40.7128, -74.0060)
+LA = GeoPoint(34.0522, -118.2437)
+SEOUL = GeoPoint(37.5665, 126.9780)
+
+
+class TestBaseRtt:
+    def test_floor_for_colocated(self):
+        model = WanLatencyModel()
+        assert model.base_rtt_ms(NYC, NYC) >= model.min_rtt_ms
+
+    def test_cross_country_plausible(self):
+        model = WanLatencyModel()
+        rtt = model.base_rtt_ms(NYC, LA)
+        assert 35.0 < rtt < 80.0
+
+    def test_transpacific_plausible(self):
+        model = WanLatencyModel()
+        rtt = model.base_rtt_ms(LA, SEOUL)
+        assert 120.0 < rtt < 220.0
+
+    def test_monotone_in_distance(self):
+        model = WanLatencyModel()
+        assert model.base_rtt_ms(NYC, SEOUL) > model.base_rtt_ms(NYC, LA)
+
+    def test_memo_consistency(self):
+        model = WanLatencyModel()
+        assert model.base_rtt_ms(NYC, LA) == model.base_rtt_ms(NYC, LA)
+
+
+class TestJitter:
+    def test_zero_sigma_is_deterministic(self):
+        model = WanLatencyModel(jitter_sigma=0.0)
+        stream = RandomStream(1, "jitter")
+        assert model.rtt_ms(NYC, LA, stream) == model.base_rtt_ms(NYC, LA)
+
+    def test_jitter_centres_on_base(self):
+        model = WanLatencyModel()
+        stream = RandomStream(1, "jitter2")
+        base = model.base_rtt_ms(NYC, LA)
+        samples = sorted(model.rtt_ms(NYC, LA, stream) for _ in range(1001))
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(base, rel=0.05)
+
+
+class TestHopCount:
+    def test_monotone_buckets(self):
+        model = WanLatencyModel()
+        distances = [1.0, 50.0, 300.0, 1000.0, 3000.0, 9000.0]
+        hops = [model.hop_count(d) for d in distances]
+        assert hops == sorted(hops)
+        assert hops[0] >= 1

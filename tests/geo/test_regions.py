@@ -1,0 +1,45 @@
+"""Region/city data."""
+
+import pytest
+
+from repro.geo.regions import (
+    ASIA_PACIFIC_CITIES,
+    Country,
+    SOUTH_KOREA_CITIES,
+    US_CITIES,
+    cities_for,
+    city_named,
+    city_weights,
+)
+
+
+class TestCityData:
+    def test_thirty_us_cities(self):
+        assert len(US_CITIES) == 30
+
+    def test_ten_sk_cities(self):
+        assert len(SOUTH_KOREA_CITIES) == 10
+
+    def test_unique_names(self):
+        names = [c.name for c in US_CITIES + SOUTH_KOREA_CITIES + ASIA_PACIFIC_CITIES]
+        assert len(set(names)) == len(names)
+
+    def test_countries_assigned(self):
+        assert all(c.country is Country.US for c in US_CITIES)
+        assert all(c.country is Country.SOUTH_KOREA for c in SOUTH_KOREA_CITIES)
+
+    def test_cities_for(self):
+        assert cities_for(Country.US) == US_CITIES
+        assert cities_for(Country.SOUTH_KOREA) == SOUTH_KOREA_CITIES
+
+    def test_city_named(self):
+        assert city_named("Seoul").country is Country.SOUTH_KOREA
+        with pytest.raises(KeyError):
+            city_named("Atlantis")
+
+    def test_weights_positive(self):
+        assert all(w > 0 for w in city_weights(US_CITIES))
+
+    def test_asia_pacific_infrastructure_only(self):
+        assert all(c.country is Country.ASIA_PACIFIC for c in ASIA_PACIFIC_CITIES)
+        assert "Tokyo" in {c.name for c in ASIA_PACIFIC_CITIES}

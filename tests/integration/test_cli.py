@@ -1,0 +1,72 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.output == "campaign.jsonl"
+        assert args.seed == 2014
+
+    def test_validate_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate"])
+
+
+SMALL = ["--scale", "0.0", "--days", "3", "--interval-hours", "24"]
+
+
+@pytest.fixture(scope="module")
+def archived_dataset(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "campaign.jsonl"
+    code = main(["run", *SMALL, "--output", str(path)])
+    assert code == 0
+    return path
+
+
+class TestCommands:
+    def test_run_writes_jsonl(self, archived_dataset):
+        content = archived_dataset.read_text().splitlines()
+        assert len(content) > 10
+
+    def test_validate_clean_dataset(self, archived_dataset, capsys):
+        code = main(["validate", str(archived_dataset)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "0 errors" in captured.out
+
+    def test_validate_broken_dataset(self, tmp_path, archived_dataset, capsys):
+        lines = archived_dataset.read_text().splitlines()
+        record_line = next(
+            line for line in lines if not line.startswith('{"_metadata"')
+        )
+        broken = record_line.replace('"latitude":', '"latitude": 999, "x":')
+        assert broken != record_line
+        bad_path = tmp_path / "bad.jsonl"
+        bad_path.write_text(broken + "\n")
+        code = main(["validate", str(bad_path)])
+        assert code == 1
+
+    def test_report_from_dataset(self, archived_dataset, capsys):
+        code = main(["report", *SMALL, "--dataset", str(archived_dataset)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Table 1" in captured.out
+        assert "Fig 7" in captured.out
+
+    def test_export_from_dataset(self, archived_dataset, tmp_path, capsys):
+        out_dir = tmp_path / "figures"
+        code = main([
+            "export", *SMALL,
+            "--dataset", str(archived_dataset),
+            "--output-dir", str(out_dir),
+        ])
+        assert code == 0
+        assert any(out_dir.iterdir())

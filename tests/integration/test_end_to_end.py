@@ -1,0 +1,88 @@
+"""End-to-end study API and dataset lifecycle."""
+
+import pytest
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.measure.records import Dataset
+
+
+class TestStudyApi:
+    def test_table1_lists_six_carriers_us_first(self, study):
+        rows = study.table1_clients()
+        assert len(rows) == 6
+        assert [row[2] for row in rows] == ["US", "US", "US", "US", "KR", "KR"]
+        assert all(row[1] >= 1 for row in rows)
+
+    def test_table2_domains(self, study):
+        rows = study.table2_domains()
+        assert len(rows) == 9
+        assert all(row[2].endswith("-sim.net") for row in rows)
+
+    def test_domain_list(self, study):
+        assert len(study.domain_list()) == 9
+
+    def test_renderers_produce_text(self, study):
+        assert "Table 1" in study.render_table1()
+        assert "Consistency" in study.render_table3()
+        assert "p50" in study.render_fig5()
+
+    def test_dataset_cached(self, study):
+        assert study.dataset is study.dataset
+
+    def test_use_dataset_injection(self):
+        fresh = CellularDNSStudy(StudyConfig.smoke_scale())
+        injected = Dataset()
+        fresh.use_dataset(injected)
+        assert fresh.dataset is injected
+
+
+class TestDatasetLifecycle:
+    def test_roundtrip_through_jsonl(self, dataset, tmp_path):
+        path = tmp_path / "dataset.jsonl"
+        subset = Dataset(
+            experiments=dataset.experiments[:50], metadata=dataset.metadata
+        )
+        subset.save(str(path))
+        loaded = Dataset.load(str(path))
+        assert loaded.experiments == subset.experiments
+        assert loaded.metadata == subset.metadata
+
+    def test_reanalysis_of_loaded_dataset(self, study, dataset, tmp_path):
+        """A dataset reloaded from disk analyses identically."""
+        from repro.analysis.consistency import ldns_pair_table
+
+        path = tmp_path / "dataset.jsonl"
+        dataset.save(str(path))
+        loaded = Dataset.load(str(path))
+        assert ldns_pair_table(loaded) == ldns_pair_table(dataset)
+
+    def test_metadata_describes_campaign(self, dataset):
+        assert dataset.metadata["seed"] == 2014
+        assert dataset.metadata["experiments"] == len(dataset)
+
+
+class TestScalePresets:
+    def test_smoke_scale_runs_fast(self):
+        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        assert len(study.dataset) > 50
+
+    def test_paper_scale_configuration(self):
+        config = StudyConfig.paper_scale()
+        assert config.device_scale == 1.0
+        assert config.interval_hours == 1.0
+        counts = config.campaign_config().resolved_counts(
+            ["att", "sprint", "tmobile", "verizon", "skt", "lgu"]
+        )
+        assert sum(counts.values()) == 158
+
+
+class TestExperimentVolume:
+    def test_every_device_reports(self, study, dataset):
+        reporting = set(dataset.device_ids())
+        expected = {device.device_id for device in study.campaign.devices}
+        assert reporting == expected
+
+    def test_resolution_volume(self, dataset):
+        # 9 domains x (2 local + google + opendns) per experiment.
+        total = sum(len(record.resolutions) for record in dataset)
+        assert total == len(dataset) * 9 * 4

@@ -1,0 +1,53 @@
+"""The example scripts stay runnable."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestQuickstart:
+    def test_runs_and_prints_all_sections(self):
+        result = _run("quickstart.py", "--carrier", "skt", "--city", "Busan")
+        assert result.returncode == 0, result.stderr
+        assert "DNS resolutions" in result.stdout
+        assert "Resolver identification" in result.stdout
+        assert "traceroute" in result.stdout
+
+    def test_every_carrier_works(self):
+        # Cheap smoke across one more carrier with its own structure.
+        result = _run("quickstart.py", "--carrier", "verizon")
+        assert result.returncode == 0, result.stderr
+        assert "observed external" in result.stdout
+
+
+class TestScriptedStudies:
+    def test_churn_timeline_script(self):
+        result = _run(
+            "resolver_churn_timeline.py", "--carrier", "lgu", "--days", "20",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Fig 8 style" in result.stdout
+        assert "•" in result.stdout
+
+    def test_full_study_script_small(self, tmp_path):
+        out = tmp_path / "mini.jsonl"
+        result = _run(
+            "full_study.py", "--scale", "0.0", "--days", "10",
+            "--save", str(out),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Table 3" in result.stdout
+        assert out.exists()

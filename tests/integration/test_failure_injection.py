@@ -1,0 +1,110 @@
+"""Failure injection: the pipeline degrades, it does not crash.
+
+Measurement infrastructure fails in the field — authorities vanish,
+replicas stop answering, domains disappear.  The experiment script and
+analyses must record the failure and carry on, like the paper's app did
+on flaky volunteer devices.
+"""
+
+import pytest
+
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.core.world import build_world
+from repro.dns.message import RCode, RRType
+from repro.measure.experiment import ExperimentOptions, ExperimentRunner
+from repro.geo.regions import US_CITIES, city_named
+
+
+@pytest.fixture()
+def fresh_world():
+    """A private world these destructive tests may mutilate."""
+    return build_world()
+
+
+def _device(carrier="att", key="fi-dev"):
+    return MobileDevice(
+        device_id=key,
+        carrier_key=carrier,
+        mobility=MobilityModel(
+            home_city=city_named("Chicago"),
+            candidate_cities=US_CITIES,
+            seed=5,
+            device_key=key,
+            travel_probability=0.0,
+        ),
+    )
+
+
+class TestMissingAuthority:
+    def test_unknown_domain_servfails_cleanly(self, fresh_world, stream):
+        engine = fresh_world.operators["att"].deployment.externals[0].engine
+        result = engine.resolve("www.gone.example", RRType.A, 0.0, stream)
+        assert result.rcode is RCode.SERVFAIL
+        assert result.addresses() == []
+
+    def test_experiment_survives_unresolvable_domain(self, fresh_world):
+        runner = ExperimentRunner(
+            fresh_world,
+            ExperimentOptions(domains=["www.gone.example", "m.yelp.com"]),
+        )
+        record = runner.run(_device(), started_at=0.0, sequence=0)
+        gone = [
+            r for r in record.resolutions if r.domain == "www.gone.example"
+        ]
+        assert gone
+        assert all(not r.addresses for r in gone)
+        # The healthy domain still produced replica probes.
+        assert record.http_gets
+
+
+class TestDeadReplicas:
+    def test_silent_replicas_recorded_as_failures(self, fresh_world):
+        for replica in fresh_world.cdns["continental"].all_replicas():
+            replica.host.responds_to_ping = False
+        runner = ExperimentRunner(
+            fresh_world, ExperimentOptions(domains=["m.yelp.com"])
+        )
+        record = runner.run(_device(key="fi-dev-2"), started_at=0.0, sequence=0)
+        replica_pings = [
+            ping for ping in record.pings if ping.target_kind == "replica"
+        ]
+        assert replica_pings
+        assert all(ping.rtt_ms is None for ping in replica_pings)
+        # HTTP flows are independent of ICMP silence and still complete.
+        assert any(http.ttfb_ms is not None for http in record.http_gets)
+
+    def test_analysis_tolerates_failed_probes(self, fresh_world):
+        for replica in fresh_world.cdns["continental"].all_replicas():
+            replica.host.responds_to_ping = False
+        runner = ExperimentRunner(
+            fresh_world, ExperimentOptions(domains=["m.yelp.com"])
+        )
+        from repro.measure.records import Dataset
+
+        dataset = Dataset()
+        dataset.add(runner.run(_device(key="fi-dev-3"), 0.0, 0))
+        from repro.analysis.localization import replica_differentials
+
+        # No crash; simply no (or partial) differentials.
+        replica_differentials(dataset, "att")
+
+
+class TestEmptyAndPartialDatasets:
+    def test_analyses_on_empty_dataset(self):
+        from repro.analysis.cache import cache_comparison
+        from repro.analysis.consistency import ldns_pair_table
+        from repro.analysis.latency import resolution_times
+        from repro.measure.records import Dataset
+
+        empty = Dataset()
+        assert ldns_pair_table(empty) == []
+        assert cache_comparison(empty).miss_rate() == 0.0
+        assert resolution_times(empty, "att").is_empty
+
+    def test_reachability_with_no_observations(self, fresh_world):
+        from repro.analysis.reachability import probe_external_reachability
+        from repro.measure.records import Dataset
+
+        rows = probe_external_reachability(fresh_world, Dataset())
+        assert rows == []

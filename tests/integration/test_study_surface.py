@@ -1,0 +1,123 @@
+"""Coverage of the study object's full public surface.
+
+Every artifact method must return well-formed data on the session
+campaign — these tests pin the API shape that examples, benches and the
+CLI all build on.
+"""
+
+import pytest
+
+from repro.analysis.stats import ECDF
+
+
+class TestFigureMethods:
+    def test_fig2_for_every_carrier(self, study):
+        for carrier in study.world.operators:
+            result = study.fig2_replica_differentials(carrier)
+            assert result.carrier == carrier
+            assert len(result.per_access) >= len(result.per_replica)
+
+    def test_fig2_domain_scoping(self, study):
+        scoped = study.fig2_replica_differentials(
+            "verizon", domain="www.google.com"
+        )
+        unscoped = study.fig2_replica_differentials("verizon")
+        assert len(scoped.per_replica) <= len(unscoped.per_replica)
+
+    def test_fig3_curves_are_ecdfs(self, study):
+        for carrier in ("att", "lgu"):
+            curves = study.fig3_resolution_by_technology(carrier)
+            assert curves
+            assert all(isinstance(ecdf, ECDF) for ecdf in curves.values())
+
+    def test_fig3_technologies_match_carrier_profile(self, study):
+        for carrier, operator in study.world.operators.items():
+            allowed = {
+                technology.value
+                for technology in operator.radio_profile.technologies
+            }
+            curves = study.fig3_resolution_by_technology(carrier)
+            assert set(curves) <= allowed, carrier
+
+    def test_fig8_fig9_fig12_per_device(self, study):
+        device = study.campaign.devices_of("verizon")[0]
+        fig8 = study.fig8_resolver_churn(device.device_id)
+        fig9 = study.fig9_static_timeline(device.device_id)
+        fig12 = study.fig12_google_churn(device.device_id)
+        assert fig8.observations
+        assert len(fig9.observations) <= len(fig8.observations)
+        assert fig12.resolver_kind == "google"
+
+    def test_fig10_all_domains(self, study):
+        for domain in study.domain_list()[:3]:
+            result = study.fig10_similarity("tmobile", domain=domain)
+            for value in result.same_prefix + result.different_prefix:
+                assert -1e-9 <= value <= 1.0 + 1e-9
+
+    def test_fig14_opendns_variant(self, study):
+        result = study.fig14_public_replicas("att", public_kind="opendns")
+        assert result.public_kind == "opendns"
+        assert result.percent_changes
+
+
+class TestTableMethods:
+    def test_table4_covers_all_carriers_with_externals(self, study):
+        rows = {row.carrier for row in study.table4_reachability()}
+        assert rows == set(study.world.operators)
+
+    def test_table5_has_all_cells(self, study):
+        rows = study.table5_resolver_counts()
+        cells = {(row.carrier, row.resolver_kind) for row in rows}
+        for carrier in study.world.operators:
+            for kind in ("local", "google", "opendns"):
+                assert (carrier, kind) in cells
+
+    def test_egress_counts_bounded_by_deployment(self, study):
+        counts = study.egress_point_counts()
+        for carrier, entry in counts.items():
+            deployed = len(study.world.operators[carrier].egress_points)
+            assert entry.count <= deployed
+
+
+class TestDatasetShape:
+    def test_experiment_schema_stability(self, dataset):
+        record = dataset.experiments[0]
+        payload = record.to_json()
+        for key in (
+            '"device_id"', '"carrier"', '"resolutions"', '"pings"',
+            '"traceroutes"', '"http_gets"', '"resolver_ids"',
+        ):
+            assert key in payload
+
+    def test_local_resolutions_paired(self, dataset):
+        # The Fig 7 invariant: every local first attempt has a second.
+        for record in dataset.experiments[:50]:
+            by_domain = {}
+            for r in record.resolutions_via("local"):
+                by_domain.setdefault(r.domain, set()).add(r.attempt)
+            assert all(attempts == {1, 2} for attempts in by_domain.values())
+
+    def test_identifications_resolve_to_known_infrastructure(
+        self, study, dataset
+    ):
+        world = study.world
+        checked = 0
+        for record in dataset.experiments[:100]:
+            identification = record.resolver_id("local")
+            if identification is None:
+                continue
+            operator = world.operators[record.carrier]
+            assert identification.observed_external_ip in set(
+                operator.deployment.external_ips()
+            )
+            checked += 1
+        assert checked > 50
+
+    def test_replica_answers_belong_to_cdns(self, study, dataset):
+        world = study.world
+        for record in dataset.experiments[:30]:
+            for resolution in record.resolutions:
+                for address in resolution.addresses:
+                    if "whoami" in resolution.domain:
+                        continue
+                    assert world.replica_owner(address) is not None

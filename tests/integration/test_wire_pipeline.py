@@ -1,0 +1,63 @@
+"""The wire codec against live pipeline traffic.
+
+Everything the simulated authorities emit must survive a real
+encode/decode round trip — the substrate's messages are valid DNS
+packets, not just convenient Python objects.
+"""
+
+from repro.cdn.catalog import MEASURED_DOMAINS
+from repro.core.world import WHOAMI_ZONE
+from repro.dns.message import RRType, make_query
+from repro.dns.wire import decode_message, encode_message
+
+
+class TestLiveAnswersOnTheWire:
+    def test_origin_cnames_roundtrip(self, world):
+        for spec in MEASURED_DOMAINS:
+            authority = world.directory.authority_for(spec.name)
+            response = authority.answer(
+                make_query(spec.name, RRType.A, msg_id=7), "198.18.0.1", 0.0
+            )
+            decoded = decode_message(encode_message(response))
+            assert decoded.cname_chain() == response.cname_chain()
+            assert decoded.msg_id == 7
+
+    def test_cdn_answers_roundtrip(self, world):
+        for spec in MEASURED_DOMAINS:
+            provider = world.cdns[spec.cdn_key]
+            response = provider.authority.answer(
+                make_query(spec.edge_name, RRType.A), "198.18.0.1", 0.0
+            )
+            decoded = decode_message(encode_message(response))
+            assert decoded.answer_addresses() == response.answer_addresses()
+            assert all(
+                record.ttl == spec.a_ttl for record in decoded.a_records()
+            )
+
+    def test_echo_answers_roundtrip(self, world):
+        response = world.echo_authority.answer(
+            make_query(f"wire.local.{WHOAMI_ZONE}"), "203.0.113.9", 0.0
+        )
+        decoded = decode_message(encode_message(response))
+        assert decoded.answer_addresses() == ["203.0.113.9"]
+        assert decoded.a_records()[0].ttl == 0
+
+    def test_full_resolution_chain_on_the_wire(self, world, stream):
+        """Chase a CNAME across authorities, wire-encoding each hop."""
+        qname = "www.buzzfeed.com"
+        current = qname
+        hops = 0
+        addresses = []
+        while hops < 8:
+            authority = world.directory.authority_for(current)
+            response = authority.answer(make_query(current), "198.18.0.1", 0.0)
+            decoded = decode_message(encode_message(response))
+            addresses = decoded.answer_addresses()
+            if addresses:
+                break
+            chain = decoded.cname_chain()
+            assert chain, f"dead end at {current}"
+            current = chain[-1]
+            hops += 1
+        assert addresses
+        assert all(world.replica_owner(ip) is not None for ip in addresses)

@@ -1,0 +1,121 @@
+"""Client-side probe primitives."""
+
+import pytest
+
+from repro.cellnet.device import MobileDevice
+from repro.cellnet.mobility import MobilityModel
+from repro.core.world import WHOAMI_ZONE
+from repro.measure.probes import DeviceProbeSession
+from repro.geo.regions import US_CITIES, city_named
+
+
+@pytest.fixture()
+def session(world):
+    mobility = MobilityModel(
+        home_city=city_named("Chicago"),
+        candidate_cities=US_CITIES,
+        seed=55,
+        device_key="probe-dev",
+        travel_probability=0.0,
+    )
+    device = MobileDevice(
+        device_id="probe-dev", carrier_key="att", mobility=mobility
+    )
+    stream = world.rng.fork("probe-tests").stream("s")
+    return DeviceProbeSession.begin(world, device, now=0.0, stream=stream)
+
+
+class TestSessionSetup:
+    def test_begin_draws_technology(self, session):
+        assert session.technology is not None
+        assert session.device.active_technology is session.technology
+
+    def test_attachment_populated(self, session):
+        assert session.attachment.client_ip
+        assert session.attachment.egress is not None
+
+
+class TestDnsProbes:
+    def test_local_resolution(self, session):
+        record = session.dns_local("www.google.com", now=0.0)
+        assert record.resolver_kind == "local"
+        assert record.addresses
+        assert record.cname_chain
+        assert record.resolution_ms > 0
+
+    def test_public_resolution(self, session):
+        record = session.dns_public("google", "www.google.com", now=0.0)
+        assert record.resolver_kind == "google"
+        assert record.addresses
+
+    def test_opendns_resolution(self, session):
+        record = session.dns_public("opendns", "m.yelp.com", now=0.0)
+        assert record.addresses
+
+
+class TestPingProbes:
+    def test_bootstrap_ping(self, session):
+        record = session.bootstrap_ping(now=0.0)
+        assert record.target_kind == "bootstrap"
+        assert record.rtt_ms is not None
+
+    def test_configured_resolver_ping(self, session):
+        record = session.ping_configured_resolver(now=0.0)
+        assert record.target_ip == session.attachment.client_dns_ip
+        assert record.rtt_ms is not None
+
+    def test_public_resolver_ping(self, session):
+        record = session.ping_public_resolver("google", now=0.0)
+        assert record.target_ip == "8.8.8.8"
+        assert record.rtt_ms is not None
+
+    def test_ping_unknown_ip_silent(self, session):
+        record = session.ping_ip("203.0.113.99", "replica", now=0.0)
+        assert record.rtt_ms is None
+
+
+class TestHttpProbes:
+    def test_http_to_replica(self, session, world):
+        replica = world.cdns["usonly"].all_replicas()[0]
+        record = session.http_get(replica.ip, "www.buzzfeed.com", "local", now=0.0)
+        assert record.ttfb_ms is not None and record.ttfb_ms > 0
+
+    def test_http_to_non_replica_fails(self, session):
+        record = session.http_get("203.0.113.99", "www.buzzfeed.com", "local", 0.0)
+        assert record.ttfb_ms is None
+
+
+class TestResolverIdentification:
+    def test_local_identification(self, session):
+        record = session.identify_resolver("local", now=0.0, token="t1")
+        assert record.configured_ip == session.attachment.client_dns_ip
+        assert record.observed_external_ip in (
+            session.operator.deployment.external_ips()
+        )
+
+    def test_public_identification(self, session, world):
+        record = session.identify_resolver("google", now=0.0, token="t2")
+        assert record.configured_ip == "8.8.8.8"
+        assert record.observed_external_ip != "8.8.8.8"
+        assert world.internet.host(record.observed_external_ip) is not None
+
+    def test_tokens_hit_whoami_zone(self, session, world):
+        before = len(world.echo_authority.log)
+        session.identify_resolver("local", now=0.0, token="t3")
+        assert len(world.echo_authority.log) == before + 1
+        assert world.echo_authority.log[-1].qname.endswith(WHOAMI_ZONE)
+
+
+class TestTraceroute:
+    def test_traceroute_to_vantage(self, session, world):
+        record = session.traceroute_ip(world.vantage.host.ip, "egress", now=0.0)
+        assert record.reached
+        assert record.hop_ips()
+
+
+class TestHelpers:
+    def test_replica_addresses_dedup(self, session):
+        first = session.dns_local("www.google.com", now=0.0)
+        second = session.dns_local("www.google.com", now=1.0)
+        addresses = session.replica_addresses([first, second])
+        assert len(addresses) == len(set(addresses))

@@ -1,0 +1,162 @@
+"""Measurement records and dataset persistence."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import DatasetError
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    HttpRecord,
+    PingRecord,
+    ResolutionRecord,
+    ResolverIdRecord,
+    TracerouteRecord,
+)
+
+
+def _record(device="dev-1", carrier="att", sequence=0, at=0.0):
+    return ExperimentRecord(
+        device_id=device,
+        carrier=carrier,
+        country="US",
+        sequence=sequence,
+        started_at=at,
+        latitude=41.9,
+        longitude=-87.6,
+        technology="LTE",
+        generation="4G",
+        client_ip="16.2.0.9",
+        resolutions=[
+            ResolutionRecord(
+                domain="m.yelp.com",
+                resolver_kind="local",
+                resolution_ms=42.0,
+                addresses=["16.0.7.1"],
+                cname_chain=["m-yelp-com.edge.continental-sim.net"],
+            )
+        ],
+        pings=[PingRecord(target_ip="16.0.7.1", target_kind="replica", rtt_ms=30.0)],
+        traceroutes=[
+            TracerouteRecord(
+                target_ip="16.0.7.1",
+                target_kind="replica",
+                hops=[[1, None, None], [2, "16.2.1.1", 20.0]],
+            )
+        ],
+        http_gets=[
+            HttpRecord(
+                replica_ip="16.0.7.1", domain="m.yelp.com",
+                resolver_kind="local", ttfb_ms=70.0,
+            )
+        ],
+        resolver_ids=[
+            ResolverIdRecord(
+                resolver_kind="local",
+                configured_ip="16.2.11.1",
+                observed_external_ip="16.2.12.7",
+            )
+        ],
+    )
+
+
+class TestExperimentRecord:
+    def test_json_roundtrip(self):
+        record = _record()
+        clone = ExperimentRecord.from_json(record.to_json())
+        assert clone == record
+
+    def test_resolutions_via(self):
+        record = _record()
+        assert len(record.resolutions_via("local")) == 1
+        assert record.resolutions_via("google") == []
+
+    def test_resolver_id_lookup(self):
+        record = _record()
+        assert record.resolver_id("local").observed_external_ip == "16.2.12.7"
+        assert record.resolver_id("google") is None
+
+    def test_bad_json_raises(self):
+        with pytest.raises(DatasetError):
+            ExperimentRecord.from_json("{not json")
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(DatasetError):
+            ExperimentRecord.from_json('{"device_id": "x"}')
+
+    def test_traceroute_hop_ips(self):
+        record = _record()
+        assert record.traceroutes[0].hop_ips() == ["16.2.1.1"]
+
+    def test_ping_responded(self):
+        assert PingRecord("1.2.3.4", "t", rtt_ms=1.0).responded
+        assert not PingRecord("1.2.3.4", "t").responded
+
+
+class TestDataset:
+    def _dataset(self):
+        dataset = Dataset(metadata={"seed": 1})
+        dataset.add(_record("dev-1", "att", 0, 0.0))
+        dataset.add(_record("dev-1", "att", 1, 3600.0))
+        dataset.add(_record("dev-2", "skt", 0, 100.0))
+        return dataset
+
+    def test_grouping(self):
+        dataset = self._dataset()
+        assert set(dataset.by_carrier()) == {"att", "skt"}
+        assert len(dataset.by_device()["dev-1"]) == 2
+
+    def test_by_device_sorted_by_time(self):
+        dataset = self._dataset()
+        times = [r.started_at for r in dataset.by_device()["dev-1"]]
+        assert times == sorted(times)
+
+    def test_carriers_and_devices(self):
+        dataset = self._dataset()
+        assert dataset.carriers() == ["att", "skt"]
+        assert dataset.device_ids() == ["dev-1", "dev-2"]
+
+    def test_filter(self):
+        dataset = self._dataset()
+        only_att = dataset.filter(lambda record: record.carrier == "att")
+        assert len(only_att) == 2
+        assert only_att.metadata == dataset.metadata
+
+    def test_jsonl_roundtrip_with_metadata(self):
+        dataset = self._dataset()
+        buffer = io.StringIO()
+        written = dataset.dump_jsonl(buffer)
+        assert written == 3
+        loaded = Dataset.load_jsonl(buffer.getvalue().splitlines())
+        assert len(loaded) == 3
+        assert loaded.metadata == {"seed": 1}
+        assert loaded.experiments == dataset.experiments
+
+    def test_save_and_load_file(self, tmp_path):
+        dataset = self._dataset()
+        path = tmp_path / "campaign.jsonl"
+        dataset.save(str(path))
+        loaded = Dataset.load(str(path))
+        assert loaded.experiments == dataset.experiments
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["att", "skt", "lgu"]),
+                st.integers(0, 5),
+                st.floats(0, 1e6, allow_nan=False),
+            ),
+            max_size=12,
+        )
+    )
+    def test_roundtrip_property(self, specs):
+        dataset = Dataset()
+        for index, (carrier, seq, at) in enumerate(specs):
+            dataset.add(_record(f"dev-{index % 3}", carrier, seq, at))
+        buffer = io.StringIO()
+        dataset.dump_jsonl(buffer)
+        loaded = Dataset.load_jsonl(buffer.getvalue().splitlines())
+        assert loaded.experiments == dataset.experiments

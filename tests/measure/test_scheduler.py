@@ -1,0 +1,54 @@
+"""Experiment scheduling."""
+
+from repro.core.clock import SECONDS_PER_HOUR
+from repro.measure.scheduler import ExperimentSchedule
+
+
+def _schedule(**overrides):
+    defaults = dict(start=0.0, end=48 * SECONDS_PER_HOUR, seed=3)
+    defaults.update(overrides)
+    return ExperimentSchedule(**defaults)
+
+
+class TestSchedule:
+    def test_roughly_hourly(self):
+        schedule = _schedule(duty_cycle=1.0, jitter_fraction=0.0)
+        times = schedule.times_for("dev-1")
+        assert 47 <= len(times) <= 48
+
+    def test_times_within_window(self):
+        schedule = _schedule()
+        times = schedule.times_for("dev-1")
+        assert all(0.0 <= t < schedule.end for t in times)
+
+    def test_times_sorted(self):
+        times = _schedule().times_for("dev-1")
+        assert times == sorted(times)
+
+    def test_duty_cycle_drops_slots(self):
+        full = _schedule(duty_cycle=1.0).times_for("dev-1")
+        half = _schedule(duty_cycle=0.5).times_for("dev-1")
+        assert len(half) < len(full)
+        assert len(half) > 0.25 * len(full)
+
+    def test_zero_duty_cycle_empty(self):
+        assert _schedule(duty_cycle=0.0).times_for("dev-1") == []
+
+    def test_devices_have_different_phases(self):
+        schedule = _schedule(duty_cycle=1.0, jitter_fraction=0.0)
+        assert schedule.times_for("dev-1")[:3] != schedule.times_for("dev-2")[:3]
+
+    def test_deterministic(self):
+        assert _schedule().times_for("dev-1") == _schedule().times_for("dev-1")
+
+    def test_empty_window(self):
+        schedule = _schedule(end=0.0)
+        assert schedule.times_for("dev-1") == []
+
+    def test_expected_count(self):
+        schedule = _schedule(duty_cycle=0.5)
+        assert schedule.expected_count() == 24
+
+    def test_interval_override(self):
+        schedule = _schedule(interval_s=12 * SECONDS_PER_HOUR, duty_cycle=1.0)
+        assert 3 <= len(schedule.times_for("dev-1")) <= 4

@@ -1,0 +1,134 @@
+"""Dataset validation."""
+
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    PingRecord,
+    ResolutionRecord,
+    ResolverIdRecord,
+    TracerouteRecord,
+)
+from repro.measure.validate import validate_dataset
+
+
+def _record(**overrides):
+    defaults = dict(
+        device_id="dev-1",
+        carrier="att",
+        country="US",
+        sequence=0,
+        started_at=0.0,
+        latitude=41.9,
+        longitude=-87.6,
+        technology="LTE",
+        generation="4G",
+    )
+    defaults.update(overrides)
+    return ExperimentRecord(**defaults)
+
+
+class TestCleanDataset:
+    def test_empty_dataset_ok(self):
+        report = validate_dataset(Dataset())
+        assert report.ok
+        assert report.records_checked == 0
+
+    def test_clean_records_ok(self):
+        dataset = Dataset()
+        dataset.add(_record(sequence=0, started_at=0.0))
+        dataset.add(_record(sequence=1, started_at=100.0))
+        report = validate_dataset(dataset)
+        assert report.ok
+        assert report.records_checked == 2
+
+    def test_real_campaign_validates(self, dataset):
+        report = validate_dataset(dataset)
+        assert report.ok, [str(f) for f in report.errors[:5]]
+
+
+class TestFieldChecks:
+    def test_missing_device_id(self):
+        dataset = Dataset()
+        dataset.add(_record(device_id=""))
+        assert not validate_dataset(dataset).ok
+
+    def test_bad_coordinates(self):
+        dataset = Dataset()
+        dataset.add(_record(latitude=123.0))
+        report = validate_dataset(dataset)
+        assert any("latitude" in str(f) for f in report.errors)
+
+    def test_unknown_country_warns(self):
+        dataset = Dataset()
+        dataset.add(_record(country="FR"))
+        report = validate_dataset(dataset)
+        assert report.ok
+        assert report.warnings
+
+    def test_unknown_resolver_kind(self):
+        dataset = Dataset()
+        dataset.add(
+            _record(
+                resolutions=[
+                    ResolutionRecord(
+                        domain="a.com", resolver_kind="quad9",
+                        resolution_ms=10.0,
+                    )
+                ]
+            )
+        )
+        assert not validate_dataset(dataset).ok
+
+    def test_negative_rtt(self):
+        dataset = Dataset()
+        dataset.add(_record(pings=[PingRecord("1.2.3.4", "replica", -5.0)]))
+        assert not validate_dataset(dataset).ok
+
+    def test_non_monotone_ttls(self):
+        dataset = Dataset()
+        dataset.add(
+            _record(
+                traceroutes=[
+                    TracerouteRecord(
+                        target_ip="1.2.3.4", target_kind="replica",
+                        hops=[[2, "10.0.0.1", 1.0], [1, "10.0.0.2", 2.0]],
+                    )
+                ]
+            )
+        )
+        assert not validate_dataset(dataset).ok
+
+    def test_duplicate_identification_kinds(self):
+        dataset = Dataset()
+        dataset.add(
+            _record(
+                resolver_ids=[
+                    ResolverIdRecord("local", "10.0.0.1", "10.0.0.2"),
+                    ResolverIdRecord("local", "10.0.0.1", "10.0.0.3"),
+                ]
+            )
+        )
+        assert not validate_dataset(dataset).ok
+
+
+class TestCrossRecordChecks:
+    def test_time_reversal_detected(self):
+        dataset = Dataset()
+        dataset.add(_record(sequence=0, started_at=100.0))
+        dataset.add(_record(sequence=1, started_at=50.0))
+        report = validate_dataset(dataset)
+        assert any("backwards" in str(f) for f in report.errors)
+
+    def test_duplicate_sequence_warns(self):
+        dataset = Dataset()
+        dataset.add(_record(sequence=3, started_at=0.0))
+        dataset.add(_record(sequence=3, started_at=10.0))
+        report = validate_dataset(dataset)
+        assert report.ok
+        assert any("sequence" in str(f) for f in report.warnings)
+
+    def test_summary_text(self):
+        dataset = Dataset()
+        dataset.add(_record())
+        summary = validate_dataset(dataset).summary()
+        assert "1 records" in summary
