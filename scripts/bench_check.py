@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Pre-merge gate: tier-1 tests plus a campaign determinism smoke.
+
+Runs, in order:
+
+1. the tier-1 test suite (``pytest -x -q`` with ``src`` on the path);
+2. a ~30 s benchmark smoke at ``device_scale=0.05`` over 14 days,
+   failing hard if the parallel campaign's dataset hash differs from
+   the serial one.
+
+Exit status is non-zero on any test failure or on a determinism-hash
+mismatch, so CI (or a pre-push hook) can call this one script.
+
+Usage::
+
+    python scripts/bench_check.py [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def run_tier1() -> int:
+    """The repo's tier-1 suite, exactly as the roadmap specifies it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    print("== tier-1 test suite ==", flush=True)
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"], cwd=REPO_ROOT, env=env
+    )
+    return result.returncode
+
+
+def run_bench_smoke() -> int:
+    """Small campaign, serial and parallel, hashes must match."""
+    sys.path.insert(0, SRC)
+    from repro.measure.bench import BenchScale, bench_campaign
+
+    print("== campaign determinism smoke ==", flush=True)
+    report = bench_campaign(
+        BenchScale(device_scale=0.05, duration_days=14.0, interval_hours=12.0)
+    )
+    print(
+        f"{report['experiments']} experiments | "
+        f"serial {report['serial_exp_per_s']}/s | "
+        f"parallel(x{report['workers']}) {report['parallel_exp_per_s']}/s | "
+        f"hash {report['dataset_hash'][:16]}…",
+        flush=True,
+    )
+    if not report["hash_match"]:
+        print("FAIL: parallel dataset hash differs from serial", file=sys.stderr)
+        return 1
+    print("determinism: OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-tests", action="store_true",
+        help="run only the determinism smoke",
+    )
+    args = parser.parse_args()
+    if not args.skip_tests:
+        status = run_tier1()
+        if status != 0:
+            return status
+    return run_bench_smoke()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,7 @@ from repro.core.addressing import PrefixAllocator
 from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
 from repro.core.errors import ConfigError
 from repro.core.internet import VirtualInternet
-from repro.core.node import Host, PingPolicy
+from repro.core.node import ROLE_EGRESS, ROLE_RESOLVER, Host, PingPolicy
 from repro.core.rng import stable_fraction
 from repro.dns.cache import DnsCache
 from repro.dns.indirect import (
@@ -373,6 +373,7 @@ def build_operator(
             asys=system,
             location=city.location,
             stack_latency_ms=0.2,
+            role=ROLE_EGRESS,
         )
         internet.register_host(host)
         egress_points.append(host)
@@ -471,6 +472,7 @@ def _build_externals(
                 externally_open=open_draw < config.externally_open_fraction,
                 interior_penalty_ms=config.external_interior_penalty_ms,
                 stack_latency_ms=0.4,
+                role=ROLE_RESOLVER,
             )
             internet.register_host(host)
             engine = RecursiveEngine(
@@ -511,6 +513,7 @@ def _build_client_addresses(
                 location=sites[index % len(sites)].city.location,
                 ping_policy=PingPolicy.INTERNAL_ONLY,
                 stack_latency_ms=0.4,
+                role=ROLE_RESOLVER,
             )
             internet.register_host(host)
             addresses.append(
@@ -531,6 +534,7 @@ def _build_client_addresses(
             location=sites[index % len(sites)].city.location,
             ping_policy=PingPolicy.SILENT if anycast else PingPolicy.INTERNAL_ONLY,
             stack_latency_ms=0.4,
+            role=ROLE_RESOLVER,
         )
         internet.register_host(host)
         addresses.append(

@@ -7,6 +7,10 @@ Four subcommands cover the lifecycle of a study:
   dataset (or re-simulate when none is given);
 * ``repro-study validate`` — integrity-check an archived dataset;
 * ``repro-study export`` — dump every figure's series as CSV.
+
+Plus ``verify`` (check paper claims against a fresh campaign) and
+``bench`` (campaign throughput serial vs parallel, substrate
+microbenchmarks; writes ``BENCH_campaign.json``).
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ def _study_from_args(args) -> CellularDNSStudy:
         device_scale=args.scale,
         duration_days=args.days,
         interval_hours=args.interval_hours,
+        workers=getattr(args, "workers", 0),
     )
     return CellularDNSStudy(config)
 
@@ -99,6 +104,23 @@ def _cmd_verify(args) -> int:
     return 0 if all(result.passed for result in results) else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.measure.bench import BenchScale, format_report, run_benchmarks
+
+    scale = BenchScale(
+        seed=args.seed,
+        device_scale=args.scale,
+        duration_days=args.days,
+        interval_hours=args.interval_hours,
+        workers=args.workers,
+    )
+    report = run_benchmarks(scale, output_path=args.output)
+    print(format_report(report))
+    if args.output:
+        print(f"Wrote {args.output}")
+    return 0 if report["campaign"]["hash_match"] else 1
+
+
 def _cmd_export(args) -> int:
     study = _study_from_args(args)
     if args.dataset:
@@ -119,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="simulate a campaign to JSONL")
     _add_scale_arguments(run)
     run.add_argument("--output", "-o", default="campaign.jsonl")
+    run.add_argument(
+        "--workers", type=int, default=0,
+        help="carrier-shard worker processes (0 = serial; output identical)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser("report", help="print the paper's artifacts")
@@ -142,6 +168,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_arguments(verify)
     verify.set_defaults(handler=_cmd_verify)
+
+    bench = commands.add_parser(
+        "bench", help="measure campaign throughput and substrate primitives"
+    )
+    bench.add_argument("--seed", type=int, default=2014)
+    bench.add_argument("--scale", type=float, default=0.5)
+    bench.add_argument("--days", type=float, default=7.0)
+    bench.add_argument("--interval-hours", type=float, default=12.0)
+    bench.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel shard workers (0 = min(carriers, cpus))",
+    )
+    bench.add_argument(
+        "--output", "-o", default="BENCH_campaign.json",
+        help="benchmark report path (empty string skips writing)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 

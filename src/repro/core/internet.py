@@ -18,14 +18,20 @@ Three probe primitives mirror the paper's methodology (Sec 3.2):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.core.addressing import ip_to_int
 from repro.core.asn import AutonomousSystem
 from repro.core.errors import TopologyError
-from repro.core.node import Host, PathHop, ProbeOrigin
+from repro.core.node import ROLE_EGRESS, ROLE_TRANSIT, Host, PathHop, ProbeOrigin
 from repro.core.rng import RandomStream
 from repro.geo.coordinates import GeoPoint
 from repro.geo.latency import WanLatencyModel
+
+_MAX_IPV4 = (1 << 32) - 1
+
+#: Sentinel distinguishing "memoised None" from "not memoised yet".
+_MISSING = object()
 
 
 @dataclass
@@ -74,6 +80,17 @@ class VirtualInternet:
         self._hosts: Dict[str, Host] = {}
         #: Transit routers by rough location, used to synthesise paths.
         self._transit_routers: List[Host] = []
+        #: Egress-role hosts per ASN (ingress-router candidates).
+        self._egress_hosts: Dict[int, List[Host]] = {}
+        #: Longest-prefix-match index: prefix length -> {masked net -> asn},
+        #: rebuilt whenever the announced-prefix population changes.
+        self._lpm_by_length: Dict[int, Dict[int, int]] = {}
+        self._lpm_lengths: List[int] = []
+        self._lpm_generation: Tuple[int, int] = (-1, -1)
+        #: Memo of the nearest transit router per exact coordinate pair.
+        self._transit_near_memo: Dict[Tuple[float, float], Optional[Host]] = {}
+        #: Memo of the ingress router per (asn, destination coordinates).
+        self._ingress_memo: Dict[Tuple[int, float, float], Optional[Host]] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -98,12 +115,18 @@ class VirtualInternet:
                 f"{host.ip} not inside any prefix announced by {host.asys}"
             )
         self._hosts[host.ip] = host
+        if host.role == ROLE_EGRESS:
+            self._egress_hosts.setdefault(host.asys.asn, []).append(host)
+            self._ingress_memo.clear()
         return host
 
     def register_transit_router(self, host: Host) -> Host:
         """Register a backbone router used when synthesising paths."""
+        if host.role != ROLE_TRANSIT:
+            host.role = ROLE_TRANSIT
         self.register_host(host)
         self._transit_routers.append(host)
+        self._transit_near_memo.clear()
         return host
 
     # -- lookups -------------------------------------------------------------
@@ -125,7 +148,30 @@ class VirtualInternet:
         return list(self._hosts.values())
 
     def asn_of(self, ip: str) -> Optional[int]:
-        """Longest-prefix-match origin ASN for an address (whois stand-in)."""
+        """Longest-prefix-match origin ASN for an address (whois stand-in).
+
+        Served from a per-length hash index (one masked lookup per
+        distinct prefix length, longest first) instead of scanning every
+        AS x prefix pair.  The index transparently rebuilds when systems
+        or prefixes are added, so late announcements — operator CDN
+        extensions claim prefixes well after world construction — are
+        always visible.
+        """
+        self._ensure_lpm_index()
+        value = ip_to_int(ip)
+        for length in self._lpm_lengths:
+            mask = 0 if length == 0 else (_MAX_IPV4 << (32 - length)) & _MAX_IPV4
+            asn = self._lpm_by_length[length].get(value & mask)
+            if asn is not None:
+                return asn
+        return None
+
+    def asn_of_linear(self, ip: str) -> Optional[int]:
+        """Reference O(systems x prefixes) scan behind :meth:`asn_of`.
+
+        Kept as the executable specification the indexed path is tested
+        and benchmarked against.
+        """
         best_asn = None
         best_length = -1
         for asys in self._systems.values():
@@ -134,6 +180,31 @@ class VirtualInternet:
                     best_asn = asys.asn
                     best_length = prefix.length
         return best_asn
+
+    def _ensure_lpm_index(self) -> None:
+        """(Re)build the LPM index when the prefix population changed.
+
+        Prefixes are only ever added, so (#systems, #prefixes) is a
+        complete change detector, and checking it is ~20 integer adds —
+        far cheaper than one linear scan used to be.
+        """
+        generation = (
+            len(self._systems),
+            sum(len(asys.prefixes) for asys in self._systems.values()),
+        )
+        if generation == self._lpm_generation:
+            return
+        by_length: Dict[int, Dict[int, int]] = {}
+        for asys in self._systems.values():
+            for prefix in asys.prefixes:
+                # setdefault preserves the first-registered-wins tie rule
+                # of the linear scan for duplicate announcements.
+                by_length.setdefault(prefix.length, {}).setdefault(
+                    prefix.network, asys.asn
+                )
+        self._lpm_by_length = by_length
+        self._lpm_lengths = sorted(by_length, reverse=True)
+        self._lpm_generation = generation
 
     # -- reachability ---------------------------------------------------------
 
@@ -218,13 +289,24 @@ class VirtualInternet:
     # -- traceroute -------------------------------------------------------------
 
     def _transit_router_near(self, location: GeoPoint) -> Optional[Host]:
-        """Nearest registered backbone router to a location."""
+        """Nearest registered backbone router to a location.
+
+        Memoised on exact coordinates: traceroute sources and targets
+        recur from a small set of city placements, so the nearest-router
+        search runs once per distinct point instead of once per probe.
+        """
         if not self._transit_routers:
             return None
-        return min(
+        key = (location.latitude, location.longitude)
+        cached = self._transit_near_memo.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        nearest = min(
             self._transit_routers,
             key=lambda router: router.location.distance_km(location),
         )
+        self._transit_near_memo[key] = nearest
+        return nearest
 
     def traceroute(
         self,
@@ -316,15 +398,26 @@ class VirtualInternet:
         return result
 
     def _ingress_router_for(self, destination: Host) -> Optional[Host]:
-        """The operator border router an inbound probe would hit."""
-        candidates = [
-            host
-            for host in self._hosts.values()
-            if host.asys is destination.asys and host.name.startswith("egress")
-        ]
-        if not candidates:
-            return None
-        return min(
-            candidates,
-            key=lambda host: host.location.distance_km(destination.location),
+        """The operator border router an inbound probe would hit.
+
+        Candidates are the destination AS's egress-*role* hosts (kept in
+        a per-ASN side index at registration), and the nearest-candidate
+        search is memoised per (ASN, destination coordinates).
+        """
+        key = (
+            destination.asys.asn,
+            destination.location.latitude,
+            destination.location.longitude,
         )
+        cached = self._ingress_memo.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        candidates = self._egress_hosts.get(destination.asys.asn)
+        ingress = None
+        if candidates:
+            ingress = min(
+                candidates,
+                key=lambda host: host.location.distance_km(destination.location),
+            )
+        self._ingress_memo[key] = ingress
+        return ingress

@@ -19,6 +19,14 @@ from typing import List, Optional
 from repro.core.asn import AutonomousSystem
 from repro.geo.coordinates import GeoPoint
 
+#: Host roles the routing layer keys on.  Kept as plain strings so
+#: extensions can add roles without touching this module.
+ROLE_HOST = "host"
+ROLE_EGRESS = "egress"
+ROLE_TRANSIT = "transit"
+ROLE_RESOLVER = "resolver"
+ROLE_REPLICA = "replica"
+
 
 class PingPolicy(str, enum.Enum):
     """Which probe origins a host answers ICMP echo for.
@@ -71,6 +79,11 @@ class Host:
         geography explains (deep resolver tiers).
     stack_latency_ms:
         Host processing time added to every answered probe.
+    role:
+        Topological role of the host (:data:`ROLE_EGRESS`,
+        :data:`ROLE_TRANSIT`, ...).  Routing semantics key on this field
+        — notably ingress-router selection for inbound probes — so a
+        host's display name can change freely without altering paths.
     """
 
     ip: str
@@ -82,6 +95,7 @@ class Host:
     externally_open: bool = False
     interior_penalty_ms: float = 0.0
     stack_latency_ms: float = 0.1
+    role: str = ROLE_HOST
 
     def __str__(self) -> str:
         return f"{self.name} ({self.ip}, {self.asys})"

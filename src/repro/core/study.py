@@ -48,7 +48,7 @@ from repro.analysis.similarity import SimilarityStudy, similarity_study
 from repro.analysis.stats import ECDF
 from repro.cdn.catalog import MEASURED_DOMAINS, domain_names
 from repro.core.world import World, WorldConfig, build_world
-from repro.measure.campaign import Campaign, CampaignConfig
+from repro.measure.campaign import Campaign, CampaignConfig, ParallelCampaign
 from repro.measure.records import Dataset
 
 US_CARRIERS = ("att", "sprint", "tmobile", "verizon")
@@ -70,6 +70,10 @@ class StudyConfig:
     duration_days: float = 120.0
     interval_hours: float = 12.0
     duty_cycle: float = 0.9
+    #: Campaign worker processes: 0 runs the serial loop, N > 0 shards
+    #: the campaign per carrier across N processes (same output either
+    #: way — see repro.measure.campaign).
+    workers: int = 0
     world: WorldConfig = field(default_factory=WorldConfig)
 
     @classmethod
@@ -108,7 +112,14 @@ class CellularDNSStudy:
         world_config = self.config.world
         world_config.seed = self.config.seed
         self.world: World = build_world(world_config)
-        self.campaign = Campaign(self.world, self.config.campaign_config())
+        if self.config.workers:
+            self.campaign: Campaign = ParallelCampaign(
+                self.world,
+                self.config.campaign_config(),
+                workers=self.config.workers,
+            )
+        else:
+            self.campaign = Campaign(self.world, self.config.campaign_config())
         self._dataset: Optional[Dataset] = None
 
     @property

@@ -279,6 +279,11 @@ class DnsDeployment:
     #: (zero when co-located, as with SK Telecom; positive for deep
     #: hierarchies, Fig 4).
     tier_gap_ms: float = 0.0
+    #: Memo of DHCP front candidates per anchor point (fronts and sites
+    #: are fixed after construction, anchors recur per city).
+    _dhcp_memo: Dict[object, List[ClientFacingAddress]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.client_addresses:
@@ -298,13 +303,17 @@ class DnsDeployment:
         """
         candidates = self.client_addresses
         if near is not None and not candidates[0].anycast and len(candidates) > 1:
-            ranked = sorted(
-                candidates,
-                key=lambda address: self.sites[
-                    (address.site_index or 0) % len(self.sites)
-                ].location.distance_km(near),
-            )
-            candidates = ranked[: min(2, len(ranked))]
+            cached = self._dhcp_memo.get(near)
+            if cached is None:
+                ranked = sorted(
+                    candidates,
+                    key=lambda address: self.sites[
+                        (address.site_index or 0) % len(self.sites)
+                    ].location.distance_km(near),
+                )
+                cached = ranked[: min(2, len(ranked))]
+                self._dhcp_memo[near] = cached
+            candidates = cached
         index = stable_index(
             seed, "client-addr", device_key, modulo=len(candidates)
         )

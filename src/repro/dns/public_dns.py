@@ -157,7 +157,15 @@ class PublicDnsService:
 
             client_subnet = prefix24(origin.source_ip)
         result = cluster.engine.resolve(
-            qname, qtype, now, stream, client_subnet=client_subnet
+            qname,
+            qtype,
+            now,
+            stream,
+            client_subnet=client_subnet,
+            # Clusters serve every carrier whose egress routes to them;
+            # scoping the cache per operator keeps carriers independent
+            # (the shard isolation contract — see RecursiveEngine.resolve).
+            cache_scope=origin.asys.operator_key,
         )
         return PublicResolution(
             result=result,

@@ -180,6 +180,7 @@ class RecursiveEngine:
         now: float,
         stream: RandomStream,
         client_subnet: Optional[str] = None,
+        cache_scope: Optional[str] = None,
     ) -> RecursiveResult:
         """Resolve a name, serving from cache when possible.
 
@@ -190,11 +191,21 @@ class RecursiveEngine:
         is scoped per subnet — answers tailored to one client prefix must
         never be served to another — and the subnet is forwarded to the
         authorities.
+
+        ``cache_scope`` partitions the cache by an opaque label.  Engines
+        shared by several cellular operators (public DNS clusters) scope
+        entries per operator so one carrier's queries never warm or evict
+        another carrier's view — the *shard isolation contract* that lets
+        per-carrier campaign shards run in parallel yet bit-identically
+        to a serial run.  Cross-carrier warmth is modelled (as all other
+        background population is) by ``background_warm_prob``.
         """
         qname = normalize_name(qname)
         cache_name = qname if client_subnet is None else (
             f"{client_subnet.split('/')[0]}.__ecs__.{qname}"
         )
+        if cache_scope:
+            cache_name = f"{cache_scope}.__scope__.{cache_name}"
         entry = self.cache.get_entry_kind(cache_name, qtype, now)
         if entry is not None:
             self.cache.stats.hits += 1

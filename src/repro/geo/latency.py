@@ -53,8 +53,13 @@ class WanLatencyModel:
         self._base_memo: dict = {}
 
     def base_rtt_ms(self, src: GeoPoint, dst: GeoPoint) -> float:
-        """Deterministic (jitter-free) WAN RTT between two points."""
-        key = (src.latitude, src.longitude, dst.latitude, dst.longitude)
+        """Deterministic (jitter-free) WAN RTT between two points.
+
+        Memoised on the (frozen, value-hashed) endpoint pair directly —
+        no per-call key tuple to build, and two structurally equal
+        points always share an entry.
+        """
+        key = (src, dst)
         cached = self._base_memo.get(key)
         if cached is not None:
             return cached

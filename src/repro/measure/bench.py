@@ -1,0 +1,228 @@
+"""Campaign and substrate benchmarks.
+
+Performance work on the simulator is held to two commitments at once:
+
+* **Throughput** — experiments per second, serial and sharded-parallel
+  (:class:`~repro.measure.campaign.ParallelCampaign`).
+* **Exactness** — the parallel dataset must hash identically to the
+  serial one; a benchmark that got faster by diverging is a regression.
+
+``run_benchmarks`` measures both, plus microbenchmarks of the hot
+substrate primitives (longest-prefix-match AS lookup, the memoised WAN
+latency model, great-circle distance), and writes the result to
+``BENCH_campaign.json`` so successive PRs leave a comparable trail.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.addressing import Prefix, int_to_ip
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.internet import VirtualInternet
+from repro.core.world import WorldConfig, build_world
+from repro.geo.coordinates import GeoPoint
+from repro.geo.latency import WanLatencyModel
+
+#: Default output artifact, at the repository root.
+BENCH_OUTPUT = "BENCH_campaign.json"
+
+
+@dataclass
+class BenchScale:
+    """Knobs for the campaign-throughput benchmark."""
+
+    seed: int = 2014
+    device_scale: float = 0.5
+    duration_days: float = 7.0
+    interval_hours: float = 12.0
+    workers: int = 0  # 0 = min(carriers, cpus)
+
+
+# -- campaign throughput ------------------------------------------------------
+
+
+def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
+    """Serial vs parallel campaign throughput, with the identity check."""
+    from repro.measure.campaign import Campaign, CampaignConfig, ParallelCampaign
+
+    scale = scale or BenchScale()
+    world_config = WorldConfig(seed=scale.seed)
+    campaign_config = CampaignConfig(
+        device_scale=scale.device_scale,
+        duration_days=scale.duration_days,
+        interval_hours=scale.interval_hours,
+    )
+
+    serial_campaign = Campaign(build_world(world_config), campaign_config)
+    started = time.perf_counter()
+    serial = serial_campaign.run()
+    serial_s = time.perf_counter() - started
+
+    workers = scale.workers or min(
+        len(serial_campaign.world.operators), os.cpu_count() or 1
+    )
+    parallel_campaign = ParallelCampaign(
+        build_world(world_config), campaign_config, workers=workers
+    )
+    started = time.perf_counter()
+    parallel = parallel_campaign.run()
+    parallel_s = time.perf_counter() - started
+
+    serial_hash = serial.content_hash()
+    parallel_hash = parallel.content_hash()
+    experiments = len(serial)
+    return {
+        "device_scale": scale.device_scale,
+        "duration_days": scale.duration_days,
+        "interval_hours": scale.interval_hours,
+        "devices": len(serial_campaign.devices),
+        "experiments": experiments,
+        "workers": workers,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "serial_exp_per_s": round(experiments / serial_s, 1),
+        "parallel_exp_per_s": round(experiments / parallel_s, 1),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "dataset_hash": serial_hash,
+        "hash_match": serial_hash == parallel_hash,
+    }
+
+
+# -- substrate microbenchmarks ------------------------------------------------
+
+
+def _synthetic_internet(systems: int, prefixes_per_system: int) -> VirtualInternet:
+    """An internet of ``systems`` ASes with nested/overlapping prefixes.
+
+    Each AS announces one /16 plus ``prefixes_per_system - 1`` more-
+    specific /24s carved from the *previous* AS's /16, so longest-prefix
+    match genuinely decides ownership (as it does for operator-CDN
+    prefixes nested inside carrier space).
+    """
+    net = VirtualInternet()
+    all_systems: List[AutonomousSystem] = []
+    for index in range(systems):
+        system = AutonomousSystem(
+            asn=65000 + index,
+            name=f"bench-as-{index}",
+            kind=ASKind.TRANSIT,
+            firewall=FirewallPolicy(blocks_inbound=False),
+        )
+        system.add_prefix(Prefix.parse(f"10.{index}.0.0/16"))
+        all_systems.append(system)
+        net.register_system(system)
+    for index, system in enumerate(all_systems):
+        parent = (index - 1) % systems
+        for sub in range(prefixes_per_system - 1):
+            system.add_prefix(Prefix.parse(f"10.{parent}.{sub}.0/24"))
+    return net
+
+
+def bench_asn_lookup(
+    systems: int = 50, prefixes_per_system: int = 8, lookups: int = 20_000
+) -> Dict[str, object]:
+    """Indexed ``asn_of`` against the linear reference scan."""
+    net = _synthetic_internet(systems, prefixes_per_system)
+    addresses = [
+        int_to_ip((10 << 24) | ((i % systems) << 16) | ((i * 7919) & 0xFFFF))
+        for i in range(lookups)
+    ]
+
+    started = time.perf_counter()
+    indexed = [net.asn_of(address) for address in addresses]
+    indexed_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    linear = [net.asn_of_linear(address) for address in addresses]
+    linear_s = time.perf_counter() - started
+
+    if indexed != linear:  # pragma: no cover - tripwire, tested separately
+        raise AssertionError("indexed asn_of diverged from the linear scan")
+    return {
+        "systems": systems,
+        "prefixes": systems * prefixes_per_system,
+        "lookups": lookups,
+        "indexed_s": round(indexed_s, 4),
+        "linear_s": round(linear_s, 4),
+        "indexed_per_s": round(lookups / indexed_s),
+        "linear_per_s": round(lookups / linear_s),
+        "speedup": round(linear_s / indexed_s, 1),
+    }
+
+
+def bench_primitives(iterations: int = 200_000) -> Dict[str, object]:
+    """Throughput of the per-probe hot primitives."""
+    model = WanLatencyModel()
+    src = GeoPoint(latitude=41.88, longitude=-87.63)
+    dst = GeoPoint(latitude=34.05, longitude=-118.24)
+
+    model.base_rtt_ms(src, dst)  # warm the memo: steady-state is hits
+    started = time.perf_counter()
+    for _ in range(iterations):
+        model.base_rtt_ms(src, dst)
+    base_rtt_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        src.distance_km(dst)
+    distance_s = time.perf_counter() - started
+
+    return {
+        "iterations": iterations,
+        "base_rtt_memoised_per_s": round(iterations / base_rtt_s),
+        "distance_km_per_s": round(iterations / distance_s),
+    }
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def run_benchmarks(
+    scale: Optional[BenchScale] = None,
+    output_path: Optional[str] = BENCH_OUTPUT,
+) -> Dict[str, object]:
+    """Run every benchmark; write ``output_path`` unless it is None."""
+    report: Dict[str, object] = {
+        "cpu_count": os.cpu_count(),
+        "campaign": bench_campaign(scale),
+        "asn_lookup": bench_asn_lookup(),
+        "primitives": bench_primitives(),
+    }
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return report
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Human-readable summary of a benchmark report."""
+    campaign = report["campaign"]
+    asn = report["asn_lookup"]
+    primitives = report["primitives"]
+    lines = [
+        f"cpus: {report['cpu_count']}",
+        (
+            f"campaign: {campaign['experiments']} experiments | "
+            f"serial {campaign['serial_exp_per_s']}/s | "
+            f"parallel(x{campaign['workers']}) "
+            f"{campaign['parallel_exp_per_s']}/s | "
+            f"speedup {campaign['parallel_speedup']}x | "
+            f"hash match: {campaign['hash_match']}"
+        ),
+        (
+            f"asn_of: indexed {asn['indexed_per_s']}/s vs "
+            f"linear {asn['linear_per_s']}/s ({asn['speedup']}x) "
+            f"over {asn['systems']} ASes / {asn['prefixes']} prefixes"
+        ),
+        (
+            f"primitives: base_rtt {primitives['base_rtt_memoised_per_s']}/s "
+            f"(memoised), distance_km {primitives['distance_km_per_s']}/s"
+        ),
+    ]
+    return "\n".join(lines)

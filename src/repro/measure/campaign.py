@@ -4,21 +4,37 @@ A campaign instantiates the volunteer population (Table 1's per-carrier
 client counts, scaled if asked), schedules each device's experiments
 over the study window, runs them in timestamp order and collects an
 analysable :class:`~repro.measure.records.Dataset`.
+
+Two execution strategies produce *bit-identical* datasets:
+
+* :class:`Campaign` runs everything in one process, merging per-device
+  schedules lazily into global ``(time, device_id)`` order.
+* :class:`ParallelCampaign` exploits the simulation's shard structure:
+  carriers never share mutable state (operator plumbing is per-carrier,
+  shared caches are operator-scoped, every random stream is derived from
+  stable names), so each carrier can run in its own worker process
+  against a freshly built world and the shard outputs merge back into
+  exactly the order the serial loop would have produced.  The identity
+  is asserted in tests via :meth:`Dataset.content_hash`.
 """
 
 from __future__ import annotations
 
+import heapq
+import multiprocessing
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cellnet.device import MobileDevice
 from repro.cellnet.mobility import MobilityModel
 from repro.core.clock import SECONDS_PER_DAY, SECONDS_PER_HOUR
 from repro.core.errors import ConfigError
-from repro.core.world import World
+from repro.core.world import World, WorldConfig, build_world
 from repro.geo.regions import cities_for, city_weights
 from repro.measure.experiment import ExperimentOptions, ExperimentRunner
-from repro.measure.records import Dataset
+from repro.measure.records import Dataset, ExperimentRecord
 from repro.measure.scheduler import ExperimentSchedule
 
 #: Per-carrier client counts from Table 1 of the paper.
@@ -104,31 +120,143 @@ class Campaign:
 
     # -- execution ------------------------------------------------------------
 
-    def run(self) -> Dataset:
-        """Run every scheduled experiment, globally time-ordered."""
+    def _schedule(self) -> ExperimentSchedule:
         config = self.config
-        schedule = ExperimentSchedule(
+        return ExperimentSchedule(
             start=config.start,
             end=config.start + config.duration_days * SECONDS_PER_DAY,
             seed=self.world.rng.master_seed,
             interval_s=config.interval_hours * SECONDS_PER_HOUR,
             duty_cycle=config.duty_cycle,
         )
-        queue: List[tuple] = []
-        for device in self.devices:
-            for sequence, at in enumerate(schedule.times_for(device.device_id)):
-                queue.append((at, device, sequence))
-        queue.sort(key=lambda item: (item[0], item[1].device_id))
 
+    @staticmethod
+    def _device_slots(
+        device: MobileDevice, schedule: ExperimentSchedule
+    ) -> Iterator[Tuple[float, MobileDevice, int]]:
+        for sequence, at in enumerate(schedule.iter_times(device.device_id)):
+            yield at, device, sequence
+
+    def _execute(self, devices: Sequence[MobileDevice]) -> List[ExperimentRecord]:
+        """Run the given devices' experiments in ``(time, device)`` order.
+
+        Per-device schedules are already time-sorted (jitter never
+        reorders slots), so an N-way lazy merge replaces materialising
+        and sorting the whole campaign queue.  Device ids are unique,
+        hence keys are distinct and the merged order is exactly the old
+        globally sorted order.
+        """
+        schedule = self._schedule()
+        slots = heapq.merge(
+            *(self._device_slots(device, schedule) for device in devices),
+            key=lambda slot: (slot[0], slot[1].device_id),
+        )
+        return [
+            self.runner.run(device, at, sequence) for at, device, sequence in slots
+        ]
+
+    def run_shard(self, carrier_key: str) -> List[ExperimentRecord]:
+        """Run only one carrier's devices, in shard-local order.
+
+        Restricted to a single carrier, global ``(time, device_id)``
+        order and shard-local order coincide — the property that makes
+        per-carrier parallelism exact rather than approximate.
+        """
+        return self._execute(self.devices_of(carrier_key))
+
+    def run(self) -> Dataset:
+        """Run every scheduled experiment, globally time-ordered."""
+        records = self._execute(self.devices)
+        return self._package(records)
+
+    def _package(self, records: List[ExperimentRecord]) -> Dataset:
         dataset = Dataset(
+            experiments=records,
             metadata={
                 "seed": self.world.rng.master_seed,
                 "devices": len(self.devices),
-                "duration_days": config.duration_days,
-                "interval_hours": config.interval_hours,
-                "experiments": len(queue),
-            }
+                "duration_days": self.config.duration_days,
+                "interval_hours": self.config.interval_hours,
+                "experiments": len(records),
+            },
         )
-        for at, device, sequence in queue:
-            dataset.add(self.runner.run(device, at, sequence))
         return dataset
+
+
+def _run_carrier_shard(
+    world_config: WorldConfig, config: CampaignConfig, carrier_key: str
+) -> List[ExperimentRecord]:
+    """Worker entry point: one carrier's campaign in a fresh world.
+
+    Runs in a spawned process, so it must be a module-level function and
+    everything it needs must arrive picklable.  The world is rebuilt from
+    its config — world construction is deterministic, and building it
+    here (instead of pickling a live world) guarantees the shard sees
+    pristine caches, exactly like the carrier-restricted serial run.
+    """
+    world = build_world(world_config)
+    campaign = Campaign(world, config)
+    return campaign.run_shard(carrier_key)
+
+
+class ParallelCampaign(Campaign):
+    """Campaign that runs one worker process per carrier shard.
+
+    Carriers are independent shards of the simulation (see the module
+    docstring), so their experiment streams can run concurrently and be
+    merged back into global timestamp order.  Output is bit-identical to
+    :meth:`Campaign.run` for the same world config and campaign config.
+
+    ``workers=0`` falls back to the serial loop; ``workers=None`` uses
+    ``min(carrier count, cpu count)``.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        config: Optional[CampaignConfig] = None,
+        workers: Optional[int] = None,
+    ):
+        super().__init__(world, config)
+        if workers is None:
+            workers = min(len(world.operators), os.cpu_count() or 1)
+        self.workers = workers
+
+    def run(self) -> Dataset:
+        carrier_keys = list(self.world.operators)
+        if self.workers <= 0 or len(carrier_keys) <= 1:
+            return super().run()
+        shards = self._run_shards(carrier_keys)
+        merged = list(
+            heapq.merge(
+                *(shards[key] for key in carrier_keys),
+                key=lambda record: (record.started_at, record.device_id),
+            )
+        )
+        dataset = self._package(merged)
+        dataset.metadata["workers"] = self.workers
+        return dataset
+
+    def _run_shards(
+        self, carrier_keys: Sequence[str]
+    ) -> Dict[str, List[ExperimentRecord]]:
+        """Run every carrier shard across the worker pool.
+
+        Spawn (not fork) keeps workers importable and state-free on
+        every platform; each worker rebuilds the world from config.
+        """
+        context = multiprocessing.get_context("spawn")
+        shards: Dict[str, List[ExperimentRecord]] = {}
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _run_carrier_shard, self.world.config, self.config, key
+                ): key
+                for key in carrier_keys
+            }
+            done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in done:
+                shards[futures[future]] = future.result()
+        return shards

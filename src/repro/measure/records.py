@@ -13,6 +13,7 @@ we).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO
@@ -218,6 +219,23 @@ class Dataset:
             ],
             metadata=dict(self.metadata),
         )
+
+    def content_hash(self) -> str:
+        """SHA-256 over the serialised experiments, in order.
+
+        Metadata is excluded: it describes how the campaign was *driven*
+        (e.g. worker count), which must not perturb the measured content.
+        Hashing the JSON text rather than the records makes the check
+        NaN-safe (``resolution_ms`` can be NaN for unreachable targets,
+        and ``nan != nan`` under dataclass equality) and means equality
+        of hashes is exactly equality of archived ``.jsonl`` bodies.
+        This is the oracle the parallel campaign is verified against.
+        """
+        digest = hashlib.sha256()
+        for record in self.experiments:
+            digest.update(record.to_json().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
 
     def __len__(self) -> int:
         return len(self.experiments)

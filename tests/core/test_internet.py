@@ -6,7 +6,7 @@ from repro.core.addressing import Prefix
 from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
 from repro.core.errors import TopologyError
 from repro.core.internet import VirtualInternet
-from repro.core.node import Host, PathHop, PingPolicy, ProbeOrigin
+from repro.core.node import ROLE_EGRESS, Host, PathHop, PingPolicy, ProbeOrigin
 from repro.core.rng import RandomStream
 from repro.geo.coordinates import GeoPoint
 
@@ -246,7 +246,11 @@ class TestTraceroute:
         for system in (cellular, transit, content):
             net.register_system(system)
         egress = Host(
-            ip="198.18.0.1", name="egress-cell-0", asys=cellular, location=CHI
+            ip="198.18.0.1",
+            name="egress-cell-0",
+            asys=cellular,
+            location=CHI,
+            role=ROLE_EGRESS,
         )
         net.register_host(egress)
         router = Host(ip="198.19.0.1", name="transit.chi", asys=transit, location=CHI)

@@ -1,0 +1,111 @@
+"""The indexed ``asn_of`` against its executable specification.
+
+``VirtualInternet.asn_of_linear`` is the original O(systems x prefixes)
+scan, kept precisely so the hash-index fast path can be property-tested
+against it: any randomized prefix population — nested, overlapping,
+duplicated — must produce identical answers from both.
+"""
+
+import random
+
+from repro.core.addressing import Prefix, int_to_ip
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.internet import VirtualInternet
+
+
+def _system(asn: int) -> AutonomousSystem:
+    return AutonomousSystem(
+        asn=asn,
+        name=f"as-{asn}",
+        kind=ASKind.TRANSIT,
+        firewall=FirewallPolicy(blocks_inbound=False),
+    )
+
+
+def _random_internet(rng: random.Random, systems: int) -> VirtualInternet:
+    """Systems announcing random prefixes with deliberate nesting.
+
+    Half the announcements are carved out of another system's space so
+    longest-prefix match (not announcement order) decides ownership.
+    """
+    net = VirtualInternet()
+    registered = []
+    for index in range(systems):
+        asys = _system(64500 + index)
+        base = rng.randrange(1, 223)
+        asys.add_prefix(Prefix.parse(f"{base}.{rng.randrange(256)}.0.0/16"))
+        registered.append(asys)
+        net.register_system(asys)
+    for asys in registered:
+        for _ in range(rng.randrange(1, 5)):
+            parent = rng.choice(registered)
+            parent_prefix = parent.prefixes[0]
+            length = rng.choice([20, 24, 24, 28])
+            offset = rng.randrange(parent_prefix.size)
+            network = parent_prefix.network + offset
+            network &= (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            asys.add_prefix(Prefix.parse(f"{int_to_ip(network)}/{length}"))
+    return net
+
+
+def _probe_addresses(net: VirtualInternet, rng: random.Random) -> list:
+    """Prefix edges (network, broadcast, interior) plus random misses."""
+    addresses = []
+    for asys in net._systems.values():
+        for prefix in asys.prefixes:
+            addresses.append(int_to_ip(prefix.network))
+            addresses.append(int_to_ip(prefix.network + prefix.size - 1))
+            addresses.append(int_to_ip(prefix.network + rng.randrange(prefix.size)))
+    addresses.extend(
+        int_to_ip(rng.randrange(1 << 32)) for _ in range(200)
+    )
+    return addresses
+
+
+class TestLpmIndexMatchesLinearScan:
+    def test_randomized_populations(self):
+        for trial in range(10):
+            rng = random.Random(1000 + trial)
+            net = _random_internet(rng, systems=rng.randrange(2, 30))
+            for address in _probe_addresses(net, rng):
+                assert net.asn_of(address) == net.asn_of_linear(address), address
+
+    def test_nested_prefix_prefers_most_specific(self):
+        net = VirtualInternet()
+        coarse, fine, finer = _system(64601), _system(64602), _system(64603)
+        coarse.add_prefix(Prefix.parse("10.0.0.0/8"))
+        fine.add_prefix(Prefix.parse("10.1.0.0/16"))
+        finer.add_prefix(Prefix.parse("10.1.2.0/24"))
+        for asys in (coarse, fine, finer):
+            net.register_system(asys)
+        assert net.asn_of("10.9.9.9") == 64601
+        assert net.asn_of("10.1.9.9") == 64602
+        assert net.asn_of("10.1.2.9") == 64603
+        assert net.asn_of("11.0.0.1") is None
+
+    def test_duplicate_announcement_first_registered_wins(self):
+        net = VirtualInternet()
+        first, second = _system(64611), _system(64612)
+        first.add_prefix(Prefix.parse("172.16.0.0/16"))
+        second.add_prefix(Prefix.parse("172.16.0.0/16"))
+        net.register_system(first)
+        net.register_system(second)
+        assert net.asn_of("172.16.5.5") == net.asn_of_linear("172.16.5.5") == 64611
+
+    def test_index_rebuilds_after_late_announcement(self):
+        """Prefixes added after the first lookup are still visible.
+
+        Operator-CDN extensions claim prefixes well after world
+        construction; the generation guard must catch that.
+        """
+        net = VirtualInternet()
+        asys = _system(64621)
+        asys.add_prefix(Prefix.parse("192.0.2.0/24"))
+        net.register_system(asys)
+        assert net.asn_of("198.51.100.1") is None  # index built here
+        asys.add_prefix(Prefix.parse("198.51.100.0/24"))
+        assert net.asn_of("198.51.100.1") == 64621
+        late_system = _system(64622)
+        late_system.add_prefix(Prefix.parse("203.0.113.0/24"))
+        net.register_system(late_system)
+        assert net.asn_of("203.0.113.7") == 64622

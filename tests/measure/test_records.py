@@ -142,6 +142,32 @@ class TestDataset:
         loaded = Dataset.load(str(path))
         assert loaded.experiments == dataset.experiments
 
+    def test_content_hash_ignores_metadata(self):
+        plain = self._dataset()
+        annotated = Dataset(
+            experiments=list(plain.experiments),
+            metadata={"seed": 1, "workers": 4},
+        )
+        assert plain.content_hash() == annotated.content_hash()
+
+    def test_content_hash_tracks_content(self):
+        first = self._dataset()
+        second = self._dataset()
+        assert first.content_hash() == second.content_hash()
+        second.experiments[0].resolutions[0].resolution_ms += 1.0
+        assert first.content_hash() != second.content_hash()
+
+    def test_content_hash_sensitive_to_order(self):
+        dataset = self._dataset()
+        reordered = Dataset(experiments=list(reversed(dataset.experiments)))
+        assert dataset.content_hash() != reordered.content_hash()
+
+    def test_content_hash_handles_nan(self):
+        withnan = Dataset(experiments=[_record()])
+        withnan.experiments[0].resolutions[0].resolution_ms = float("nan")
+        # NaN != NaN under equality, but the serialised text is stable.
+        assert withnan.content_hash() == withnan.content_hash()
+
     @given(
         st.lists(
             st.tuples(
