@@ -1,0 +1,24 @@
+# Convenience targets; the package is never pip-installed, so every
+# python invocation rides PYTHONPATH=src.
+
+PYTHON ?= python
+PYTHONPATH_SRC := PYTHONPATH=src
+
+.PHONY: test bench bench-smoke check
+
+test:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# Full throughput benchmark; rewrites BENCH_campaign.json (~60 s).
+bench:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench
+
+# ~30 s determinism smoke: tiny campaign, serial vs parallel hashes
+# must match; never touches the tracked BENCH_campaign.json.
+bench-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench --smoke
+
+# The pre-merge gate: tier-1 suite + determinism smoke + (multi-core)
+# parallel-regression check.
+check:
+	$(PYTHON) scripts/bench_check.py

@@ -1,0 +1,45 @@
+"""Per-stage profile of the experiment hot path.
+
+Times one serial campaign with an instrumented probe session and
+reports where an experiment's wall time goes: DNS resolutions, pings,
+traceroutes, HTTP GETs, and JSONL serialization.  This is the profile
+that motivated the serial fast path (slotted records, the zero-asdict
+serializer, and the per-experiment session caches); keeping it in the
+bench suite makes regressions in any single stage visible instead of
+smeared into one throughput number.
+
+Standalone use::
+
+    PYTHONPATH=src python benchmarks/bench_experiment_path.py
+"""
+
+from repro.measure.bench import STAGES, bench_stage_breakdown, smoke_scale
+
+
+def _render(report) -> str:
+    lines = [
+        f"experiments: {report['experiments']} "
+        f"in {report['total_s']}s (serial, instrumented)"
+    ]
+    for stage in STAGES:
+        lines.append(
+            f"  {stage:<10} {report[f'{stage}_s']:>7.3f}s  "
+            f"{report[f'{stage}_calls']:>6} calls  "
+            f"{report[f'{stage}_us_per_call']:>8.1f} us/call"
+        )
+    lines.append(f"  {'other':<10} {report['other_s']:>7.3f}s")
+    return "\n".join(lines)
+
+
+def bench_experiment_path(emit):
+    report = bench_stage_breakdown(smoke_scale())
+    emit("experiment_path", _render(report))
+    assert report["experiments"] > 0
+    # Every stage must actually have been exercised by the script.
+    for stage in STAGES:
+        assert report[f"{stage}_calls"] > 0, stage
+        assert report[f"{stage}_s"] >= 0.0, stage
+
+
+if __name__ == "__main__":
+    print(_render(bench_stage_breakdown(smoke_scale())))

@@ -6,10 +6,13 @@ Runs, in order:
 1. the tier-1 test suite (``pytest -x -q`` with ``src`` on the path);
 2. a ~30 s benchmark smoke at ``device_scale=0.05`` over 14 days,
    failing hard if the parallel campaign's dataset hash differs from
-   the serial one.
+   the serial one — and, on a multi-core box, if the parallel campaign
+   is *slower* than the serial one (an executor-selection regression;
+   single-core boxes only note the expected slowdown).
 
-Exit status is non-zero on any test failure or on a determinism-hash
-mismatch, so CI (or a pre-push hook) can call this one script.
+Exit status is non-zero on any test failure, on a determinism-hash
+mismatch, or on a multi-core parallel slowdown, so CI (or a pre-push
+hook) can call this one script.
 
 Usage::
 
@@ -58,6 +61,21 @@ def run_bench_smoke() -> int:
         print("FAIL: parallel dataset hash differs from serial", file=sys.stderr)
         return 1
     print("determinism: OK")
+    cores = os.cpu_count() or 1
+    if report["parallel_s"] > report["serial_s"]:
+        if cores >= 2:
+            print(
+                f"FAIL: parallel ({report['parallel_s']}s) slower than serial "
+                f"({report['serial_s']}s) on a {cores}-core box",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"note: parallel slower than serial on 1 core (expected; "
+            f"`--executor auto` runs serial here)"
+        )
+    else:
+        print(f"parallel speedup: {report['parallel_speedup']}x on {cores} cores")
     return 0
 
 

@@ -51,9 +51,12 @@ def cache_comparison(
     firsts: List[float] = []
     seconds: List[float] = []
     deltas: List[float] = []
-    for record in dataset:
-        if record.carrier not in wanted:
-            continue
+    if len(wanted) == 1:
+        # Single-carrier figures hit the per-carrier index.
+        records = dataset.experiments_for(next(iter(wanted)))
+    else:
+        records = [record for record in dataset if record.carrier in wanted]
+    for record in records:
         pairs: Dict[str, Dict[int, float]] = {}
         for resolution in record.resolutions_via(resolver_kind):
             pairs.setdefault(resolution.domain, {})[resolution.attempt] = (

@@ -27,9 +27,7 @@ def resolution_times(
     lookups; Fig 7 handles the pairs).
     """
     values: List[float] = []
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         for resolution in record.resolutions_via(resolver_kind):
             if resolution.domain.endswith(".net") and "whoami" in resolution.domain:
                 continue
@@ -44,9 +42,7 @@ def resolution_times_by_technology(
 ) -> Dict[str, ECDF]:
     """Fig 3: per-technology resolution-time CDFs for one carrier."""
     samples: Dict[str, List[float]] = {}
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         bucket = samples.setdefault(record.technology, [])
         for resolution in record.resolutions_via(resolver_kind):
             if resolution.attempt != 1:
@@ -60,9 +56,7 @@ def resolution_times_by_kind(
 ) -> Dict[str, ECDF]:
     """Fig 13: local vs Google vs OpenDNS resolution CDFs."""
     samples: Dict[str, List[float]] = {"local": [], "google": [], "opendns": []}
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         for resolution in record.resolutions:
             if resolution.attempt != 1:
                 continue
@@ -80,9 +74,7 @@ def resolver_ping_latencies(
     never answered (Verizon and LG U+ externals in the paper).
     """
     samples: Dict[str, List[float]] = {"client": [], "external": []}
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         for ping in record.pings:
             if ping.rtt_ms is None:
                 continue
@@ -106,9 +98,7 @@ def public_resolver_pings(
         "google": [],
         "opendns": [],
     }
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         for ping in record.pings:
             if ping.rtt_ms is None:
                 continue
@@ -132,11 +122,10 @@ def median_gap_ms(
 
 def carriers_in(dataset: Dataset, country: Optional[str] = None) -> List[str]:
     """Carrier keys present in the dataset, optionally by country."""
-    keys: List[Tuple[str, str]] = []
-    for record in dataset:
-        pair = (record.carrier, record.country)
-        if pair not in keys:
-            keys.append(pair)
+    keys: List[Tuple[str, str]] = [
+        (carrier, records[0].country)
+        for carrier, records in dataset.by_carrier().items()
+    ]
     return [
         carrier
         for carrier, carrier_country in keys

@@ -54,9 +54,7 @@ def replica_differentials(
     """
     # (device, domain) -> replica_ip -> [ttfb samples]
     samples: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         for http in record.http_gets:
             if http.ttfb_ms is None:
                 continue
@@ -132,9 +130,7 @@ def public_replica_comparison(
     the public set over the local set.
     """
     result = PublicReplicaComparison(carrier=carrier, public_kind=public_kind)
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         ttfb_of: Dict[str, List[float]] = {}
         for http in record.http_gets:
             if http.ttfb_ms is not None:

@@ -47,9 +47,7 @@ def resolver_inventory_over_time(
     window_s = window_days * SECONDS_PER_DAY
     windows: Dict[int, WindowInventory] = {}
     pair_counts: Dict[int, Dict[Tuple[str, str], int]] = {}
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         identification = record.resolver_id(resolver_kind)
         if identification is None or not identification.observed_external_ip:
             continue
@@ -144,9 +142,7 @@ def resolver_discovery_curve(
     """Cumulative distinct external resolvers over campaign time."""
     curve = DiscoveryCurve(carrier=carrier, what="external-resolvers")
     seen: set = set()
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         identification = record.resolver_id(resolver_kind)
         if identification is None or not identification.observed_external_ip:
             continue
@@ -163,9 +159,7 @@ def egress_discovery_curve(dataset: Dataset, carrier: str, owns) -> DiscoveryCur
 
     curve = DiscoveryCurve(carrier=carrier, what="egress-points")
     seen: set = set()
-    for record in dataset:
-        if record.carrier != carrier:
-            continue
+    for record in dataset.experiments_for(carrier):
         for trace in record.traceroutes:
             if trace.target_kind not in ("egress-discovery", "replica"):
                 continue

@@ -79,9 +79,8 @@ def replica_maps_by_resolver(
     join the paper performs between its resolution and whoami logs.
     """
     maps: Dict[str, ReplicaMap] = {}
-    for record in dataset:
-        if carrier is not None and record.carrier != carrier:
-            continue
+    records = dataset if carrier is None else dataset.experiments_for(carrier)
+    for record in records:
         resolver_ip = _external_ip_of(record, resolver_kind)
         if resolver_ip is None:
             continue

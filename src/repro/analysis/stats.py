@@ -6,7 +6,8 @@ representation the benches print and the tests assert against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -28,36 +29,66 @@ def percent_increase(value: float, baseline: float) -> float:
 
 @dataclass
 class ECDF:
-    """An empirical CDF over a sample."""
+    """An empirical CDF over a sample.
+
+    The sample is sorted exactly once, at construction; every lookup
+    (:meth:`evaluate`, :meth:`quantile`, :meth:`series`) is then served
+    from the sorted list via :func:`bisect.bisect_right` or direct
+    indexing — no per-call numpy dispatch.  :meth:`quantile` reproduces
+    ``np.quantile``'s linear interpolation bit-for-bit (including its
+    ``gamma >= 0.5`` lerp branch), which the property tests assert.
+    """
 
     values: np.ndarray
+    #: The same sample as a sorted list of Python floats (bisect input).
+    _sorted: Optional[List[float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "ECDF":
         """Build from any iterable, dropping NaNs."""
-        array = np.asarray(list(values), dtype=float)
-        array = array[~np.isnan(array)]
-        return cls(values=np.sort(array))
+        data = sorted(v for v in map(float, values) if v == v)
+        return cls(values=np.asarray(data, dtype=float), _sorted=data)
+
+    @property
+    def _data(self) -> List[float]:
+        """Sorted Python floats, derived lazily for hand-built instances."""
+        if self._sorted is None:
+            self._sorted = [float(v) for v in np.sort(self.values)]
+        return self._sorted
 
     def __len__(self) -> int:
-        return int(self.values.size)
+        return len(self._data)
 
     @property
     def is_empty(self) -> bool:
         """True when no samples survived."""
-        return self.values.size == 0
+        return not self._data
 
     def evaluate(self, x: float) -> float:
         """P(X <= x)."""
-        if self.is_empty:
+        data = self._data
+        if not data:
             raise ValueError("ECDF of empty sample")
-        return float(np.searchsorted(self.values, x, side="right") / self.values.size)
+        return bisect_right(data, x) / len(data)
 
     def quantile(self, q: float) -> float:
-        """The q-quantile (q in [0, 1])."""
-        if self.is_empty:
+        """The q-quantile (q in [0, 1]), linear interpolation."""
+        data = self._data
+        if not data:
             raise ValueError("ECDF of empty sample")
-        return float(np.quantile(self.values, q))
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        position = q * (len(data) - 1)
+        lower = int(position)
+        if lower >= len(data) - 1:
+            return data[-1]
+        gamma = position - lower
+        a, b = data[lower], data[lower + 1]
+        if gamma >= 0.5:
+            return b - (b - a) * (1.0 - gamma)
+        return a + (b - a) * gamma
 
     @property
     def median(self) -> float:
@@ -76,8 +107,11 @@ class ECDF:
         """(x, F(x)) pairs suitable for printing a figure's curve."""
         if self.is_empty:
             return []
-        qs = np.linspace(0.0, 1.0, points)
-        return [(float(np.quantile(self.values, q)), float(q)) for q in qs]
+        if points <= 1:
+            qs = [0.0] * max(points, 0)
+        else:
+            qs = [index / (points - 1) for index in range(points)]
+        return [(self.quantile(q), q) for q in qs]
 
     def __repr__(self) -> str:
         if self.is_empty:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.internet import VirtualInternet
+from repro.core.internet import RouteView, VirtualInternet
 from repro.core.node import Host, ProbeOrigin
 from repro.core.rng import RandomStream
 
@@ -38,16 +38,18 @@ def http_ttfb_ms(
     origin: ProbeOrigin,
     replica: ReplicaServer,
     stream: RandomStream,
+    route: Optional[RouteView] = None,
 ) -> Optional[float]:
     """Time-to-first-byte of an HTTP GET from ``origin`` to the replica.
 
     None when the replica is unreachable.  Handshake and request each pay
-    a full (independently sampled) round trip.
+    a full (independently sampled) round trip.  ``route`` optionally
+    carries the precomputed reachability verdict for this replica.
     """
-    handshake = internet.flow_rtt(origin, replica.ip, stream)
+    handshake = internet.flow_rtt(origin, replica.ip, stream, route=route)
     if handshake is None:
         return None
-    request = internet.flow_rtt(origin, replica.ip, stream)
+    request = internet.flow_rtt(origin, replica.ip, stream, route=route)
     if request is None:
         return None
     service = stream.lognormal_ms(replica.service_ms, 0.5)

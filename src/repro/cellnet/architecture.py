@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.cellnet.radio import Generation, RadioTechnology
 from repro.core.node import PathHop
@@ -72,14 +72,24 @@ def core_rtt_ms(architecture: CoreArchitecture, stream: RandomStream) -> float:
     return stream.lognormal_ms(model.median_core_rtt_ms, model.sigma)
 
 
-def interior_hops_for(architecture: CoreArchitecture) -> List[PathHop]:
+#: Shared, effectively-immutable hop tuples: the interior hops carry no
+#: per-probe state (silent, zero-latency placeholders), and every probe
+#: origin used to rebuild an identical list.
+_INTERIOR_HOPS: Dict[CoreArchitecture, Tuple[PathHop, ...]] = {
+    architecture: tuple(
+        PathHop(host=None, ip=None, responds=False, cumulative_ms=0.0)
+        for _ in model.elements
+    )
+    for architecture, model in _MODELS.items()
+}
+
+
+def interior_hops_for(architecture: CoreArchitecture) -> Sequence[PathHop]:
     """Traceroute-visible structure of the core: tunnelled, silent hops.
 
     Each core element occupies a TTL slot but never answers — the
     behaviour that "rendered irrelevant much of the structural
     information" the paper's traceroutes tried to gather (Sec 4.2).
+    Hops are shared tuples; treat them as read-only.
     """
-    return [
-        PathHop(host=None, ip=None, responds=False, cumulative_ms=0.0)
-        for _ in _MODELS[architecture].elements
-    ]
+    return _INTERIOR_HOPS[architecture]

@@ -13,8 +13,8 @@ sees identical movement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.clock import SECONDS_PER_DAY
 from repro.core.rng import stable_fraction, stable_index
@@ -36,10 +36,28 @@ class MobilityModel:
     travel_epoch_s: float = 4 * SECONDS_PER_DAY
     #: Radius of everyday wander around the anchor city, km.
     wander_km: float = 12.0
+    #: Memo of anchor picks per travel epoch and positions per (epoch,
+    #: hour).  Both are pure functions of quantised time, and every probe
+    #: in an experiment re-asks within one hour, so recomputation is the
+    #: campaign's hot path for no new information.
+    _anchor_memo: Dict[int, City] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _location_memo: Dict[Tuple[int, int], GeoPoint] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def anchor_city(self, now: float) -> City:
         """The city the device is anchored to at ``now``."""
         epoch = int(now // self.travel_epoch_s)
+        cached = self._anchor_memo.get(epoch)
+        if cached is not None:
+            return cached
+        anchor = self._anchor_city_at(epoch)
+        self._anchor_memo[epoch] = anchor
+        return anchor
+
+    def _anchor_city_at(self, epoch: int) -> City:
         draw = stable_fraction(self.seed, "travel", self.device_key, epoch)
         if draw >= self.travel_probability or len(self.candidate_cities) <= 1:
             return self.home_city
@@ -56,15 +74,22 @@ class MobilityModel:
         consecutive experiments from a stationary user stay within the
         paper's 10 km clustering radius.
         """
-        anchor = self.anchor_city(now)
+        epoch = int(now // self.travel_epoch_s)
         hour = int(now // 3600.0)
+        key = (epoch, hour)
+        cached = self._location_memo.get(key)
+        if cached is not None:
+            return cached
+        anchor = self.anchor_city(now)
         north = (
             stable_fraction(self.seed, "wander-n", self.device_key, hour) - 0.5
         ) * 2.0 * self.wander_km
         east = (
             stable_fraction(self.seed, "wander-e", self.device_key, hour) - 0.5
         ) * 2.0 * self.wander_km
-        return anchor.location.offset_km(north, east)
+        point = anchor.location.offset_km(north, east)
+        self._location_memo[key] = point
+        return point
 
     def is_travelling(self, now: float) -> bool:
         """True when the device is anchored away from home."""

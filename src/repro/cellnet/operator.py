@@ -116,6 +116,8 @@ class CellularOperator:
         self._egress_ranking_memo: dict = {}
         #: Memo of the resolver site nearest each egress point.
         self._site_for_egress: dict = {}
+        #: Memo of deployment client-address objects by their IP.
+        self._client_address_memo: dict = {}
         #: Lazily collected prefixes across the operator's sibling ASes.
         self._owned_prefixes = None
 
@@ -148,6 +150,24 @@ class CellularOperator:
             egress_index=egress_index,
             client_dns_ip=self._client_dns_ip(device, now),
             at=now,
+        )
+
+    def attachment_epoch_key(self, device: MobileDevice, now: float) -> tuple:
+        """The epochs an attachment is a pure function of.
+
+        Two instants with equal keys yield structurally identical
+        attachments (up to the informational ``at`` stamp): every input
+        to :meth:`attachment` — egress pick, NAT lease, DHCP resolver,
+        and the mobility anchor feeding the egress ranking — is keyed by
+        one of these quantised epochs.  Probe sessions use the key to
+        reuse one attachment across a whole experiment instead of
+        re-deriving it per probe.
+        """
+        return (
+            int(now // self.churn.egress_epoch_s),
+            int(now // self.churn.ip_epoch_s),
+            int(now // self.churn.dhcp_epoch_s),
+            int(now // device.mobility.travel_epoch_s),
         )
 
     def _egress_index(self, device: MobileDevice, now: float) -> int:
@@ -227,11 +247,19 @@ class CellularOperator:
         stream: RandomStream,
         technology: Optional[RadioTechnology] = None,
         pay_promotion: bool = False,
+        attachment: Optional[Attachment] = None,
     ) -> ProbeOrigin:
-        """Build the origin for one probe, sampling radio + core latency."""
+        """Build the origin for one probe, sampling radio + core latency.
+
+        ``attachment`` lets callers that already derived the device's
+        attachment for this instant (probe sessions cache it per epoch
+        key) skip the re-derivation; it must equal what
+        :meth:`attachment` would return for ``(device, now)``.
+        """
         if technology is None:
             technology = device.active_technology or self.radio_profile.draw(stream)
-        attachment = self.attachment(device, now)
+        if attachment is None:
+            attachment = self.attachment(device, now)
         architecture = CoreArchitecture.for_technology(technology)
         access = self.radio_profile.access_rtt_ms(technology, stream)
         access += core_rtt_ms(architecture, stream)
@@ -294,11 +322,19 @@ class CellularOperator:
         )
 
     def _client_address_of(self, attachment: Attachment):
+        cached = self._client_address_memo.get(attachment.client_dns_ip)
+        if cached is not None:
+            return cached
+        found = None
         for address in self.deployment.client_addresses:
             if address.ip == attachment.client_dns_ip:
-                return address
-        # DHCP epoch rolled between attachment and use; fall back to first.
-        return self.deployment.client_addresses[0]
+                found = address
+                break
+        if found is None:
+            # DHCP epoch rolled between attachment and use; fall back to first.
+            found = self.deployment.client_addresses[0]
+        self._client_address_memo[attachment.client_dns_ip] = found
+        return found
 
     def _tier_gap_ms(
         self, site, external: ExternalResolver, stream: RandomStream

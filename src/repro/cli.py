@@ -33,6 +33,7 @@ def _study_from_args(args) -> CellularDNSStudy:
         duration_days=args.days,
         interval_hours=args.interval_hours,
         workers=getattr(args, "workers", 0),
+        executor=getattr(args, "executor", "auto"),
     )
     return CellularDNSStudy(config)
 
@@ -105,20 +106,32 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.measure.bench import BenchScale, format_report, run_benchmarks
-
-    scale = BenchScale(
-        seed=args.seed,
-        device_scale=args.scale,
-        duration_days=args.days,
-        interval_hours=args.interval_hours,
-        workers=args.workers,
+    from repro.measure.bench import (
+        BENCH_OUTPUT, BenchScale, format_report, run_benchmarks, smoke_scale,
     )
-    report = run_benchmarks(scale, output_path=args.output)
+
+    if args.smoke:
+        scale = smoke_scale(seed=args.seed, workers=args.workers)
+        output = args.output  # None skips writing: smoke must not
+        # overwrite the tracked full-scale report.
+    else:
+        scale = BenchScale(
+            seed=args.seed,
+            device_scale=args.scale,
+            duration_days=args.days,
+            interval_hours=args.interval_hours,
+            workers=args.workers,
+        )
+        output = BENCH_OUTPUT if args.output is None else args.output
+    report = run_benchmarks(scale, output_path=output)
     print(format_report(report))
-    if args.output:
-        print(f"Wrote {args.output}")
-    return 0 if report["campaign"]["hash_match"] else 1
+    if output:
+        print(f"Wrote {output}")
+    if not report["campaign"]["hash_match"]:
+        print("FAIL: parallel dataset hash diverged from serial",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_export(args) -> int:
@@ -143,7 +156,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", "-o", default="campaign.jsonl")
     run.add_argument(
         "--workers", type=int, default=0,
-        help="carrier-shard worker processes (0 = serial; output identical)",
+        help="parallel pool size when the parallel path runs (0 = auto)",
+    )
+    run.add_argument(
+        "--executor", choices=["auto", "serial", "parallel"], default="auto",
+        help="execution strategy; auto never picks parallel on one core "
+             "(output identical either way)",
     )
     run.set_defaults(handler=_cmd_run)
 
@@ -181,8 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel shard workers (0 = min(carriers, cpus))",
     )
     bench.add_argument(
-        "--output", "-o", default="BENCH_campaign.json",
-        help="benchmark report path (empty string skips writing)",
+        "--smoke", action="store_true",
+        help="~30s determinism smoke: tiny campaign, asserts the serial "
+             "and parallel dataset hashes match; skips writing the report "
+             "unless --output is given",
+    )
+    bench.add_argument(
+        "--output", "-o", default=None,
+        help="benchmark report path (empty string skips writing; "
+             "default BENCH_campaign.json, or none under --smoke)",
     )
     bench.set_defaults(handler=_cmd_bench)
     return parser

@@ -61,6 +61,24 @@ class TracerouteResult:
         return [hop.ip for hop in self.hops if hop.responded and hop.ip]
 
 
+@dataclass(slots=True)
+class RouteView:
+    """Deterministic routing facts between one origin AS and one target.
+
+    Everything here is a pure function of the (static) topology plus the
+    origin's AS — no latency samples, no stream draws — so a probe
+    session may compute it once per target and reuse it across the
+    ping → traceroute → HTTP sequence of one experiment.  Passing a view
+    back into the probe primitives skips the host lookup and firewall
+    evaluation but changes no observable result.
+    """
+
+    destination: Optional[Host]
+    same_operator: bool = False
+    admits: bool = False
+    answers_ping: bool = False
+
+
 class VirtualInternet:
     """Registry of ASes and hosts, plus routing/timing semantics."""
 
@@ -225,16 +243,50 @@ class VirtualInternet:
             origin.asys.asn, destination.asys.asn, destination.externally_open
         )
 
-    # -- timing ---------------------------------------------------------------
+    def route_view(self, origin: ProbeOrigin, destination_ip: str) -> RouteView:
+        """Precompute the deterministic routing facts for one target.
 
-    def _one_way_budget_ms(
-        self, origin: ProbeOrigin, destination: Host, stream: RandomStream
-    ) -> float:
-        """RTT between origin and destination, before destination stack time."""
+        The verdicts mirror, bit for bit, the checks
+        :meth:`measure_rtt`/:meth:`flow_rtt` perform inline; only
+        ``origin.asys`` participates, so one view is valid for every
+        probe a device issues during an experiment (topology is static
+        over a campaign).
+        """
+        destination = self._hosts.get(destination_ip)
+        if destination is None:
+            return RouteView(destination=None)
         same_operator = (
             destination.asys.operator_key is not None
             and destination.asys.operator_key == origin.asys.operator_key
         )
+        admits = self.admits_flow(origin, destination)
+        answers_ping = (
+            destination.responds_to_ping
+            and destination.ping_policy.answers(same_operator)
+            and admits
+        )
+        return RouteView(
+            destination=destination,
+            same_operator=same_operator,
+            admits=admits,
+            answers_ping=answers_ping,
+        )
+
+    # -- timing ---------------------------------------------------------------
+
+    def _one_way_budget_ms(
+        self,
+        origin: ProbeOrigin,
+        destination: Host,
+        stream: RandomStream,
+        same_operator: Optional[bool] = None,
+    ) -> float:
+        """RTT between origin and destination, before destination stack time."""
+        if same_operator is None:
+            same_operator = (
+                destination.asys.operator_key is not None
+                and destination.asys.operator_key == origin.asys.operator_key
+            )
         if same_operator:
             # Interior path: radio/access plus tunnelled core distance.
             interior = self.intra_model.rtt_ms(
@@ -251,38 +303,42 @@ class VirtualInternet:
         )
 
     def flow_rtt(
-        self, origin: ProbeOrigin, destination_ip: str, stream: RandomStream
+        self,
+        origin: ProbeOrigin,
+        destination_ip: str,
+        stream: RandomStream,
+        route: Optional[RouteView] = None,
     ) -> Optional[float]:
         """RTT for a transport flow (DNS/HTTP); None when unreachable."""
-        destination = self._hosts.get(destination_ip)
-        if destination is None:
-            return None
-        if not self.admits_flow(origin, destination):
+        if route is None:
+            route = self.route_view(origin, destination_ip)
+        destination = route.destination
+        if destination is None or not route.admits:
             return None
         return (
-            self._one_way_budget_ms(origin, destination, stream)
+            self._one_way_budget_ms(
+                origin, destination, stream, same_operator=route.same_operator
+            )
             + destination.stack_latency_ms
         )
 
     def measure_rtt(
-        self, origin: ProbeOrigin, destination_ip: str, stream: RandomStream
+        self,
+        origin: ProbeOrigin,
+        destination_ip: str,
+        stream: RandomStream,
+        route: Optional[RouteView] = None,
     ) -> Optional[float]:
         """Ping RTT; None for firewalled, absent or silent destinations."""
-        destination = self._hosts.get(destination_ip)
-        if destination is None:
-            return None
-        if not destination.responds_to_ping:
-            return None
-        same_operator = (
-            destination.asys.operator_key is not None
-            and destination.asys.operator_key == origin.asys.operator_key
-        )
-        if not destination.ping_policy.answers(same_operator):
-            return None
-        if not self.admits_flow(origin, destination):
+        if route is None:
+            route = self.route_view(origin, destination_ip)
+        destination = route.destination
+        if destination is None or not route.answers_ping:
             return None
         return (
-            self._one_way_budget_ms(origin, destination, stream)
+            self._one_way_budget_ms(
+                origin, destination, stream, same_operator=route.same_operator
+            )
             + destination.stack_latency_ms
         )
 
@@ -314,6 +370,7 @@ class VirtualInternet:
         destination_ip: str,
         stream: RandomStream,
         max_ttl: int = 30,
+        route: Optional[RouteView] = None,
     ) -> TracerouteResult:
         """Synthesise a traceroute with the paper's observed semantics.
 
@@ -326,7 +383,9 @@ class VirtualInternet:
           operator's ingress router (Table 4: zero traceroutes complete).
         """
         result = TracerouteResult(destination_ip=destination_ip)
-        destination = self._hosts.get(destination_ip)
+        if route is None:
+            route = self.route_view(origin, destination_ip)
+        destination = route.destination
         ttl = 0
 
         def add(ip: Optional[str], rtt: Optional[float]) -> None:
@@ -384,12 +443,12 @@ class VirtualInternet:
                 add(None, None)
             return result
 
-        if not self.admits_flow(origin, destination):
+        if not route.admits:
             for _ in range(3):
                 add(None, None)
             return result
 
-        final_rtt = self.measure_rtt(origin, destination_ip, stream)
+        final_rtt = self.measure_rtt(origin, destination_ip, stream, route=route)
         if final_rtt is None and destination.responds_to_ping is False:
             add(None, None)
             return result

@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random
+from functools import lru_cache
 from typing import Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -24,6 +25,20 @@ def derive_seed(master_seed: int, name: str) -> int:
     """Derive a 64-bit child seed from ``master_seed`` and a stream name."""
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+@lru_cache(maxsize=1 << 18)
+def _derived_from_parts(master_seed: int, parts: tuple) -> int:
+    """Memoised ``derive_seed`` over raw name parts.
+
+    ``stable_index``/``stable_fraction`` are keyed by epoch-quantised
+    inputs (device, hour, lease epoch, ...), so the same parts recur for
+    every probe inside an epoch; hashing the tuple beats re-joining the
+    name string and re-running SHA-256 each time.  Purity makes the memo
+    invisible to determinism.
+    """
+    name = ":".join(str(part) for part in parts)
+    return derive_seed(master_seed, name)
 
 
 class RandomStream:
@@ -164,11 +179,9 @@ def stable_index(master_seed: int, *parts: object, modulo: int) -> int:
     """
     if modulo <= 0:
         raise ValueError("modulo must be positive")
-    name = ":".join(str(part) for part in parts)
-    return derive_seed(master_seed, name) % modulo
+    return _derived_from_parts(master_seed, parts) % modulo
 
 
 def stable_fraction(master_seed: int, *parts: object) -> float:
     """Deterministic pseudo-random float in [0, 1), pure in its inputs."""
-    name = ":".join(str(part) for part in parts)
-    return derive_seed(master_seed, name) / float(1 << 64)
+    return _derived_from_parts(master_seed, parts) / float(1 << 64)

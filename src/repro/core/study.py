@@ -48,7 +48,12 @@ from repro.analysis.similarity import SimilarityStudy, similarity_study
 from repro.analysis.stats import ECDF
 from repro.cdn.catalog import MEASURED_DOMAINS, domain_names
 from repro.core.world import World, WorldConfig, build_world
-from repro.measure.campaign import Campaign, CampaignConfig, ParallelCampaign
+from repro.measure.campaign import (
+    Campaign,
+    CampaignConfig,
+    ParallelCampaign,
+    select_executor,
+)
 from repro.measure.records import Dataset
 
 US_CARRIERS = ("att", "sprint", "tmobile", "verizon")
@@ -70,10 +75,14 @@ class StudyConfig:
     duration_days: float = 120.0
     interval_hours: float = 12.0
     duty_cycle: float = 0.9
-    #: Campaign worker processes: 0 runs the serial loop, N > 0 shards
-    #: the campaign per carrier across N processes (same output either
-    #: way — see repro.measure.campaign).
+    #: Campaign worker processes: 0 lets the executor decide, N > 0
+    #: sizes the parallel pool when the parallel path runs (same output
+    #: either way — see repro.measure.campaign).
     workers: int = 0
+    #: Execution strategy: ``auto`` (serial unless multiple cores *and*
+    #: multiple carrier shards are available), ``serial`` or
+    #: ``parallel``.  Output is bit-identical across all three.
+    executor: str = "auto"
     world: WorldConfig = field(default_factory=WorldConfig)
 
     @classmethod
@@ -112,11 +121,15 @@ class CellularDNSStudy:
         world_config = self.config.world
         world_config.seed = self.config.seed
         self.world: World = build_world(world_config)
-        if self.config.workers:
+        #: The resolved execution strategy ("serial" or "parallel").
+        self.executor: str = select_executor(
+            self.config.executor, shard_count=len(self.world.operators)
+        )
+        if self.executor == "parallel":
             self.campaign: Campaign = ParallelCampaign(
                 self.world,
                 self.config.campaign_config(),
-                workers=self.config.workers,
+                workers=self.config.workers or None,
             )
         else:
             self.campaign = Campaign(self.world, self.config.campaign_config())

@@ -8,7 +8,7 @@ zone plumbing.  Wire encoding lives in :mod:`repro.dns.wire`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import List, Optional, Sequence
 
@@ -110,8 +110,21 @@ class ResourceRecord:
             object.__setattr__(self, "data", normalize_name(self.data))
 
     def with_ttl(self, ttl: int) -> "ResourceRecord":
-        """Copy of the record with a different TTL (cache aging)."""
-        return replace(self, ttl=ttl)
+        """Copy of the record with a different TTL (cache aging).
+
+        Built directly rather than via :func:`dataclasses.replace`:
+        ``name``/``data`` are already normalised on ``self``, so the
+        clone can skip ``__post_init__`` (this runs once per cache hit
+        on the resolution hot path).
+        """
+        if ttl < 0:
+            raise DNSError(f"negative TTL on {self.name}")
+        clone = object.__new__(ResourceRecord)
+        object.__setattr__(clone, "name", self.name)
+        object.__setattr__(clone, "rtype", self.rtype)
+        object.__setattr__(clone, "ttl", ttl)
+        object.__setattr__(clone, "data", self.data)
+        return clone
 
     def __str__(self) -> str:
         return f"{self.name or '.'} {self.ttl} {self.rtype.name} {self.data}"

@@ -86,18 +86,27 @@ class RecursiveEngine:
         self.background_interval_s = background_interval_s
         #: Lifetime of cached negative answers (RFC 2308 stand-in).
         self.negative_ttl_s = 60
+        #: The resolver's probe origin is constant (resolvers do not
+        #: move); build it once instead of per upstream query.
+        self._upstream_origin: Optional[ProbeOrigin] = None
+        #: Routing facts per authority address (static topology).
+        self._route_memo: dict = {}
 
     # -- internals -------------------------------------------------------
 
     def _origin(self, stream: RandomStream) -> ProbeOrigin:
         """The resolver's own probe origin for upstream queries."""
-        return ProbeOrigin(
-            source_ip=self.host.ip,
-            asys=self.host.asys,
-            location=self.host.location,
-            access_rtt_ms=0.1,
-            origin_id=f"resolver:{self.host.ip}",
-        )
+        origin = self._upstream_origin
+        if origin is None:
+            origin = ProbeOrigin(
+                source_ip=self.host.ip,
+                asys=self.host.asys,
+                location=self.host.location,
+                access_rtt_ms=0.1,
+                origin_id=f"resolver:{self.host.ip}",
+            )
+            self._upstream_origin = origin
+        return origin
 
     def _query_authority(
         self,
@@ -109,7 +118,13 @@ class RecursiveEngine:
         client_subnet: Optional[str] = None,
     ) -> tuple:
         """Send one query upstream; returns (response, rtt_ms)."""
-        rtt = self.internet.flow_rtt(self._origin(stream), authority.host.ip, stream)
+        origin = self._origin(stream)
+        ip = authority.host.ip
+        route = self._route_memo.get(ip)
+        if route is None:
+            route = self.internet.route_view(origin, ip)
+            self._route_memo[ip] = route
+        rtt = self.internet.flow_rtt(origin, ip, stream, route=route)
         if rtt is None:
             raise ResolutionError(
                 f"authority {authority.host.ip} unreachable from {self.host.ip}"

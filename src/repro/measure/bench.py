@@ -43,12 +43,28 @@ class BenchScale:
     workers: int = 0  # 0 = min(carriers, cpus)
 
 
+def smoke_scale(seed: int = 2014, workers: int = 0) -> BenchScale:
+    """A ~30s scale for ``repro-study bench --smoke`` / ``make bench-smoke``."""
+    return BenchScale(
+        seed=seed,
+        device_scale=0.05,
+        duration_days=14.0,
+        interval_hours=12.0,
+        workers=workers,
+    )
+
+
 # -- campaign throughput ------------------------------------------------------
 
 
 def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     """Serial vs parallel campaign throughput, with the identity check."""
-    from repro.measure.campaign import Campaign, CampaignConfig, ParallelCampaign
+    from repro.measure.campaign import (
+        Campaign,
+        CampaignConfig,
+        ParallelCampaign,
+        select_executor,
+    )
 
     scale = scale or BenchScale()
     world_config = WorldConfig(seed=scale.seed)
@@ -83,6 +99,10 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
         "devices": len(serial_campaign.devices),
         "experiments": experiments,
         "workers": workers,
+        # What an `--executor auto` run would pick on this box.
+        "executor": select_executor(
+            "auto", shard_count=len(serial_campaign.world.operators)
+        ),
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "serial_exp_per_s": round(experiments / serial_s, 1),
@@ -91,6 +111,100 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
         "dataset_hash": serial_hash,
         "hash_match": serial_hash == parallel_hash,
     }
+
+
+# -- per-stage experiment breakdown -------------------------------------------
+
+#: Probe-session method -> reported stage.  ``identify_resolver`` is
+#: deliberately absent: it delegates to ``dns_local``/``dns_public``,
+#: which are timed where they run, so wrapping it would double-count.
+_STAGE_OF_METHOD: Dict[str, str] = {
+    "dns_local": "dns",
+    "dns_public": "dns",
+    "bootstrap_ping": "ping",
+    "ping_ip": "ping",
+    "ping_configured_resolver": "ping",
+    "ping_public_resolver": "ping",
+    "traceroute_ip": "traceroute",
+    "http_get": "http",
+}
+
+STAGES = ("dns", "ping", "traceroute", "http", "serialize")
+
+
+def _timed_session_class(totals: Dict[str, float], counts: Dict[str, int]):
+    """A DeviceProbeSession subclass that meters each probe method."""
+    from repro.measure.probes import DeviceProbeSession
+
+    class TimedProbeSession(DeviceProbeSession):
+        pass
+
+    def _wrap(name: str, stage: str):
+        original = getattr(DeviceProbeSession, name)
+
+        def timed(self, *args, **kwargs):
+            started = time.perf_counter()
+            result = original(self, *args, **kwargs)
+            totals[stage] += time.perf_counter() - started
+            counts[stage] += 1
+            return result
+
+        timed.__name__ = name
+        setattr(TimedProbeSession, name, timed)
+
+    for name, stage in _STAGE_OF_METHOD.items():
+        _wrap(name, stage)
+    return TimedProbeSession
+
+
+def bench_stage_breakdown(
+    scale: Optional[BenchScale] = None,
+) -> Dict[str, object]:
+    """Wall time per experiment stage: dns/ping/traceroute/http/serialize.
+
+    Runs a (small, serial) campaign with an instrumented probe session,
+    then times JSONL emission of the produced records.  The instrumented
+    run consumes exactly the streams the plain run would — the wrappers
+    only read the clock — so the campaign it measures is the campaign
+    the study runs.
+    """
+    from repro.measure.campaign import Campaign, CampaignConfig
+
+    scale = scale or smoke_scale()
+    totals: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+    counts: Dict[str, int] = {stage: 0 for stage in STAGES}
+    campaign = Campaign(
+        build_world(WorldConfig(seed=scale.seed)),
+        CampaignConfig(
+            device_scale=scale.device_scale,
+            duration_days=scale.duration_days,
+            interval_hours=scale.interval_hours,
+        ),
+    )
+    campaign.runner.session_class = _timed_session_class(totals, counts)
+    started = time.perf_counter()
+    dataset = campaign.run()
+    total_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for record in dataset:
+        record.to_json_line()
+    totals["serialize"] = time.perf_counter() - started
+    counts["serialize"] = len(dataset)
+
+    probed_s = sum(totals.values())
+    report: Dict[str, object] = {
+        "experiments": len(dataset),
+        "total_s": round(total_s + totals["serialize"], 3),
+        "other_s": round(max(total_s - (probed_s - totals["serialize"]), 0.0), 3),
+    }
+    for stage in STAGES:
+        report[f"{stage}_s"] = round(totals[stage], 3)
+        report[f"{stage}_calls"] = counts[stage]
+        report[f"{stage}_us_per_call"] = (
+            round(totals[stage] / counts[stage] * 1e6, 1) if counts[stage] else 0.0
+        )
+    return report
 
 
 # -- substrate microbenchmarks ------------------------------------------------
@@ -190,6 +304,7 @@ def run_benchmarks(
     report: Dict[str, object] = {
         "cpu_count": os.cpu_count(),
         "campaign": bench_campaign(scale),
+        "stages": bench_stage_breakdown(),
         "asn_lookup": bench_asn_lookup(),
         "primitives": bench_primitives(),
     }
@@ -203,6 +318,7 @@ def run_benchmarks(
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable summary of a benchmark report."""
     campaign = report["campaign"]
+    stages = report.get("stages")
     asn = report["asn_lookup"]
     primitives = report["primitives"]
     lines = [
@@ -213,7 +329,19 @@ def format_report(report: Dict[str, object]) -> str:
             f"parallel(x{campaign['workers']}) "
             f"{campaign['parallel_exp_per_s']}/s | "
             f"speedup {campaign['parallel_speedup']}x | "
+            f"auto executor: {campaign['executor']} | "
             f"hash match: {campaign['hash_match']}"
+        ),
+        (
+            "stages: "
+            + " | ".join(
+                f"{stage} {stages[f'{stage}_s']}s "
+                f"({stages[f'{stage}_us_per_call']}us/call)"
+                for stage in STAGES
+            )
+            + f" | other {stages['other_s']}s"
+            if stages
+            else "stages: skipped"
         ),
         (
             f"asn_of: indexed {asn['indexed_per_s']}/s vs "

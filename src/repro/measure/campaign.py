@@ -47,6 +47,38 @@ PAPER_CLIENT_COUNTS: Dict[str, int] = {
     "lgu": 4,
 }
 
+#: Valid ``--executor`` choices.
+EXECUTOR_CHOICES = ("auto", "serial", "parallel")
+
+
+def select_executor(
+    requested: str = "auto",
+    cpu_count: Optional[int] = None,
+    shard_count: Optional[int] = None,
+) -> str:
+    """Resolve an executor request to ``"serial"`` or ``"parallel"``.
+
+    ``auto`` picks the parallel sharded runner only when it can win:
+    at least two cores to run workers on *and* at least two carrier
+    shards to spread across them.  On a single-core box the spawn +
+    world-rebuild overhead makes the parallel path strictly slower
+    (the benchmark's ``parallel_speedup`` < 1), so ``auto`` never
+    chooses it there.  Explicit requests are honoured as stated —
+    the benchmark forces ``parallel`` to assert hash identity even
+    where ``auto`` would not use it.
+    """
+    if requested not in EXECUTOR_CHOICES:
+        raise ConfigError(
+            f"unknown executor {requested!r}; expected one of {EXECUTOR_CHOICES}"
+        )
+    if requested != "auto":
+        return requested
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    shards = shard_count if shard_count is not None else len(PAPER_CLIENT_COUNTS)
+    if cores < 2 or shards < 2:
+        return "serial"
+    return "parallel"
+
 
 @dataclass
 class CampaignConfig:

@@ -55,6 +55,10 @@ class ExperimentOptions:
 class ExperimentRunner:
     """Runs the experiment script for devices in a world."""
 
+    #: Session factory; the stage-timing benchmark substitutes an
+    #: instrumented subclass of :class:`DeviceProbeSession` here.
+    session_class = DeviceProbeSession
+
     def __init__(self, world: World, options: Optional[ExperimentOptions] = None):
         self.world = world
         self.options = options or ExperimentOptions()
@@ -66,7 +70,7 @@ class ExperimentRunner:
         """Execute one experiment and return its record."""
         options = self.options
         stream = self._rng.stream("experiment", device.device_id, sequence)
-        session = DeviceProbeSession.begin(self.world, device, started_at, stream)
+        session = self.session_class.begin(self.world, device, started_at, stream)
         now = started_at
         location = device.coarse_location(started_at)
         record = ExperimentRecord(

@@ -6,16 +6,25 @@ issues the probes of Sec 3.2 (DNS resolutions through the local and
 public resolvers, pings, traceroutes, HTTP GETs, and the resolver
 identification trick).  Every probe samples fresh radio latency, because
 each real packet did.
+
+The session also owns the experiment's *derivation caches*: attachment
+(per churn-epoch key), routing facts per target address, and replica
+ownership per replica address.  Everything cached is a pure function of
+static topology or epoch-quantised time — never of a random draw — and
+each cache lives and dies with one experiment, so a session-cached run
+is bit-identical to an uncached one (asserted via
+``Dataset.content_hash`` in the determinism tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.cellnet.device import MobileDevice
 from repro.cellnet.operator import Attachment, CellularOperator
 from repro.cellnet.radio import RadioTechnology
+from repro.core.internet import RouteView
 from repro.core.node import ProbeOrigin
 from repro.core.rng import RandomStream
 from repro.core.world import WHOAMI_ZONE, World
@@ -39,6 +48,15 @@ class DeviceProbeSession:
     technology: RadioTechnology
     attachment: Attachment
     stream: RandomStream
+    #: Attachment per churn-epoch key: probes inside one experiment
+    #: almost always share every epoch, so the derivation runs once.
+    _attachment_memo: Dict[tuple, Attachment] = field(
+        default_factory=dict, repr=False
+    )
+    #: Routing facts per target IP (origin AS is fixed for the session).
+    _route_memo: Dict[str, RouteView] = field(default_factory=dict, repr=False)
+    #: Replica-server lookup per replica IP (ping → HTTP share it).
+    _replica_memo: Dict[str, object] = field(default_factory=dict, repr=False)
 
     @classmethod
     def begin(
@@ -52,7 +70,7 @@ class DeviceProbeSession:
         operator = world.operators[device.carrier_key]
         technology = operator.radio_profile.draw(stream)
         device.active_technology = technology
-        return cls(
+        session = cls(
             world=world,
             operator=operator,
             device=device,
@@ -60,6 +78,43 @@ class DeviceProbeSession:
             attachment=operator.attachment(device, now),
             stream=stream,
         )
+        session._attachment_memo[
+            operator.attachment_epoch_key(device, now)
+        ] = session.attachment
+        return session
+
+    # -- session caches ----------------------------------------------------
+
+    def attachment_at(self, now: float) -> Attachment:
+        """The device's attachment at ``now``, cached per epoch key.
+
+        A cache hit returns the attachment derived earlier in this
+        experiment; its ``at`` stamp keeps the first derivation time,
+        which no probe consumes.
+        """
+        key = self.operator.attachment_epoch_key(self.device, now)
+        cached = self._attachment_memo.get(key)
+        if cached is None:
+            cached = self.operator.attachment(self.device, now)
+            self._attachment_memo[key] = cached
+        return cached
+
+    def route_to(self, origin: ProbeOrigin, ip: str) -> RouteView:
+        """Routing facts for one target, computed once per experiment."""
+        route = self._route_memo.get(ip)
+        if route is None:
+            route = self.world.internet.route_view(origin, ip)
+            self._route_memo[ip] = route
+        return route
+
+    def _replica_at(self, replica_ip: str):
+        """The replica server owning an address, cached per session."""
+        if replica_ip in self._replica_memo:
+            return self._replica_memo[replica_ip]
+        provider = self.world.replica_owner(replica_ip)
+        replica = provider.replica_by_ip(replica_ip) if provider else None
+        self._replica_memo[replica_ip] = replica
+        return replica
 
     # -- origins -----------------------------------------------------------
 
@@ -80,6 +135,7 @@ class DeviceProbeSession:
             self.stream,
             technology=technology,
             pay_promotion=pay_promotion,
+            attachment=self.attachment_at(now),
         )
 
     # -- probes ----------------------------------------------------------------
@@ -88,7 +144,9 @@ class DeviceProbeSession:
         """The radio wake-up ping that opens every experiment (Sec 3.2)."""
         origin = self.origin(now, pay_promotion=True)
         target = self.world.backbone.routers[0]
-        rtt = self.world.internet.measure_rtt(origin, target.ip, self.stream)
+        rtt = self.world.internet.measure_rtt(
+            origin, target.ip, self.stream, route=self.route_to(origin, target.ip)
+        )
         return PingRecord(target_ip=target.ip, target_kind="bootstrap", rtt_ms=rtt)
 
     def dns_local(self, qname: str, now: float, attempt: int = 1) -> ResolutionRecord:
@@ -148,7 +206,9 @@ class DeviceProbeSession:
     def ping_ip(self, ip: str, kind: str, now: float) -> PingRecord:
         """Ping an arbitrary address from the device."""
         origin = self.origin(now)
-        rtt = self.world.internet.measure_rtt(origin, ip, self.stream)
+        rtt = self.world.internet.measure_rtt(
+            origin, ip, self.stream, route=self.route_to(origin, ip)
+        )
         return PingRecord(target_ip=ip, target_kind=kind, rtt_ms=rtt)
 
     def ping_configured_resolver(self, now: float) -> PingRecord:
@@ -181,7 +241,9 @@ class DeviceProbeSession:
     def traceroute_ip(self, ip: str, kind: str, now: float) -> TracerouteRecord:
         """Traceroute to an arbitrary address from the device."""
         origin = self.origin(now)
-        result = self.world.internet.traceroute(origin, ip, self.stream)
+        result = self.world.internet.traceroute(
+            origin, ip, self.stream, route=self.route_to(origin, ip)
+        )
         return TracerouteRecord(
             target_ip=ip,
             target_kind=kind,
@@ -194,15 +256,20 @@ class DeviceProbeSession:
     ) -> HttpRecord:
         """HTTP GET (TTFB) against one replica address."""
         origin = self.origin(now)
-        provider = self.world.replica_owner(replica_ip)
-        if provider is None:
+        replica = self._replica_at(replica_ip)
+        if replica is None:
             return HttpRecord(
                 replica_ip=replica_ip, domain=domain, resolver_kind=resolver_kind
             )
-        replica = provider.replica_by_ip(replica_ip)
         from repro.cdn.replica import http_ttfb_ms
 
-        ttfb = http_ttfb_ms(self.world.internet, origin, replica, self.stream)
+        ttfb = http_ttfb_ms(
+            self.world.internet,
+            origin,
+            replica,
+            self.stream,
+            route=self.route_to(origin, replica_ip),
+        )
         return HttpRecord(
             replica_ip=replica_ip,
             domain=domain,

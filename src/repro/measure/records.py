@@ -9,12 +9,21 @@ stayed inside the carriers during the original study.
 Records serialise to JSON lines so campaign output can be archived and
 re-analysed without re-simulation (the paper released its dataset; so do
 we).
+
+Serialisation is the archive hot path, so every record class is slotted
+and emits its JSON line through a precomputed per-class emitter instead
+of the recursive :func:`dataclasses.asdict` walk.  The old path survives
+as :meth:`ExperimentRecord.to_json_line_reference` — the executable
+specification the fast emitter is property-tested against, byte for
+byte.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import re
+import sys
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO
 
@@ -27,7 +36,67 @@ RESOLVER_OPENDNS = "opendns"
 RESOLVER_KINDS = (RESOLVER_LOCAL, RESOLVER_GOOGLE, RESOLVER_OPENDNS)
 
 
-@dataclass
+# -- fast JSON emission --------------------------------------------------------
+#
+# ``json.dumps(asdict(record), separators=(",", ":"))`` spends most of its
+# time deep-copying the record into dicts.  The helpers below emit the
+# same bytes directly from the (slotted) records: compact separators,
+# ``ensure_ascii`` escapes for exotic strings, ``NaN``/``Infinity``
+# spellings for non-finite floats, ``repr`` (shortest round-trip) for
+# everything numeric — exactly what the stdlib encoder produces.
+
+#: Strings of printable ASCII without '"' or '\\' need no escaping.
+#: ``\Z``, not ``$``: the latter also matches before a trailing newline.
+_SAFE_STR = re.compile(r'[ !#-\[\]-~]*\Z').match
+
+_INF = float("inf")
+
+
+def _qstr(value: str) -> str:
+    """A JSON string literal, byte-identical to ``json.dumps(value)``."""
+    if _SAFE_STR(value):
+        return f'"{value}"'
+    return json.dumps(value)
+
+
+def _num(value) -> str:
+    """A JSON number (or null), byte-identical to the stdlib encoder."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if value != value:
+        return "NaN"
+    if value == _INF:
+        return "Infinity"
+    if value == -_INF:
+        return "-Infinity"
+    return repr(value)
+
+
+def _scalar(value) -> str:
+    """Any scalar a record may carry (hops mix ints, strings, floats)."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    kind = type(value)
+    if kind is str:
+        return _qstr(value)
+    if kind is int or kind is float:
+        return _num(value)
+    return json.dumps(value)
+
+
+def _str_list(values: List[str]) -> str:
+    return "[" + ",".join(_qstr(value) for value in values) + "]"
+
+
+@dataclass(slots=True)
 class ResolutionRecord:
     """One DNS resolution as observed by the device."""
 
@@ -40,8 +109,21 @@ class ResolutionRecord:
     attempt: int = 1
     rcode: str = "NOERROR"
 
+    def to_json_fragment(self) -> str:
+        """This record as a JSON object, stdlib-identical."""
+        return (
+            '{"domain":' + _qstr(self.domain)
+            + ',"resolver_kind":' + _qstr(self.resolver_kind)
+            + ',"resolution_ms":' + _num(self.resolution_ms)
+            + ',"addresses":' + _str_list(self.addresses)
+            + ',"cname_chain":' + _str_list(self.cname_chain)
+            + ',"attempt":' + _num(self.attempt)
+            + ',"rcode":' + _qstr(self.rcode)
+            + "}"
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class PingRecord:
     """One ping probe (rtt_ms is None when nothing answered)."""
 
@@ -54,8 +136,17 @@ class PingRecord:
         """Whether the target answered."""
         return self.rtt_ms is not None
 
+    def to_json_fragment(self) -> str:
+        """This record as a JSON object, stdlib-identical."""
+        return (
+            '{"target_ip":' + _qstr(self.target_ip)
+            + ',"target_kind":' + _qstr(self.target_kind)
+            + ',"rtt_ms":' + _num(self.rtt_ms)
+            + "}"
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class TracerouteRecord:
     """One traceroute, flattened to (ttl, ip, rtt) triples."""
 
@@ -68,8 +159,22 @@ class TracerouteRecord:
         """Responding hop addresses in path order."""
         return [hop[1] for hop in self.hops if hop[1] is not None]
 
+    def to_json_fragment(self) -> str:
+        """This record as a JSON object, stdlib-identical."""
+        hops = ",".join(
+            "[" + ",".join(_scalar(value) for value in hop) + "]"
+            for hop in self.hops
+        )
+        return (
+            '{"target_ip":' + _qstr(self.target_ip)
+            + ',"target_kind":' + _qstr(self.target_kind)
+            + ',"hops":[' + hops + "]"
+            + ',"reached":' + ("true" if self.reached else "false")
+            + "}"
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class HttpRecord:
     """One HTTP GET to a replica address (time-to-first-byte)."""
 
@@ -83,8 +188,18 @@ class HttpRecord:
         """Whether the GET completed."""
         return self.ttfb_ms is not None
 
+    def to_json_fragment(self) -> str:
+        """This record as a JSON object, stdlib-identical."""
+        return (
+            '{"replica_ip":' + _qstr(self.replica_ip)
+            + ',"domain":' + _qstr(self.domain)
+            + ',"resolver_kind":' + _qstr(self.resolver_kind)
+            + ',"ttfb_ms":' + _num(self.ttfb_ms)
+            + "}"
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class ResolverIdRecord:
     """Result of the Mao et al. resolver-identification probe."""
 
@@ -93,8 +208,20 @@ class ResolverIdRecord:
     observed_external_ip: Optional[str] = None
     resolution_ms: Optional[float] = None
 
+    def to_json_fragment(self) -> str:
+        """This record as a JSON object, stdlib-identical."""
+        observed = self.observed_external_ip
+        return (
+            '{"resolver_kind":' + _qstr(self.resolver_kind)
+            + ',"configured_ip":' + _qstr(self.configured_ip)
+            + ',"observed_external_ip":'
+            + ("null" if observed is None else _qstr(observed))
+            + ',"resolution_ms":' + _num(self.resolution_ms)
+            + "}"
+        )
 
-@dataclass
+
+@dataclass(slots=True)
 class ExperimentRecord:
     """One complete experiment run (Sec 3.2's script, once)."""
 
@@ -129,28 +256,70 @@ class ExperimentRecord:
                 return record
         return None
 
+    def to_json_line(self) -> str:
+        """One-line JSON form via the per-class fast emitters.
+
+        Byte-identical to :meth:`to_json_line_reference`; the property
+        tests in ``tests/measure/test_records.py`` hold the two paths
+        together across randomised records.
+        """
+        return (
+            '{"device_id":' + _qstr(self.device_id)
+            + ',"carrier":' + _qstr(self.carrier)
+            + ',"country":' + _qstr(self.country)
+            + ',"sequence":' + _num(self.sequence)
+            + ',"started_at":' + _num(self.started_at)
+            + ',"latitude":' + _num(self.latitude)
+            + ',"longitude":' + _num(self.longitude)
+            + ',"technology":' + _qstr(self.technology)
+            + ',"generation":' + _qstr(self.generation)
+            + ',"client_ip":' + _qstr(self.client_ip)
+            + ',"resolutions":['
+            + ",".join(r.to_json_fragment() for r in self.resolutions)
+            + '],"pings":['
+            + ",".join(r.to_json_fragment() for r in self.pings)
+            + '],"traceroutes":['
+            + ",".join(r.to_json_fragment() for r in self.traceroutes)
+            + '],"http_gets":['
+            + ",".join(r.to_json_fragment() for r in self.http_gets)
+            + '],"resolver_ids":['
+            + ",".join(r.to_json_fragment() for r in self.resolver_ids)
+            + "]}"
+        )
+
+    def to_json_line_reference(self) -> str:
+        """The original ``asdict``-based serialisation (the oracle)."""
+        return json.dumps(asdict(self), separators=(",", ":"))
+
     def to_json(self) -> str:
         """One-line JSON form."""
-        return json.dumps(asdict(self), separators=(",", ":"))
+        return self.to_json_line()
 
     @classmethod
     def from_json(cls, line: str) -> "ExperimentRecord":
-        """Parse a line written by :meth:`to_json`."""
+        """Parse a line written by :meth:`to_json`.
+
+        High-cardinality-but-repetitive strings (carrier, resolver kind,
+        domain, technology) are interned so a loaded dataset shares one
+        object per distinct value — grouping dict lookups in the
+        analysis layer then hit pointer-equality fast paths.
+        """
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as exc:
             raise DatasetError(f"bad dataset line: {exc}") from exc
+        intern = sys.intern
         try:
             return cls(
-                device_id=payload["device_id"],
-                carrier=payload["carrier"],
-                country=payload["country"],
+                device_id=intern(payload["device_id"]),
+                carrier=intern(payload["carrier"]),
+                country=intern(payload["country"]),
                 sequence=payload["sequence"],
                 started_at=payload["started_at"],
                 latitude=payload["latitude"],
                 longitude=payload["longitude"],
-                technology=payload["technology"],
-                generation=payload["generation"],
+                technology=intern(payload["technology"]),
+                generation=intern(payload["generation"]),
                 client_ip=payload.get("client_ip", ""),
                 resolutions=[
                     ResolutionRecord(**item) for item in payload.get("resolutions", [])
@@ -172,44 +341,99 @@ class ExperimentRecord:
             raise DatasetError(f"malformed experiment record: {exc}") from exc
 
 
-@dataclass
+@dataclass(slots=True)
 class Dataset:
-    """An ordered collection of experiment records plus campaign metadata."""
+    """An ordered collection of experiment records plus campaign metadata.
+
+    Grouping views (:meth:`by_carrier`, :meth:`by_device`, the
+    resolution indices) are built lazily on first use and invalidated by
+    length: appending experiments (via :meth:`add` or directly) changes
+    ``len(experiments)``, which every accessor checks before serving the
+    cache.  The returned structures are shared — treat them as
+    read-only.
+    """
 
     experiments: List[ExperimentRecord] = field(default_factory=list)
     metadata: Dict[str, object] = field(default_factory=dict)
+    #: Lazily built indices plus the experiment count they were built at.
+    _carrier_index: Optional[Dict[str, List[ExperimentRecord]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _device_index: Optional[Dict[str, List[ExperimentRecord]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _resolution_index: Optional[Dict[str, list]] = field(
+        default=None, repr=False, compare=False
+    )
+    _indexed_len: int = field(default=-1, repr=False, compare=False)
 
     def add(self, record: ExperimentRecord) -> None:
         """Append one experiment."""
         self.experiments.append(record)
 
+    def _fresh(self) -> bool:
+        return self._indexed_len == len(self.experiments)
+
+    def _invalidate(self) -> None:
+        self._carrier_index = None
+        self._device_index = None
+        self._resolution_index = None
+        self._indexed_len = len(self.experiments)
+
     def by_carrier(self) -> Dict[str, List[ExperimentRecord]]:
-        """Experiments grouped by carrier key."""
-        grouped: Dict[str, List[ExperimentRecord]] = {}
-        for record in self.experiments:
-            grouped.setdefault(record.carrier, []).append(record)
-        return grouped
+        """Experiments grouped by carrier key (cached; read-only)."""
+        if not self._fresh():
+            self._invalidate()
+        if self._carrier_index is None:
+            grouped: Dict[str, List[ExperimentRecord]] = {}
+            for record in self.experiments:
+                grouped.setdefault(record.carrier, []).append(record)
+            self._carrier_index = grouped
+        return self._carrier_index
 
     def by_device(self) -> Dict[str, List[ExperimentRecord]]:
         """Experiments grouped by device, each group time-ordered."""
-        grouped: Dict[str, List[ExperimentRecord]] = {}
-        for record in self.experiments:
-            grouped.setdefault(record.device_id, []).append(record)
-        for records in grouped.values():
-            records.sort(key=lambda record: record.started_at)
-        return grouped
+        if not self._fresh():
+            self._invalidate()
+        if self._device_index is None:
+            grouped: Dict[str, List[ExperimentRecord]] = {}
+            for record in self.experiments:
+                grouped.setdefault(record.device_id, []).append(record)
+            for records in grouped.values():
+                records.sort(key=lambda record: record.started_at)
+            self._device_index = grouped
+        return self._device_index
+
+    def experiments_for(self, carrier: str) -> List[ExperimentRecord]:
+        """Experiments on one carrier, campaign-ordered (cached)."""
+        return self.by_carrier().get(carrier, [])
+
+    def resolutions_by_domain(self) -> Dict[str, list]:
+        """``domain -> [(experiment, resolution), ...]`` in order (cached).
+
+        Lets per-domain analyses (replica similarity, Fig 10/14 style)
+        touch only the resolutions that matter instead of re-walking
+        every experiment per figure.
+        """
+        if not self._fresh():
+            self._invalidate()
+        if self._resolution_index is None:
+            index: Dict[str, list] = {}
+            for record in self.experiments:
+                for resolution in record.resolutions:
+                    index.setdefault(resolution.domain, []).append(
+                        (record, resolution)
+                    )
+            self._resolution_index = index
+        return self._resolution_index
 
     def carriers(self) -> List[str]:
         """Carrier keys present, in first-seen order."""
-        seen: List[str] = []
-        for record in self.experiments:
-            if record.carrier not in seen:
-                seen.append(record.carrier)
-        return seen
+        return list(self.by_carrier())
 
     def device_ids(self) -> List[str]:
         """Distinct device ids."""
-        return sorted({record.device_id for record in self.experiments})
+        return sorted(self.by_device())
 
     def filter(self, predicate) -> "Dataset":
         """A new dataset with only the matching experiments."""
@@ -229,11 +453,12 @@ class Dataset:
         NaN-safe (``resolution_ms`` can be NaN for unreachable targets,
         and ``nan != nan`` under dataclass equality) and means equality
         of hashes is exactly equality of archived ``.jsonl`` bodies.
-        This is the oracle the parallel campaign is verified against.
+        This is the oracle the parallel campaign — and every fast-path
+        optimisation of the serial engine — is verified against.
         """
         digest = hashlib.sha256()
         for record in self.experiments:
-            digest.update(record.to_json().encode("utf-8"))
+            digest.update(record.to_json_line().encode("utf-8"))
             digest.update(b"\n")
         return digest.hexdigest()
 
@@ -254,7 +479,7 @@ class Dataset:
                 + "\n"
             )
         for record in self.experiments:
-            stream.write(record.to_json() + "\n")
+            stream.write(record.to_json_line() + "\n")
             count += 1
         return count
 

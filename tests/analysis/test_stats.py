@@ -96,6 +96,80 @@ class TestECDF:
         assert ecdf.evaluate(median) >= 0.5
 
 
+class TestECDFEdgeCases:
+    """Behaviour locked before (and preserved after) the bisect rewrite."""
+
+    def test_empty_everything(self):
+        ecdf = ECDF.from_values([])
+        assert ecdf.is_empty
+        assert len(ecdf) == 0
+        assert ecdf.series() == []
+        assert repr(ecdf) == "ECDF(empty)"
+        with pytest.raises(ValueError):
+            ecdf.quantile(0.5)
+        with pytest.raises(ValueError):
+            ecdf.fraction_at_most(1.0)
+
+    def test_all_nan_is_empty(self):
+        assert ECDF.from_values([math.nan, math.nan]).is_empty
+
+    def test_single_value(self):
+        ecdf = ECDF.from_values([42.0])
+        assert len(ecdf) == 1
+        assert ecdf.evaluate(41.9) == 0.0
+        assert ecdf.evaluate(42.0) == 1.0
+        assert ecdf.evaluate(42.1) == 1.0
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert ecdf.quantile(q) == 42.0
+        assert ecdf.median == 42.0
+
+    def test_duplicate_heavy(self):
+        ecdf = ECDF.from_values([5.0] * 50 + [10.0] * 50)
+        assert ecdf.evaluate(4.9) == 0.0
+        assert ecdf.evaluate(5.0) == 0.5
+        assert ecdf.evaluate(9.9) == 0.5
+        assert ecdf.evaluate(10.0) == 1.0
+        assert ecdf.quantile(0.0) == 5.0
+        assert ecdf.quantile(1.0) == 10.0
+        assert ecdf.quantile(0.25) == 5.0
+        assert ecdf.quantile(0.75) == 10.0
+
+    def test_q0_q1_hit_extremes(self):
+        ecdf = ECDF.from_values([3.0, 1.0, 2.0])
+        assert ecdf.quantile(0.0) == 1.0
+        assert ecdf.quantile(1.0) == 3.0
+
+    def test_quantile_rejects_out_of_range(self):
+        ecdf = ECDF.from_values([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ecdf.quantile(-0.1)
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.1)
+
+    @given(samples, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_matches_numpy_linear(self, values, q):
+        import numpy as np
+
+        ecdf = ECDF.from_values(values)
+        assert ecdf.quantile(q) == pytest.approx(
+            float(np.quantile(np.asarray(values, dtype=float), q)),
+            rel=1e-12,
+            abs=1e-12,
+        )
+
+    @given(samples)
+    def test_evaluate_matches_searchsorted(self, values):
+        import numpy as np
+
+        ecdf = ECDF.from_values(values)
+        array = np.sort(np.asarray(values, dtype=float))
+        for x in values + [min(values) - 1.0, max(values) + 1.0]:
+            expected = float(
+                np.searchsorted(array, x, side="right") / array.size
+            )
+            assert ecdf.evaluate(x) == expected
+
+
 class TestSummarize:
     def test_basic(self):
         summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])

@@ -1,0 +1,105 @@
+"""Adaptive executor selection (serial vs parallel sharding)."""
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.measure.campaign import EXECUTOR_CHOICES, select_executor
+
+
+class TestSelectExecutor:
+    def test_explicit_requests_are_honoured(self):
+        assert select_executor("serial", cpu_count=32, shard_count=6) == "serial"
+        assert select_executor("parallel", cpu_count=1, shard_count=6) == "parallel"
+
+    def test_auto_never_parallel_on_one_core(self):
+        for shards in (1, 2, 6, 100):
+            assert (
+                select_executor("auto", cpu_count=1, shard_count=shards)
+                == "serial"
+            )
+
+    def test_auto_never_parallel_with_one_shard(self):
+        for cores in (1, 2, 64):
+            assert (
+                select_executor("auto", cpu_count=cores, shard_count=1)
+                == "serial"
+            )
+
+    def test_auto_parallel_needs_cores_and_shards(self):
+        assert select_executor("auto", cpu_count=2, shard_count=2) == "parallel"
+        assert select_executor("auto", cpu_count=8, shard_count=6) == "parallel"
+
+    def test_zero_cpu_count_reported_as_serial(self):
+        # os.cpu_count() can return None; callers pass it straight through.
+        assert select_executor("auto", cpu_count=0, shard_count=6) == "serial"
+
+    def test_unknown_request_raises(self):
+        with pytest.raises(ConfigError):
+            select_executor("turbo")
+
+    def test_choices_constant_matches_cli(self):
+        assert EXECUTOR_CHOICES == ("auto", "serial", "parallel")
+
+
+class TestStudyExecutor:
+    def test_study_resolves_executor(self, monkeypatch):
+        import repro.measure.campaign as campaign_module
+        from repro import CellularDNSStudy, StudyConfig
+
+        monkeypatch.setattr(campaign_module.os, "cpu_count", lambda: 1)
+        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        assert study.executor == "serial"
+        assert type(study.campaign).__name__ == "Campaign"
+
+    def test_study_workers_do_not_force_parallel_on_one_core(self, monkeypatch):
+        import repro.measure.campaign as campaign_module
+        from repro import CellularDNSStudy, StudyConfig
+
+        monkeypatch.setattr(campaign_module.os, "cpu_count", lambda: 1)
+        config = StudyConfig.smoke_scale()
+        config.workers = 4
+        study = CellularDNSStudy(config)
+        assert study.executor == "serial"
+
+    def test_study_explicit_serial(self):
+        from repro import CellularDNSStudy, StudyConfig
+
+        config = StudyConfig.smoke_scale()
+        config.executor = "serial"
+        study = CellularDNSStudy(config)
+        assert study.executor == "serial"
+
+    def test_study_explicit_parallel(self):
+        from repro import CellularDNSStudy, StudyConfig
+        from repro.measure.campaign import ParallelCampaign
+
+        config = StudyConfig.smoke_scale()
+        config.executor = "parallel"
+        config.workers = 2
+        study = CellularDNSStudy(config)
+        assert study.executor == "parallel"
+        assert isinstance(study.campaign, ParallelCampaign)
+        assert study.campaign.workers == 2
+
+
+class TestCliExecutorFlag:
+    def test_run_parser_accepts_executor(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--executor", "serial", "-o", "x.jsonl"]
+        )
+        assert args.executor == "serial"
+
+    def test_run_parser_rejects_unknown_executor(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--executor", "turbo"])
+
+    def test_bench_parser_accepts_smoke(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--smoke"])
+        assert args.smoke is True
+        assert args.output is None

@@ -113,6 +113,51 @@ class TestTraceroute:
         assert record.hop_ips()
 
 
+class TestSessionCaches:
+    """The per-experiment derivation caches (see the module docstring).
+
+    Cached values must be pure functions of topology or epoch-quantised
+    time; these tests pin the memo behaviour, while the campaign-level
+    ``content_hash`` identity tests pin that caching never changes the
+    emitted dataset.
+    """
+
+    def test_attachment_cached_within_epoch(self, session):
+        first = session.attachment_at(10.0)
+        second = session.attachment_at(20.0)  # same epoch key
+        assert second is first
+        assert first is session.attachment  # seeded by begin()
+
+    def test_attachment_rederived_across_epochs(self, session):
+        key_now = session.operator.attachment_epoch_key(session.device, 0.0)
+        far = 400.0 * 24 * 3600
+        key_far = session.operator.attachment_epoch_key(session.device, far)
+        assert key_now != key_far
+        assert session.attachment_at(far) is not session.attachment
+
+    def test_attachment_matches_uncached_derivation(self, session):
+        cached = session.attachment_at(30.0)
+        fresh = session.operator.attachment(session.device, 30.0)
+        assert fresh.client_ip == cached.client_ip
+        assert fresh.client_dns_ip == cached.client_dns_ip
+        assert fresh.egress.ip == cached.egress.ip
+
+    def test_route_cached_per_target(self, session, world):
+        origin = session.origin(0.0)
+        target = world.vantage.host.ip
+        first = session.route_to(origin, target)
+        assert session.route_to(origin, target) is first
+        fresh = world.internet.route_view(origin, target)
+        assert (fresh.admits, fresh.answers_ping, fresh.same_operator) == (
+            first.admits, first.answers_ping, first.same_operator
+        )
+
+    def test_replica_lookup_cached(self, session, world):
+        replica_ip = world.cdns["usonly"].all_replicas()[0].ip
+        assert session._replica_at(replica_ip) is session._replica_at(replica_ip)
+        assert session._replica_at("203.0.113.99") is None
+
+
 class TestHelpers:
     def test_replica_addresses_dedup(self, session):
         first = session.dns_local("www.google.com", now=0.0)

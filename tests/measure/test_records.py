@@ -96,6 +96,102 @@ class TestExperimentRecord:
         assert not PingRecord("1.2.3.4", "t").responded
 
 
+_text = st.text(max_size=20)
+_any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+_opt_float = st.none() | _any_float
+
+_resolutions = st.builds(
+    ResolutionRecord,
+    domain=_text,
+    resolver_kind=st.sampled_from(["local", "google", "opendns"]),
+    resolution_ms=_any_float,
+    addresses=st.lists(_text, max_size=3),
+    cname_chain=st.lists(_text, max_size=3),
+    attempt=st.integers(-10, 10),
+    rcode=_text,
+)
+_pings = st.builds(
+    PingRecord, target_ip=_text, target_kind=_text, rtt_ms=_opt_float
+)
+_hops = st.lists(
+    st.lists(
+        st.none() | st.integers(-1000, 1000) | _any_float | _text, max_size=4
+    ),
+    max_size=4,
+)
+_traceroutes = st.builds(
+    TracerouteRecord,
+    target_ip=_text,
+    target_kind=_text,
+    hops=_hops,
+    reached=st.booleans(),
+)
+_http_gets = st.builds(
+    HttpRecord,
+    replica_ip=_text,
+    domain=_text,
+    resolver_kind=_text,
+    ttfb_ms=_opt_float,
+)
+_resolver_ids = st.builds(
+    ResolverIdRecord,
+    resolver_kind=_text,
+    configured_ip=_text,
+    observed_external_ip=st.none() | _text,
+    resolution_ms=_opt_float,
+)
+_experiment_records = st.builds(
+    ExperimentRecord,
+    device_id=_text,
+    carrier=_text,
+    country=_text,
+    sequence=st.integers(-(10**9), 10**9),
+    started_at=_any_float,
+    latitude=_any_float,
+    longitude=_any_float,
+    technology=_text,
+    generation=_text,
+    client_ip=_text,
+    resolutions=st.lists(_resolutions, max_size=3),
+    pings=st.lists(_pings, max_size=3),
+    traceroutes=st.lists(_traceroutes, max_size=2),
+    http_gets=st.lists(_http_gets, max_size=3),
+    resolver_ids=st.lists(_resolver_ids, max_size=3),
+)
+
+
+class TestFastSerializer:
+    """The fast emitter against the ``asdict`` oracle, byte for byte."""
+
+    def test_fixture_record_identical(self):
+        record = _record()
+        assert record.to_json_line() == record.to_json_line_reference()
+
+    def test_awkward_scalars_identical(self):
+        record = _record()
+        record.device_id = 'quote " backslash \\ unicode é中\x00'
+        record.started_at = float("nan")
+        record.latitude = float("inf")
+        record.longitude = float("-inf")
+        record.pings[0].rtt_ms = None
+        record.traceroutes[0].hops = [
+            [1, None, float("nan")],
+            [True, False, -0.0, "tab\there"],
+        ]
+        assert record.to_json_line() == record.to_json_line_reference()
+
+    @given(_experiment_records)
+    def test_randomised_records_identical(self, record):
+        assert record.to_json_line() == record.to_json_line_reference()
+
+    @given(_experiment_records)
+    def test_fast_line_parses_back(self, record):
+        import json as jsonlib
+
+        parsed = jsonlib.loads(record.to_json_line())
+        assert parsed == jsonlib.loads(record.to_json_line_reference())
+
+
 class TestDataset:
     def _dataset(self):
         dataset = Dataset(metadata={"seed": 1})
