@@ -18,7 +18,9 @@ bench:
 bench-smoke:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench --smoke
 
-# The pre-merge gate: tier-1 suite + determinism smoke + (multi-core)
-# parallel-regression check.
-check:
+# The pre-merge gate: determinism smoke via the CLI, then the
+# bench_check script (tier-1 suite + campaign smoke + parallel
+# regression + the DNS fast-path gate, which fails if dns_us_per_call
+# regresses >=25% against the committed BENCH_campaign.json).
+check: bench-smoke
 	$(PYTHON) scripts/bench_check.py

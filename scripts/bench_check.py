@@ -8,11 +8,16 @@ Runs, in order:
    failing hard if the parallel campaign's dataset hash differs from
    the serial one — and, on a multi-core box, if the parallel campaign
    is *slower* than the serial one (an executor-selection regression;
-   single-core boxes only note the expected slowdown).
+   single-core boxes only note the expected slowdown);
+3. the DNS fast-path gate: a stage-breakdown smoke whose
+   ``dns_us_per_call`` must stay within 25% of the committed
+   ``BENCH_campaign.json`` figure (guards the compiled-plan /
+   tuple-key resolution fast path against silent regression; the
+   25% headroom absorbs box noise).
 
 Exit status is non-zero on any test failure, on a determinism-hash
-mismatch, or on a multi-core parallel slowdown, so CI (or a pre-push
-hook) can call this one script.
+mismatch, on a multi-core parallel slowdown, or on a DNS fast-path
+regression, so CI (or a pre-push hook) can call this one script.
 
 Usage::
 
@@ -22,6 +27,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -79,6 +85,49 @@ def run_bench_smoke() -> int:
     return 0
 
 
+#: Allowed dns_us_per_call slack over the committed benchmark before the
+#: gate fails (1.25 == a ≥25% regression fails).
+DNS_REGRESSION_LIMIT = 1.25
+
+
+def run_dns_gate() -> int:
+    """DNS fast path must stay within 25% of the committed benchmark."""
+    sys.path.insert(0, SRC)
+    from repro.measure.bench import bench_stage_breakdown
+
+    committed_path = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+    if not os.path.exists(committed_path):
+        print("note: no committed BENCH_campaign.json; skipping dns gate")
+        return 0
+    with open(committed_path) as handle:
+        committed = json.load(handle)
+    baseline = committed.get("stages", {}).get("dns_us_per_call")
+    if not baseline:
+        print("note: committed benchmark lacks dns_us_per_call; skipping dns gate")
+        return 0
+    print("== dns fast-path gate ==", flush=True)
+    report = bench_stage_breakdown()
+    measured = report["dns_us_per_call"]
+    limit = baseline * DNS_REGRESSION_LIMIT
+    print(
+        f"dns {measured} us/call over {report['dns_calls']} calls | "
+        f"committed {baseline} us/call | limit {round(limit, 1)} "
+        f"(split: cache-hit {report['dns_cache_hit_s']}s, "
+        f"walk {report['dns_walk_s']}s, "
+        f"cdn-select {report['dns_cdn_select_s']}s)",
+        flush=True,
+    )
+    if measured >= limit:
+        print(
+            f"FAIL: dns_us_per_call {measured} regressed >=25% over the "
+            f"committed {baseline} (limit {round(limit, 1)})",
+            file=sys.stderr,
+        )
+        return 1
+    print("dns gate: OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -90,7 +139,10 @@ def main() -> int:
         status = run_tier1()
         if status != 0:
             return status
-    return run_bench_smoke()
+    status = run_bench_smoke()
+    if status != 0:
+        return status
+    return run_dns_gate()
 
 
 if __name__ == "__main__":

@@ -63,6 +63,17 @@ class CdnAuthority(Authority):
 
     provider: Optional["CDNProvider"] = None
 
+    def rotation_epoch(self, now: float) -> int:
+        """The mapping-rotation epoch governing answers at ``now``.
+
+        Replica selection is a pure function of (anchor /24, epoch):
+        :meth:`~repro.cdn.mapping.MappingPolicy.cluster_for` keys its
+        decisions on ``int(now // remap_epoch_s)`` and the within-cluster
+        window is a stable hash.  Compiled resolution plans therefore
+        memoise one answer per epoch and recompute on rotation.
+        """
+        return int(now // self.provider.mapping.remap_epoch_s)
+
     def answer(
         self,
         query: DNSMessage,

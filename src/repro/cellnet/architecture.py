@@ -13,6 +13,7 @@ consequences matter for the measurements:
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -66,10 +67,37 @@ def core_model(architecture: CoreArchitecture) -> CoreModel:
     return _MODELS[architecture]
 
 
+#: Precomputed ``(ln(median), sigma)`` per architecture — the core-RTT
+#: draw runs once per probe (``lognormal_from_log`` is bit-identical to
+#: ``lognormal_ms``).
+_LOG_CORE: Dict[CoreArchitecture, Tuple[float, float]] = {
+    architecture: (math.log(model.median_core_rtt_ms), model.sigma)
+    for architecture, model in _MODELS.items()
+}
+
+
 def core_rtt_ms(architecture: CoreArchitecture, stream: RandomStream) -> float:
     """One sampled interior-core RTT contribution."""
-    model = _MODELS[architecture]
-    return stream.lognormal_ms(model.median_core_rtt_ms, model.sigma)
+    log_median, sigma = _LOG_CORE[architecture]
+    return stream.lognormal_from_log(log_median, sigma)
+
+
+def core_log_params(architecture: CoreArchitecture) -> Tuple[float, float]:
+    """``(ln(median), sigma)`` of the core-RTT draw for an architecture."""
+    return _LOG_CORE[architecture]
+
+
+#: Technology -> architecture, precomputed: ``probe_origin`` asks once
+#: per probe and the mapping is static.
+_ARCH_OF: Dict[RadioTechnology, CoreArchitecture] = {
+    technology: CoreArchitecture.for_technology(technology)
+    for technology in RadioTechnology
+}
+
+
+def architecture_of(technology: RadioTechnology) -> CoreArchitecture:
+    """:meth:`CoreArchitecture.for_technology`, via a precomputed table."""
+    return _ARCH_OF[technology]
 
 
 #: Shared, effectively-immutable hop tuples: the interior hops carry no

@@ -14,16 +14,22 @@ The operator ties the substrates together for one carrier:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cellnet.architecture import (
-    CoreArchitecture,
-    core_rtt_ms,
+    architecture_of,
+    core_log_params,
     interior_hops_for,
 )
 from repro.cellnet.device import MobileDevice
-from repro.cellnet.radio import RadioProfile, RadioTechnology, promotion_cost_ms
+from repro.cellnet.radio import (
+    RadioProfile,
+    RadioTechnology,
+    access_log_params,
+    promotion_cost_ms,
+)
 from repro.core.addressing import Prefix
 from repro.core.asn import AutonomousSystem
 from repro.core.internet import VirtualInternet
@@ -31,7 +37,22 @@ from repro.core.node import Host, ProbeOrigin
 from repro.core.rng import RandomStream, stable_fraction, stable_index
 from repro.dns.indirect import DnsDeployment, ExternalResolver
 from repro.dns.message import ResourceRecord, RRType
+from repro.geo.coordinates import GeoPoint
 from repro.geo.regions import Country
+
+#: Per-technology origin-latency parameters: ``(ln(access median),
+#: access sigma, ln(core median), core sigma, interior hops)``.  Every
+#: probe draws access-then-core; one lookup here replaces the
+#: architecture mapping plus two latency-table hops, with draws
+#: bit-identical to ``access_rtt_ms`` + ``core_rtt_ms``.
+_ORIGIN_PARAMS = {
+    technology: (
+        *access_log_params(technology),
+        *core_log_params(architecture_of(technology)),
+        interior_hops_for(architecture_of(technology)),
+    )
+    for technology in RadioTechnology
+}
 
 
 @dataclass
@@ -46,18 +67,73 @@ class Attachment:
     at: float
 
 
-@dataclass
 class LocalResolution:
-    """Outcome of one resolution through the operator's own DNS."""
+    """Outcome of one resolution through the operator's own DNS.
 
-    qname: str
-    records: List[ResourceRecord]
-    total_ms: float
-    cache_hit: bool
-    client_facing_ip: str
-    external_ip: str
-    #: What the answer's A records contain.
-    addresses: List[str] = field(default_factory=list)
+    A lazy view over the engine's result: ``records`` and ``addresses``
+    materialise on first read.  Most probe flows consume only the
+    addresses (and those come straight off the cached record templates),
+    so warm cache hits allocate nothing per call.
+    """
+
+    __slots__ = (
+        "qname",
+        "total_ms",
+        "cache_hit",
+        "client_facing_ip",
+        "external_ip",
+        "_result",
+        "_records",
+        "_addresses",
+    )
+
+    def __init__(
+        self,
+        qname: str,
+        total_ms: float,
+        cache_hit: bool,
+        client_facing_ip: str,
+        external_ip: str,
+        records: Optional[List[ResourceRecord]] = None,
+        addresses: Optional[List[str]] = None,
+        result=None,
+    ) -> None:
+        self.qname = qname
+        self.total_ms = total_ms
+        self.cache_hit = cache_hit
+        self.client_facing_ip = client_facing_ip
+        self.external_ip = external_ip
+        self._result = result
+        self._records = records
+        self._addresses = addresses
+
+    @property
+    def records(self) -> List[ResourceRecord]:
+        """The answer records (TTLs aged to the lookup instant)."""
+        records = self._records
+        if records is None:
+            records = self._result.records
+            self._records = records
+        return records
+
+    @property
+    def addresses(self) -> List[str]:
+        """What the answer's A records contain."""
+        addresses = self._addresses
+        if addresses is None:
+            addresses = (
+                self._result.addresses()
+                if self._result is not None
+                else [r.data for r in self.records if r.rtype is RRType.A]
+            )
+            self._addresses = addresses
+        return addresses
+
+    def cname_chain(self) -> List[str]:
+        """CNAME targets in the answer, in chain order."""
+        if self._result is not None:
+            return self._result.cname_chain()
+        return [r.data for r in self.records if r.rtype is RRType.CNAME]
 
 
 @dataclass
@@ -260,21 +336,26 @@ class CellularOperator:
             technology = device.active_technology or self.radio_profile.draw(stream)
         if attachment is None:
             attachment = self.attachment(device, now)
-        architecture = CoreArchitecture.for_technology(technology)
-        access = self.radio_profile.access_rtt_ms(technology, stream)
-        access += core_rtt_ms(architecture, stream)
+        log_access, sigma_access, log_core, sigma_core, hops = _ORIGIN_PARAMS[
+            technology
+        ]
+        # lognormal_from_log inlined around the raw Gaussian source
+        # (same expression, bit-identical draws).
+        gauss = stream._rng.gauss
+        access = math.exp(log_access + sigma_access * gauss(0.0, 1.0))
+        access += math.exp(log_core + sigma_core * gauss(0.0, 1.0))
         if pay_promotion:
             access += promotion_cost_ms(technology, device.rrc, now)
         else:
             device.rrc.touch(now)
         return ProbeOrigin(
-            source_ip=attachment.client_ip,
-            asys=self.system,
-            location=device.location(now),
-            access_rtt_ms=access,
-            egress=attachment.egress,
-            interior_hops=interior_hops_for(architecture),
-            origin_id=device.device_id,
+            attachment.client_ip,
+            self.system,
+            device.location(now),
+            access,
+            attachment.egress,
+            hops,
+            device.device_id,
         )
 
     # -- local DNS ---------------------------------------------------------------
@@ -295,7 +376,7 @@ class CellularOperator:
         site = self.deployment.serving_site(client_address, site_hint)
         front_rtt = (
             origin.access_rtt_ms
-            + self.internet.intra_model.rtt_ms(origin.location, site.location, stream)
+            + self._intra_rtt(origin.location, site.location, stream)
             + self.front_stack_ms
         )
         external = self.deployment.external_for(
@@ -313,12 +394,11 @@ class CellularOperator:
         total = front_rtt + gap_ms + result.upstream_ms
         return LocalResolution(
             qname=result.qname,
-            records=result.records,
             total_ms=total,
             cache_hit=result.cache_hit,
             client_facing_ip=client_address.ip,
             external_ip=external.ip,
-            addresses=result.addresses(),
+            result=result,
         )
 
     def _client_address_of(self, attachment: Attachment):
@@ -336,13 +416,25 @@ class CellularOperator:
         self._client_address_memo[attachment.client_dns_ip] = found
         return found
 
+    def _intra_rtt(
+        self, src: GeoPoint, dst: GeoPoint, stream: RandomStream
+    ) -> float:
+        """One operator-interior leg draw, inlined from the memoised
+        ``(base, ln(base))`` parameters (same draw as ``rtt_ms``)."""
+        intra = self.internet.intra_model
+        base, log_base = intra.leg_params(src, dst)
+        sigma = intra.jitter_sigma
+        if sigma <= 0:
+            return base
+        return math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+
     def _tier_gap_ms(
         self, site, external: ExternalResolver, stream: RandomStream
     ) -> float:
         """RTT between the client-facing front and the external tier."""
         if external.site.index == site.index:
             return self.deployment.tier_gap_ms
-        return self.deployment.tier_gap_ms + self.internet.intra_model.rtt_ms(
+        return self.deployment.tier_gap_ms + self._intra_rtt(
             site.location, external.site.location, stream
         )
 
@@ -363,7 +455,7 @@ class CellularOperator:
         client_address = self._client_address_of(attachment)
         site_hint = self._nearest_site_index(attachment.egress)
         site = self.deployment.serving_site(client_address, site_hint)
-        rtt = self.internet.intra_model.rtt_ms(origin.location, site.location, stream)
+        rtt = self._intra_rtt(origin.location, site.location, stream)
         return origin.access_rtt_ms + rtt + self.front_stack_ms
 
     def external_resolver_for(

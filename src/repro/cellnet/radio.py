@@ -16,6 +16,7 @@ script begins with a bootstrap ping precisely to absorb that cost
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -100,6 +101,23 @@ _LATENCY: Dict[RadioTechnology, RadioLatency] = {
     RadioTechnology.GPRS: RadioLatency(600.0, 0.42, 1700.0),
 }
 
+#: Precomputed ``(ln(median), sigma)`` per technology: the access-RTT
+#: draw runs once per probe, so the log is hoisted out of the hot path
+#: (``lognormal_from_log`` is bit-identical to ``lognormal_ms``).
+_LOG_LATENCY: Dict[RadioTechnology, Tuple[float, float]] = {
+    technology: (math.log(model.median_rtt_ms), model.sigma)
+    for technology, model in _LATENCY.items()
+}
+
+
+def access_log_params(technology: RadioTechnology) -> Tuple[float, float]:
+    """``(ln(median), sigma)`` of the access-RTT draw for a technology.
+
+    Exposed so per-probe callers can fold the access and core draws into
+    one precomputed table (see ``CellularOperator.probe_origin``).
+    """
+    return _LOG_LATENCY[technology]
+
 
 class RadioState(str, enum.Enum):
     """RRC power states relevant to latency."""
@@ -171,8 +189,8 @@ class RadioProfile:
         self, technology: RadioTechnology, stream: RandomStream
     ) -> float:
         """One sampled access RTT on the given technology."""
-        model = technology.latency
-        return stream.lognormal_ms(model.median_rtt_ms, model.sigma)
+        log_median, sigma = _LOG_LATENCY[technology]
+        return stream.lognormal_from_log(log_median, sigma)
 
     def lte_share(self) -> float:
         """Fraction of weight on LTE (used in reports)."""

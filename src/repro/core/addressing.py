@@ -55,10 +55,13 @@ def is_valid_ip(address: str) -> bool:
     return True
 
 
+@lru_cache(maxsize=65536)
 def prefix24(address: str) -> str:
     """The /24 prefix of an address, formatted ``a.b.c.0/24``.
 
     This is the aggregation unit used throughout the paper's analysis.
+    Cached: the hot paths (ECS options, replica grouping) keep asking
+    about the same client and replica addresses.
     """
     value = ip_to_int(address) & 0xFFFFFF00
     return f"{int_to_ip(value)}/24"

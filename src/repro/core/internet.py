@@ -17,6 +17,7 @@ Three probe primitives mirror the paper's methodology (Sec 3.2):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -287,19 +288,114 @@ class VirtualInternet:
                 destination.asys.operator_key is not None
                 and destination.asys.operator_key == origin.asys.operator_key
             )
+        # Legs are drawn inline from the models' memoised (base, ln(base))
+        # parameters — same draws, same order as ``rtt_ms`` would make,
+        # minus one call frame per leg on this per-probe path.
+        intra = self.intra_model
         if same_operator:
             # Interior path: radio/access plus tunnelled core distance.
-            interior = self.intra_model.rtt_ms(
-                origin.location, destination.location, stream
+            base, log_base = intra.leg_params(
+                origin.location, destination.location
+            )
+            sigma = intra.jitter_sigma
+            interior = (
+                math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+                if sigma > 0
+                else base
             )
             return origin.access_rtt_ms + interior + destination.interior_penalty_ms
         # Exterior path: access + core to egress + WAN + destination interior.
-        core = self.intra_model.rtt_ms(origin.location, origin.egress_location, stream)
-        wan = self.wan_model.rtt_ms(
-            origin.egress_location, destination.location, stream
+        egress_location = origin.egress_location
+        base, log_base = intra.leg_params(origin.location, egress_location)
+        sigma = intra.jitter_sigma
+        core = (
+            math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+            if sigma > 0
+            else base
+        )
+        wan_model = self.wan_model
+        base, log_base = wan_model.leg_params(
+            egress_location, destination.location
+        )
+        sigma = wan_model.jitter_sigma
+        wan = (
+            math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+            if sigma > 0
+            else base
         )
         return (
             origin.access_rtt_ms + core + wan + destination.interior_penalty_ms
+        )
+
+    def flow_sampler(
+        self,
+        origin: ProbeOrigin,
+        destination_ip: str,
+        route: Optional[RouteView] = None,
+    ):
+        """Precompiled per-pair RTT sampler, or None when unreachable.
+
+        Folds everything deterministic about a (origin, destination)
+        flow — routing verdict, leg decomposition, base RTTs and their
+        log-medians, fixed access/stack budgets — into a closure whose
+        calls consume *exactly* the random draws :meth:`flow_rtt` would
+        (same legs, same parameters, same order) and return bit-identical
+        values.  Valid only while the origin's location, egress and
+        access budget stay fixed: true for resolver origins, which issue
+        every upstream DNS query from one immutable vantage; device
+        origins are resampled per probe and must keep using
+        :meth:`flow_rtt`.
+        """
+        if route is None:
+            route = self.route_view(origin, destination_ip)
+        destination = route.destination
+        if destination is None or not route.admits:
+            return None
+        # The sum below must keep flow_rtt's exact association order —
+        # access + legs... + penalty + stack, left to right — because
+        # float addition does not associate and the results feed the
+        # bit-identical dataset hash.
+        access = origin.access_rtt_ms
+        penalty = destination.interior_penalty_ms
+        stack = destination.stack_latency_ms
+        intra = self.intra_model
+        if route.same_operator:
+            leg = intra.leg_sampler(origin.location, destination.location)
+            return (
+                lambda stream, _a=access, _leg=leg, _p=penalty, _s=stack: (
+                    _a + _leg(stream) + _p + _s
+                )
+            )
+        wan = self.wan_model
+        if intra.jitter_sigma > 0 and wan.jitter_sigma > 0:
+            # Common case, flattened: both legs draw, so the closure
+            # inlines lognormal_from_log's arithmetic around the raw
+            # Gaussian source (same expression, so bit-identical) — the
+            # deepest frames of the simulator's single hottest call.
+            _, log_core = intra.leg_params(
+                origin.location, origin.egress_location
+            )
+            _, log_wan = wan.leg_params(
+                origin.egress_location, destination.location
+            )
+            return (
+                lambda stream, _a=access, _m1=log_core,
+                _s1=intra.jitter_sigma, _m2=log_wan, _s2=wan.jitter_sigma,
+                _p=penalty, _s=stack, _exp=math.exp: (
+                    _a
+                    + _exp(_m1 + _s1 * stream._rng.gauss(0.0, 1.0))
+                    + _exp(_m2 + _s2 * stream._rng.gauss(0.0, 1.0))
+                    + _p
+                    + _s
+                )
+            )
+        leg_one = intra.leg_sampler(origin.location, origin.egress_location)
+        leg_two = wan.leg_sampler(origin.egress_location, destination.location)
+        return (
+            lambda stream, _a=access, _l1=leg_one, _l2=leg_two,
+            _p=penalty, _s=stack: (
+                _a + _l1(stream) + _l2(stream) + _p + _s
+            )
         )
 
     def flow_rtt(

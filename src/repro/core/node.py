@@ -114,7 +114,7 @@ class PathHop:
     cumulative_ms: float
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeOrigin:
     """Where a measurement originates, at one instant.
 

@@ -35,10 +35,13 @@ def _derived_from_parts(master_seed: int, parts: tuple) -> int:
     inputs (device, hour, lease epoch, ...), so the same parts recur for
     every probe inside an epoch; hashing the tuple beats re-joining the
     name string and re-running SHA-256 each time.  Purity makes the memo
-    invisible to determinism.
+    invisible to determinism.  The miss path is ``derive_seed`` inlined
+    (same name string, same digest) because epoch rollovers put it on
+    the campaign hot path.
     """
-    name = ":".join(str(part) for part in parts)
-    return derive_seed(master_seed, name)
+    name = ":".join(map(str, parts))
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class RandomStream:
@@ -105,6 +108,16 @@ class RandomStream:
         if median_ms <= 0:
             raise ValueError("median_ms must be positive")
         return math.exp(math.log(median_ms) + sigma * self._rng.gauss(0.0, 1.0))
+
+    def lognormal_from_log(self, log_median: float, sigma: float) -> float:
+        """Log-normal sample from a *precomputed* ``ln(median)``.
+
+        Bit-identical to ``lognormal_ms(median, sigma)`` when
+        ``log_median == math.log(median)`` — same single Gaussian draw,
+        same arithmetic — but skips the per-call ``math.log`` and the
+        positivity check.  Used by precompiled RTT samplers on hot paths.
+        """
+        return math.exp(log_median + sigma * self._rng.gauss(0.0, 1.0))
 
     def bounded_gauss(self, mu: float, sigma: float, low: float, high: float) -> float:
         """Normal deviate clamped to [low, high]."""

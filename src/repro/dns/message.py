@@ -8,6 +8,7 @@ zone plumbing.  Wire encoding lives in :mod:`repro.dns.wire`.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import List, Optional, Sequence
@@ -52,7 +53,9 @@ def normalize_name(name: str) -> str:
 
     The empty string denotes the root.  Raises :class:`DNSError` for names
     that violate length limits.  Cached: measurement campaigns resolve the
-    same few hundred names millions of times.
+    same few hundred names millions of times.  The result is interned so
+    the tuple cache keys built from normalised names compare by pointer
+    identity on the resolution hot path.
     """
     name = name.strip().lower().rstrip(".")
     if len(name) > 253:
@@ -62,7 +65,7 @@ def normalize_name(name: str) -> str:
             raise DNSError(f"empty label in {name!r}")
         if len(label) > 63:
             raise DNSError(f"label too long in {name!r}")
-    return name
+    return sys.intern(name)
 
 
 @lru_cache(maxsize=16384)

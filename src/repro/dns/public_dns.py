@@ -40,6 +40,9 @@ class PublicDnsCluster:
     prefix: Prefix
     hosts: List[Host]
     engine: RecursiveEngine
+    #: Machine pick per (device, balancing epoch) — pure in its key, so
+    #: the memo is invisible to determinism.
+    _machine_memo: dict = field(default_factory=dict)
 
     @property
     def location(self) -> GeoPoint:
@@ -54,13 +57,19 @@ class PublicDnsCluster:
         public resolver *addresses* than /24s (Table 5).
         """
         epoch = int(now // (6 * 3600.0))
-        pick = stable_index(
-            seed, "machine", self.index, device_key, epoch, modulo=len(self.hosts)
-        )
-        return self.hosts[pick]
+        key = (device_key, epoch)
+        machine = self._machine_memo.get(key)
+        if machine is None:
+            pick = stable_index(
+                seed, "machine", self.index, device_key, epoch,
+                modulo=len(self.hosts),
+            )
+            machine = self.hosts[pick]
+            self._machine_memo[key] = machine
+        return machine
 
 
-@dataclass
+@dataclass(slots=True)
 class PublicResolution:
     """Outcome of one resolution through a public DNS service."""
 
@@ -98,20 +107,22 @@ class PublicDnsService:
     wobble_epoch_s: float = 3 * 3600.0
     #: Memo of distance rankings keyed by rounded egress position.
     _ranking_memo: dict = field(default_factory=dict)
+    #: Rounded ranking key per egress GeoPoint (a pure projection; the
+    #: few egress points recur for every probe).
+    _anchor_key_memo: dict = field(default_factory=dict)
+    #: Serving-cluster pick per (rounded egress, device, wobble epoch) —
+    #: every input is quantised, so caching cannot change any draw.
+    _serving_memo: dict = field(default_factory=dict)
+    #: (cluster, machine) per (rounded egress, device, wobble epoch,
+    #: balancing epoch): the hot-path fusion of ``serving_cluster`` +
+    #: ``machine_for`` into one dictionary probe.
+    _serve_memo: dict = field(default_factory=dict)
+    #: Memo of routing facts keyed by (origin ASN, machine ip) — the
+    #: route verdict depends only on the origin's AS (see
+    #: VirtualInternet.route_view), not on the per-probe origin sample.
+    _route_memo: dict = field(default_factory=dict)
 
     # -- anycast routing ----------------------------------------------------
-
-    def _ranked_clusters(self, origin: ProbeOrigin) -> List["PublicDnsCluster"]:
-        anchor = origin.egress_location
-        key = (round(anchor.latitude, 1), round(anchor.longitude, 1))
-        ranked = self._ranking_memo.get(key)
-        if ranked is None:
-            ranked = sorted(
-                self.clusters,
-                key=lambda cluster: cluster.location.distance_km(anchor),
-            )
-            self._ranking_memo[key] = ranked
-        return ranked
 
     def serving_cluster(
         self, origin: ProbeOrigin, device_key: str, now: float
@@ -119,16 +130,63 @@ class PublicDnsService:
         """The cluster an origin's packets reach at virtual ``now``."""
         if not self.clusters:
             raise ValueError(f"{self.name} has no clusters")
-        ranked = self._ranked_clusters(origin)
+        anchor = origin.egress_location
+        ranking_key = self._anchor_key_memo.get(anchor)
+        if ranking_key is None:
+            ranking_key = (round(anchor.latitude, 1), round(anchor.longitude, 1))
+            self._anchor_key_memo[anchor] = ranking_key
         epoch = int(now // self.wobble_epoch_s)
-        draw = stable_fraction(self.seed, "route", device_key, epoch)
-        if draw >= self.route_instability or len(ranked) == 1:
-            return ranked[0]
-        breadth = min(self.wobble_breadth, len(ranked) - 1)
-        shift = stable_index(
-            self.seed, "wobble", device_key, epoch, modulo=breadth
+        memo_key = (ranking_key, device_key, epoch)
+        cluster = self._serving_memo.get(memo_key)
+        if cluster is None:
+            ranked = self._ranking_memo.get(ranking_key)
+            if ranked is None:
+                ranked = sorted(
+                    self.clusters,
+                    key=lambda candidate: candidate.location.distance_km(
+                        anchor
+                    ),
+                )
+                self._ranking_memo[ranking_key] = ranked
+            draw = stable_fraction(self.seed, "route", device_key, epoch)
+            if draw >= self.route_instability or len(ranked) == 1:
+                cluster = ranked[0]
+            else:
+                breadth = min(self.wobble_breadth, len(ranked) - 1)
+                shift = stable_index(
+                    self.seed, "wobble", device_key, epoch, modulo=breadth
+                )
+                cluster = ranked[1 + shift]
+            self._serving_memo[memo_key] = cluster
+        return cluster
+
+    def _serve(
+        self, origin: ProbeOrigin, device_key: str, now: float
+    ) -> tuple:
+        """(cluster, machine) answering ``origin`` at ``now``.
+
+        Equivalent to :meth:`serving_cluster` + ``machine_for`` — both
+        pure in quantised inputs — memoised under one key so resolve and
+        ping pay a single lookup.
+        """
+        anchor = origin.egress_location
+        ranking_key = self._anchor_key_memo.get(anchor)
+        if ranking_key is None:
+            ranking_key = (round(anchor.latitude, 1), round(anchor.longitude, 1))
+            self._anchor_key_memo[anchor] = ranking_key
+        key = (
+            ranking_key,
+            device_key,
+            int(now // self.wobble_epoch_s),
+            int(now // (6 * 3600.0)),
         )
-        return ranked[1 + shift]
+        pair = self._serve_memo.get(key)
+        if pair is None:
+            cluster = self.serving_cluster(origin, device_key, now)
+            machine = cluster.machine_for(device_key, self.seed, now)
+            pair = (cluster, machine)
+            self._serve_memo[key] = pair
+        return pair
 
     # -- client operations ---------------------------------------------------
 
@@ -146,9 +204,14 @@ class PublicDnsService:
         Returns None when the service is unreachable (never the case for
         outbound cellular flows, but kept symmetric with other probes).
         """
-        cluster = self.serving_cluster(origin, device_key, now)
-        machine = cluster.machine_for(device_key, self.seed, now)
-        rtt = cluster.engine.internet.flow_rtt(origin, machine.ip, stream)
+        cluster, machine = self._serve(origin, device_key, now)
+        internet = cluster.engine.internet
+        route_key = (origin.asys.asn, machine.ip)
+        route = self._route_memo.get(route_key)
+        if route is None:
+            route = internet.route_view(origin, machine.ip)
+            self._route_memo[route_key] = route
+        rtt = internet.flow_rtt(origin, machine.ip, stream, route=route)
         if rtt is None:
             return None
         client_subnet = None
@@ -182,9 +245,14 @@ class PublicDnsService:
         device_key: str = "",
     ) -> Optional[float]:
         """Ping the anycast address: lands on the serving cluster."""
-        cluster = self.serving_cluster(origin, device_key, now)
-        machine = cluster.machine_for(device_key, self.seed, now)
-        rtt = cluster.engine.internet.measure_rtt(origin, machine.ip, stream)
+        cluster, machine = self._serve(origin, device_key, now)
+        internet = cluster.engine.internet
+        route_key = (origin.asys.asn, machine.ip)
+        route = self._route_memo.get(route_key)
+        if route is None:
+            route = internet.route_view(origin, machine.ip)
+            self._route_memo[route_key] = route
+        rtt = internet.measure_rtt(origin, machine.ip, stream, route=route)
         if rtt is None:
             return None
         return rtt + self.peering_penalty_ms

@@ -9,22 +9,50 @@ tails in Figs 5/6/13.
 
 Root and TLD referrals are assumed warm (as they are on any production
 resolver); the authority directory plays the role of that warm NS cache.
+
+Resolution is the simulator's hottest path (it runs ~39 times per
+experiment), so the engine keeps *compiled resolution plans*: for a
+given (qname, qtype, client subnet) the authority chain walked by
+:meth:`RecursiveEngine._fetch_chain` is deterministic given static zone
+data, so after one generic walk the chain and its static answer
+templates are memoised.  Replaying a plan samples exactly the same
+upstream RTTs (the only random draws on the walk) and re-derives only
+what genuinely varies per call:
+
+* **RTT sampling** — one ``flow_rtt`` draw per authority hop, same
+  arguments and order as the generic walk;
+* **CDN replica selection** — memoised per mapping-rotation epoch
+  (:meth:`~repro.cdn.provider.CdnAuthority.rotation_epoch`) and
+  recomputed when the epoch rolls;
+* **resolver-echo observations** — logged per call via
+  :meth:`~repro.dns.authoritative.ResolverEchoAuthority.observe` (echo
+  names are unique per experiment, so echo chains ride a per-engine
+  inline fast path instead of stored plans);
+* **TTL aging** — applied lazily at the cache boundary.
+
+Plans stamp the directory and zone versions they compiled against and
+are discarded on mismatch, so zone edits are never served stale.
+``_fetch_chain`` itself is kept as the uncompiled reference walk; the
+property tests assert plan replay is byte-identical to it.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.cdn.provider import CdnAuthority
 from repro.core.errors import ResolutionError
 from repro.core.internet import VirtualInternet
 from repro.core.node import Host, ProbeOrigin
 from repro.core.rng import RandomStream
-from repro.dns.authoritative import Authority
+from repro.dns.authoritative import (
+    Authority,
+    ResolverEchoAuthority,
+    StaticAuthority,
+)
 from repro.dns.cache import DnsCache
 from repro.dns.message import (
-    DNSMessage,
     RCode,
     ResourceRecord,
     RRType,
@@ -33,26 +61,161 @@ from repro.dns.message import (
 )
 from repro.dns.zone import MAX_CNAME_CHAIN, ZoneDirectory
 
+#: Cap on stored plans per engine (resolving unbounded unique names —
+#: e.g. under an unregistered zone — must not grow memory unboundedly).
+MAX_COMPILED_PLANS = 65536
 
-@dataclass
+#: Memoised "no admitted flow to this authority" verdict.
+_UNREACHABLE = object()
+
+
 class RecursiveResult:
-    """Outcome of one recursive resolution."""
+    """Outcome of one recursive resolution.
 
-    qname: str
-    qtype: RRType
-    records: List[ResourceRecord]
-    rcode: RCode
-    #: Time spent talking to authorities (0 for cache hits).
-    upstream_ms: float
-    cache_hit: bool
-    #: IP the authorities saw as the query source (the resolver itself).
-    resolver_ip: str
-    #: Authorities contacted, in order (empty for cache hits).
-    authorities: List[str] = field(default_factory=list)
+    Warm cache hits are allocation-free: the result holds the cached
+    record templates plus the remaining TTL, and the aged clones are
+    built only if :attr:`records` is actually read (``addresses`` and
+    ``cname_chain`` read the templates directly — aging never changes
+    rdata or type).
+    """
+
+    __slots__ = (
+        "qname",
+        "qtype",
+        "rcode",
+        "upstream_ms",
+        "cache_hit",
+        "resolver_ip",
+        "authorities",
+        "min_ttl",
+        "_records",
+        "_raw",
+        "_remaining",
+    )
+
+    def __init__(
+        self,
+        qname: str,
+        qtype: RRType,
+        records: Optional[List[ResourceRecord]] = None,
+        rcode: RCode = RCode.NOERROR,
+        upstream_ms: float = 0.0,
+        cache_hit: bool = False,
+        resolver_ip: str = "",
+        authorities: Optional[List[str]] = None,
+        raw_records: Optional[Tuple[ResourceRecord, ...]] = None,
+        ttl_remaining: int = 0,
+        min_ttl: Optional[int] = None,
+    ) -> None:
+        self.qname = qname
+        self.qtype = qtype
+        #: Time spent talking to authorities (0 for cache hits).
+        self.upstream_ms = upstream_ms
+        self.rcode = rcode
+        self.cache_hit = cache_hit
+        #: IP the authorities saw as the query source (the resolver itself).
+        self.resolver_ip = resolver_ip
+        #: Authorities contacted, in order (empty for cache hits).
+        self.authorities = authorities if authorities is not None else ()
+        #: Minimum TTL over ``records`` when the producer already knows
+        #: it (compiled-plan replays); None means "compute if needed".
+        self.min_ttl = min_ttl
+        self._records = records
+        self._raw = raw_records
+        self._remaining = ttl_remaining
+
+    @property
+    def records(self) -> List[ResourceRecord]:
+        """Answer records, TTLs aged to the lookup instant."""
+        records = self._records
+        if records is None:
+            remaining = self._remaining
+            records = [record.with_ttl(remaining) for record in self._raw]
+            self._records = records
+        return records
+
+    def _template_records(self):
+        records = self._records
+        return records if records is not None else self._raw
 
     def addresses(self) -> List[str]:
         """A-record addresses in the final answer."""
-        return [record.data for record in self.records if record.rtype is RRType.A]
+        return [
+            record.data
+            for record in self._template_records()
+            if record.rtype is RRType.A
+        ]
+
+    def cname_chain(self) -> List[str]:
+        """CNAME targets in the answer, in chain order."""
+        return [
+            record.data
+            for record in self._template_records()
+            if record.rtype is RRType.CNAME
+        ]
+
+
+class _Plan:
+    """One compiled resolution chain for (qname, qtype, client subnet)."""
+
+    __slots__ = (
+        "hops",
+        "hop_samplers",
+        "static_records",
+        "static_min_ttl",
+        "rcode",
+        "terminal_kind",
+        "terminal_authority",
+        "terminal_qname",
+        "client_subnet",
+        "directory_version",
+        "zone_checks",
+        "cdn_memo",
+    )
+
+    def __init__(
+        self,
+        hops: Tuple[str, ...],
+        hop_samplers: Tuple,
+        static_records: Tuple[ResourceRecord, ...],
+        rcode: RCode,
+        terminal_kind: Optional[str],
+        terminal_authority: Optional[Authority],
+        terminal_qname: str,
+        client_subnet: Optional[str],
+        directory_version: int,
+        zone_checks: Tuple[tuple, ...],
+    ) -> None:
+        #: Authority-host IPs in query order (one RTT draw each).
+        self.hops = hops
+        #: The resolved RTT sampler per hop, in the same order — the
+        #: exact closures ``_hop_rtt`` would fetch, stored so a replay
+        #: skips the per-hop sampler-table lookup.
+        self.hop_samplers = hop_samplers
+        #: Accumulated answers of the static NOERROR hops (whole chain
+        #: when the plan is fully static, the prefix otherwise).
+        self.static_records = static_records
+        #: Minimum TTL over the static records (None when there are
+        #: none) — the cache-lifetime scan, hoisted out of every replay.
+        self.static_min_ttl = (
+            min(record.ttl for record in static_records)
+            if static_records
+            else None
+        )
+        #: Final rcode of a fully static chain.
+        self.rcode = rcode
+        #: None (fully static) or "cdn" — the last hop re-derives.
+        self.terminal_kind = terminal_kind
+        self.terminal_authority = terminal_authority
+        #: Name queried at the terminal hop (post-CNAME-chase).
+        self.terminal_qname = terminal_qname
+        self.client_subnet = client_subnet
+        self.directory_version = directory_version
+        #: (authority, zone, version) per static hop.
+        self.zone_checks = zone_checks
+        #: (epoch, rcode, records) of the last CDN answer; re-derived on
+        #: rotation (the per-/24 replica windows may move).
+        self.cdn_memo: Optional[tuple] = None
 
 
 class RecursiveEngine:
@@ -89,8 +252,17 @@ class RecursiveEngine:
         #: The resolver's probe origin is constant (resolvers do not
         #: move); build it once instead of per upstream query.
         self._upstream_origin: Optional[ProbeOrigin] = None
-        #: Routing facts per authority address (static topology).
-        self._route_memo: dict = {}
+        #: Precompiled RTT samplers per authority address: the resolver's
+        #: origin never moves, so each upstream leg's deterministic parts
+        #: fold into one closure (see VirtualInternet.flow_sampler).
+        self._hop_samplers: dict = {}
+        #: Compiled plans per (qname, qtype, client_subnet); None marks a
+        #: chain that cannot be compiled (an authority of unknown type).
+        self._plans: Dict[tuple, Optional[_Plan]] = {}
+        #: Effective background-warm probability per (integer) TTL — a
+        #: pure function of the TTL and two engine constants, so the
+        #: memo cannot change any draw.
+        self._warm_prob_memo: Dict[int, float] = {}
 
     # -- internals -------------------------------------------------------
 
@@ -108,6 +280,20 @@ class RecursiveEngine:
             self._upstream_origin = origin
         return origin
 
+    def _hop_rtt(self, ip: str, stream: RandomStream) -> float:
+        """One upstream RTT draw toward an authority address."""
+        sampler = self._hop_samplers.get(ip)
+        if sampler is None:
+            sampler = self.internet.flow_sampler(self._origin(stream), ip)
+            if sampler is None:
+                sampler = _UNREACHABLE
+            self._hop_samplers[ip] = sampler
+        if sampler is _UNREACHABLE:
+            raise ResolutionError(
+                f"authority {ip} unreachable from {self.host.ip}"
+            )
+        return sampler(stream)
+
     def _query_authority(
         self,
         authority: Authority,
@@ -118,17 +304,7 @@ class RecursiveEngine:
         client_subnet: Optional[str] = None,
     ) -> tuple:
         """Send one query upstream; returns (response, rtt_ms)."""
-        origin = self._origin(stream)
-        ip = authority.host.ip
-        route = self._route_memo.get(ip)
-        if route is None:
-            route = self.internet.route_view(origin, ip)
-            self._route_memo[ip] = route
-        rtt = self.internet.flow_rtt(origin, ip, stream, route=route)
-        if rtt is None:
-            raise ResolutionError(
-                f"authority {authority.host.ip} unreachable from {self.host.ip}"
-            )
+        rtt = self._hop_rtt(authority.host.ip, stream)
         response = authority.answer(
             make_query(qname, qtype), self.host.ip, now, client_subnet=client_subnet
         )
@@ -143,7 +319,11 @@ class RecursiveEngine:
         timed: bool,
         client_subnet: Optional[str] = None,
     ) -> RecursiveResult:
-        """Walk authorities, chasing CNAMEs, accumulating upstream time."""
+        """Walk authorities, chasing CNAMEs, accumulating upstream time.
+
+        The uncompiled reference walk: plan compilation and replay in
+        :meth:`_resolve_upstream` must stay byte-identical to this.
+        """
         answers: List[ResourceRecord] = []
         contacted: List[str] = []
         upstream_ms = 0.0
@@ -186,6 +366,251 @@ class RecursiveEngine:
             authorities=contacted,
         )
 
+    # -- compiled plans --------------------------------------------------
+
+    def _plan_valid(self, plan: _Plan) -> bool:
+        """Whether a compiled plan still matches the zone data."""
+        if plan.directory_version != self.directory.version:
+            return False
+        for authority, zone, version in plan.zone_checks:
+            if authority.zone is not zone or zone.version != version:
+                return False
+        return True
+
+    def _walk_and_compile(
+        self,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+        client_subnet: Optional[str],
+        plan_key: tuple,
+    ) -> RecursiveResult:
+        """Generic chain walk that also compiles a plan when possible."""
+        answers: List[ResourceRecord] = []
+        contacted: List[str] = []
+        upstream_ms = 0.0
+        current = qname
+        rcode = RCode.NOERROR
+        directory_version = self.directory.version
+        zone_checks: List[tuple] = []
+        static_records: List[ResourceRecord] = []
+        terminal_kind: Optional[str] = None
+        terminal_authority: Optional[Authority] = None
+        terminal_qname = current
+        plannable = True
+        for _ in range(MAX_CNAME_CHAIN):
+            authority = self.directory.authority_for(current)
+            if authority is None:
+                rcode = RCode.SERVFAIL
+                break
+            response, rtt = self._query_authority(
+                authority, current, qtype, now, stream, client_subnet=client_subnet
+            )
+            upstream_ms += rtt
+            contacted.append(authority.host.ip)
+            rcode = response.rcode
+            kind = type(authority)
+            if kind is StaticAuthority:
+                zone_checks.append(
+                    (authority, authority.zone, authority.zone.version)
+                )
+                if rcode is RCode.NOERROR:
+                    static_records.extend(response.answers)
+            elif kind is CdnAuthority:
+                terminal_kind = "cdn"
+                terminal_authority = authority
+                terminal_qname = current
+            elif kind is ResolverEchoAuthority:
+                # Echo names are unique per experiment; a stored plan
+                # would never be replayed.  The inline fast path in
+                # _resolve_upstream covers direct echo chains, so only
+                # CNAME-into-echo chains land here — walk them generically.
+                plannable = False
+            else:
+                plannable = False
+            if rcode is not RCode.NOERROR:
+                break
+            answers.extend(response.answers)
+            terminal = [
+                record for record in response.answers if record.rtype is qtype
+            ]
+            if terminal or not response.answers:
+                break
+            last = response.answers[-1]
+            if last.rtype is not RRType.CNAME:
+                break
+            if terminal_kind is not None:
+                # A dynamic authority continued the chain; its future
+                # answers may redirect elsewhere, so don't compile.
+                plannable = False
+                terminal_kind = None
+                terminal_authority = None
+            current = last.data
+        else:
+            raise ResolutionError(f"CNAME chain too long resolving {qname}")
+
+        if plannable:
+            samplers = self._hop_samplers
+            plan = _Plan(
+                hops=tuple(contacted),
+                # Every contacted hop was reachable (the walk queried it),
+                # so its sampler is present and never _UNREACHABLE.
+                hop_samplers=tuple(samplers[ip] for ip in contacted),
+                # Static hops' answers only: a CDN terminal hop's
+                # (epoch-varying) answers live in the cdn_memo instead.
+                static_records=tuple(static_records),
+                rcode=rcode,
+                terminal_kind=terminal_kind,
+                terminal_authority=terminal_authority,
+                terminal_qname=terminal_qname,
+                client_subnet=client_subnet,
+                directory_version=directory_version,
+                zone_checks=tuple(zone_checks),
+            )
+            if terminal_kind == "cdn":
+                cdn_records = (
+                    tuple(response.answers) if rcode is RCode.NOERROR else ()
+                )
+                plan.cdn_memo = (
+                    terminal_authority.rotation_epoch(now),
+                    rcode,
+                    cdn_records,
+                    min(record.ttl for record in cdn_records)
+                    if cdn_records
+                    else None,
+                )
+            if len(self._plans) < MAX_COMPILED_PLANS or plan_key in self._plans:
+                self._plans[plan_key] = plan
+        elif len(self._plans) < MAX_COMPILED_PLANS or plan_key in self._plans:
+            self._plans[plan_key] = None
+
+        return RecursiveResult(
+            qname=qname,
+            qtype=qtype,
+            records=answers,
+            rcode=rcode,
+            upstream_ms=upstream_ms,
+            cache_hit=False,
+            resolver_ip=self.host.ip,
+            authorities=contacted,
+        )
+
+    def _replay_plan(
+        self,
+        plan: _Plan,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+    ) -> RecursiveResult:
+        """Re-run a compiled chain: fresh RTT draws, memoised answers."""
+        upstream_ms = 0.0
+        for sampler in plan.hop_samplers:
+            upstream_ms += sampler(stream)
+        rcode = plan.rcode
+        min_ttl = plan.static_min_ttl
+        if plan.terminal_kind is None:
+            # The shared immutable tuple: every consumer (address/CNAME
+            # extraction, TTL scan, cache insert) only iterates it.
+            records = plan.static_records
+        else:  # "cdn"
+            authority = plan.terminal_authority
+            epoch = authority.rotation_epoch(now)
+            memo = plan.cdn_memo
+            if memo is None or memo[0] != epoch:
+                response = authority.answer(
+                    make_query(plan.terminal_qname, qtype),
+                    self.host.ip,
+                    now,
+                    client_subnet=plan.client_subnet,
+                )
+                cdn_records = (
+                    tuple(response.answers)
+                    if response.rcode is RCode.NOERROR
+                    else ()
+                )
+                memo = (
+                    epoch,
+                    response.rcode,
+                    cdn_records,
+                    min(record.ttl for record in cdn_records)
+                    if cdn_records
+                    else None,
+                )
+                plan.cdn_memo = memo
+            rcode = memo[1]
+            records = list(plan.static_records)
+            records.extend(memo[2])
+            cdn_min = memo[3]
+            if min_ttl is None:
+                min_ttl = cdn_min
+            elif cdn_min is not None and cdn_min < min_ttl:
+                min_ttl = cdn_min
+        return RecursiveResult(
+            qname,
+            qtype,
+            records,
+            rcode,
+            upstream_ms,
+            False,
+            self.host.ip,
+            plan.hops,
+            None,
+            0,
+            min_ttl,
+        )
+
+    def _resolve_upstream(
+        self,
+        qname: str,
+        qtype: RRType,
+        now: float,
+        stream: RandomStream,
+        client_subnet: Optional[str],
+    ) -> RecursiveResult:
+        """A cache-miss resolution: replay a plan or walk and compile."""
+        plan_key = (qname, qtype, client_subnet)
+        plan = self._plans.get(plan_key, False)
+        if plan is not False and plan is not None:
+            # _plan_valid, inlined (this is the warm-miss fast path);
+            # checked before the authority lookup: a valid plan already
+            # pins the chain, so replays skip the directory entirely.
+            if plan.directory_version == self.directory.version:
+                for authority, zone, version in plan.zone_checks:
+                    if authority.zone is not zone or zone.version != version:
+                        break
+                else:
+                    return self._replay_plan(plan, qname, qtype, now, stream)
+        authority = self.directory.authority_for(qname)
+        if type(authority) is ResolverEchoAuthority:
+            # Inline echo fast path: the chain is always the single echo
+            # hop (the authority answers any in-zone name with one
+            # zero-TTL A record), and echo names are unique per
+            # experiment so a stored plan would never be reused (they
+            # never enter ``_plans``, so the lookup above always misses).
+            rtt = self._hop_rtt(authority.host.ip, stream)
+            record = authority.observe(qname, self.host.ip, now)
+            return RecursiveResult(
+                qname=qname,
+                qtype=qtype,
+                records=[record],
+                rcode=RCode.NOERROR,
+                upstream_ms=rtt,
+                cache_hit=False,
+                resolver_ip=self.host.ip,
+                authorities=[authority.host.ip],
+            )
+        if plan is None:
+            # Known-uncompilable chain: walk generically without
+            # re-attempting compilation bookkeeping.
+            return self._fetch_chain(
+                qname, qtype, now, stream, timed=True, client_subnet=client_subnet
+            )
+        return self._walk_and_compile(
+            qname, qtype, now, stream, client_subnet, plan_key
+        )
+
     # -- public API ------------------------------------------------------------
 
     def resolve(
@@ -214,58 +639,71 @@ class RecursiveEngine:
         per-carrier campaign shards run in parallel yet bit-identically
         to a serial run.  Cross-carrier warmth is modelled (as all other
         background population is) by ``background_warm_prob``.
+
+        Every lookup counts exactly once in the cache statistics: as a
+        hit when served from cache (including modelled background-warm
+        hits) or as a miss otherwise, so ``stats.lookups`` equals the
+        number of ``resolve`` calls.
         """
         qname = normalize_name(qname)
-        cache_name = qname if client_subnet is None else (
-            f"{client_subnet.split('/')[0]}.__ecs__.{qname}"
-        )
-        if cache_scope:
-            cache_name = f"{cache_scope}.__scope__.{cache_name}"
-        entry = self.cache.get_entry_kind(cache_name, qtype, now)
-        if entry is not None:
-            self.cache.stats.hits += 1
-            records, negative = entry
+        cache = self.cache
+        stats = cache.stats
+        key = (cache_scope, client_subnet, qname, qtype)
+        peeked = cache.peek_entry(key, now)
+        if peeked is not None:
+            stats.hits += 1
+            records, remaining, negative = peeked
             return RecursiveResult(
-                qname=qname,
-                qtype=qtype,
-                records=records,
-                rcode=RCode.NXDOMAIN if negative else RCode.NOERROR,
-                upstream_ms=0.0,
-                cache_hit=True,
-                resolver_ip=self.host.ip,
+                qname,
+                qtype,
+                None,
+                RCode.NXDOMAIN if negative else RCode.NOERROR,
+                0.0,
+                True,
+                self.host.ip,
+                None,
+                records,
+                remaining,
             )
-        self.cache.stats.misses += 1
-        result = self._fetch_chain(
-            qname, qtype, now, stream, timed=True, client_subnet=client_subnet
-        )
+        result = self._resolve_upstream(qname, qtype, now, stream, client_subnet)
         if result.rcode is RCode.NXDOMAIN:
             # Negative caching (RFC 2308); stand-in for the SOA minimum.
-            self.cache.put_negative(
-                cache_name, qtype, self.negative_ttl_s, now
+            stats.misses += 1
+            cache.put_negative(
+                qname, qtype, self.negative_ttl_s, now,
+                scope=cache_scope, subnet=client_subnet,
             )
             return result
         if result.rcode is not RCode.NOERROR or not result.records:
+            stats.misses += 1
             return result
-        ttl = min(record.ttl for record in result.records)
+        ttl = result.min_ttl
+        if ttl is None:
+            ttl = min(record.ttl for record in result.records)
         if ttl <= 0:
+            stats.misses += 1
             return result
         if client_subnet is None and self._background_warm_hit(ttl, stream):
             # Another subscriber fetched this recently: the entry is
             # already cached, randomly aged, and our query is a hit.
             age = stream.uniform(0.0, ttl * 0.95)
-            self.cache.put_answer(cache_name, qtype, result.records, now - age)
-            aged = self.cache.get(cache_name, qtype, now)
-            if aged is not None:
+            cache.put_answer_entry(key, result.records, now - age, ttl)
+            peeked = cache.peek_entry(key, now)
+            if peeked is not None:
+                stats.hits += 1
+                records, remaining, negative = peeked
                 return RecursiveResult(
                     qname=qname,
                     qtype=qtype,
-                    records=aged,
                     rcode=RCode.NOERROR,
                     upstream_ms=0.0,
                     cache_hit=True,
                     resolver_ip=self.host.ip,
+                    raw_records=records,
+                    ttl_remaining=remaining,
                 )
-        self.cache.put_answer(cache_name, qtype, result.records, now)
+        stats.misses += 1
+        cache.put_answer_entry(key, result.records, now, ttl)
         return result
 
     def _background_warm_hit(self, ttl: int, stream: RandomStream) -> bool:
@@ -277,5 +715,9 @@ class RecursiveEngine:
         """
         if self.background_warm_prob <= 0:
             return False
-        alive = 1.0 - math.exp(-ttl / self.background_interval_s)
-        return stream.bernoulli(self.background_warm_prob * alive)
+        probability = self._warm_prob_memo.get(ttl)
+        if probability is None:
+            alive = 1.0 - math.exp(-ttl / self.background_interval_s)
+            probability = self.background_warm_prob * alive
+            self._warm_prob_memo[ttl] = probability
+        return stream.bernoulli(probability)

@@ -33,6 +33,11 @@ class Zone:
     records: Dict[Tuple[str, RRType], List[ResourceRecord]] = field(
         default_factory=dict
     )
+    #: Bumped on every mutation through :meth:`add`/:meth:`remove`.
+    #: Compiled resolution plans (``repro.dns.recursive``) stamp the
+    #: version they were built against and recompile on mismatch, so
+    #: zone edits can never be served from a stale plan.
+    version: int = 0
 
     def __post_init__(self) -> None:
         self.apex = normalize_name(self.apex)
@@ -44,6 +49,7 @@ class Zone:
         if not name_within(record.name, self.apex):
             raise ZoneError(f"{record.name} is outside zone {self.apex}")
         self.records.setdefault((record.name, record.rtype), []).append(record)
+        self.version += 1
 
     def add_a(self, name: str, addresses: Iterable[str], ttl: int) -> None:
         """Add an A record set."""
@@ -60,6 +66,7 @@ class Zone:
     def remove(self, name: str, rtype: RRType) -> None:
         """Delete a record set if present."""
         self.records.pop((normalize_name(name), rtype), None)
+        self.version += 1
 
     # -- lookups -------------------------------------------------------------
 
@@ -128,6 +135,9 @@ class ZoneDirectory:
 
     zones: Dict[str, object] = field(default_factory=dict)
     _lookup_memo: Dict[str, Optional[object]] = field(default_factory=dict)
+    #: Bumped whenever the zone set changes; resolution plans compiled
+    #: against an older directory layout are discarded on mismatch.
+    version: int = 0
 
     def register(self, apex: str, authority: object) -> None:
         """Register the authority serving ``apex``."""
@@ -136,6 +146,7 @@ class ZoneDirectory:
             raise ZoneError(f"zone {apex} already registered")
         self.zones[apex] = authority
         self._lookup_memo.clear()
+        self.version += 1
 
     def authority_for(self, qname: str) -> Optional[object]:
         """Longest-suffix-match authority for a name."""

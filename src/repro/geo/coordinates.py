@@ -20,6 +20,20 @@ class GeoPoint:
             raise ValueError(f"latitude out of range: {self.latitude}")
         if not -180.0 <= self.longitude <= 180.0:
             raise ValueError(f"longitude out of range: {self.longitude}")
+        # Points key the latency-model memos, where the same few objects
+        # are hashed hundreds of thousands of times per campaign.
+        object.__setattr__(
+            self, "_hash", hash((self.latitude, self.longitude))
+        )
+        # Haversine terms that depend on one endpoint only.  The stored
+        # values are exactly what the distance formula would compute
+        # inline, so distances stay bit-identical.
+        rad_lat = math.radians(self.latitude)
+        object.__setattr__(self, "_rad_lat", rad_lat)
+        object.__setattr__(self, "_cos_lat", math.cos(rad_lat))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def distance_km(self, other: "GeoPoint") -> float:
         """Great-circle distance to another point in kilometres."""
@@ -47,13 +61,16 @@ class GeoPoint:
 
 
 def haversine_km(first: GeoPoint, second: GeoPoint) -> float:
-    """Great-circle distance between two points in kilometres."""
-    lat1 = math.radians(first.latitude)
-    lat2 = math.radians(second.latitude)
-    dlat = lat2 - lat1
+    """Great-circle distance between two points in kilometres.
+
+    Uses the per-point precomputed latitude terms; ``dlon`` must stay
+    ``radians(lon2 - lon1)`` (not a difference of precomputed radians,
+    which rounds differently) to match the original formula bit for bit.
+    """
+    dlat = second._rad_lat - first._rad_lat
     dlon = math.radians(second.longitude - first.longitude)
     a = (
         math.sin(dlat / 2.0) ** 2
-        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+        + first._cos_lat * second._cos_lat * math.sin(dlon / 2.0) ** 2
     )
     return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))

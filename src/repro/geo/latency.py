@@ -14,6 +14,7 @@ multiplicative log-normal jitter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.rng import RandomStream
@@ -51,6 +52,8 @@ class WanLatencyModel:
         # Endpoint pairs repeat heavily (devices probe many targets from
         # one position); the deterministic part of the RTT is memoised.
         self._base_memo: dict = {}
+        # (base, ln(base)) per pair, for the per-sample path.
+        self._leg_memo: dict = {}
 
     def base_rtt_ms(self, src: GeoPoint, dst: GeoPoint) -> float:
         """Deterministic (jitter-free) WAN RTT between two points.
@@ -73,10 +76,43 @@ class WanLatencyModel:
 
     def rtt_ms(self, src: GeoPoint, dst: GeoPoint, stream: RandomStream) -> float:
         """One sampled WAN RTT (base plus multiplicative jitter)."""
-        base = self.base_rtt_ms(src, dst)
+        base, log_base = self.leg_params(src, dst)
         if self.jitter_sigma <= 0:
             return base
-        return stream.lognormal_ms(base, self.jitter_sigma)
+        return stream.lognormal_from_log(log_base, self.jitter_sigma)
+
+    def leg_params(self, src: GeoPoint, dst: GeoPoint) -> tuple:
+        """``(base, ln(base))`` for one endpoint pair, memoised.
+
+        ``ln(base)`` feeds :meth:`RandomStream.lognormal_from_log`, which
+        is bit-identical to ``lognormal_ms(base, sigma)`` — the log is
+        just hoisted out of the per-sample path.
+        """
+        key = (src, dst)
+        leg = self._leg_memo.get(key)
+        if leg is None:
+            base = self.base_rtt_ms(src, dst)
+            leg = (base, math.log(base))
+            if len(self._leg_memo) < 1_000_000:
+                self._leg_memo[key] = leg
+        return leg
+
+    def leg_sampler(self, src: GeoPoint, dst: GeoPoint):
+        """A sampler bound to one endpoint pair: ``f(stream) == rtt_ms``.
+
+        Bit-identical to :meth:`rtt_ms` for the same stream state — one
+        log-normal draw from the precomputed ``ln(base)`` when jitter is
+        on, the base constant (no draw) otherwise — while skipping the
+        per-call memo lookup and endpoint hashing.  Hot paths with fixed
+        endpoints (a resolver's upstream authorities) compile these once.
+        """
+        base, log_base = self.leg_params(src, dst)
+        sigma = self.jitter_sigma
+        if sigma <= 0:
+            return lambda stream, _base=base: _base
+        return lambda stream, _m=log_base, _s=sigma: stream.lognormal_from_log(
+            _m, _s
+        )
 
     def hop_count(self, distance_km: float) -> int:
         """Inferred router hop count for a path of the given length.

@@ -15,6 +15,7 @@ latency model, great-circle distance), and writes the result to
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
@@ -152,9 +153,101 @@ def _timed_session_class(totals: Dict[str, float], counts: Dict[str, int]):
         timed.__name__ = name
         setattr(TimedProbeSession, name, timed)
 
+    # Exact signatures for the dns methods (no *args/**kwargs packing):
+    # the dns stage is the benchmark's headline per-call figure, so the
+    # meter's own overhead on it is kept to the two clock reads.
+    def dns_local(self, qname, now, attempt=1):
+        started = time.perf_counter()
+        result = DeviceProbeSession.dns_local(self, qname, now, attempt)
+        totals["dns"] += time.perf_counter() - started
+        counts["dns"] += 1
+        return result
+
+    def dns_public(self, kind, qname, now, attempt=1):
+        started = time.perf_counter()
+        result = DeviceProbeSession.dns_public(self, kind, qname, now, attempt)
+        totals["dns"] += time.perf_counter() - started
+        counts["dns"] += 1
+        return result
+
+    TimedProbeSession.dns_local = dns_local
+    TimedProbeSession.dns_public = dns_public
+
     for name, stage in _STAGE_OF_METHOD.items():
+        if name in ("dns_local", "dns_public"):
+            continue
         _wrap(name, stage)
     return TimedProbeSession
+
+
+#: DNS sub-phases reported under ``stages`` (see ``_instrument_dns``).
+DNS_SUBPHASES = ("dns_cache_hit", "dns_walk", "dns_cdn_select")
+
+
+def _instrument_dns(totals: Dict[str, float], counts: Dict[str, int]):
+    """Meter the DNS hot path's sub-phases; returns a restore callable.
+
+    Patches, at class level, the three nested layers of one resolution:
+    ``RecursiveEngine.resolve`` (everything), ``_resolve_upstream`` (the
+    authority walk a cache miss pays, whether replayed from a compiled
+    plan or walked generically), and ``CDNProvider.select_replicas``
+    (replica selection inside a CDN authority's answer).  Subtracting
+    nested totals yields the exclusive split reported as
+    ``dns_cache_hit_s`` (cache layer: peek, result building, puts),
+    ``dns_walk_s`` (authority chain minus CDN selection) and
+    ``dns_cdn_select_s``.  The wrappers only read the clock, so the
+    metered campaign consumes exactly the streams a plain run would.
+    """
+    from repro.cdn.provider import CDNProvider
+    from repro.dns.recursive import RecursiveEngine
+
+    original_resolve = RecursiveEngine.resolve
+    original_upstream = RecursiveEngine._resolve_upstream
+    original_select = CDNProvider.select_replicas
+
+    # Exact signatures (no *args/**kwargs packing): the wrappers sit on
+    # the hottest call paths being measured, so their own overhead must
+    # stay minimal.
+    def timed_resolve(
+        self, qname, qtype, now, stream, client_subnet=None, cache_scope=None
+    ):
+        started = time.perf_counter()
+        try:
+            return original_resolve(
+                self, qname, qtype, now, stream, client_subnet, cache_scope
+            )
+        finally:
+            totals["resolve"] += time.perf_counter() - started
+            counts["resolve"] += 1
+
+    def timed_upstream(self, qname, qtype, now, stream, client_subnet):
+        started = time.perf_counter()
+        try:
+            return original_upstream(
+                self, qname, qtype, now, stream, client_subnet
+            )
+        finally:
+            totals["upstream"] += time.perf_counter() - started
+            counts["upstream"] += 1
+
+    def timed_select(self, spec, resolver_ip, now, client_subnet=None):
+        started = time.perf_counter()
+        try:
+            return original_select(self, spec, resolver_ip, now, client_subnet)
+        finally:
+            totals["cdn"] += time.perf_counter() - started
+            counts["cdn"] += 1
+
+    RecursiveEngine.resolve = timed_resolve
+    RecursiveEngine._resolve_upstream = timed_upstream
+    CDNProvider.select_replicas = timed_select
+
+    def restore() -> None:
+        RecursiveEngine.resolve = original_resolve
+        RecursiveEngine._resolve_upstream = original_upstream
+        CDNProvider.select_replicas = original_select
+
+    return restore
 
 
 def bench_stage_breakdown(
@@ -170,6 +263,11 @@ def bench_stage_breakdown(
     """
     from repro.measure.campaign import Campaign, CampaignConfig
 
+    # Collect debris left by whatever ran before (run_benchmarks runs the
+    # big campaign first): the breakdown should time *this* campaign, not
+    # the previous benchmark's garbage.
+    gc.collect()
+
     scale = scale or smoke_scale()
     totals: Dict[str, float] = {stage: 0.0 for stage in STAGES}
     counts: Dict[str, int] = {stage: 0 for stage in STAGES}
@@ -182,9 +280,15 @@ def bench_stage_breakdown(
         ),
     )
     campaign.runner.session_class = _timed_session_class(totals, counts)
-    started = time.perf_counter()
-    dataset = campaign.run()
-    total_s = time.perf_counter() - started
+    dns_totals: Dict[str, float] = {"resolve": 0.0, "upstream": 0.0, "cdn": 0.0}
+    dns_counts: Dict[str, int] = {"resolve": 0, "upstream": 0, "cdn": 0}
+    restore_dns = _instrument_dns(dns_totals, dns_counts)
+    try:
+        started = time.perf_counter()
+        dataset = campaign.run()
+        total_s = time.perf_counter() - started
+    finally:
+        restore_dns()
 
     started = time.perf_counter()
     for record in dataset:
@@ -204,6 +308,17 @@ def bench_stage_breakdown(
         report[f"{stage}_us_per_call"] = (
             round(totals[stage] / counts[stage] * 1e6, 1) if counts[stage] else 0.0
         )
+    # Exclusive DNS sub-phase split (see _instrument_dns).
+    report["dns_resolve_calls"] = dns_counts["resolve"]
+    report["dns_upstream_calls"] = dns_counts["upstream"]
+    report["dns_cache_hit_s"] = round(
+        max(dns_totals["resolve"] - dns_totals["upstream"], 0.0), 3
+    )
+    report["dns_walk_s"] = round(
+        max(dns_totals["upstream"] - dns_totals["cdn"], 0.0), 3
+    )
+    report["dns_cdn_select_s"] = round(dns_totals["cdn"], 3)
+    report["dns_cdn_select_calls"] = dns_counts["cdn"]
     return report
 
 
@@ -342,6 +457,15 @@ def format_report(report: Dict[str, object]) -> str:
             + f" | other {stages['other_s']}s"
             if stages
             else "stages: skipped"
+        ),
+        (
+            f"dns split: cache-hit {stages['dns_cache_hit_s']}s | "
+            f"walk {stages['dns_walk_s']}s | "
+            f"cdn-select {stages['dns_cdn_select_s']}s "
+            f"({stages['dns_upstream_calls']} upstream walks over "
+            f"{stages['dns_resolve_calls']} resolves)"
+            if stages and "dns_cache_hit_s" in stages
+            else "dns split: skipped"
         ),
         (
             f"asn_of: indexed {asn['indexed_per_s']}/s vs "

@@ -55,6 +55,12 @@ class DeviceProbeSession:
     )
     #: Routing facts per target IP (origin AS is fixed for the session).
     _route_memo: Dict[str, RouteView] = field(default_factory=dict, repr=False)
+    #: Last attachment plus the time window over which every epoch in
+    #: its key is constant — probes inside one experiment land seconds
+    #: apart, so the window check replaces the key derivation entirely.
+    _att_cached: Optional[Attachment] = field(default=None, repr=False)
+    _att_since: float = field(default=0.0, repr=False)
+    _att_until: float = field(default=-1.0, repr=False)
     #: Replica-server lookup per replica IP (ping → HTTP share it).
     _replica_memo: Dict[str, object] = field(default_factory=dict, repr=False)
 
@@ -92,11 +98,31 @@ class DeviceProbeSession:
         experiment; its ``at`` stamp keeps the first derivation time,
         which no probe consumes.
         """
+        if self._att_since <= now < self._att_until:
+            return self._att_cached
         key = self.operator.attachment_epoch_key(self.device, now)
         cached = self._attachment_memo.get(key)
         if cached is None:
             cached = self.operator.attachment(self.device, now)
             self._attachment_memo[key] = cached
+        churn = self.operator.churn
+        since = 0.0
+        until = float("inf")
+        for epoch_s in (
+            churn.egress_epoch_s,
+            churn.ip_epoch_s,
+            churn.dhcp_epoch_s,
+            self.device.mobility.travel_epoch_s,
+        ):
+            start = (now // epoch_s) * epoch_s
+            if start > since:
+                since = start
+            end = start + epoch_s
+            if end < until:
+                until = end
+        self._att_cached = cached
+        self._att_since = since
+        self._att_until = until
         return cached
 
     def route_to(self, origin: ProbeOrigin, ip: str) -> RouteView:
@@ -127,7 +153,8 @@ class DeviceProbeSession:
         """
         technology = self.technology
         profile = self.operator.radio_profile
-        if not self.stream.bernoulli(profile.stability):
+        # stream.bernoulli, inlined (same single uniform draw).
+        if self.stream._rng.random() >= profile.stability:
             technology = profile.draw(self.stream)
         return self.operator.probe_origin(
             self.device,
@@ -160,11 +187,7 @@ class DeviceProbeSession:
             resolver_kind="local",
             resolution_ms=result.total_ms,
             addresses=result.addresses,
-            cname_chain=[
-                record.data
-                for record in result.records
-                if record.rtype is RRType.CNAME
-            ],
+            cname_chain=result.cname_chain(),
             attempt=attempt,
         )
 
@@ -195,11 +218,7 @@ class DeviceProbeSession:
             resolver_kind=kind,
             resolution_ms=outcome.total_ms,
             addresses=outcome.result.addresses(),
-            cname_chain=[
-                record.data
-                for record in outcome.result.records
-                if record.rtype is RRType.CNAME
-            ],
+            cname_chain=outcome.result.cname_chain(),
             attempt=attempt,
         )
 

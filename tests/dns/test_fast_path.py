@@ -1,0 +1,341 @@
+"""DNS resolution fast path: stats accounting, key safety, plan replay.
+
+Regression tests for the compiled-plan / tuple-key optimisation work:
+
+* every ``resolve`` call lands in the cache statistics exactly once
+  (including modelled background-warm hits);
+* adversarial query names carrying the old flattening sentinels
+  (``.__ecs__.`` / ``.__scope__.``) cannot collide across scopes or
+  client subnets, because keys are structured tuples;
+* ``normalize_name`` is idempotent and case-folding (property-based);
+* a compiled-plan replay is byte-identical to the uncompiled reference
+  walk (``_fetch_chain``) across randomized zone layouts.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import PrefixAllocator
+from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
+from repro.core.internet import VirtualInternet
+from repro.core.node import Host
+from repro.core.rng import RandomStream
+from repro.dns.authoritative import ResolverEchoAuthority, StaticAuthority
+from repro.dns.cache import DnsCache
+from repro.dns.message import DNSError, RCode, ResourceRecord, RRType, normalize_name
+from repro.dns.recursive import RecursiveEngine
+from repro.dns.zone import Zone, ZoneDirectory
+from repro.geo.coordinates import GeoPoint
+
+CHI = GeoPoint(41.8781, -87.6298)
+DC = GeoPoint(38.9072, -77.0369)
+SEA = GeoPoint(47.6062, -122.3321)
+MIA = GeoPoint(25.7617, -80.1918)
+
+
+def _build_engine(zones, echo_apex=None):
+    """A resolver engine over ``zones`` = {apex: [(add_fn_name, args)]}."""
+    net = VirtualInternet()
+    directory = ZoneDirectory()
+    allocator = PrefixAllocator.parse("198.18.0.0/16")
+    counter = [0]
+
+    def make_host(name, location):
+        system = AutonomousSystem(
+            asn=64500 + counter[0],
+            name=name,
+            kind=ASKind.CONTENT,
+            firewall=FirewallPolicy(blocks_inbound=False),
+        )
+        counter[0] += 1
+        prefix = allocator.allocate24()
+        system.add_prefix(prefix)
+        net.register_system(system)
+        host = Host(ip=prefix.host(1), name=name, asys=system, location=location)
+        net.register_host(host)
+        return host
+
+    locations = [DC, SEA, MIA]
+    for index, (apex, entries) in enumerate(zones.items()):
+        zone = Zone(apex)
+        for method, args in entries:
+            getattr(zone, method)(*args)
+        authority = StaticAuthority(
+            host=make_host(f"ns.{apex}", locations[index % len(locations)]),
+            zone_apex=apex,
+            zone=zone,
+        )
+        directory.register(apex, authority)
+    echo = None
+    if echo_apex is not None:
+        echo = ResolverEchoAuthority(
+            host=make_host(f"adns.{echo_apex}", CHI), zone_apex=echo_apex
+        )
+        directory.register(echo_apex, echo)
+    engine = RecursiveEngine(
+        host=make_host("resolver", CHI), directory=directory, internet=net
+    )
+    return engine, echo
+
+
+@pytest.fixture()
+def engine_with_echo():
+    engine, echo = _build_engine(
+        {
+            "site.com": [
+                ("add_cname", ("www.site.com", "edge.cdn-sim.net", 3600)),
+                ("add_a", ("direct.site.com", ["10.1.1.1"], 300)),
+                ("add_a", ("evil.__ecs__.16-7-0-0.site.com", ["10.2.2.2"], 600)),
+                ("add_a", ("evil.__scope__.carrier-x.site.com", ["10.3.3.3"], 600)),
+            ],
+            "cdn-sim.net": [
+                ("add_a", ("edge.cdn-sim.net", ["10.9.9.1", "10.9.9.2"], 30)),
+            ],
+        },
+        echo_apex="whoami.probe.net",
+    )
+    return engine, echo
+
+
+def _a(name, ttl, ip):
+    return ResourceRecord(name, RRType.A, ttl, ip)
+
+
+class TestCacheStatsAccounting:
+    """hits + misses == lookups == resolve calls, warm path included."""
+
+    def test_every_resolve_counts_exactly_once(self, engine_with_echo):
+        engine, _ = engine_with_echo
+        engine.background_warm_prob = 1.0  # exercise the warm-hit path
+        stream = RandomStream(42, "stats")
+        stats = engine.cache.stats
+        calls = 0
+        for round_index in range(30):
+            now = round_index * 500.0
+            # Popular name: cold walks, plan replays, warm hits, TTL
+            # expiries (30 s CDN TTL, 500 s spacing) all mixed together.
+            engine.resolve("www.site.com", RRType.A, now, stream)
+            # Long-TTL name: genuine same-entry cache hits.
+            engine.resolve("direct.site.com", RRType.A, now, stream)
+            engine.resolve("direct.site.com", RRType.A, now + 1.0, stream)
+            # Zero-TTL echo name: never cached, always a miss.
+            engine.resolve(
+                f"t{round_index}.whoami.probe.net", RRType.A, now, stream
+            )
+            # NXDOMAIN inside a zone: negative-cached, still one lookup.
+            engine.resolve("missing.site.com", RRType.A, now, stream)
+            # Unknown zone: SERVFAIL, uncacheable, still one lookup.
+            engine.resolve("no.such.zone.example", RRType.A, now, stream)
+            calls += 6
+        assert stats.lookups == calls
+        assert stats.hits + stats.misses == stats.lookups
+        # The mix above must actually exercise both counters.
+        assert stats.hits > 0
+        assert stats.misses > 0
+
+    def test_warm_hit_counts_as_hit_not_miss(self, engine_with_echo):
+        engine, _ = engine_with_echo
+        engine.background_warm_prob = 1.0
+        stream = RandomStream(7, "warm-stats")
+        stats = engine.cache.stats
+        for index in range(20):
+            result = engine.resolve(
+                "www.site.com", RRType.A, index * 1000.0, stream
+            )
+            if result.cache_hit and index == 0:
+                # First-ever lookup can only be a *warm* hit (nothing was
+                # cached); it must land in hits, and only once.
+                assert stats.hits == 1
+                assert stats.misses == 0
+            assert stats.lookups == index + 1
+
+
+class TestAdversarialQnames:
+    """Sentinel-bearing names cannot collide across scope/subnet keys."""
+
+    def test_scope_sentinel_in_name_does_not_collide(self):
+        cache = DnsCache()
+        # Under the old flattening scheme (scope appended to the name
+        # with a ``.__scope__.`` sentinel) these two entries shared a key.
+        cache.put_answer(
+            "x.com.__scope__.a", RRType.A,
+            [_a("x.com.__scope__.a", 60, "10.0.0.1")], now=0.0,
+        )
+        cache.put_answer(
+            "x.com", RRType.A, [_a("x.com", 60, "10.0.0.2")], now=0.0,
+            scope="a",
+        )
+        plain = cache.get("x.com.__scope__.a", RRType.A, now=1.0)
+        scoped = cache.get("x.com", RRType.A, now=1.0, scope="a")
+        assert [record.data for record in plain] == ["10.0.0.1"]
+        assert [record.data for record in scoped] == ["10.0.0.2"]
+        # The genuinely unscoped plain name was never inserted.
+        assert cache.get("x.com", RRType.A, now=1.0) is None
+
+    def test_ecs_sentinel_in_name_does_not_collide(self):
+        cache = DnsCache()
+        cache.put_answer(
+            "x.com.__ecs__.16-7-0-0", RRType.A,
+            [_a("x.com.__ecs__.16-7-0-0", 60, "10.0.0.1")], now=0.0,
+        )
+        cache.put_answer(
+            "x.com", RRType.A, [_a("x.com", 60, "10.0.0.2")], now=0.0,
+            subnet="16.7.0.0/24",
+        )
+        plain = cache.get("x.com.__ecs__.16-7-0-0", RRType.A, now=1.0)
+        scoped = cache.get("x.com", RRType.A, now=1.0, subnet="16.7.0.0/24")
+        assert [record.data for record in plain] == ["10.0.0.1"]
+        assert [record.data for record in scoped] == ["10.0.0.2"]
+        assert cache.get("x.com", RRType.A, now=1.0) is None
+
+    def test_scope_and_subnet_are_independent_dimensions(self):
+        cache = DnsCache()
+        cache.put_answer(
+            "x.com", RRType.A, [_a("x.com", 60, "10.0.0.1")], now=0.0,
+            scope="label",
+        )
+        assert cache.get("x.com", RRType.A, now=1.0, subnet="label") is None
+        assert cache.get("x.com", RRType.A, now=1.0, scope="label") is not None
+
+    def test_engine_sentinel_qname_scoped_per_subnet(self, engine_with_echo):
+        engine, _ = engine_with_echo
+        qname = "evil.__ecs__.16-7-0-0.site.com"
+        stream = RandomStream(11, "adversarial")
+        first = engine.resolve(qname, RRType.A, 0.0, stream)
+        assert first.rcode is RCode.NOERROR and not first.cache_hit
+        # Same sentinel-bearing name under a real subnet: a *different*
+        # cache partition, so it must walk fresh, then hit its own entry.
+        cross = engine.resolve(
+            qname, RRType.A, 1.0, stream, client_subnet="16.7.0.0/24"
+        )
+        assert not cross.cache_hit
+        again = engine.resolve(
+            qname, RRType.A, 2.0, stream, client_subnet="16.7.0.0/24"
+        )
+        assert again.cache_hit
+        # And the unscoped entry is still intact, not evicted or crossed.
+        unscoped = engine.resolve(qname, RRType.A, 3.0, stream)
+        assert unscoped.cache_hit
+
+    def test_engine_sentinel_qname_scoped_per_cache_scope(self, engine_with_echo):
+        engine, _ = engine_with_echo
+        qname = "evil.__scope__.carrier-x.site.com"
+        stream = RandomStream(12, "adversarial")
+        first = engine.resolve(qname, RRType.A, 0.0, stream)
+        assert first.rcode is RCode.NOERROR and not first.cache_hit
+        cross = engine.resolve(
+            qname, RRType.A, 1.0, stream, cache_scope="carrier-x"
+        )
+        assert not cross.cache_hit
+        again = engine.resolve(
+            qname, RRType.A, 2.0, stream, cache_scope="carrier-x"
+        )
+        assert again.cache_hit
+        unscoped = engine.resolve(qname, RRType.A, 3.0, stream)
+        assert unscoped.cache_hit
+
+
+# -- property tests -----------------------------------------------------------
+
+_LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_",
+    min_size=1,
+    max_size=12,
+)
+_NAME = st.lists(_LABEL, min_size=1, max_size=5).map(".".join)
+
+
+class TestNormalizeNameProperties:
+    @given(_NAME)
+    def test_idempotent(self, name):
+        once = normalize_name(name)
+        assert normalize_name(once) == once
+
+    @given(_NAME)
+    def test_case_folds(self, name):
+        assert normalize_name(name.upper()) == normalize_name(name.lower())
+
+    @given(_NAME, st.sampled_from(["", ".", " ", "  ", ". "]))
+    def test_trailing_dot_and_whitespace_vanish(self, name, suffix):
+        assert normalize_name(name + suffix) == normalize_name(name)
+
+    @given(_NAME)
+    def test_interned_keys_compare_equal(self, name):
+        # Tuple cache keys rely on normalised names being interned so
+        # equality short-circuits on identity.
+        assert normalize_name(name.upper()) is normalize_name(name + ".")
+
+    def test_length_limits_still_enforced(self):
+        with pytest.raises(DNSError):
+            normalize_name("a" * 64 + ".com")
+        with pytest.raises(DNSError):
+            normalize_name(".".join(["abcdefgh"] * 32))
+
+
+@st.composite
+def _zone_layout(draw):
+    """A randomized CNAME chain across 1-3 zones ending in an A rrset."""
+    zone_count = draw(st.integers(min_value=1, max_value=3))
+    depth = draw(st.integers(min_value=0, max_value=3))
+    cname_ttls = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=3600),
+            min_size=depth, max_size=depth,
+        )
+    )
+    a_ttl = draw(st.integers(min_value=1, max_value=3600))
+    a_count = draw(st.integers(min_value=1, max_value=4))
+    return zone_count, depth, cname_ttls, a_ttl, a_count
+
+
+class TestPlanReplayMatchesReferenceWalk:
+    """Compiled-plan replay ≡ uncached ``_fetch_chain``, byte for byte."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_zone_layout(), st.integers(min_value=0, max_value=2**31))
+    def test_replay_is_byte_identical(self, layout, seed):
+        zone_count, depth, cname_ttls, a_ttl, a_count = layout
+        apexes = [f"z{index}.example" for index in range(zone_count)]
+        chain = ["www.z0.example"] + [
+            f"n{index}.z{index % zone_count}.example" for index in range(1, depth + 1)
+        ]
+        zones = {apex: [] for apex in apexes}
+        for index in range(depth):
+            name = chain[index]
+            zones[name.split(".", 1)[1]].append(
+                ("add_cname", (name, chain[index + 1], cname_ttls[index]))
+            )
+        terminal = chain[-1]
+        addresses = [f"10.7.{index}.1" for index in range(a_count)]
+        zones[terminal.split(".", 1)[1]].append(
+            ("add_a", (terminal, addresses, a_ttl))
+        )
+        engine, _ = _build_engine(zones)
+
+        qname, qtype, now = "www.z0.example", RRType.A, 0.0
+        compile_stream = RandomStream(seed, "oracle")
+        first = engine._resolve_upstream(qname, qtype, now, compile_stream, None)
+        assert engine._plans.get((qname, qtype, None)) is not None
+
+        replay_stream = RandomStream(seed, "oracle")
+        replay = engine._resolve_upstream(qname, qtype, now, replay_stream, None)
+
+        oracle_stream = RandomStream(seed, "oracle")
+        oracle = engine._fetch_chain(
+            qname, qtype, now, oracle_stream, timed=True
+        )
+
+        for result in (first, replay):
+            assert result.rcode is oracle.rcode
+            assert result.qname == oracle.qname
+            # Bit-identical: same draws, same left-to-right float sums.
+            assert result.upstream_ms == oracle.upstream_ms
+            assert list(result.records) == list(oracle.records)
+            assert result.addresses() == oracle.addresses()
+            assert result.cname_chain() == oracle.cname_chain()
+            assert list(result.authorities) == list(oracle.authorities)
