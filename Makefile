@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src
 
-.PHONY: test bench bench-smoke check
+.PHONY: test bench bench-smoke bench-analysis check
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -18,9 +18,14 @@ bench:
 bench-smoke:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench --smoke
 
-# The pre-merge gate: determinism smoke via the CLI, then the
-# bench_check script (tier-1 suite + campaign smoke + parallel
-# regression + the DNS fast-path gate, which fails if dns_us_per_call
-# regresses >=25% against the committed BENCH_campaign.json).
-check: bench-smoke
+# Analysis fast-path smoke: fused table+figure regeneration vs the
+# reference per-function walks; fails if output is not byte-identical.
+bench-analysis:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench --analysis
+
+# The pre-merge gate: determinism + analysis smokes via the CLI, then
+# the bench_check script (tier-1 suite + campaign smoke + parallel
+# regression + the DNS and analysis fast-path gates against the
+# committed BENCH_campaign.json).
+check: bench-smoke bench-analysis
 	$(PYTHON) scripts/bench_check.py

@@ -13,11 +13,18 @@ Runs, in order:
    ``dns_us_per_call`` must stay within 25% of the committed
    ``BENCH_campaign.json`` figure (guards the compiled-plan /
    tuple-key resolution fast path against silent regression; the
-   25% headroom absorbs box noise).
+   25% headroom absorbs box noise);
+4. the analysis fast-path gate: the fused table+figure regeneration
+   must render **byte-identical** to the reference per-function walks
+   (hard failure — correctness, not speed), and its steady-state
+   ``us_per_record`` must stay within 50% of the committed figure
+   (more headroom than the DNS gate: the measured interval is
+   shorter, so box noise is proportionally larger).
 
 Exit status is non-zero on any test failure, on a determinism-hash
-mismatch, on a multi-core parallel slowdown, or on a DNS fast-path
-regression, so CI (or a pre-push hook) can call this one script.
+mismatch, on a multi-core parallel slowdown, on an analysis identity
+break, or on a fast-path regression, so CI (or a pre-push hook) can
+call this one script.
 
 Usage::
 
@@ -128,6 +135,61 @@ def run_dns_gate() -> int:
     return 0
 
 
+#: Allowed analysis us_per_record slack over the committed benchmark
+#: (1.5 == a ≥50% regression fails; the regeneration interval is short,
+#: so the gate leaves more room for box noise than the DNS gate).
+ANALYSIS_REGRESSION_LIMIT = 1.5
+
+
+def run_analysis_gate() -> int:
+    """Fused analysis must stay byte-identical and near the committed pace."""
+    sys.path.insert(0, SRC)
+    from repro.measure.bench import bench_analysis
+
+    committed_path = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+    if not os.path.exists(committed_path):
+        print("note: no committed BENCH_campaign.json; skipping analysis gate")
+        return 0
+    with open(committed_path) as handle:
+        committed = json.load(handle)
+    baseline = committed.get("analysis", {}).get("us_per_record")
+    if not baseline:
+        print(
+            "note: committed benchmark lacks analysis.us_per_record; "
+            "skipping analysis gate"
+        )
+        return 0
+    print("== analysis fast-path gate ==", flush=True)
+    report = bench_analysis()
+    measured = report["us_per_record"]
+    limit = baseline * ANALYSIS_REGRESSION_LIMIT
+    print(
+        f"analysis {measured} us/record over {report['experiments']} "
+        f"experiments | committed {baseline} us/record | "
+        f"limit {round(limit, 1)} | "
+        f"regen speedup {report['regeneration_speedup']}x | "
+        f"ingest speedup {report['load_speedup']}x | "
+        f"byte identical: {report['byte_identical']}",
+        flush=True,
+    )
+    if not report["byte_identical"]:
+        print(
+            "FAIL: fused analysis output diverged from the reference "
+            "walks (byte identity broken)",
+            file=sys.stderr,
+        )
+        return 1
+    if measured >= limit:
+        print(
+            f"FAIL: analysis us_per_record {measured} regressed >=50% over "
+            f"the committed {baseline} (limit {round(limit, 1)})",
+            file=sys.stderr,
+        )
+        return 1
+    print("analysis gate: OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -142,7 +204,10 @@ def main() -> int:
     status = run_bench_smoke()
     if status != 0:
         return status
-    return run_dns_gate()
+    status = run_dns_gate()
+    if status != 0:
+        return status
+    return run_analysis_gate()
 
 
 if __name__ == "__main__":

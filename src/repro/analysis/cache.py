@@ -10,8 +10,10 @@ the short TTLs CDNs use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import merge as _heapq_merge
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.engine import get_engine
 from repro.analysis.stats import ECDF
 from repro.measure.records import Dataset
 
@@ -44,7 +46,56 @@ def cache_comparison(
     carriers: Optional[List[str]] = None,
     resolver_kind: str = "local",
 ) -> CacheComparison:
-    """Fig 7: pair up attempts 1 and 2 of each (experiment, domain)."""
+    """Fig 7: pair up attempts 1 and 2 of each (experiment, domain).
+
+    Consumes the fused engine's per-record pair chunks; multi-carrier
+    chunks are re-merged by experiment index so the delta list matches
+    the dataset-order reference walk exactly.
+    """
+    if carriers is None:
+        carriers = dataset.carriers()
+    wanted = set(carriers)
+    engine = get_engine(dataset)
+
+    def compute() -> CacheComparison:
+        streams = [
+            chunks
+            for carrier in dataset.carriers()
+            if carrier in wanted
+            for chunks in [engine.cache_chunks.get((carrier, resolver_kind))]
+            if chunks
+        ]
+        if len(streams) == 1:
+            chunks = streams[0]
+        else:
+            # Per-carrier chunk lists are each ascending in experiment
+            # index; heapq.merge restores global dataset order.
+            chunks = _heapq_merge(*streams)
+        firsts: List[float] = []
+        seconds: List[float] = []
+        deltas: List[float] = []
+        for _, chunk_firsts, chunk_seconds, chunk_deltas in chunks:
+            firsts.extend(chunk_firsts)
+            seconds.extend(chunk_seconds)
+            deltas.extend(chunk_deltas)
+        return CacheComparison(
+            carriers=list(carriers),
+            first=ECDF.from_values(firsts),
+            second=ECDF.from_values(seconds),
+            deltas=deltas,
+        )
+
+    return engine.cached(
+        ("cache_comparison", tuple(carriers), resolver_kind), compute
+    )
+
+
+def cache_comparison_reference(
+    dataset: Dataset,
+    carriers: Optional[List[str]] = None,
+    resolver_kind: str = "local",
+) -> CacheComparison:
+    """The original record walk (oracle for :func:`cache_comparison`)."""
     if carriers is None:
         carriers = dataset.carriers()
     wanted = set(carriers)
@@ -81,6 +132,22 @@ def per_domain_miss_rates(
     dataset: Dataset, threshold_ms: float = 15.0
 ) -> List[Tuple[str, float]]:
     """(domain, estimated miss rate) across all carriers."""
+    engine = get_engine(dataset)
+
+    def compute() -> List[Tuple[str, float]]:
+        rows = []
+        for domain, deltas in sorted(engine.domain_deltas.items()):
+            misses = sum(1 for delta in deltas if delta > threshold_ms)
+            rows.append((domain, misses / len(deltas)))
+        return rows
+
+    return engine.cached(("per_domain_miss_rates", threshold_ms), compute)
+
+
+def per_domain_miss_rates_reference(
+    dataset: Dataset, threshold_ms: float = 15.0
+) -> List[Tuple[str, float]]:
+    """The original record walk (oracle for :func:`per_domain_miss_rates`)."""
     by_domain: Dict[str, List[float]] = {}
     for record in dataset:
         pairs: Dict[str, Dict[int, float]] = {}

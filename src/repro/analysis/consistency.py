@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.engine import get_engine
 from repro.core.addressing import prefix24
 from repro.geo.coordinates import GeoPoint
 from repro.measure.records import Dataset, ExperimentRecord, RESOLVER_KINDS
@@ -37,6 +38,30 @@ class LdnsPairRow:
 
 def ldns_pair_table(dataset: Dataset) -> List[LdnsPairRow]:
     """Compute Table 3 from resolver-identification records."""
+    engine = get_engine(dataset)
+
+    def compute() -> List[LdnsPairRow]:
+        rows = []
+        for carrier, pair_counts in sorted(engine.ldns_pairs.items()):
+            clients = {client for client, _ in pair_counts}
+            externals = {external for _, external in pair_counts}
+            consistency = _pairing_consistency(pair_counts)
+            rows.append(
+                LdnsPairRow(
+                    carrier=carrier,
+                    client_addresses=len(clients),
+                    external_addresses=len(externals),
+                    pairs=len(pair_counts),
+                    consistency_pct=consistency * 100.0,
+                )
+            )
+        return rows
+
+    return engine.cached(("ldns_pair_table",), compute)
+
+
+def ldns_pair_table_reference(dataset: Dataset) -> List[LdnsPairRow]:
+    """The original record walk (oracle for :func:`ldns_pair_table`)."""
     rows = []
     for carrier, records in sorted(dataset.by_carrier().items()):
         pair_counts: Dict[Tuple[str, str], int] = {}
@@ -146,6 +171,44 @@ def resolver_timeline(
     ``within_km_of`` reproduces Fig 9's static-client filter: only
     experiments within ``radius_km`` of the given centroid count.
     """
+    engine = get_engine(dataset)
+
+    def compute() -> ResolverTimeline:
+        rows = engine.device_obs.get(device_id, [])
+        carrier = rows[0][4] if rows else ""
+        timeline = ResolverTimeline(
+            device_id=device_id, carrier=carrier, resolver_kind=resolver_kind
+        )
+        for started_at, latitude, longitude, externals, _ in rows:
+            if within_km_of is not None:
+                position = GeoPoint(latitude, longitude)
+                if position.distance_km(within_km_of) > radius_km:
+                    continue
+            external = externals.get(resolver_kind)
+            if external is None:
+                continue
+            timeline.observations.append((started_at, external))
+        return timeline
+
+    centroid = (
+        (within_km_of.latitude, within_km_of.longitude)
+        if within_km_of is not None
+        else None
+    )
+    return engine.cached(
+        ("resolver_timeline", device_id, resolver_kind, centroid, radius_km),
+        compute,
+    )
+
+
+def resolver_timeline_reference(
+    dataset: Dataset,
+    device_id: str,
+    resolver_kind: str = "local",
+    within_km_of: Optional[GeoPoint] = None,
+    radius_km: float = 10.0,
+) -> ResolverTimeline:
+    """The original record walk (oracle for :func:`resolver_timeline`)."""
     records = dataset.by_device().get(device_id, [])
     carrier = records[0].carrier if records else ""
     timeline = ResolverTimeline(
@@ -186,6 +249,28 @@ class ResolverCountRow:
 
 def unique_resolver_counts(dataset: Dataset) -> List[ResolverCountRow]:
     """Table 5: distinct external resolver IPs and /24s per provider."""
+    engine = get_engine(dataset)
+
+    def compute() -> List[ResolverCountRow]:
+        rows = []
+        for (carrier, kind), addresses in sorted(engine.id_sets.items()):
+            if kind not in RESOLVER_KINDS:
+                continue
+            rows.append(
+                ResolverCountRow(
+                    carrier=carrier,
+                    resolver_kind=kind,
+                    unique_ips=len(addresses),
+                    unique_prefixes=len({prefix24(ip) for ip in addresses}),
+                )
+            )
+        return rows
+
+    return engine.cached(("unique_resolver_counts",), compute)
+
+
+def unique_resolver_counts_reference(dataset: Dataset) -> List[ResolverCountRow]:
+    """The original record walk (oracle for :func:`unique_resolver_counts`)."""
     seen: Dict[Tuple[str, str], set] = {}
     for record in dataset:
         for kind in RESOLVER_KINDS:

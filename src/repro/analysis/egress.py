@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.analysis.engine import get_engine
 from repro.measure.records import Dataset
 
 #: Given a carrier key and an address, says whether the carrier owns it.
@@ -56,6 +57,21 @@ def count_egress_points(
     dataset: Dataset, owns: OwnershipOracle
 ) -> Dict[str, EgressCount]:
     """Egress counts per carrier over all external traceroutes."""
+    engine = get_engine(dataset)
+    counts: Dict[str, EgressCount] = {}
+    for carrier, hops in engine.egress_rows:
+        egress = egress_ip_of_traceroute(carrier, hops, owns)
+        entry = counts.setdefault(carrier, EgressCount(carrier=carrier))
+        entry.traceroutes_used += 1
+        if egress is not None:
+            entry.egress_ips.add(egress)
+    return counts
+
+
+def count_egress_points_reference(
+    dataset: Dataset, owns: OwnershipOracle
+) -> Dict[str, EgressCount]:
+    """The original record walk (oracle for :func:`count_egress_points`)."""
     counts: Dict[str, EgressCount] = {}
     for record in dataset:
         for traceroute in record.traceroutes:

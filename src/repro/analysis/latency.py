@@ -4,12 +4,17 @@ Feeds Figs 3 (resolution time by radio technology), 5/6 (resolution-time
 CDFs per carrier), 13 (local vs public resolution), 4 (client- vs
 external-facing resolver pings) and 11 (cellular vs public resolver
 pings).
+
+Every public function consumes the fused single-pass engine
+(:mod:`repro.analysis.engine`); the original per-function record walks
+survive as ``*_reference`` oracles, property-tested byte-identical.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.engine import get_engine
 from repro.analysis.stats import ECDF, group_ecdfs
 from repro.measure.records import Dataset
 
@@ -26,6 +31,22 @@ def resolution_times(
     cache probes don't skew the distribution (the paper plots first
     lookups; Fig 7 handles the pairs).
     """
+    engine = get_engine(dataset)
+    return engine.cached(
+        ("resolution_times", carrier, resolver_kind, attempt),
+        lambda: ECDF.from_values(
+            engine.resolution_values(carrier, resolver_kind, attempt)
+        ),
+    )
+
+
+def resolution_times_reference(
+    dataset: Dataset,
+    carrier: str,
+    resolver_kind: str = "local",
+    attempt: Optional[int] = 1,
+) -> ECDF:
+    """The original record walk (the oracle :func:`resolution_times`)."""
     values: List[float] = []
     for record in dataset.experiments_for(carrier):
         for resolution in record.resolutions_via(resolver_kind):
@@ -41,6 +62,26 @@ def resolution_times_by_technology(
     dataset: Dataset, carrier: str, resolver_kind: str = "local"
 ) -> Dict[str, ECDF]:
     """Fig 3: per-technology resolution-time CDFs for one carrier."""
+    engine = get_engine(dataset)
+
+    def compute() -> Dict[str, ECDF]:
+        samples = {
+            technology: engine.tech_samples.get(
+                (carrier, technology, resolver_kind), []
+            )
+            for technology in engine.tech_order.get(carrier, [])
+        }
+        return group_ecdfs(samples)
+
+    return engine.cached(
+        ("resolution_times_by_technology", carrier, resolver_kind), compute
+    )
+
+
+def resolution_times_by_technology_reference(
+    dataset: Dataset, carrier: str, resolver_kind: str = "local"
+) -> Dict[str, ECDF]:
+    """The original record walk (oracle for the engine path)."""
     samples: Dict[str, List[float]] = {}
     for record in dataset.experiments_for(carrier):
         bucket = samples.setdefault(record.technology, [])
@@ -55,6 +96,24 @@ def resolution_times_by_kind(
     dataset: Dataset, carrier: str
 ) -> Dict[str, ECDF]:
     """Fig 13: local vs Google vs OpenDNS resolution CDFs."""
+    engine = get_engine(dataset)
+
+    def compute() -> Dict[str, ECDF]:
+        samples = {
+            kind: engine.resolution_values(
+                carrier, kind, 1, include_whoami=True
+            )
+            for kind in ("local", "google", "opendns")
+        }
+        return group_ecdfs(samples)
+
+    return engine.cached(("resolution_times_by_kind", carrier), compute)
+
+
+def resolution_times_by_kind_reference(
+    dataset: Dataset, carrier: str
+) -> Dict[str, ECDF]:
+    """The original record walk (oracle for the engine path)."""
     samples: Dict[str, List[float]] = {"local": [], "google": [], "opendns": []}
     for record in dataset.experiments_for(carrier):
         for resolution in record.resolutions:
@@ -73,6 +132,26 @@ def resolver_ping_latencies(
     Keys: ``client`` and ``external``; an absent key means that tier
     never answered (Verizon and LG U+ externals in the paper).
     """
+    engine = get_engine(dataset)
+
+    def compute() -> Dict[str, ECDF]:
+        samples = {
+            "client": engine.ping_samples.get(
+                (carrier, "resolver-client-facing"), []
+            ),
+            "external": engine.ping_samples.get(
+                (carrier, "resolver-external-facing"), []
+            ),
+        }
+        return group_ecdfs(samples)
+
+    return engine.cached(("resolver_ping_latencies", carrier), compute)
+
+
+def resolver_ping_latencies_reference(
+    dataset: Dataset, carrier: str
+) -> Dict[str, ECDF]:
+    """The original record walk (oracle for the engine path)."""
     samples: Dict[str, List[float]] = {"client": [], "external": []}
     for record in dataset.experiments_for(carrier):
         for ping in record.pings:
@@ -93,6 +172,29 @@ def public_resolver_pings(
     Keys: ``local-external`` (the carrier's external-facing resolver,
     when it answers), ``google`` and ``opendns``.
     """
+    engine = get_engine(dataset)
+
+    def compute() -> Dict[str, ECDF]:
+        samples = {
+            "local-external": engine.ping_samples.get(
+                (carrier, "resolver-external-facing"), []
+            ),
+            "google": engine.ping_samples.get(
+                (carrier, "resolver-public-google"), []
+            ),
+            "opendns": engine.ping_samples.get(
+                (carrier, "resolver-public-opendns"), []
+            ),
+        }
+        return group_ecdfs(samples)
+
+    return engine.cached(("public_resolver_pings", carrier), compute)
+
+
+def public_resolver_pings_reference(
+    dataset: Dataset, carrier: str
+) -> Dict[str, ECDF]:
+    """The original record walk (oracle for the engine path)."""
     samples: Dict[str, List[float]] = {
         "local-external": [],
         "google": [],

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.engine import get_engine
 from repro.analysis.stats import ECDF
 from repro.core.addressing import prefix24
 from repro.measure.records import Dataset
@@ -52,6 +53,69 @@ def replica_differentials(
     "all replica servers seen" framing.  Pass ``"local"`` to restrict to
     cellular-DNS redirections.
     """
+    engine = get_engine(dataset)
+
+    def compute() -> ReplicaDifferentials:
+        if domain is None and resolver_kind is None:
+            # The default shape is pre-aggregated by the fused scan.
+            samples = engine.http_samples.get(carrier, {})
+        else:
+            # Filtered variants rebuild from the flat per-carrier rows.
+            samples = {}
+            for (
+                device,
+                row_domain,
+                row_kind,
+                replica,
+                ttfb,
+            ) in engine.http_rows.get(carrier, []):
+                if domain is not None and row_domain != domain:
+                    continue
+                if resolver_kind is not None and row_kind != resolver_kind:
+                    continue
+                samples.setdefault((device, row_domain), {}).setdefault(
+                    replica, []
+                ).append(ttfb)
+        result = ReplicaDifferentials(carrier=carrier, domain=domain)
+        for replica_samples in samples.values():
+            means = {
+                replica_ip: sum(values) / len(values)
+                for replica_ip, values in replica_samples.items()
+                if len(values) >= min_samples_per_replica
+            }
+            if len(means) < 2:
+                continue
+            best = min(means.values())
+            if best <= 0:
+                continue
+            for replica_ip, mean in means.items():
+                increase = (mean / best - 1.0) * 100.0
+                result.per_replica.append(increase)
+                result.per_access.extend(
+                    [increase] * len(replica_samples[replica_ip])
+                )
+        return result
+
+    return engine.cached(
+        (
+            "replica_differentials",
+            carrier,
+            domain,
+            resolver_kind,
+            min_samples_per_replica,
+        ),
+        compute,
+    )
+
+
+def replica_differentials_reference(
+    dataset: Dataset,
+    carrier: str,
+    domain: Optional[str] = None,
+    resolver_kind: Optional[str] = None,
+    min_samples_per_replica: int = 1,
+) -> ReplicaDifferentials:
+    """The original record walk (oracle for :func:`replica_differentials`)."""
     # (device, domain) -> replica_ip -> [ttfb samples]
     samples: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
     for record in dataset.experiments_for(carrier):
@@ -129,6 +193,43 @@ def public_replica_comparison(
     replicas in this experiment, and the score is the percent change of
     the public set over the local set.
     """
+    engine = get_engine(dataset)
+
+    def compute() -> PublicReplicaComparison:
+        result = PublicReplicaComparison(
+            carrier=carrier, public_kind=public_kind
+        )
+        for ttfb_of, by_domain in engine.fig14_rows.get(carrier, []):
+            for domain, by_kind in by_domain.items():
+                local = by_kind.get("local")
+                public = by_kind.get(public_kind)
+                if not local or not public:
+                    continue
+                local_blocks = {prefix24(ip) for ip in local}
+                public_blocks = {prefix24(ip) for ip in public}
+                if local_blocks == public_blocks:
+                    result.percent_changes.append(0.0)
+                    continue
+                local_latency = _set_latency(local, ttfb_of)
+                public_latency = _set_latency(public, ttfb_of)
+                if local_latency is None or public_latency is None:
+                    continue
+                result.percent_changes.append(
+                    (public_latency / local_latency - 1.0) * 100.0
+                )
+        return result
+
+    return engine.cached(
+        ("public_replica_comparison", carrier, public_kind), compute
+    )
+
+
+def public_replica_comparison_reference(
+    dataset: Dataset,
+    carrier: str,
+    public_kind: str = "google",
+) -> PublicReplicaComparison:
+    """The original record walk (oracle for :func:`public_replica_comparison`)."""
     result = PublicReplicaComparison(carrier=carrier, public_kind=public_kind)
     for record in dataset.experiments_for(carrier):
         ttfb_of: Dict[str, List[float]] = {}

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.consistency import _pairing_consistency
+from repro.analysis.engine import get_engine
 from repro.core.addressing import prefix24
 from repro.core.clock import SECONDS_PER_DAY
 from repro.measure.records import Dataset
@@ -44,6 +45,45 @@ def resolver_inventory_over_time(
     resolver_kind: str = "local",
 ) -> List[WindowInventory]:
     """Windowed inventories of a carrier's observed external resolvers."""
+    window_s = window_days * SECONDS_PER_DAY
+    windows: Dict[int, WindowInventory] = {}
+    pair_counts: Dict[int, Dict[Tuple[str, str], int]] = {}
+    engine = get_engine(dataset)
+    for started_at, configured, external in engine.id_stream.get(
+        (carrier, resolver_kind), []
+    ):
+        slot = int(started_at // window_s)
+        window = windows.get(slot)
+        if window is None:
+            window = WindowInventory(
+                carrier=carrier,
+                window_start=slot * window_s,
+                window_end=(slot + 1) * window_s,
+            )
+            windows[slot] = window
+        window.external_ips.add(external)
+        window.external_prefixes.add(prefix24(external))
+        window.observations += 1
+        pair_counts.setdefault(slot, {})
+        key = (configured, external)
+        pair_counts[slot][key] = pair_counts[slot].get(key, 0) + 1
+    result = []
+    for slot in sorted(windows):
+        window = windows[slot]
+        counts = pair_counts.get(slot, {})
+        if counts:
+            window.consistency_pct = _pairing_consistency(counts) * 100.0
+        result.append(window)
+    return result
+
+
+def resolver_inventory_over_time_reference(
+    dataset: Dataset,
+    carrier: str,
+    window_days: float = 14.0,
+    resolver_kind: str = "local",
+) -> List[WindowInventory]:
+    """The original record walk (oracle for the engine path)."""
     window_s = window_days * SECONDS_PER_DAY
     windows: Dict[int, WindowInventory] = {}
     pair_counts: Dict[int, Dict[Tuple[str, str], int]] = {}
@@ -140,6 +180,28 @@ def resolver_discovery_curve(
     dataset: Dataset, carrier: str, resolver_kind: str = "local"
 ) -> DiscoveryCurve:
     """Cumulative distinct external resolvers over campaign time."""
+    engine = get_engine(dataset)
+
+    def compute() -> DiscoveryCurve:
+        curve = DiscoveryCurve(carrier=carrier, what="external-resolvers")
+        seen: set = set()
+        for started_at, _, external in engine.id_stream.get(
+            (carrier, resolver_kind), []
+        ):
+            if external not in seen:
+                seen.add(external)
+                curve.steps.append((started_at, len(seen)))
+        return curve
+
+    return engine.cached(
+        ("resolver_discovery_curve", carrier, resolver_kind), compute
+    )
+
+
+def resolver_discovery_curve_reference(
+    dataset: Dataset, carrier: str, resolver_kind: str = "local"
+) -> DiscoveryCurve:
+    """The original record walk (oracle for the engine path)."""
     curve = DiscoveryCurve(carrier=carrier, what="external-resolvers")
     seen: set = set()
     for record in dataset.experiments_for(carrier):
@@ -155,6 +217,23 @@ def resolver_discovery_curve(
 
 def egress_discovery_curve(dataset: Dataset, carrier: str, owns) -> DiscoveryCurve:
     """Cumulative distinct egress points over campaign time (Sec 5.2)."""
+    from repro.analysis.egress import egress_ip_of_traceroute
+
+    curve = DiscoveryCurve(carrier=carrier, what="egress-points")
+    seen: set = set()
+    engine = get_engine(dataset)
+    for started_at, hops in engine.egress_stream.get(carrier, []):
+        egress = egress_ip_of_traceroute(carrier, hops, owns)
+        if egress is not None and egress not in seen:
+            seen.add(egress)
+            curve.steps.append((started_at, len(seen)))
+    return curve
+
+
+def egress_discovery_curve_reference(
+    dataset: Dataset, carrier: str, owns
+) -> DiscoveryCurve:
+    """The original record walk (oracle for the engine path)."""
     from repro.analysis.egress import egress_ip_of_traceroute
 
     curve = DiscoveryCurve(carrier=carrier, what="egress-points")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.engine import get_engine
 from repro.core.rng import RandomStream
 from repro.measure.records import Dataset
 
@@ -34,6 +35,20 @@ class ReachabilityRow:
 
 def observed_external_resolvers(dataset: Dataset) -> Dict[str, List[str]]:
     """External resolver addresses discovered per carrier."""
+    engine = get_engine(dataset)
+    return engine.cached(
+        ("observed_external_resolvers",),
+        lambda: {
+            carrier: sorted(ips)
+            for carrier, ips in engine.observed_externals.items()
+        },
+    )
+
+
+def observed_external_resolvers_reference(
+    dataset: Dataset,
+) -> Dict[str, List[str]]:
+    """The original record walk (oracle for the engine path)."""
     seen: Dict[str, set] = {}
     for record in dataset:
         identification = record.resolver_id("local")
@@ -49,12 +64,20 @@ def probe_external_reachability(
     world,
     dataset: Dataset,
     stream: Optional[RandomStream] = None,
+    resolvers: Optional[Dict[str, List[str]]] = None,
 ) -> List[ReachabilityRow]:
-    """Table 4: probe each discovered resolver from the university vantage."""
+    """Table 4: probe each discovered resolver from the university vantage.
+
+    ``resolvers`` overrides the discovered per-carrier address lists
+    (the regeneration suite passes the reference walk's result when
+    exercising the oracle path).
+    """
     if stream is None:
         stream = world.rng.stream("reachability")
+    if resolvers is None:
+        resolvers = observed_external_resolvers(dataset)
     rows: List[ReachabilityRow] = []
-    for carrier, addresses in sorted(observed_external_resolvers(dataset).items()):
+    for carrier, addresses in sorted(resolvers.items()):
         ping_ok = 0
         traceroute_ok = 0
         for address in addresses:

@@ -1,0 +1,91 @@
+"""Hash-keyed analysis result cache.
+
+Regenerating every table and figure is pure in the dataset: the same
+records produce the same rendered strings.  :class:`AnalysisResultCache`
+exploits that by keying rendered artifacts on
+:meth:`~repro.measure.records.Dataset.content_hash` — a ``repro-study
+report`` re-run (or a benchmark suite) over an unchanged dataset skips
+the whole analysis pass and replays the stored text.
+
+``content_hash`` itself is deliberately not memoised on the dataset
+(in-place record mutation must change it), so the cache computes it
+once per lookup batch and the caller passes it around.
+
+The store is optionally file-backed (one JSON document) so the skip
+also works across processes::
+
+    cache = AnalysisResultCache("analysis-cache.json")
+    report = cache.get_or_render(dataset_hash, "full-report", render)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional
+
+
+class AnalysisResultCache:
+    """Rendered-artifact cache keyed by (dataset hash, artifact key).
+
+    With ``path=None`` the cache lives in memory only; with a path it
+    loads the JSON store on construction and rewrites it on
+    :meth:`save`.  A corrupt or missing store file degrades to an empty
+    cache — the cache is an accelerator, never a correctness dependency.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, str]] = {}
+        if path and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+                entries = stored.get("entries", {})
+                if isinstance(entries, dict):
+                    self._entries = {
+                        str(dataset_hash): {
+                            str(key): str(text)
+                            for key, text in artifacts.items()
+                        }
+                        for dataset_hash, artifacts in entries.items()
+                        if isinstance(artifacts, dict)
+                    }
+            except (OSError, ValueError):
+                self._entries = {}
+
+    def get(self, dataset_hash: str, key: str) -> Optional[str]:
+        """The stored text for one artifact, or None."""
+        text = self._entries.get(dataset_hash, {}).get(key)
+        if text is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return text
+
+    def put(self, dataset_hash: str, key: str, text: str) -> None:
+        """Store one artifact's rendered text."""
+        self._entries.setdefault(dataset_hash, {})[key] = text
+
+    def get_or_render(
+        self, dataset_hash: str, key: str, render: Callable[[], str]
+    ) -> str:
+        """The cached text, or ``render()`` stored and returned."""
+        text = self.get(dataset_hash, key)
+        if text is None:
+            text = render()
+            self.put(dataset_hash, key, text)
+        return text
+
+    def save(self) -> None:
+        """Persist to ``path`` (no-op for in-memory caches)."""
+        if not self.path:
+            return
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump({"entries": self._entries}, handle)
+            handle.write("\n")
+
+    def __len__(self) -> int:
+        return sum(len(artifacts) for artifacts in self._entries.values())

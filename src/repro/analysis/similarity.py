@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.analysis.engine import get_engine
 from repro.core.addressing import prefix24
 from repro.measure.records import Dataset, ExperimentRecord
 
@@ -78,6 +79,26 @@ def replica_maps_by_resolver(
     resolver the experiment's identification probe observed — the same
     join the paper performs between its resolution and whoami logs.
     """
+    engine = get_engine(dataset)
+    by_resolver = engine.replica_maps.get((carrier, resolver_kind), {}).get(
+        domain, {}
+    )
+    maps: Dict[str, ReplicaMap] = {}
+    for resolver_ip, counts in by_resolver.items():
+        # Copy: the engine's count dicts are shared read-only state.
+        maps[resolver_ip] = ReplicaMap(
+            resolver_ip=resolver_ip, domain=domain, counts=dict(counts)
+        )
+    return maps
+
+
+def replica_maps_by_resolver_reference(
+    dataset: Dataset,
+    domain: str,
+    carrier: Optional[str] = None,
+    resolver_kind: str = "local",
+) -> Dict[str, ReplicaMap]:
+    """The original record walk (oracle for :func:`replica_maps_by_resolver`)."""
     maps: Dict[str, ReplicaMap] = {}
     records = dataset if carrier is None else dataset.experiments_for(carrier)
     for record in records:
@@ -127,15 +148,12 @@ class SimilarityStudy:
         return ordered[len(ordered) // 2]
 
 
-def similarity_study(
-    dataset: Dataset,
+def _study_from_maps(
+    maps: Dict[str, ReplicaMap],
     domain: str,
     carrier: str,
-    resolver_kind: str = "local",
-    min_observations: int = 2,
+    min_observations: int,
 ) -> SimilarityStudy:
-    """Pairwise cosine similarities, split by /24 co-residence (Fig 10)."""
-    maps = replica_maps_by_resolver(dataset, domain, carrier, resolver_kind)
     eligible = [
         replica_map
         for replica_map in maps.values()
@@ -150,6 +168,48 @@ def similarity_study(
             else:
                 study.different_prefix.append(value)
     return study
+
+
+def similarity_study(
+    dataset: Dataset,
+    domain: str,
+    carrier: str,
+    resolver_kind: str = "local",
+    min_observations: int = 2,
+) -> SimilarityStudy:
+    """Pairwise cosine similarities, split by /24 co-residence (Fig 10)."""
+    from repro.analysis.engine import get_engine as _get_engine
+
+    engine = _get_engine(dataset)
+    return engine.cached(
+        (
+            "similarity_study",
+            domain,
+            carrier,
+            resolver_kind,
+            min_observations,
+        ),
+        lambda: _study_from_maps(
+            replica_maps_by_resolver(dataset, domain, carrier, resolver_kind),
+            domain,
+            carrier,
+            min_observations,
+        ),
+    )
+
+
+def similarity_study_reference(
+    dataset: Dataset,
+    domain: str,
+    carrier: str,
+    resolver_kind: str = "local",
+    min_observations: int = 2,
+) -> SimilarityStudy:
+    """The original record walk (oracle for :func:`similarity_study`)."""
+    maps = replica_maps_by_resolver_reference(
+        dataset, domain, carrier, resolver_kind
+    )
+    return _study_from_maps(maps, domain, carrier, min_observations)
 
 
 def replica_prefix_map(counts: Mapping[str, int]) -> Dict[str, float]:

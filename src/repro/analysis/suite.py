@@ -1,0 +1,438 @@
+"""Full table+figure regeneration as one timed, cacheable artifact.
+
+``regenerate_report`` renders every reproduced table (1-5) and figure
+(2-14 summaries and quantile grids) into a single text document — the
+complete analysis output of a study.  It exists for three reasons:
+
+* **One entry point** for the analysis fast path: the whole document is
+  produced from the fused engine's single scan, so "regenerate
+  everything" costs one pass over the dataset plus rendering.
+* **An executable identity check**: ``reference=True`` renders the same
+  document through the original per-function record walks (the
+  ``*_reference`` oracles).  The two texts must be byte-identical —
+  ``measure.bench.bench_analysis`` and the ``bench_check`` gate assert
+  it on every run.
+* **A cacheable unit**: the rendered text is pure in the dataset, so a
+  :class:`~repro.analysis.result_cache.AnalysisResultCache` keyed by
+  ``Dataset.content_hash`` replays it without recomputation.
+
+Table 4's external probes draw from a *fresh* deterministic stream per
+regeneration (not the world registry's shared stateful stream), so
+repeated regenerations — fused, reference, cached-or-not — render
+identical bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import (
+    cache,
+    consistency,
+    egress,
+    latency,
+    localization,
+    longitudinal,
+    reachability,
+    similarity,
+)
+from repro.analysis.reachability import probe_external_reachability
+from repro.analysis.report import format_cdfs, format_table
+from repro.analysis.result_cache import AnalysisResultCache
+from repro.core.rng import RandomStream
+
+#: Artifact key the full report is cached under.
+REPORT_KEY = "full-report"
+
+#: Fig 10's default domain (the study's similarity example).
+SIMILARITY_DOMAIN = "www.buzzfeed.com"
+
+#: The analysis primitives the suite composes.  The fused set reads the
+#: single-pass engine; the reference set replays the original walks.
+#: Both produce byte-identical renderings.
+_FUSED: Dict[str, Callable] = {
+    "resolution_times": latency.resolution_times,
+    "resolution_times_by_technology": latency.resolution_times_by_technology,
+    "resolution_times_by_kind": latency.resolution_times_by_kind,
+    "resolver_ping_latencies": latency.resolver_ping_latencies,
+    "public_resolver_pings": latency.public_resolver_pings,
+    "cache_comparison": cache.cache_comparison,
+    "per_domain_miss_rates": cache.per_domain_miss_rates,
+    "ldns_pair_table": consistency.ldns_pair_table,
+    "unique_resolver_counts": consistency.unique_resolver_counts,
+    "resolver_timeline": consistency.resolver_timeline,
+    "replica_differentials": localization.replica_differentials,
+    "public_replica_comparison": localization.public_replica_comparison,
+    "similarity_study": similarity.similarity_study,
+    "count_egress_points": egress.count_egress_points,
+    "resolver_discovery_curve": longitudinal.resolver_discovery_curve,
+    "observed_external_resolvers": reachability.observed_external_resolvers,
+}
+
+_REFERENCE: Dict[str, Callable] = {
+    "resolution_times": latency.resolution_times_reference,
+    "resolution_times_by_technology":
+        latency.resolution_times_by_technology_reference,
+    "resolution_times_by_kind": latency.resolution_times_by_kind_reference,
+    "resolver_ping_latencies": latency.resolver_ping_latencies_reference,
+    "public_resolver_pings": latency.public_resolver_pings_reference,
+    "cache_comparison": cache.cache_comparison_reference,
+    "per_domain_miss_rates": cache.per_domain_miss_rates_reference,
+    "ldns_pair_table": consistency.ldns_pair_table_reference,
+    "unique_resolver_counts": consistency.unique_resolver_counts_reference,
+    "resolver_timeline": consistency.resolver_timeline_reference,
+    "replica_differentials": localization.replica_differentials_reference,
+    "public_replica_comparison":
+        localization.public_replica_comparison_reference,
+    "similarity_study": similarity.similarity_study_reference,
+    "count_egress_points": egress.count_egress_points_reference,
+    "resolver_discovery_curve":
+        longitudinal.resolver_discovery_curve_reference,
+    "observed_external_resolvers":
+        reachability.observed_external_resolvers_reference,
+}
+
+US_CARRIERS = ("att", "sprint", "tmobile", "verizon")
+SK_CARRIERS = ("skt", "lgu")
+
+
+@dataclass
+class RegeneratedReport:
+    """One full regeneration: the text plus where the time went."""
+
+    text: str
+    dataset_hash: str
+    tables_s: float
+    figures_s: float
+    #: True when the text came out of the result cache untouched.
+    cached: bool = False
+
+
+def regenerate_report(
+    study,
+    reference: bool = False,
+    cache_store: Optional[AnalysisResultCache] = None,
+) -> RegeneratedReport:
+    """Render every table and figure of a study as one text document.
+
+    ``reference=True`` routes through the original per-function walks
+    (never cached — the oracle must actually run).  With a cache, an
+    unchanged dataset replays the stored text after one content hash.
+    """
+    dataset = study.dataset
+    dataset_hash = dataset.content_hash()
+    key = REPORT_KEY + (":reference" if reference else "")
+    if cache_store is not None and not reference:
+        stored = cache_store.get(dataset_hash, key)
+        if stored is not None:
+            return RegeneratedReport(
+                text=stored,
+                dataset_hash=dataset_hash,
+                tables_s=0.0,
+                figures_s=0.0,
+                cached=True,
+            )
+    functions = _REFERENCE if reference else _FUSED
+
+    started = perf_counter()
+    sections = _render_tables(study, functions)
+    tables_s = perf_counter() - started
+
+    started = perf_counter()
+    sections.extend(_render_figures(study, functions))
+    figures_s = perf_counter() - started
+
+    text = "\n\n".join(sections) + "\n"
+    if cache_store is not None and not reference:
+        cache_store.put(dataset_hash, key, text)
+        cache_store.save()
+    return RegeneratedReport(
+        text=text,
+        dataset_hash=dataset_hash,
+        tables_s=tables_s,
+        figures_s=figures_s,
+    )
+
+
+# -- tables -------------------------------------------------------------------
+
+
+def _render_tables(study, functions: Dict[str, Callable]) -> List[str]:
+    dataset = study.dataset
+    sections = [study.render_table1()]
+
+    sections.append(
+        format_table(
+            ["Domain", "CDN", "Edge", "TTL"],
+            study.table2_domains(),
+            title="Table 2: measured domains",
+        )
+    )
+
+    rows3 = [
+        (
+            study.world.operators[row.carrier].display_name,
+            row.client_addresses,
+            row.external_addresses,
+            row.pairs,
+            f"{row.consistency_pct:.1f}",
+        )
+        for row in functions["ldns_pair_table"](dataset)
+    ]
+    sections.append(
+        format_table(
+            ["Provider", "Client", "External", "Pairs", "Consistency %"],
+            rows3,
+            title="Table 3: LDNS pairs seen by mobile clients",
+        )
+    )
+
+    # A fresh deterministic stream per regeneration: the registry's
+    # shared "reachability" stream is stateful, and this document must
+    # render identically however many times it is regenerated.
+    stream = RandomStream(study.world.rng.master_seed, "analysis-suite.t4")
+    rows4 = [
+        (row.carrier, row.total, row.ping_responsive, row.traceroute_responsive)
+        for row in probe_external_reachability(
+            study.world,
+            dataset,
+            stream=stream,
+            resolvers=functions["observed_external_resolvers"](dataset),
+        )
+    ]
+    sections.append(
+        format_table(
+            ["carrier", "resolvers", "ping ok", "traceroute ok"],
+            rows4,
+            title="Table 4: external reachability",
+        )
+    )
+
+    rows5 = [
+        (row.carrier, row.resolver_kind, row.unique_ips, row.unique_prefixes)
+        for row in functions["unique_resolver_counts"](dataset)
+    ]
+    sections.append(
+        format_table(
+            ["carrier", "resolver", "unique IPs", "unique /24s"],
+            rows5,
+            title="Table 5: unique resolver addresses per provider",
+        )
+    )
+    return sections
+
+
+# -- figures ------------------------------------------------------------------
+
+
+def _render_figures(study, functions: Dict[str, Callable]) -> List[str]:
+    dataset = study.dataset
+    carriers = [key for key in study.world.operators]
+    sections: List[str] = []
+
+    sections.append(
+        format_cdfs(
+            {
+                carrier: functions["replica_differentials"](
+                    dataset, carrier
+                ).ecdf()
+                for carrier in carriers
+            },
+            title="Fig 2: replica latency increase over best-seen",
+            unit="%",
+        )
+    )
+
+    for carrier in carriers:
+        sections.append(
+            format_cdfs(
+                functions["resolution_times_by_technology"](dataset, carrier),
+                title=f"Fig 3 [{carrier}]: resolution time by technology",
+            )
+        )
+
+    for carrier in carriers:
+        sections.append(
+            format_cdfs(
+                functions["resolver_ping_latencies"](dataset, carrier),
+                title=f"Fig 4 [{carrier}]: resolver pings",
+            )
+        )
+
+    sections.append(
+        format_cdfs(
+            {
+                carrier: functions["resolution_times"](dataset, carrier)
+                for carrier in US_CARRIERS
+            },
+            title="Fig 5: DNS resolution time, US carriers",
+        )
+    )
+    sections.append(
+        format_cdfs(
+            {
+                carrier: functions["resolution_times"](dataset, carrier)
+                for carrier in SK_CARRIERS
+            },
+            title="Fig 6: DNS resolution time, SK carriers",
+        )
+    )
+
+    comparison = functions["cache_comparison"](dataset, list(US_CARRIERS))
+    fig7 = [
+        format_cdfs(
+            {"first": comparison.first, "second": comparison.second},
+            title="Fig 7: back-to-back lookups, US carriers",
+        ),
+        f"Fig 7: first-lookup cache miss rate "
+        f"{comparison.miss_rate() * 100:.0f}%",
+        format_table(
+            ["domain", "miss rate"],
+            [
+                (domain, f"{rate * 100:.1f}%")
+                for domain, rate in functions["per_domain_miss_rates"](dataset)
+            ],
+            title="Fig 7b: per-domain first-lookup miss rates",
+        ),
+    ]
+    sections.extend(fig7)
+
+    sections.append(
+        _churn_table(
+            dataset, functions, "local",
+            "Fig 8: external-resolver churn (busiest device per carrier)",
+        )
+    )
+    sections.append(
+        _churn_table(
+            dataset, functions, "google",
+            "Fig 12: Google resolver churn (busiest device per carrier)",
+        )
+    )
+
+    fig10_rows = []
+    for carrier in carriers:
+        result = functions["similarity_study"](
+            dataset, SIMILARITY_DOMAIN, carrier
+        )
+        fig10_rows.append(
+            (
+                carrier,
+                len(result.same_prefix),
+                len(result.different_prefix),
+                f"{result.median_same_prefix():.2f}",
+                f"{result.fraction_disjoint() * 100:.0f}%",
+            )
+        )
+    sections.append(
+        format_table(
+            ["carrier", "same-/24 pairs", "diff-/24 pairs",
+             "same-/24 median", "diff-/24 disjoint"],
+            fig10_rows,
+            title=f"Fig 10: replica-map similarity ({SIMILARITY_DOMAIN})",
+        )
+    )
+
+    for carrier in carriers:
+        sections.append(
+            format_cdfs(
+                functions["public_resolver_pings"](dataset, carrier),
+                title=f"Fig 11 [{carrier}]: cellular vs public resolver pings",
+            )
+        )
+
+    for carrier in carriers:
+        sections.append(
+            format_cdfs(
+                functions["resolution_times_by_kind"](dataset, carrier),
+                title=f"Fig 13 [{carrier}]: local vs public resolution",
+            )
+        )
+
+    fig14_rows = []
+    for carrier in carriers:
+        result = functions["public_replica_comparison"](dataset, carrier)
+        fig14_rows.append(
+            (
+                carrier,
+                len(result.percent_changes),
+                f"{result.fraction_equal() * 100:.0f}%",
+                f"{result.fraction_public_not_worse() * 100:.0f}%",
+            )
+        )
+    sections.append(
+        format_table(
+            ["carrier", "comparisons", "equal /24s", "public <= local"],
+            fig14_rows,
+            title="Fig 14: public-resolver replica parity (google)",
+        )
+    )
+
+    owns = _ownership_oracle(study.world)
+    counts = functions["count_egress_points"](dataset, owns)
+    egress_rows = [
+        (carrier, entry.traceroutes_used, entry.count)
+        for carrier, entry in sorted(counts.items())
+    ]
+    discovery = [
+        (
+            carrier,
+            functions["resolver_discovery_curve"](dataset, carrier).total,
+        )
+        for carrier in carriers
+    ]
+    sections.append(
+        format_table(
+            ["carrier", "traceroutes", "egress points"],
+            egress_rows,
+            title="Sec 5.2: egress points per carrier",
+        )
+    )
+    sections.append(
+        format_table(
+            ["carrier", "distinct external resolvers"],
+            discovery,
+            title="Sec 4.5: resolver discovery totals",
+        )
+    )
+    return sections
+
+
+def _churn_table(
+    dataset, functions: Dict[str, Callable], resolver_kind: str, title: str
+) -> str:
+    """Busiest-device timeline statistics per carrier (Figs 8/12)."""
+    busiest: Dict[str, object] = {}
+    for device_id in dataset.device_ids():
+        timeline = functions["resolver_timeline"](
+            dataset, device_id, resolver_kind
+        )
+        current = busiest.get(timeline.carrier)
+        if current is None or len(timeline.observations) > len(
+            current.observations
+        ):
+            busiest[timeline.carrier] = timeline
+    rows = [
+        (
+            carrier,
+            timeline.device_id,
+            len(timeline.observations),
+            timeline.unique_ips(),
+            timeline.unique_prefixes(),
+            timeline.changes(),
+        )
+        for carrier, timeline in sorted(busiest.items())
+    ]
+    return format_table(
+        ["carrier", "device", "obs", "unique IPs", "unique /24s", "changes"],
+        rows,
+        title=title,
+    )
+
+
+def _ownership_oracle(world):
+    from repro.analysis.egress import world_ownership_oracle
+
+    return world_ownership_oracle(world)

@@ -21,7 +21,6 @@ from typing import List, Optional
 
 from repro import CellularDNSStudy, StudyConfig
 from repro.analysis.export import export_study_figures
-from repro.analysis.report import format_cdfs, format_table
 from repro.measure.records import Dataset
 from repro.measure.validate import validate_dataset
 
@@ -57,31 +56,24 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    from repro.analysis.result_cache import AnalysisResultCache
+
     study = _study_from_args(args)
     if args.dataset:
         study.use_dataset(Dataset.load(args.dataset))
-    print(study.render_table1(), "\n")
-    print(study.render_table3(), "\n")
-    rows = [
-        (row.carrier, row.total, row.ping_responsive, row.traceroute_responsive)
-        for row in study.table4_reachability()
-    ]
-    print(format_table(
-        ["carrier", "resolvers", "ping ok", "traceroute ok"],
-        rows, title="Table 4: external reachability",
-    ), "\n")
-    print(study.render_fig5(), "\n")
-    print(format_cdfs(study.fig6_sk_resolution(),
-                      title="Fig 6: DNS resolution time, SK carriers"), "\n")
-    comparison = study.fig7_cache()
-    print(f"Fig 7: first-lookup cache miss rate "
-          f"{comparison.miss_rate() * 100:.0f}%\n")
-    for carrier in study.world.operators:
-        result = study.fig14_public_replicas(carrier)
-        differential = study.fig2_replica_differentials(carrier).ecdf()
-        median = f"+{differential.median:.0f}%" if not differential.is_empty else "-"
-        print(f"[{carrier}] Fig2 p50 {median} | Fig14 public equal-or-better "
-              f"{result.fraction_public_not_worse() * 100:.0f}%")
+    cache = (
+        AnalysisResultCache(args.analysis_cache)
+        if args.analysis_cache
+        else None
+    )
+    result = study.regenerate_report(cache=cache)
+    print(result.text)
+    if result.cached:
+        print(
+            f"(replayed from {args.analysis_cache}: dataset "
+            f"{result.dataset_hash[:12]} unchanged)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -107,8 +99,40 @@ def _cmd_verify(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.measure.bench import (
-        BENCH_OUTPUT, BenchScale, format_report, run_benchmarks, smoke_scale,
+        BENCH_OUTPUT, BenchScale, bench_analysis, format_report,
+        run_benchmarks, smoke_scale,
     )
+
+    if args.analysis:
+        # Analysis fast path only (make bench-analysis): quick enough
+        # for CI, with the byte-identity check as the pass/fail signal.
+        scale = smoke_scale(seed=args.seed, workers=args.workers)
+        analysis = bench_analysis(scale)
+        fused_s = analysis["tables_s"] + analysis["figures_s"]
+        reference_s = (
+            analysis["reference_tables_s"] + analysis["reference_figures_s"]
+        )
+        print(f"analysis: regen {fused_s:.3f}s vs reference "
+              f"{reference_s:.3f}s ({analysis['regeneration_speedup']}x, "
+              f"{analysis['us_per_record']}us/record)")
+        print(f"scan {analysis['engine_scan_s']}s | "
+              f"ingest {analysis['load_s']}s vs "
+              f"{analysis['load_reference_s']}s "
+              f"({analysis['load_speedup']}x) | "
+              f"cache hit {analysis['cache_hit_s']}s | "
+              f"byte identical: {analysis['byte_identical']}")
+        if args.output:
+            import json as _json
+
+            with open(args.output, "w", encoding="utf-8") as handle:
+                _json.dump({"analysis": analysis}, handle, indent=2)
+                handle.write("\n")
+            print(f"Wrote {args.output}")
+        if not analysis["byte_identical"]:
+            print("FAIL: fused analysis output diverged from the "
+                  "reference walks", file=sys.stderr)
+            return 1
+        return 0
 
     if args.smoke:
         scale = smoke_scale(seed=args.seed, workers=args.workers)
@@ -168,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     report = commands.add_parser("report", help="print the paper's artifacts")
     _add_scale_arguments(report)
     report.add_argument("--dataset", help="analyse an archived dataset instead")
+    report.add_argument(
+        "--analysis-cache", default=None, metavar="PATH",
+        help="file-backed result cache keyed by dataset content hash; "
+             "re-running over an unchanged dataset replays the rendered "
+             "report instead of recomputing it",
+    )
     report.set_defaults(handler=_cmd_report)
 
     validate = commands.add_parser("validate", help="integrity-check a dataset")
@@ -197,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--workers", type=int, default=0,
         help="parallel shard workers (0 = min(carriers, cpus))",
+    )
+    bench.add_argument(
+        "--analysis", action="store_true",
+        help="run only the analysis fast-path benchmark (ingest, fused "
+             "scan, regeneration vs reference, result cache); fails if "
+             "the fused output is not byte-identical to the reference",
     )
     bench.add_argument(
         "--smoke", action="store_true",

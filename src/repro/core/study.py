@@ -264,6 +264,19 @@ class CellularDNSStudy:
 
     # -- rendering ------------------------------------------------------------
 
+    def regenerate_report(self, cache=None, reference: bool = False):
+        """Every table and figure as one text document (the fast path).
+
+        Delegates to :func:`repro.analysis.suite.regenerate_report`:
+        one fused engine scan feeds all artifacts, ``cache`` (an
+        :class:`~repro.analysis.result_cache.AnalysisResultCache`)
+        replays unchanged datasets, and ``reference=True`` renders the
+        byte-identical oracle via the original per-function walks.
+        """
+        from repro.analysis.suite import regenerate_report
+
+        return regenerate_report(self, reference=reference, cache_store=cache)
+
     def render_table1(self) -> str:
         """Printable Table 1."""
         return format_table(

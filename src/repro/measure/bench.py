@@ -322,6 +322,134 @@ def bench_stage_breakdown(
     return report
 
 
+# -- analysis fast path -------------------------------------------------------
+
+
+def bench_analysis(scale: Optional[BenchScale] = None) -> Dict[str, object]:
+    """The analysis fast path, end to end (see ``analysis/engine``).
+
+    Times every layer of the ISSUE's tentpole on one campaign:
+
+    * **ingest** — ``Dataset.loads_jsonl`` (the fast path) vs
+      ``load_jsonl_reference`` (per-line ``from_json``), hash-checked;
+    * **engine scan** — one cold fused scan over the columnar
+      projections (plus the projection build itself);
+    * **regeneration** — steady-state full table+figure rendering via
+      the engine vs the original per-function walks.  Steady state is
+      what the ``benchmarks/bench_*`` suites and repeated report/claim
+      renders measure: the dataset is unchanged, so the engine's query
+      cache holds;
+    * **result cache** — a whole-report replay through
+      :class:`~repro.analysis.result_cache.AnalysisResultCache`
+      (includes the content hash that keys it).
+
+    ``byte_identical`` asserts the fused document, the reference
+    document, and the datasets' content hashes all agree — a benchmark
+    that got faster by diverging is a regression, same rule as the
+    campaign benchmark's ``hash_match``.
+    """
+    from io import StringIO
+
+    from repro.analysis.engine import get_engine
+    from repro.analysis.result_cache import AnalysisResultCache
+    from repro.analysis.suite import (
+        _FUSED,
+        _REFERENCE,
+        _render_figures,
+        _render_tables,
+        regenerate_report,
+    )
+    from repro.core.study import CellularDNSStudy, StudyConfig
+    from repro.measure.records import Dataset
+
+    gc.collect()
+    scale = scale or smoke_scale()
+    study = CellularDNSStudy(
+        StudyConfig(
+            seed=scale.seed,
+            device_scale=scale.device_scale,
+            duration_days=scale.duration_days,
+            interval_hours=scale.interval_hours,
+            executor="serial",
+        )
+    )
+    dataset = study.dataset
+    experiments = len(dataset)
+    dataset_hash = dataset.content_hash()
+
+    buffer = StringIO()
+    dataset.dump_jsonl(buffer)
+    text = buffer.getvalue()
+
+    def best_of(render, rounds: int = 3) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            render()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    # Best-of-3 on both ingest paths: a single cold call at smoke scale
+    # is dominated by first-touch effects, not the decoder.
+    loaded = Dataset.loads_jsonl(text)
+    loaded_reference = Dataset.load_jsonl_reference(text.split("\n"))
+    load_s = best_of(lambda: Dataset.loads_jsonl(text))
+    load_reference_s = best_of(
+        lambda: Dataset.load_jsonl_reference(text.split("\n"))
+    )
+    load_hash_match = (
+        loaded.content_hash() == dataset_hash
+        and loaded_reference.content_hash() == dataset_hash
+    )
+
+    dataset._invalidate()
+    started = time.perf_counter()
+    get_engine(dataset)
+    engine_scan_s = time.perf_counter() - started
+
+    # Warm both paths once (fills the engine query cache / the dataset
+    # grouping indices), then time steady state.
+    fused = regenerate_report(study)
+    reference = regenerate_report(study, reference=True)
+    tables_s = best_of(lambda: _render_tables(study, _FUSED))
+    figures_s = best_of(lambda: _render_figures(study, _FUSED))
+    reference_tables_s = best_of(lambda: _render_tables(study, _REFERENCE))
+    reference_figures_s = best_of(lambda: _render_figures(study, _REFERENCE))
+
+    byte_identical = (
+        fused.text == reference.text
+        and fused.dataset_hash == reference.dataset_hash
+        and load_hash_match
+    )
+
+    result_cache = AnalysisResultCache()
+    regenerate_report(study, cache_store=result_cache)
+    started = time.perf_counter()
+    replayed = regenerate_report(study, cache_store=result_cache)
+    cache_hit_s = time.perf_counter() - started
+
+    fused_total = tables_s + figures_s
+    reference_total = reference_tables_s + reference_figures_s
+    return {
+        "experiments": experiments,
+        "dataset_hash": dataset_hash,
+        "load_s": round(load_s, 4),
+        "load_reference_s": round(load_reference_s, 4),
+        "load_speedup": round(load_reference_s / load_s, 2),
+        "engine_scan_s": round(engine_scan_s, 4),
+        "tables_s": round(tables_s, 4),
+        "figures_s": round(figures_s, 4),
+        "reference_tables_s": round(reference_tables_s, 4),
+        "reference_figures_s": round(reference_figures_s, 4),
+        "regeneration_speedup": round(reference_total / fused_total, 2),
+        "us_per_record": round(fused_total / experiments * 1e6, 1),
+        "scan_us_per_record": round(engine_scan_s / experiments * 1e6, 1),
+        "cache_hit_s": round(cache_hit_s, 4),
+        "cache_replayed": replayed.cached,
+        "byte_identical": byte_identical,
+    }
+
+
 # -- substrate microbenchmarks ------------------------------------------------
 
 
@@ -420,6 +548,7 @@ def run_benchmarks(
         "cpu_count": os.cpu_count(),
         "campaign": bench_campaign(scale),
         "stages": bench_stage_breakdown(),
+        "analysis": bench_analysis(),
         "asn_lookup": bench_asn_lookup(),
         "primitives": bench_primitives(),
     }
@@ -434,6 +563,7 @@ def format_report(report: Dict[str, object]) -> str:
     """Human-readable summary of a benchmark report."""
     campaign = report["campaign"]
     stages = report.get("stages")
+    analysis = report.get("analysis")
     asn = report["asn_lookup"]
     primitives = report["primitives"]
     lines = [
@@ -466,6 +596,20 @@ def format_report(report: Dict[str, object]) -> str:
             f"{stages['dns_resolve_calls']} resolves)"
             if stages and "dns_cache_hit_s" in stages
             else "dns split: skipped"
+        ),
+        (
+            f"analysis: regen {analysis['tables_s'] + analysis['figures_s']:.3f}s "
+            f"vs reference "
+            f"{analysis['reference_tables_s'] + analysis['reference_figures_s']:.3f}s "
+            f"({analysis['regeneration_speedup']}x, "
+            f"{analysis['us_per_record']}us/record) | "
+            f"scan {analysis['engine_scan_s']}s | "
+            f"ingest {analysis['load_s']}s vs {analysis['load_reference_s']}s "
+            f"({analysis['load_speedup']}x) | "
+            f"cache hit {analysis['cache_hit_s']}s | "
+            f"byte identical: {analysis['byte_identical']}"
+            if analysis
+            else "analysis: skipped"
         ),
         (
             f"asn_of: indexed {asn['indexed_per_s']}/s vs "

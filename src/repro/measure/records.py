@@ -24,7 +24,9 @@ import hashlib
 import json
 import re
 import sys
+from array import array
 from dataclasses import asdict, dataclass, field
+from operator import attrgetter
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO
 
 from repro.core.errors import DatasetError
@@ -341,6 +343,234 @@ class ExperimentRecord:
             raise DatasetError(f"malformed experiment record: {exc}") from exc
 
 
+# -- fast JSONL ingest ---------------------------------------------------------
+#
+# :meth:`ExperimentRecord.from_json` builds every sub-record through the
+# dataclass constructor with ``**kwargs`` — flexible, but the kwargs
+# dispatch and default processing dominate load time.  The decoders below
+# mirror the fast emitters above: they recognise the *canonical* shape
+# every line written by :meth:`ExperimentRecord.to_json_line` has (all
+# fields present, nothing extra), allocate via ``__new__`` and assign
+# slots directly.  Any line that deviates from the canonical shape —
+# missing fields, extra fields, hand-edited archives — falls back to
+# :meth:`ExperimentRecord.from_json`, so error behaviour and defaulting
+# are byte-for-byte those of the reference path.
+
+_new = object.__new__
+
+
+def _decode_resolution(item: dict) -> ResolutionRecord:
+    if len(item) != 7:
+        raise KeyError("non-canonical resolution")
+    record: ResolutionRecord = _new(ResolutionRecord)
+    record.domain = sys.intern(item["domain"])
+    record.resolver_kind = sys.intern(item["resolver_kind"])
+    record.resolution_ms = item["resolution_ms"]
+    record.addresses = item["addresses"]
+    record.cname_chain = item["cname_chain"]
+    record.attempt = item["attempt"]
+    record.rcode = sys.intern(item["rcode"])
+    return record
+
+
+def _decode_ping(item: dict) -> PingRecord:
+    if len(item) != 3:
+        raise KeyError("non-canonical ping")
+    record: PingRecord = _new(PingRecord)
+    record.target_ip = item["target_ip"]
+    record.target_kind = sys.intern(item["target_kind"])
+    record.rtt_ms = item["rtt_ms"]
+    return record
+
+
+def _decode_traceroute(item: dict) -> TracerouteRecord:
+    if len(item) != 4:
+        raise KeyError("non-canonical traceroute")
+    record: TracerouteRecord = _new(TracerouteRecord)
+    record.target_ip = item["target_ip"]
+    record.target_kind = sys.intern(item["target_kind"])
+    record.hops = item["hops"]
+    record.reached = item["reached"]
+    return record
+
+
+def _decode_http(item: dict) -> HttpRecord:
+    if len(item) != 4:
+        raise KeyError("non-canonical http get")
+    record: HttpRecord = _new(HttpRecord)
+    record.replica_ip = item["replica_ip"]
+    record.domain = sys.intern(item["domain"])
+    record.resolver_kind = sys.intern(item["resolver_kind"])
+    record.ttfb_ms = item["ttfb_ms"]
+    return record
+
+
+def _decode_resolver_id(item: dict) -> ResolverIdRecord:
+    if len(item) != 4:
+        raise KeyError("non-canonical resolver id")
+    record: ResolverIdRecord = _new(ResolverIdRecord)
+    record.resolver_kind = sys.intern(item["resolver_kind"])
+    record.configured_ip = item["configured_ip"]
+    record.observed_external_ip = item["observed_external_ip"]
+    record.resolution_ms = item["resolution_ms"]
+    return record
+
+
+def _decode_experiment(payload: dict) -> Optional[ExperimentRecord]:
+    """A canonical-shape experiment, or None when the shape deviates."""
+    try:
+        if len(payload) != 15:
+            return None
+        record: ExperimentRecord = _new(ExperimentRecord)
+        record.device_id = sys.intern(payload["device_id"])
+        record.carrier = sys.intern(payload["carrier"])
+        record.country = sys.intern(payload["country"])
+        record.sequence = payload["sequence"]
+        record.started_at = payload["started_at"]
+        record.latitude = payload["latitude"]
+        record.longitude = payload["longitude"]
+        record.technology = sys.intern(payload["technology"])
+        record.generation = sys.intern(payload["generation"])
+        record.client_ip = payload["client_ip"]
+        record.resolutions = [
+            _decode_resolution(item) for item in payload["resolutions"]
+        ]
+        record.pings = [_decode_ping(item) for item in payload["pings"]]
+        record.traceroutes = [
+            _decode_traceroute(item) for item in payload["traceroutes"]
+        ]
+        record.http_gets = [_decode_http(item) for item in payload["http_gets"]]
+        record.resolver_ids = [
+            _decode_resolver_id(item) for item in payload["resolver_ids"]
+        ]
+        return record
+    except (KeyError, TypeError, AttributeError):
+        return None
+
+
+@dataclass(slots=True)
+class DatasetColumns:
+    """Flat columnar projections of a dataset (read-only, shared).
+
+    Each nested record list is flattened into parallel columns with an
+    ``*_exp`` column giving the owning experiment's index, so analyses
+    can scan plain arrays instead of chasing per-record object graphs.
+    Built by :meth:`Dataset.columns` via ``array``/list comprehensions
+    and property-tested equal to the record walk in
+    ``tests/measure/test_records.py``.
+    """
+
+    # Per-experiment columns (length == len(dataset)).
+    carrier: List[str]
+    device_id: List[str]
+    country: List[str]
+    started_at: array
+    latitude: array
+    longitude: array
+    technology: List[str]
+    # Flattened resolutions.
+    res_exp: array
+    res_domain: List[str]
+    res_kind: List[str]
+    res_ms: array
+    res_attempt: array
+    res_addresses: List[List[str]]
+    # Flattened pings.
+    ping_exp: array
+    ping_kind: List[str]
+    ping_rtt: List[Optional[float]]
+    # Flattened HTTP gets.
+    http_exp: array
+    http_replica: List[str]
+    http_domain: List[str]
+    http_kind: List[str]
+    http_ttfb: List[Optional[float]]
+    # Flattened resolver identifications (raw, in record order).
+    rid_exp: array
+    rid_kind: List[str]
+    rid_configured: List[str]
+    rid_external: List[Optional[str]]
+    # Flattened traceroutes.
+    trace_exp: array
+    trace_kind: List[str]
+    trace_hops: List[List[List[object]]]
+
+    @classmethod
+    def from_experiments(
+        cls, experiments: List[ExperimentRecord]
+    ) -> "DatasetColumns":
+        """Project a record list into flat columns."""
+        return cls(
+            carrier=[r.carrier for r in experiments],
+            device_id=[r.device_id for r in experiments],
+            country=[r.country for r in experiments],
+            started_at=array("d", (r.started_at for r in experiments)),
+            latitude=array("d", (r.latitude for r in experiments)),
+            longitude=array("d", (r.longitude for r in experiments)),
+            technology=[r.technology for r in experiments],
+            res_exp=array(
+                "l",
+                (i for i, r in enumerate(experiments) for _ in r.resolutions),
+            ),
+            res_domain=[s.domain for r in experiments for s in r.resolutions],
+            res_kind=[
+                s.resolver_kind for r in experiments for s in r.resolutions
+            ],
+            res_ms=array(
+                "d",
+                (s.resolution_ms for r in experiments for s in r.resolutions),
+            ),
+            res_attempt=array(
+                "l", (s.attempt for r in experiments for s in r.resolutions)
+            ),
+            res_addresses=[
+                s.addresses for r in experiments for s in r.resolutions
+            ],
+            ping_exp=array(
+                "l", (i for i, r in enumerate(experiments) for _ in r.pings)
+            ),
+            ping_kind=[p.target_kind for r in experiments for p in r.pings],
+            ping_rtt=[p.rtt_ms for r in experiments for p in r.pings],
+            http_exp=array(
+                "l",
+                (i for i, r in enumerate(experiments) for _ in r.http_gets),
+            ),
+            http_replica=[h.replica_ip for r in experiments for h in r.http_gets],
+            http_domain=[h.domain for r in experiments for h in r.http_gets],
+            http_kind=[
+                h.resolver_kind for r in experiments for h in r.http_gets
+            ],
+            http_ttfb=[h.ttfb_ms for r in experiments for h in r.http_gets],
+            rid_exp=array(
+                "l",
+                (i for i, r in enumerate(experiments) for _ in r.resolver_ids),
+            ),
+            rid_kind=[
+                s.resolver_kind for r in experiments for s in r.resolver_ids
+            ],
+            rid_configured=[
+                s.configured_ip for r in experiments for s in r.resolver_ids
+            ],
+            rid_external=[
+                s.observed_external_ip
+                for r in experiments
+                for s in r.resolver_ids
+            ],
+            trace_exp=array(
+                "l",
+                (i for i, r in enumerate(experiments) for _ in r.traceroutes),
+            ),
+            trace_kind=[
+                t.target_kind for r in experiments for t in r.traceroutes
+            ],
+            trace_hops=[t.hops for r in experiments for t in r.traceroutes],
+        )
+
+
+#: Sort key for :meth:`Dataset.by_device` groups (no per-call lambda).
+_STARTED_AT = attrgetter("started_at")
+
+
 @dataclass(slots=True)
 class Dataset:
     """An ordered collection of experiment records plus campaign metadata.
@@ -365,6 +595,12 @@ class Dataset:
     _resolution_index: Optional[Dict[str, list]] = field(
         default=None, repr=False, compare=False
     )
+    #: Lazily built columnar projections (see :class:`DatasetColumns`).
+    _columns: Optional[DatasetColumns] = field(
+        default=None, repr=False, compare=False
+    )
+    #: The fused analysis engine, attached by repro.analysis.engine.
+    _engine: Optional[object] = field(default=None, repr=False, compare=False)
     _indexed_len: int = field(default=-1, repr=False, compare=False)
 
     def add(self, record: ExperimentRecord) -> None:
@@ -378,6 +614,8 @@ class Dataset:
         self._carrier_index = None
         self._device_index = None
         self._resolution_index = None
+        self._columns = None
+        self._engine = None
         self._indexed_len = len(self.experiments)
 
     def by_carrier(self) -> Dict[str, List[ExperimentRecord]]:
@@ -400,7 +638,13 @@ class Dataset:
             for record in self.experiments:
                 grouped.setdefault(record.device_id, []).append(record)
             for records in grouped.values():
-                records.sort(key=lambda record: record.started_at)
+                # Serial campaigns append in time order; only out-of-order
+                # groups (merged or shuffled archives) pay the sort.
+                if any(
+                    earlier.started_at > later.started_at
+                    for earlier, later in zip(records, records[1:])
+                ):
+                    records.sort(key=_STARTED_AT)
             self._device_index = grouped
         return self._device_index
 
@@ -426,6 +670,18 @@ class Dataset:
                     )
             self._resolution_index = index
         return self._resolution_index
+
+    def columns(self) -> DatasetColumns:
+        """Flat columnar projections (cached; read-only, shared).
+
+        The projections are what the fused analysis engine scans; they
+        are invalidated by length exactly like the grouping indices.
+        """
+        if not self._fresh():
+            self._invalidate()
+        if self._columns is None:
+            self._columns = DatasetColumns.from_experiments(self.experiments)
+        return self._columns
 
     def carriers(self) -> List[str]:
         """Carrier keys present, in first-seen order."""
@@ -454,7 +710,9 @@ class Dataset:
         and ``nan != nan`` under dataclass equality) and means equality
         of hashes is exactly equality of archived ``.jsonl`` bodies.
         This is the oracle the parallel campaign — and every fast-path
-        optimisation of the serial engine — is verified against.
+        optimisation of the serial engine — is verified against.  It is
+        deliberately *not* memoised: in-place record mutation must change
+        the hash (the result cache computes it once per run instead).
         """
         digest = hashlib.sha256()
         for record in self.experiments:
@@ -485,7 +743,37 @@ class Dataset:
 
     @classmethod
     def load_jsonl(cls, lines: Iterable[str]) -> "Dataset":
-        """Read a dataset written by :meth:`dump_jsonl`."""
+        """Read a dataset written by :meth:`dump_jsonl`.
+
+        Canonical lines (the shape :meth:`ExperimentRecord.to_json_line`
+        emits) decode through the slot-assigning fast decoders; anything
+        else falls back to :meth:`ExperimentRecord.from_json`, keeping
+        defaulting and error behaviour identical to
+        :meth:`load_jsonl_reference` — the property-tested oracle.
+        """
+        dataset = cls()
+        append = dataset.experiments.append
+        loads = json.loads
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith('{"_metadata"'):
+                dataset.metadata = loads(line)["_metadata"]
+                continue
+            try:
+                payload = loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"bad dataset line: {exc}") from exc
+            record = _decode_experiment(payload)
+            if record is None:
+                record = ExperimentRecord.from_json(line)
+            append(record)
+        return dataset
+
+    @classmethod
+    def load_jsonl_reference(cls, lines: Iterable[str]) -> "Dataset":
+        """The original per-line ``from_json`` ingest (the oracle)."""
         dataset = cls()
         for line in lines:
             line = line.strip()
@@ -497,6 +785,11 @@ class Dataset:
             dataset.add(ExperimentRecord.from_json(line))
         return dataset
 
+    @classmethod
+    def loads_jsonl(cls, text: str) -> "Dataset":
+        """Read a dataset from one JSONL string (single-pass splitter)."""
+        return cls.load_jsonl(text.split("\n"))
+
     def save(self, path: str) -> int:
         """Write the dataset to a file path."""
         with open(path, "w", encoding="utf-8") as handle:
@@ -506,4 +799,4 @@ class Dataset:
     def load(cls, path: str) -> "Dataset":
         """Read a dataset from a file path."""
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.load_jsonl(handle)
+            return cls.loads_jsonl(handle.read())

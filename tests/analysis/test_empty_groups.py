@@ -1,0 +1,124 @@
+"""Empty record groups must degrade to empty results, never divide.
+
+Regression net for the fast-path rework: every public analysis function
+is called against (a) a dataset with no experiments at all, (b) a
+carrier that never appears, and (c) a device that never reported.  Each
+must come back empty/zero — a ``ZeroDivisionError`` anywhere here is a
+missing guard.  The full report regeneration is also exercised over an
+empty dataset, fused and reference, and must stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.analysis import (
+    cache,
+    consistency,
+    latency,
+    localization,
+    longitudinal,
+    reachability,
+    similarity,
+)
+from repro.analysis.egress import count_egress_points
+from repro.measure.records import Dataset
+
+
+@pytest.fixture(params=["empty", "unknown-carrier"])
+def hollow(request, dataset):
+    """(dataset, carrier) pairs whose record group is guaranteed empty."""
+    if request.param == "empty":
+        return Dataset(), "att"
+    return dataset, "no-such-carrier"
+
+
+class TestEmptyGroups:
+    def test_latency_functions(self, hollow):
+        data, carrier = hollow
+        assert latency.resolution_times(data, carrier).is_empty
+        assert latency.resolution_times(data, carrier, attempt=None).is_empty
+        for curves in (
+            latency.resolution_times_by_technology(data, carrier),
+            latency.resolution_times_by_kind(data, carrier),
+            latency.resolver_ping_latencies(data, carrier),
+            latency.public_resolver_pings(data, carrier),
+        ):
+            for curve in curves.values():
+                assert curve is None or curve.is_empty
+
+    def test_cache_functions(self, hollow):
+        data, carrier = hollow
+        comparison = cache.cache_comparison(data, carriers=[carrier])
+        assert comparison.deltas == []
+        assert comparison.miss_rate() == 0.0
+        if not len(data):
+            assert cache.per_domain_miss_rates(data) == []
+
+    def test_consistency_functions(self, hollow):
+        data, carrier = hollow
+        rows = [
+            row for row in consistency.ldns_pair_table(data)
+            if row.carrier == carrier
+        ]
+        for row in rows:
+            assert row.pairs == 0
+            assert row.consistency_pct == 0.0
+        counts = [
+            row for row in consistency.unique_resolver_counts(data)
+            if row.carrier == carrier
+        ]
+        for row in counts:
+            assert row.unique_ips == 0
+
+    def test_unknown_device_timeline(self, dataset):
+        timeline = consistency.resolver_timeline(dataset, "no-such-device")
+        assert timeline.observations == []
+        assert timeline.unique_ips() == 0
+        assert timeline.unique_prefixes() == 0
+        assert timeline.changes() == 0
+
+    def test_localization_functions(self, hollow):
+        data, carrier = hollow
+        differentials = localization.replica_differentials(data, carrier)
+        assert differentials.per_replica == []
+        assert differentials.ecdf().is_empty
+        comparison = localization.public_replica_comparison(data, carrier)
+        assert comparison.percent_changes == []
+        assert comparison.fraction_equal() == 0.0
+        assert comparison.fraction_public_not_worse() == 0.0
+
+    def test_similarity_functions(self, hollow):
+        data, carrier = hollow
+        result = similarity.similarity_study(
+            data, "www.buzzfeed.com", carrier
+        )
+        assert result.same_prefix == []
+        assert result.median_same_prefix() == 0.0
+        assert result.fraction_disjoint() == 0.0
+
+    def test_longitudinal_and_reachability(self, hollow):
+        data, carrier = hollow
+        curve = longitudinal.resolver_discovery_curve(data, carrier)
+        assert curve.total == 0
+        if not len(data):
+            assert reachability.observed_external_resolvers(data) == {}
+
+    def test_egress_counts(self, hollow):
+        data, carrier = hollow
+        counts = count_egress_points(data, lambda c, address: True)
+        assert carrier not in counts or counts[carrier].count == 0
+
+
+class TestEmptyDatasetReport:
+    """The whole document renders from zero records, both paths alike."""
+
+    def test_regeneration_byte_identical(self):
+        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        study.use_dataset(Dataset())
+        fused = study.regenerate_report()
+        reference = study.regenerate_report(reference=True)
+        assert fused.text == reference.text
+        assert "Table 1" in fused.text
+        assert "Fig 7" in fused.text

@@ -1,0 +1,401 @@
+"""Fused single-pass engine vs the original per-function record walks.
+
+Every analysis primitive rewired onto :mod:`repro.analysis.engine` keeps
+its original implementation alive as a ``*_reference`` oracle.  These
+tests assert the two produce *equal structures* — on the session-scale
+campaign fixture and on hypothesis-randomised datasets whose records mix
+carriers, resolver kinds, whoami probes, missing pings and unpaired
+cache attempts.
+
+ECDF equality is compared through its sorted-sample list (``ECDF``
+holds a numpy array, whose ``==`` is elementwise), so everything is
+normalised into plain tuples first — see :func:`norm`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    cache,
+    consistency,
+    latency,
+    localization,
+    longitudinal,
+    reachability,
+    similarity,
+)
+from repro.analysis.egress import (
+    count_egress_points,
+    count_egress_points_reference,
+)
+from repro.analysis.stats import ECDF
+from repro.analysis.suite import _FUSED, _REFERENCE
+from repro.geo.coordinates import GeoPoint
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    HttpRecord,
+    PingRecord,
+    ResolutionRecord,
+    ResolverIdRecord,
+    TracerouteRecord,
+)
+
+
+def norm(x):
+    """Recursively reduce any analysis result to comparable plain data.
+
+    ECDFs become their sorted sample, dataclasses their public field
+    tuples, dicts keep insertion order (the renderings depend on it),
+    NaN becomes a token so equal-NaN structures compare equal.
+    """
+    if isinstance(x, ECDF):
+        return ("ECDF", tuple(x._data))
+    if isinstance(x, np.ndarray):
+        return ("ndarray", tuple(norm(v) for v in x.tolist()))
+    if isinstance(x, float):
+        return "nan" if x != x else x
+    if isinstance(x, dict):
+        return (
+            "dict",
+            tuple((norm(k), norm(v)) for k, v in x.items()),
+        )
+    if isinstance(x, (list, tuple)):
+        return tuple(norm(v) for v in x)
+    if isinstance(x, (set, frozenset)):
+        return ("set", tuple(sorted((norm(v) for v in x), key=repr)))
+    if dataclasses.is_dataclass(x) and not isinstance(x, type):
+        return (
+            type(x).__name__,
+            tuple(
+                (f.name, norm(getattr(x, f.name)))
+                for f in dataclasses.fields(x)
+                if not f.name.startswith("_")
+            ),
+        )
+    return x
+
+
+def assert_same(fused, reference, label=""):
+    assert norm(fused) == norm(reference), label
+
+
+# -- randomised datasets ------------------------------------------------------
+
+_CARRIERS = ["att", "skt", "zz-mystery"]
+_DOMAINS = [
+    "m.yelp.com",
+    "www.buzzfeed.com",
+    "cdn.example.org",
+    "whoami.akamai.net",  # excluded from latency figures by both paths
+]
+_KINDS = ["local", "google", "opendns"]
+_IPS = ["16.0.7.1", "16.0.7.9", "16.1.8.3", "17.4.4.4", "18.0.0.9"]
+_PING_KINDS = [
+    "replica",
+    "resolver-client-facing",
+    "resolver-external-facing",
+    "resolver-public-google",
+    "resolver-public-opendns",
+]
+_ms = st.floats(0.0, 5000.0, allow_nan=False)
+
+_resolutions = st.builds(
+    ResolutionRecord,
+    domain=st.sampled_from(_DOMAINS),
+    resolver_kind=st.sampled_from(_KINDS),
+    resolution_ms=_ms,
+    addresses=st.lists(st.sampled_from(_IPS), max_size=3),
+    cname_chain=st.lists(st.sampled_from(["edge-a", "edge-b"]), max_size=1),
+    attempt=st.sampled_from([1, 2]),
+)
+_pings = st.builds(
+    PingRecord,
+    target_ip=st.sampled_from(_IPS),
+    target_kind=st.sampled_from(_PING_KINDS),
+    rtt_ms=st.none() | _ms,
+)
+_traceroutes = st.builds(
+    TracerouteRecord,
+    target_ip=st.sampled_from(_IPS),
+    target_kind=st.sampled_from(["replica", "resolver-external"]),
+    hops=st.lists(
+        st.tuples(
+            st.integers(1, 4),
+            st.none() | st.sampled_from(_IPS),
+            st.none() | _ms,
+        ).map(list),
+        max_size=4,
+    ),
+    reached=st.booleans(),
+)
+_http_gets = st.builds(
+    HttpRecord,
+    replica_ip=st.sampled_from(_IPS),
+    domain=st.sampled_from(_DOMAINS[:3]),
+    resolver_kind=st.sampled_from(_KINDS),
+    ttfb_ms=st.none() | _ms,
+)
+_resolver_ids = st.builds(
+    ResolverIdRecord,
+    resolver_kind=st.sampled_from(_KINDS),
+    configured_ip=st.sampled_from(_IPS),
+    observed_external_ip=st.none() | st.sampled_from(_IPS + [""]),
+    resolution_ms=st.none() | _ms,
+)
+
+
+@st.composite
+def _datasets(draw):
+    count = draw(st.integers(0, 6))
+    records = []
+    for index in range(count):
+        records.append(
+            ExperimentRecord(
+                device_id=f"dev-{draw(st.integers(0, 2))}",
+                carrier=draw(st.sampled_from(_CARRIERS)),
+                country="US",
+                sequence=index,
+                started_at=float(index) * 1800.0,
+                latitude=41.9 + draw(st.floats(-0.5, 0.5, allow_nan=False)),
+                longitude=-87.6,
+                technology=draw(st.sampled_from(["LTE", "eHRPD", ""])),
+                generation="4G",
+                client_ip=draw(st.sampled_from(_IPS)),
+                resolutions=draw(st.lists(_resolutions, max_size=5)),
+                pings=draw(st.lists(_pings, max_size=4)),
+                traceroutes=draw(st.lists(_traceroutes, max_size=2)),
+                http_gets=draw(st.lists(_http_gets, max_size=4)),
+                resolver_ids=draw(st.lists(_resolver_ids, max_size=3)),
+            )
+        )
+    return Dataset(experiments=records)
+
+
+def _owns(carrier, address):
+    return address.startswith(("16.", "17."))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_datasets())
+def test_randomised_datasets_equivalent(dataset):
+    """Every rewired primitive against its oracle on arbitrary records."""
+    for carrier in _CARRIERS:
+        for kind in _KINDS:
+            for attempt in (1, 2, None):
+                assert_same(
+                    latency.resolution_times(dataset, carrier, kind, attempt),
+                    latency.resolution_times_reference(
+                        dataset, carrier, kind, attempt
+                    ),
+                    f"resolution_times {carrier}/{kind}/{attempt}",
+                )
+        assert_same(
+            latency.resolution_times_by_technology(dataset, carrier),
+            latency.resolution_times_by_technology_reference(dataset, carrier),
+            f"by_technology {carrier}",
+        )
+        assert_same(
+            latency.resolution_times_by_kind(dataset, carrier),
+            latency.resolution_times_by_kind_reference(dataset, carrier),
+            f"by_kind {carrier}",
+        )
+        assert_same(
+            latency.resolver_ping_latencies(dataset, carrier),
+            latency.resolver_ping_latencies_reference(dataset, carrier),
+            f"pings {carrier}",
+        )
+        assert_same(
+            latency.public_resolver_pings(dataset, carrier),
+            latency.public_resolver_pings_reference(dataset, carrier),
+            f"public pings {carrier}",
+        )
+        assert_same(
+            localization.replica_differentials(dataset, carrier),
+            localization.replica_differentials_reference(dataset, carrier),
+            f"replica_differentials {carrier}",
+        )
+        assert_same(
+            localization.replica_differentials(
+                dataset, carrier, domain="m.yelp.com", resolver_kind="local"
+            ),
+            localization.replica_differentials_reference(
+                dataset, carrier, domain="m.yelp.com", resolver_kind="local"
+            ),
+            f"replica_differentials filtered {carrier}",
+        )
+        assert_same(
+            localization.public_replica_comparison(dataset, carrier),
+            localization.public_replica_comparison_reference(dataset, carrier),
+            f"public_replica_comparison {carrier}",
+        )
+        assert_same(
+            similarity.similarity_study(
+                dataset, "www.buzzfeed.com", carrier, min_observations=1
+            ),
+            similarity.similarity_study_reference(
+                dataset, "www.buzzfeed.com", carrier, min_observations=1
+            ),
+            f"similarity {carrier}",
+        )
+        assert_same(
+            longitudinal.resolver_discovery_curve(dataset, carrier),
+            longitudinal.resolver_discovery_curve_reference(dataset, carrier),
+            f"discovery {carrier}",
+        )
+    assert_same(
+        cache.cache_comparison(dataset, carriers=_CARRIERS[:2]),
+        cache.cache_comparison_reference(dataset, carriers=_CARRIERS[:2]),
+        "cache_comparison",
+    )
+    assert_same(
+        cache.per_domain_miss_rates(dataset),
+        cache.per_domain_miss_rates_reference(dataset),
+        "per_domain_miss_rates",
+    )
+    assert_same(
+        consistency.ldns_pair_table(dataset),
+        consistency.ldns_pair_table_reference(dataset),
+        "ldns_pair_table",
+    )
+    assert_same(
+        consistency.unique_resolver_counts(dataset),
+        consistency.unique_resolver_counts_reference(dataset),
+        "unique_resolver_counts",
+    )
+    centroid = GeoPoint(latitude=41.9, longitude=-87.6)
+    for device_id in dataset.device_ids():
+        for kind in ("local", "google"):
+            assert_same(
+                consistency.resolver_timeline(dataset, device_id, kind),
+                consistency.resolver_timeline_reference(
+                    dataset, device_id, kind
+                ),
+                f"timeline {device_id}/{kind}",
+            )
+        assert_same(
+            consistency.resolver_timeline(
+                dataset, device_id, within_km_of=centroid, radius_km=30.0
+            ),
+            consistency.resolver_timeline_reference(
+                dataset, device_id, within_km_of=centroid, radius_km=30.0
+            ),
+            f"timeline geo {device_id}",
+        )
+    assert_same(
+        count_egress_points(dataset, _owns),
+        count_egress_points_reference(dataset, _owns),
+        "count_egress_points",
+    )
+    assert_same(
+        reachability.observed_external_resolvers(dataset),
+        reachability.observed_external_resolvers_reference(dataset),
+        "observed_external_resolvers",
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(_datasets())
+def test_replica_maps_preserve_order(dataset):
+    """Fig 10's per-resolver maps must match in values *and* order."""
+    for carrier in _CARRIERS:
+        fused = similarity.replica_maps_by_resolver(
+            dataset, "www.buzzfeed.com", carrier
+        )
+        reference = similarity.replica_maps_by_resolver_reference(
+            dataset, "www.buzzfeed.com", carrier
+        )
+        assert list(fused) == list(reference)
+        assert norm(fused) == norm(reference)
+
+
+def test_mutation_invalidates_engine():
+    """Appending records must rebuild the fused projections."""
+    dataset = Dataset()
+    record = ExperimentRecord(
+        device_id="dev-0", carrier="att", country="US", sequence=0,
+        started_at=0.0, latitude=41.9, longitude=-87.6, technology="LTE",
+        generation="4G", client_ip="16.2.0.9",
+        resolutions=[
+            ResolutionRecord(
+                domain="m.yelp.com", resolver_kind="local",
+                resolution_ms=42.0, addresses=["16.0.7.1"],
+                cname_chain=[], attempt=1,
+            )
+        ],
+        pings=[], traceroutes=[], http_gets=[], resolver_ids=[],
+    )
+    dataset.add(record)
+    before = latency.resolution_times(dataset, "att")
+    assert len(before) == 1
+    second = dataclasses.replace(
+        record,
+        sequence=1,
+        resolutions=[
+            dataclasses.replace(record.resolutions[0], resolution_ms=99.0)
+        ],
+    )
+    dataset.add(second)
+    after = latency.resolution_times(dataset, "att")
+    assert len(after) == 2
+    assert_same(
+        after, latency.resolution_times_reference(dataset, "att"), "post-add"
+    )
+
+
+class TestSessionScaleEquivalence:
+    """Spot checks on the realistic session campaign (~1700 experiments)."""
+
+    def test_every_suite_primitive(self, study, dataset):
+        carriers = list(study.world.operators)
+        spot_devices = dataset.device_ids()[:3]
+        for name, fused_fn in _FUSED.items():
+            reference_fn = _REFERENCE[name]
+            if name == "resolver_timeline":
+                for device_id in spot_devices:
+                    assert_same(
+                        fused_fn(dataset, device_id),
+                        reference_fn(dataset, device_id),
+                        name,
+                    )
+            elif name == "count_egress_points":
+                from repro.analysis.egress import world_ownership_oracle
+
+                owns = world_ownership_oracle(study.world)
+                assert_same(
+                    fused_fn(dataset, owns), reference_fn(dataset, owns), name
+                )
+            elif name == "similarity_study":
+                for carrier in carriers[:2]:
+                    assert_same(
+                        fused_fn(dataset, "www.buzzfeed.com", carrier),
+                        reference_fn(dataset, "www.buzzfeed.com", carrier),
+                        name,
+                    )
+            elif name == "cache_comparison":
+                assert_same(
+                    fused_fn(dataset, carriers),
+                    reference_fn(dataset, carriers),
+                    name,
+                )
+            elif name in ("per_domain_miss_rates", "ldns_pair_table",
+                          "unique_resolver_counts",
+                          "observed_external_resolvers"):
+                assert_same(fused_fn(dataset), reference_fn(dataset), name)
+            else:  # per-carrier primitives
+                for carrier in carriers:
+                    assert_same(
+                        fused_fn(dataset, carrier),
+                        reference_fn(dataset, carrier),
+                        f"{name} {carrier}",
+                    )
+
+    def test_query_cache_returns_same_object(self, dataset):
+        first = latency.resolution_times(dataset, "att")
+        second = latency.resolution_times(dataset, "att")
+        assert first is second

@@ -1,0 +1,112 @@
+"""The hash-keyed result cache and the full-report regeneration suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.result_cache import AnalysisResultCache
+from repro.analysis.suite import REPORT_KEY, regenerate_report
+
+
+class TestAnalysisResultCache:
+    def test_in_memory_get_put(self):
+        cache = AnalysisResultCache()
+        assert cache.get("hash-a", "t1") is None
+        cache.put("hash-a", "t1", "rendered")
+        assert cache.get("hash-a", "t1") == "rendered"
+        assert cache.get("hash-b", "t1") is None
+        assert (cache.hits, cache.misses) == (1, 2)
+        assert len(cache) == 1
+
+    def test_get_or_render_renders_once(self):
+        cache = AnalysisResultCache()
+        calls = []
+
+        def render():
+            calls.append(1)
+            return "body"
+
+        assert cache.get_or_render("h", "k", render) == "body"
+        assert cache.get_or_render("h", "k", render) == "body"
+        assert len(calls) == 1
+
+    def test_file_backed_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = AnalysisResultCache(path)
+        first.put("hash-a", REPORT_KEY, "the report\nwith ünïcode 中\n")
+        first.save()
+        second = AnalysisResultCache(path)
+        assert second.get("hash-a", REPORT_KEY) == (
+            "the report\nwith ünïcode 中\n"
+        )
+
+    def test_corrupt_store_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{definitely not json", encoding="utf-8")
+        cache = AnalysisResultCache(str(path))
+        assert len(cache) == 0
+        assert cache.get("h", "k") is None
+        # And a save() heals the file.
+        cache.put("h", "k", "v")
+        cache.save()
+        assert AnalysisResultCache(str(path)).get("h", "k") == "v"
+
+    def test_wrong_shape_store_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('{"entries": [1, 2, 3]}', encoding="utf-8")
+        assert len(AnalysisResultCache(str(path))) == 0
+
+    def test_in_memory_save_is_noop(self):
+        AnalysisResultCache().save()  # must not raise
+
+
+class TestRegenerateReport:
+    @pytest.fixture(scope="class")
+    def fused(self, study):
+        return regenerate_report(study)
+
+    def test_fused_matches_reference_bytes(self, study, fused):
+        reference = regenerate_report(study, reference=True)
+        assert fused.text == reference.text
+        assert fused.dataset_hash == reference.dataset_hash
+
+    def test_report_contains_every_artifact(self, fused):
+        for marker in (
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+            "Fig 2", "Fig 3", "Fig 5", "Fig 6", "Fig 7", "Fig 8",
+            "Fig 10", "Fig 11", "Fig 12", "Fig 13", "Fig 14",
+            "Sec 5.2", "Sec 4.5",
+        ):
+            assert marker in fused.text, marker
+
+    def test_regeneration_is_repeatable(self, study, fused):
+        again = regenerate_report(study)
+        assert again.text == fused.text
+        assert not again.cached
+        assert again.tables_s >= 0.0 and again.figures_s >= 0.0
+
+    def test_cache_replay(self, study, fused):
+        cache = AnalysisResultCache()
+        first = regenerate_report(study, cache_store=cache)
+        assert not first.cached
+        replay = regenerate_report(study, cache_store=cache)
+        assert replay.cached
+        assert replay.text == first.text == fused.text
+        assert cache.hits == 1
+
+    def test_cache_never_holds_reference_renders(self, study):
+        cache = AnalysisResultCache()
+        regenerate_report(study, reference=True, cache_store=cache)
+        assert len(cache) == 0
+
+    def test_cache_persists_across_processes_shape(self, study, tmp_path):
+        path = str(tmp_path / "analysis-cache.json")
+        store = AnalysisResultCache(path)
+        rendered = regenerate_report(study, cache_store=store)
+        fresh = AnalysisResultCache(path)
+        assert fresh.get(rendered.dataset_hash, REPORT_KEY) == rendered.text
+
+    def test_study_method_delegates(self, study):
+        result = study.regenerate_report()
+        assert result.text.endswith("\n")
+        assert len(result.dataset_hash) == 64
