@@ -6,9 +6,11 @@ Runs, in order:
 1. the tier-1 test suite (``pytest -x -q`` with ``src`` on the path);
 2. a ~30 s benchmark smoke at ``device_scale=0.05`` over 14 days,
    failing hard if the parallel campaign's dataset hash differs from
-   the serial one — and, on a multi-core box, if the parallel campaign
-   is *slower* than the serial one (an executor-selection regression;
-   single-core boxes only note the expected slowdown);
+   the serial one, if the fault-free dataset hash drifts from the
+   pinned ``SMOKE_DATASET_SHA256`` golden (the transport layer's
+   byte-identity contract) — and, on a multi-core box, if the parallel
+   campaign is *slower* than the serial one (an executor-selection
+   regression; single-core boxes only note the expected slowdown);
 3. the DNS fast-path gate: a stage-breakdown smoke whose
    ``dns_us_per_call`` must stay within 25% of the committed
    ``BENCH_campaign.json`` figure (guards the compiled-plan /
@@ -57,7 +59,11 @@ def run_tier1() -> int:
 def run_bench_smoke() -> int:
     """Small campaign, serial and parallel, hashes must match."""
     sys.path.insert(0, SRC)
-    from repro.measure.bench import BenchScale, bench_campaign
+    from repro.measure.bench import (
+        SMOKE_DATASET_SHA256,
+        BenchScale,
+        bench_campaign,
+    )
 
     print("== campaign determinism smoke ==", flush=True)
     report = bench_campaign(
@@ -74,6 +80,16 @@ def run_bench_smoke() -> int:
         print("FAIL: parallel dataset hash differs from serial", file=sys.stderr)
         return 1
     print("determinism: OK")
+    if report["dataset_hash"] != SMOKE_DATASET_SHA256:
+        print(
+            f"FAIL: fault-free smoke hash {report['dataset_hash'][:16]}… "
+            f"drifted from the pinned golden "
+            f"{SMOKE_DATASET_SHA256[:16]}… — the transport layer's "
+            f"byte-identity contract is broken",
+            file=sys.stderr,
+        )
+        return 1
+    print("fault-free golden hash: OK")
     cores = os.cpu_count() or 1
     if report["parallel_s"] > report["serial_s"]:
         if cores >= 2:

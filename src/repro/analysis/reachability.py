@@ -77,14 +77,18 @@ def probe_external_reachability(
     if resolvers is None:
         resolvers = observed_external_resolvers(dataset)
     rows: List[ReachabilityRow] = []
+    transport = world.transport
     for carrier, addresses in sorted(resolvers.items()):
         ping_ok = 0
         traceroute_ok = 0
         for address in addresses:
             origin = world.vantage.origin(stream)
-            if world.internet.measure_rtt(origin, address, stream) is not None:
+            # Analysis re-probes pass no ``probe`` kind: the vantage is
+            # outside every carrier, so fault scenarios never apply and
+            # the draws match the pre-transport walk exactly.
+            if transport.ping(origin, address, stream).delivered:
                 ping_ok += 1
-            result = world.internet.traceroute(origin, address, stream)
+            result, _ = transport.traceroute(origin, address, stream)
             if result.reached:
                 traceroute_ok += 1
         rows.append(

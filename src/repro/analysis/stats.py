@@ -13,6 +13,27 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 
+def is_measured(value: Optional[float]) -> bool:
+    """Whether a probe yielded a measurement (a delivered outcome).
+
+    The explicit predicate for what used to be scattered ``is None`` /
+    NaN sniffing: undelivered probes are recorded as ``None`` (pings,
+    HTTP) or NaN (resolutions) on the wire, and analyses must treat the
+    two spellings identically.
+    """
+    return value is not None and value == value
+
+
+def measured_mask(array: np.ndarray) -> np.ndarray:
+    """Boolean mask of measured entries in a float array (NaN = failed)."""
+    return ~np.isnan(array)
+
+
+def drop_unmeasured(values: Iterable[Optional[float]]) -> List[float]:
+    """Only the measured values, in order."""
+    return [float(v) for v in values if is_measured(v)]
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The q-th percentile (q in [0, 100]) of non-empty values."""
     if len(values) == 0:
@@ -47,8 +68,8 @@ class ECDF:
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "ECDF":
-        """Build from any iterable, dropping NaNs."""
-        data = sorted(v for v in map(float, values) if v == v)
+        """Build from any iterable, dropping unmeasured (NaN) entries."""
+        data = sorted(v for v in map(float, values) if is_measured(v))
         return cls(values=np.asarray(data, dtype=float), _sorted=data)
 
     @property
@@ -152,7 +173,7 @@ class DistributionSummary:
 def summarize(values: Iterable[float]) -> Optional[DistributionSummary]:
     """Summary of a sample, or None when it is empty."""
     array = np.asarray(list(values), dtype=float)
-    array = array[~np.isnan(array)]
+    array = array[measured_mask(array)]
     if array.size == 0:
         return None
     return DistributionSummary(

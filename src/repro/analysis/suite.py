@@ -32,6 +32,7 @@ from repro.analysis import (
     cache,
     consistency,
     egress,
+    failures,
     latency,
     localization,
     longitudinal,
@@ -69,6 +70,7 @@ _FUSED: Dict[str, Callable] = {
     "count_egress_points": egress.count_egress_points,
     "resolver_discovery_curve": longitudinal.resolver_discovery_curve,
     "observed_external_resolvers": reachability.observed_external_resolvers,
+    "failure_accounting": failures.failure_accounting,
 }
 
 _REFERENCE: Dict[str, Callable] = {
@@ -92,6 +94,9 @@ _REFERENCE: Dict[str, Callable] = {
         longitudinal.resolver_discovery_curve_reference,
     "observed_external_resolvers":
         reachability.observed_external_resolvers_reference,
+    # Outcome accounting walks the records directly either way; the same
+    # function serves both paths (identity is then structural).
+    "failure_accounting": failures.failure_accounting,
 }
 
 US_CARRIERS = ("att", "sprint", "tmobile", "verizon")
@@ -219,6 +224,30 @@ def _render_tables(study, functions: Dict[str, Callable]) -> List[str]:
             ["carrier", "resolver", "unique IPs", "unique /24s"],
             rows5,
             title="Table 5: unique resolver addresses per provider",
+        )
+    )
+
+    failure_rows = [
+        (
+            row.carrier,
+            row.resolutions,
+            row.resolution_failures,
+            row.fault_timeouts,
+            row.fault_losses,
+            row.pings,
+            row.pings_unanswered,
+            row.http_gets,
+            row.http_failures,
+            row.retries,
+        )
+        for row in functions["failure_accounting"](dataset)
+    ]
+    sections.append(
+        format_table(
+            ["carrier", "resolutions", "failed", "fault t/o", "fault loss",
+             "pings", "unanswered", "http", "failed", "retries"],
+            failure_rows,
+            title="Failure accounting: delivery outcomes per carrier",
         )
     )
     return sections

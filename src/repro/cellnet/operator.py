@@ -35,6 +35,7 @@ from repro.core.asn import AutonomousSystem
 from repro.core.internet import VirtualInternet
 from repro.core.node import Host, ProbeOrigin
 from repro.core.rng import RandomStream, stable_fraction, stable_index
+from repro.core.transport import Transport
 from repro.dns.indirect import DnsDeployment, ExternalResolver
 from repro.dns.message import ResourceRecord, RRType
 from repro.geo.coordinates import GeoPoint
@@ -168,6 +169,7 @@ class CellularOperator:
         churn: Optional[ChurnModel] = None,
         front_stack_ms: float = 0.4,
         ecs_enabled: bool = False,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.key = key
         self.display_name = display_name
@@ -184,6 +186,9 @@ class CellularOperator:
         #: Whether the operator's resolvers attach EDNS Client Subnet
         #: options to upstream queries (the paper-era baseline is off).
         self.ecs_enabled = ecs_enabled
+        #: The world's delivery layer; consulted for egress-failover
+        #: windows.  None (direct construction) behaves fault-free.
+        self.transport = transport
         if not egress_points:
             raise ValueError(f"{key}: operator needs egress points")
         #: Memo of egress rankings keyed by anchor city (the ranking only
@@ -239,12 +244,19 @@ class CellularOperator:
         reuse one attachment across a whole experiment instead of
         re-deriving it per probe.
         """
-        return (
+        key = (
             int(now // self.churn.egress_epoch_s),
             int(now // self.churn.ip_epoch_s),
             int(now // self.churn.dhcp_epoch_s),
             int(now // device.mobility.travel_epoch_s),
         )
+        transport = self.transport
+        if transport is not None and transport.faults is not None:
+            # Fault windows (egress failover) cut across the churn
+            # epochs; folding the active-window phase into the key keeps
+            # cached attachments from straddling a failover boundary.
+            key += (transport.faults.phase(now),)
+        return key
 
     def _egress_index(self, device: MobileDevice, now: float) -> int:
         """Egress assignment: near the device, re-rolled per epoch.
@@ -270,6 +282,14 @@ class CellularOperator:
         pick = stable_index(
             self.seed, "egress", device.device_id, epoch, modulo=breadth
         )
+        transport = self.transport
+        if transport is not None and transport.faults is not None:
+            failed = transport.faults.failed_egress(self.key, now)
+            if failed is not None and pick == failed and len(ranked) > 1:
+                # Failover: the device's preference slot is dark, so it
+                # re-homes to the next-nearest egress for the window's
+                # duration (deterministic in device + time).
+                return ranked[(pick + 1) % len(ranked)]
         return ranked[pick]
 
     def _client_ip(self, device: MobileDevice, now: float) -> str:

@@ -44,6 +44,7 @@ from repro.core.errors import ConfigError
 from repro.core.internet import VirtualInternet
 from repro.core.node import ROLE_EGRESS, ROLE_RESOLVER, Host, PingPolicy
 from repro.core.rng import stable_fraction
+from repro.core.transport import Transport
 from repro.dns.cache import DnsCache
 from repro.dns.indirect import (
     AnycastPairing,
@@ -336,6 +337,7 @@ def build_operator(
     config: CarrierConfig,
     allocator: PrefixAllocator,
     seed: int,
+    transport: Optional[Transport] = None,
 ) -> CellularOperator:
     """Instantiate and register one carrier network."""
     system = AutonomousSystem(
@@ -384,7 +386,8 @@ def build_operator(
     ]
 
     externals = _build_externals(
-        internet, directory, config, allocator, external_system, sites, seed
+        internet, directory, config, allocator, external_system, sites, seed,
+        transport=transport,
     )
     client_addresses = _build_client_addresses(
         internet, config, allocator, system, sites, externals
@@ -412,6 +415,7 @@ def build_operator(
         client_pool_prefix=client_pool,
         seed=seed,
         churn=config.churn,
+        transport=transport,
     )
 
 
@@ -423,6 +427,7 @@ def _build_externals(
     external_system: AutonomousSystem,
     sites: List[ResolverSite],
     seed: int,
+    transport: Optional[Transport] = None,
 ) -> List[ExternalResolver]:
     """Create external resolver hosts + engines with the /24 layout."""
     shared_prefixes = None
@@ -481,6 +486,7 @@ def _build_externals(
                 internet=internet,
                 cache=DnsCache(name=f"{config.key}:ext:{serial}"),
                 background_warm_prob=config.background_warm_prob,
+                transport=transport,
             )
             externals.append(ExternalResolver(host=host, engine=engine, site=site))
     return externals

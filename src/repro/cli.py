@@ -26,6 +26,14 @@ from repro.measure.validate import validate_dataset
 
 
 def _study_from_args(args) -> CellularDNSStudy:
+    from repro.core.world import WorldConfig
+
+    world = WorldConfig()
+    scenario_ref = getattr(args, "scenario", None)
+    if scenario_ref:
+        from repro.core.faults import load_scenario
+
+        world.scenario = load_scenario(scenario_ref)
     config = StudyConfig(
         seed=args.seed,
         device_scale=args.scale,
@@ -33,6 +41,7 @@ def _study_from_args(args) -> CellularDNSStudy:
         interval_hours=args.interval_hours,
         workers=getattr(args, "workers", 0),
         executor=getattr(args, "executor", "auto"),
+        world=world,
     )
     return CellularDNSStudy(config)
 
@@ -43,6 +52,12 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="fraction of the paper's 158-client population")
     parser.add_argument("--days", type=float, default=60.0)
     parser.add_argument("--interval-hours", type=float, default=12.0)
+    parser.add_argument(
+        "--scenario", default=None, metavar="NAME|PATH",
+        help="fault scenario the campaign runs under: a bundled name "
+             "(baseline, resolver-outage, lossy-2g, egress-failover) or "
+             "a JSON scenario file; omitted/baseline is fault-free",
+    )
 
 
 def _cmd_run(args) -> int:

@@ -23,9 +23,11 @@ from repro.cellnet.presets import CarrierConfig, build_operator, default_carrier
 from repro.core.addressing import PrefixAllocator
 from repro.core.asn import ASKind
 from repro.core.backbone import ExternalVantage, TransitBackbone
+from repro.core.faults import FaultScenario
 from repro.core.internet import VirtualInternet
 from repro.core.node import Host
 from repro.core.rng import RngRegistry
+from repro.core.transport import Transport
 from repro.dns.authoritative import ResolverEchoAuthority, StaticAuthority
 from repro.dns.public_dns import PublicDnsService, build_public_dns
 from repro.dns.zone import ZoneDirectory
@@ -78,6 +80,12 @@ class WorldConfig:
     #: Force one A TTL on every CDN answer (cache ablations); None keeps
     #: the per-domain catalogue TTLs.
     cdn_a_ttl_override: Optional[int] = None
+    #: Fault scenario the world's transport layer enforces.  None (and
+    #: the bundled ``baseline``) mean fault-free: the campaign must then
+    #: hash byte-identically to the pre-transport engine.  Scenarios are
+    #: plain frozen dataclasses, so they survive the WorldConfig pickling
+    #: that parallel campaign shards rebuild their worlds from.
+    scenario: Optional[FaultScenario] = None
 
 
 @dataclass
@@ -96,6 +104,8 @@ class World:
     echo_authority: ResolverEchoAuthority
     google_dns: PublicDnsService
     opendns: PublicDnsService
+    #: The delivery layer every simulated packet crosses.
+    transport: Transport
     #: The address allocator, kept so extensions (operator CDNs, extra
     #: vantage points) can claim further prefixes after construction.
     allocator: Optional[PrefixAllocator] = None
@@ -173,6 +183,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
     config = config or WorldConfig()
     rng = RngRegistry(config.seed)
     internet = VirtualInternet()
+    transport = Transport(internet, scenario=config.scenario)
     directory = ZoneDirectory()
     allocator = PrefixAllocator.parse("16.0.0.0/6")
 
@@ -198,6 +209,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
         echo_authority=echo_authority,
         google_dns=None,  # type: ignore[arg-type]  # filled below
         opendns=None,  # type: ignore[arg-type]
+        transport=transport,
         allocator=allocator,
     )
 
@@ -225,6 +237,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
         seed=rng.stream("public", "google").randint(0, 2**31),
         background_warm_prob=config.public_warm_prob,
         route_instability=config.google_instability,
+        transport=transport,
     )
     world.opendns = build_public_dns(
         internet,
@@ -237,6 +250,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
         seed=rng.stream("public", "opendns").randint(0, 2**31),
         background_warm_prob=config.public_warm_prob,
         route_instability=config.opendns_instability,
+        transport=transport,
     )
 
     for carrier in config.carriers:
@@ -246,6 +260,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
             carrier,
             allocator,
             seed=rng.stream("carrier", carrier.key).randint(0, 2**31),
+            transport=transport,
         )
         operator.ecs_enabled = config.ecs_enabled
         world.operators[carrier.key] = operator

@@ -23,6 +23,7 @@ from repro.core.asn import ASKind, AutonomousSystem, FirewallPolicy
 from repro.core.internet import VirtualInternet
 from repro.core.node import Host, ProbeOrigin
 from repro.core.rng import RandomStream, stable_fraction, stable_index
+from repro.core.transport import Transport
 from repro.dns.cache import DnsCache
 from repro.dns.message import RRType
 from repro.dns.recursive import RecursiveEngine, RecursiveResult
@@ -101,6 +102,10 @@ class PublicDnsService:
     #: ECS in this era; the paper-baseline configuration keeps it off so
     #: the comparison matches what the authors measured).
     ecs_enabled: bool = False
+    #: The delivery layer queries and pings cross.  Services built by
+    #: the world share its transport; directly constructed ones get a
+    #: private fault-free layer on first use.
+    transport: Optional[Transport] = None
     #: When unstable, how many nearest clusters the wobble spreads over.
     wobble_breadth: int = 4
     #: How long one wobble decision persists (routing epochs).
@@ -211,9 +216,12 @@ class PublicDnsService:
         if route is None:
             route = internet.route_view(origin, machine.ip)
             self._route_memo[route_key] = route
-        rtt = internet.flow_rtt(origin, machine.ip, stream, route=route)
-        if rtt is None:
+        delivery = self._delivery_layer(internet).flow(
+            origin, machine.ip, stream, route=route
+        )
+        if not delivery.delivered:
             return None
+        rtt = delivery.rtt_ms
         client_subnet = None
         if self.ecs_enabled:
             from repro.core.addressing import prefix24
@@ -252,10 +260,20 @@ class PublicDnsService:
         if route is None:
             route = internet.route_view(origin, machine.ip)
             self._route_memo[route_key] = route
-        rtt = internet.measure_rtt(origin, machine.ip, stream, route=route)
-        if rtt is None:
+        delivery = self._delivery_layer(internet).ping(
+            origin, machine.ip, stream, route=route
+        )
+        if not delivery.delivered:
             return None
-        return rtt + self.peering_penalty_ms
+        return delivery.rtt_ms + self.peering_penalty_ms
+
+    def _delivery_layer(self, internet: VirtualInternet) -> Transport:
+        """The service's transport (a private fault-free one on demand)."""
+        transport = self.transport
+        if transport is None:
+            transport = Transport(internet)
+            self.transport = transport
+        return transport
 
     def cluster_prefixes(self) -> List[str]:
         """The /24 prefixes of all clusters (Table 5 denominators)."""
@@ -275,6 +293,7 @@ def build_public_dns(
     background_warm_prob: float = 0.85,
     background_interval_s: float = 5.0,
     route_instability: float = 0.15,
+    transport: Optional[Transport] = None,
 ) -> PublicDnsService:
     """Create, register and wire up a public DNS service.
 
@@ -295,6 +314,7 @@ def build_public_dns(
         system=system,
         seed=seed,
         route_instability=route_instability,
+        transport=transport,
     )
     for index, city in enumerate(cities):
         prefix = allocator.allocate24()
@@ -320,6 +340,7 @@ def build_public_dns(
             # than one carrier's LDNS; entries are re-fetched sooner and
             # the cache stays warmer (the shorter tails of Fig 13).
             background_interval_s=background_interval_s,
+            transport=transport,
         )
         service.clusters.append(
             PublicDnsCluster(

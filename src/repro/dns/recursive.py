@@ -46,6 +46,7 @@ from repro.core.errors import ResolutionError
 from repro.core.internet import VirtualInternet
 from repro.core.node import Host, ProbeOrigin
 from repro.core.rng import RandomStream
+from repro.core.transport import Transport
 from repro.dns.authoritative import (
     Authority,
     ResolverEchoAuthority,
@@ -64,9 +65,6 @@ from repro.dns.zone import MAX_CNAME_CHAIN, ZoneDirectory
 #: Cap on stored plans per engine (resolving unbounded unique names —
 #: e.g. under an unregistered zone — must not grow memory unboundedly).
 MAX_COMPILED_PLANS = 65536
-
-#: Memoised "no admitted flow to this authority" verdict.
-_UNREACHABLE = object()
 
 
 class RecursiveResult:
@@ -229,10 +227,16 @@ class RecursiveEngine:
         cache: Optional[DnsCache] = None,
         background_warm_prob: float = 0.0,
         background_interval_s: float = 12.0,
+        transport: Optional[Transport] = None,
     ) -> None:
         self.host = host
         self.directory = directory
         self.internet = internet
+        #: The delivery layer upstream query legs cross.  Engines built
+        #: by the world share its transport; directly constructed ones
+        #: (tests, tools) get a private fault-free layer over the same
+        #: internet — identical draws either way.
+        self.transport = transport if transport is not None else Transport(internet)
         self.cache = cache or DnsCache(name=f"cache@{host.ip}")
         #: Cap on the probability that, on what would be a cold lookup,
         #: some other user of this resolver has already populated the
@@ -281,17 +285,20 @@ class RecursiveEngine:
         return origin
 
     def _hop_rtt(self, ip: str, stream: RandomStream) -> float:
-        """One upstream RTT draw toward an authority address."""
+        """One upstream RTT draw toward an authority address.
+
+        The reachability verdict lives in the transport layer:
+        ``authority_link`` hands back either the substrate's compiled
+        RTT sampler or a callable that raises
+        :class:`~repro.core.errors.ResolutionError` — the engine just
+        memoises and calls whichever it got.
+        """
         sampler = self._hop_samplers.get(ip)
         if sampler is None:
-            sampler = self.internet.flow_sampler(self._origin(stream), ip)
-            if sampler is None:
-                sampler = _UNREACHABLE
-            self._hop_samplers[ip] = sampler
-        if sampler is _UNREACHABLE:
-            raise ResolutionError(
-                f"authority {ip} unreachable from {self.host.ip}"
+            sampler = self.transport.authority_link(
+                self._origin(stream), ip, self.host.ip
             )
+            self._hop_samplers[ip] = sampler
         return sampler(stream)
 
     def _query_authority(
@@ -455,7 +462,8 @@ class RecursiveEngine:
             plan = _Plan(
                 hops=tuple(contacted),
                 # Every contacted hop was reachable (the walk queried it),
-                # so its sampler is present and never _UNREACHABLE.
+                # so its memoised link is a real sampler, never the
+                # raising unreachable callable.
                 hop_samplers=tuple(samplers[ip] for ip in contacted),
                 # Static hops' answers only: a CDN terminal hop's
                 # (epoch-varying) answers live in the cdn_memo instead.

@@ -32,6 +32,15 @@ from repro.geo.latency import WanLatencyModel
 #: Default output artifact, at the repository root.
 BENCH_OUTPUT = "BENCH_campaign.json"
 
+#: Content hash of the smoke-scale campaign (seed 2014, device_scale
+#: 0.05, 14 days, 12 h interval) under the fault-free scenario.  The
+#: transport layer's byte-identity contract pins it: ``bench_check``
+#: and the determinism tests fail if a fault-free campaign ever drifts
+#: from the pre-transport engine's bytes.
+SMOKE_DATASET_SHA256 = (
+    "e71650347ce321f48978b0858ebdc95127a1abc81ca69c8e24edfcac69f88411"
+)
+
 
 @dataclass
 class BenchScale:
@@ -94,6 +103,11 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     parallel_hash = parallel.content_hash()
     experiments = len(serial)
     return {
+        # Delivery-outcome tally of every send the serial campaign made;
+        # run_benchmarks lifts this into the report's transport section.
+        "transport_counters": (
+            serial_campaign.world.transport.counters.as_dict()
+        ),
         "device_scale": scale.device_scale,
         "duration_days": scale.duration_days,
         "interval_hours": scale.interval_hours,
@@ -536,6 +550,55 @@ def bench_primitives(iterations: int = 200_000) -> Dict[str, object]:
     }
 
 
+def bench_transport(iterations: int = 20_000) -> Dict[str, object]:
+    """Per-outcome cost of the transport layer's delivery verdicts.
+
+    Times ``Transport.ping`` steady-state against one target per outcome
+    class (a responsive university host, a firewalled carrier egress, an
+    unroutable address), plus the delivered ``flow`` path and the
+    fault-free ``dns_gate``.  Each timed call runs the same
+    classification the campaign hot path runs; a target classifying
+    differently than its label is a hard error, not a skewed number.
+    """
+    world = build_world(WorldConfig())
+    transport = world.transport
+    stream = world.rng.stream("bench", "transport")
+    origin = world.vantage.origin(stream)
+
+    first_operator = next(iter(world.operators.values()))
+    targets = {
+        "delivered": world.echo_authority.host.ip,
+        "filtered": first_operator.egress_ips()[0],
+        "lost": "198.51.100.1",  # outside every allocated prefix
+    }
+    report: Dict[str, object] = {"iterations": iterations}
+    for expected, address in targets.items():
+        verdict = transport.ping(origin, address, stream)
+        if verdict.outcome != expected:  # pragma: no cover - tripwire
+            raise AssertionError(
+                f"bench target {address} classified {verdict.outcome}, "
+                f"expected {expected}"
+            )
+        started = time.perf_counter()
+        for _ in range(iterations):
+            transport.ping(origin, address, stream)
+        elapsed = time.perf_counter() - started
+        report[f"ping_{expected}_us"] = round(elapsed / iterations * 1e6, 3)
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        transport.flow(origin, targets["delivered"], stream)
+    elapsed = time.perf_counter() - started
+    report["flow_delivered_us"] = round(elapsed / iterations * 1e6, 3)
+
+    started = time.perf_counter()
+    for _ in range(iterations):
+        transport.dns_gate("att", "local", 0.0, stream)
+    elapsed = time.perf_counter() - started
+    report["dns_gate_us"] = round(elapsed / iterations * 1e6, 3)
+    return report
+
+
 # -- entry point --------------------------------------------------------------
 
 
@@ -544,11 +607,17 @@ def run_benchmarks(
     output_path: Optional[str] = BENCH_OUTPUT,
 ) -> Dict[str, object]:
     """Run every benchmark; write ``output_path`` unless it is None."""
+    campaign = bench_campaign(scale)
+    transport = bench_transport()
+    # The campaign's delivery-outcome tally rides in the transport
+    # section next to the per-outcome microbenchmark figures.
+    transport["campaign"] = campaign.pop("transport_counters")
     report: Dict[str, object] = {
         "cpu_count": os.cpu_count(),
-        "campaign": bench_campaign(scale),
+        "campaign": campaign,
         "stages": bench_stage_breakdown(),
         "analysis": bench_analysis(),
+        "transport": transport,
         "asn_lookup": bench_asn_lookup(),
         "primitives": bench_primitives(),
     }
@@ -564,6 +633,7 @@ def format_report(report: Dict[str, object]) -> str:
     campaign = report["campaign"]
     stages = report.get("stages")
     analysis = report.get("analysis")
+    transport = report.get("transport")
     asn = report["asn_lookup"]
     primitives = report["primitives"]
     lines = [
@@ -610,6 +680,21 @@ def format_report(report: Dict[str, object]) -> str:
             f"byte identical: {analysis['byte_identical']}"
             if analysis
             else "analysis: skipped"
+        ),
+        (
+            f"transport: ping {transport['ping_delivered_us']}us delivered / "
+            f"{transport['ping_filtered_us']}us filtered / "
+            f"{transport['ping_lost_us']}us lost | "
+            f"flow {transport['flow_delivered_us']}us | "
+            f"dns_gate {transport['dns_gate_us']}us | campaign "
+            f"{transport['campaign']['attempts']} sends "
+            f"({transport['campaign']['delivered']} delivered, "
+            f"{transport['campaign']['filtered']} filtered, "
+            f"{transport['campaign']['timed_out']} timed out, "
+            f"{transport['campaign']['lost']} lost, "
+            f"{transport['campaign']['retries']} retries)"
+            if transport
+            else "transport: skipped"
         ),
         (
             f"asn_of: indexed {asn['indexed_per_s']}/s vs "

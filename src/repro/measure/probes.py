@@ -27,6 +27,7 @@ from repro.cellnet.radio import RadioTechnology
 from repro.core.internet import RouteView
 from repro.core.node import ProbeOrigin
 from repro.core.rng import RandomStream
+from repro.core.transport import TIMED_OUT, Delivery
 from repro.core.world import WHOAMI_ZONE, World
 from repro.dns.message import RRType
 from repro.measure.records import (
@@ -75,6 +76,13 @@ class DeviceProbeSession:
         """Open a session: draw the active radio and attach the device."""
         operator = world.operators[device.carrier_key]
         technology = operator.radio_profile.draw(stream)
+        faults = world.transport.faults
+        if faults is not None:
+            # Degraded-RAT windows override the drawn technology *after*
+            # the draw, so the stream stays aligned with fault-free runs.
+            override = faults.rat_override(operator.key, now)
+            if override is not None:
+                technology = override
         device.active_technology = technology
         session = cls(
             world=world,
@@ -120,6 +128,15 @@ class DeviceProbeSession:
             end = start + epoch_s
             if end < until:
                 until = end
+        faults = self.world.transport.faults
+        if faults is not None:
+            # Fault windows (egress failover) also bound how long the
+            # cached attachment stays valid.
+            lower, upper = faults.span(now)
+            if lower > since:
+                since = lower
+            if upper < until:
+                until = upper
         self._att_cached = cached
         self._att_since = since
         self._att_until = until
@@ -156,6 +173,11 @@ class DeviceProbeSession:
         # stream.bernoulli, inlined (same single uniform draw).
         if self.stream._rng.random() >= profile.stability:
             technology = profile.draw(self.stream)
+        faults = self.world.transport.faults
+        if faults is not None:
+            override = faults.rat_override(self.operator.key, now)
+            if override is not None:
+                technology = override
         return self.operator.probe_origin(
             self.device,
             now,
@@ -166,135 +188,274 @@ class DeviceProbeSession:
         )
 
     # -- probes ----------------------------------------------------------------
+    #
+    # Every probe crosses ``world.transport`` and acts on the returned
+    # :class:`Delivery`.  Fault-induced failures are retried within the
+    # scenario's :class:`ProbePolicy` budget (a fresh origin per attempt
+    # — each real retransmission rode fresh radio conditions — and a
+    # backoff between attempts); topology-determined failures are final.
+    # ``outcome`` is recorded only for fault-induced verdicts, so
+    # fault-free campaigns keep the legacy wire shape byte for byte.
 
     def bootstrap_ping(self, now: float) -> PingRecord:
         """The radio wake-up ping that opens every experiment (Sec 3.2)."""
-        origin = self.origin(now, pay_promotion=True)
         target = self.world.backbone.routers[0]
-        rtt = self.world.internet.measure_rtt(
-            origin, target.ip, self.stream, route=self.route_to(origin, target.ip)
-        )
-        return PingRecord(target_ip=target.ip, target_kind="bootstrap", rtt_ms=rtt)
+        return self._ping_probe(target.ip, "bootstrap", now, pay_promotion=True)
 
     def dns_local(self, qname: str, now: float, attempt: int = 1) -> ResolutionRecord:
         """Resolve through the operator-configured resolver."""
-        origin = self.origin(now)
-        result = self.operator.resolve_local(
-            self.device, origin, self.attachment, qname, RRType.A, now, self.stream
-        )
-        return ResolutionRecord(
-            domain=qname,
-            resolver_kind="local",
-            resolution_ms=result.total_ms,
-            addresses=result.addresses,
-            cname_chain=result.cname_chain(),
-            attempt=attempt,
-        )
+        transport = self.world.transport
+        policy = transport.policy
+        retries = 0
+        while True:
+            verdict = transport.dns_gate(self.operator.key, "local", now, self.stream)
+            if verdict.delivered:
+                origin = self.origin(now)
+                result = self.operator.resolve_local(
+                    self.device, origin, self.attachment, qname, RRType.A, now, self.stream
+                )
+                if not transport.dns_timed_out(result.total_ms):
+                    return ResolutionRecord(
+                        domain=qname,
+                        resolver_kind="local",
+                        resolution_ms=result.total_ms,
+                        addresses=result.addresses,
+                        cname_chain=result.cname_chain(),
+                        attempt=attempt,
+                        retries=retries,
+                    )
+                verdict = Delivery(TIMED_OUT, fault_induced=True)
+            if retries >= policy.dns_retries or not verdict.retryable:
+                return ResolutionRecord(
+                    domain=qname,
+                    resolver_kind="local",
+                    resolution_ms=float("nan"),
+                    attempt=attempt,
+                    rcode="TIMEOUT",
+                    outcome=verdict.outcome,
+                    retries=retries,
+                )
+            retries += 1
+            transport.note_retry()
+            now += policy.backoff_s
 
     def dns_public(
         self, kind: str, qname: str, now: float, attempt: int = 1
     ) -> ResolutionRecord:
         """Resolve through Google DNS or OpenDNS."""
-        origin = self.origin(now)
+        transport = self.world.transport
+        policy = transport.policy
         service = self.world.public_service(kind)
-        outcome = service.resolve(
-            origin,
-            qname,
-            RRType.A,
-            now,
-            self.stream,
-            device_key=self.device.device_id,
-        )
-        if outcome is None:
-            return ResolutionRecord(
-                domain=qname,
-                resolver_kind=kind,
-                resolution_ms=float("nan"),
-                rcode="UNREACHABLE",
-                attempt=attempt,
+        retries = 0
+        while True:
+            verdict = transport.dns_gate(self.operator.key, kind, now, self.stream)
+            if verdict.delivered:
+                origin = self.origin(now)
+                outcome = service.resolve(
+                    origin,
+                    qname,
+                    RRType.A,
+                    now,
+                    self.stream,
+                    device_key=self.device.device_id,
+                )
+                if outcome is None:
+                    return ResolutionRecord(
+                        domain=qname,
+                        resolver_kind=kind,
+                        resolution_ms=float("nan"),
+                        rcode="UNREACHABLE",
+                        attempt=attempt,
+                        retries=retries,
+                    )
+                if not transport.dns_timed_out(outcome.total_ms):
+                    return ResolutionRecord(
+                        domain=qname,
+                        resolver_kind=kind,
+                        resolution_ms=outcome.total_ms,
+                        addresses=outcome.result.addresses(),
+                        cname_chain=outcome.result.cname_chain(),
+                        attempt=attempt,
+                        retries=retries,
+                    )
+                verdict = Delivery(TIMED_OUT, fault_induced=True)
+            if retries >= policy.dns_retries or not verdict.retryable:
+                return ResolutionRecord(
+                    domain=qname,
+                    resolver_kind=kind,
+                    resolution_ms=float("nan"),
+                    attempt=attempt,
+                    rcode="TIMEOUT",
+                    outcome=verdict.outcome,
+                    retries=retries,
+                )
+            retries += 1
+            transport.note_retry()
+            now += policy.backoff_s
+
+    def _ping_probe(
+        self, ip: str, kind: str, now: float, pay_promotion: bool = False
+    ) -> PingRecord:
+        """One ping train: send, retry fault drops, record the verdict."""
+        transport = self.world.transport
+        policy = transport.policy
+        carrier = self.operator.key
+        retries = 0
+        while True:
+            origin = self.origin(now, pay_promotion=pay_promotion)
+            delivery = transport.ping(
+                origin,
+                ip,
+                self.stream,
+                route=self.route_to(origin, ip),
+                carrier=carrier,
+                now=now,
+                probe="ping",
             )
-        return ResolutionRecord(
-            domain=qname,
-            resolver_kind=kind,
-            resolution_ms=outcome.total_ms,
-            addresses=outcome.result.addresses(),
-            cname_chain=outcome.result.cname_chain(),
-            attempt=attempt,
-        )
+            if delivery.retryable and retries < policy.ping_retries:
+                retries += 1
+                transport.note_retry()
+                now += policy.backoff_s
+                continue
+            return PingRecord(
+                target_ip=ip,
+                target_kind=kind,
+                rtt_ms=delivery.rtt_ms,
+                outcome=delivery.outcome if delivery.fault_induced else None,
+                retries=retries,
+            )
 
     def ping_ip(self, ip: str, kind: str, now: float) -> PingRecord:
         """Ping an arbitrary address from the device."""
-        origin = self.origin(now)
-        rtt = self.world.internet.measure_rtt(
-            origin, ip, self.stream, route=self.route_to(origin, ip)
-        )
-        return PingRecord(target_ip=ip, target_kind=kind, rtt_ms=rtt)
+        return self._ping_probe(ip, kind, now)
 
     def ping_configured_resolver(self, now: float) -> PingRecord:
         """Ping the resolver address configured on the device.
 
         Answered at the serving site (anycast-aware), so this measures
-        the *client-facing* resolver distance of Fig 4.
+        the *client-facing* resolver distance of Fig 4.  The substrate
+        composes the latency itself; the transport gate only decides
+        whether the exchange completes.
         """
-        origin = self.origin(now)
-        rtt = self.operator.ping_client_resolver(origin, self.attachment, self.stream)
-        return PingRecord(
-            target_ip=self.attachment.client_dns_ip,
-            target_kind="resolver-client-facing",
-            rtt_ms=rtt,
-        )
+        transport = self.world.transport
+        policy = transport.policy
+        target_ip = self.attachment.client_dns_ip
+        retries = 0
+        while True:
+            origin = self.origin(now)
+            verdict = transport.gate(self.operator.key, "ping", now, self.stream)
+            if verdict.delivered:
+                rtt = self.operator.ping_client_resolver(
+                    origin, self.attachment, self.stream
+                )
+                return PingRecord(
+                    target_ip=target_ip,
+                    target_kind="resolver-client-facing",
+                    rtt_ms=rtt,
+                    retries=retries,
+                )
+            if retries < policy.ping_retries:
+                retries += 1
+                transport.note_retry()
+                now += policy.backoff_s
+                continue
+            return PingRecord(
+                target_ip=target_ip,
+                target_kind="resolver-client-facing",
+                rtt_ms=None,
+                outcome=verdict.outcome,
+                retries=retries,
+            )
 
     def ping_public_resolver(self, kind: str, now: float) -> PingRecord:
         """Ping a public service's anycast address."""
-        origin = self.origin(now)
+        transport = self.world.transport
+        policy = transport.policy
         service = self.world.public_service(kind)
-        rtt = service.ping(
-            origin, now, self.stream, device_key=self.device.device_id
-        )
-        return PingRecord(
-            target_ip=service.anycast_ip,
-            target_kind=f"resolver-public-{kind}",
-            rtt_ms=rtt,
-        )
+        target_kind = f"resolver-public-{kind}"
+        retries = 0
+        while True:
+            origin = self.origin(now)
+            verdict = transport.gate(self.operator.key, "ping", now, self.stream)
+            if verdict.delivered:
+                rtt = service.ping(
+                    origin, now, self.stream, device_key=self.device.device_id
+                )
+                return PingRecord(
+                    target_ip=service.anycast_ip,
+                    target_kind=target_kind,
+                    rtt_ms=rtt,
+                    retries=retries,
+                )
+            if retries < policy.ping_retries:
+                retries += 1
+                transport.note_retry()
+                now += policy.backoff_s
+                continue
+            return PingRecord(
+                target_ip=service.anycast_ip,
+                target_kind=target_kind,
+                rtt_ms=None,
+                outcome=verdict.outcome,
+                retries=retries,
+            )
 
     def traceroute_ip(self, ip: str, kind: str, now: float) -> TracerouteRecord:
         """Traceroute to an arbitrary address from the device."""
         origin = self.origin(now)
-        result = self.world.internet.traceroute(
-            origin, ip, self.stream, route=self.route_to(origin, ip)
+        result, delivery = self.world.transport.traceroute(
+            origin,
+            ip,
+            self.stream,
+            route=self.route_to(origin, ip),
+            carrier=self.operator.key,
+            now=now,
+            probe="traceroute",
         )
         return TracerouteRecord(
             target_ip=ip,
             target_kind=kind,
             hops=[[hop.ttl, hop.ip, hop.rtt_ms] for hop in result.hops],
             reached=result.reached,
+            outcome=delivery.outcome if delivery.fault_induced else None,
         )
 
     def http_get(
         self, replica_ip: str, domain: str, resolver_kind: str, now: float
     ) -> HttpRecord:
         """HTTP GET (TTFB) against one replica address."""
-        origin = self.origin(now)
-        replica = self._replica_at(replica_ip)
-        if replica is None:
-            return HttpRecord(
-                replica_ip=replica_ip, domain=domain, resolver_kind=resolver_kind
+        transport = self.world.transport
+        policy = transport.policy
+        retries = 0
+        while True:
+            origin = self.origin(now)
+            replica = self._replica_at(replica_ip)
+            if replica is None:
+                return HttpRecord(
+                    replica_ip=replica_ip, domain=domain, resolver_kind=resolver_kind
+                )
+            delivery = transport.http(
+                origin,
+                replica,
+                self.stream,
+                route=self.route_to(origin, replica_ip),
+                carrier=self.operator.key,
+                now=now,
+                probe="http",
             )
-        from repro.cdn.replica import http_ttfb_ms
-
-        ttfb = http_ttfb_ms(
-            self.world.internet,
-            origin,
-            replica,
-            self.stream,
-            route=self.route_to(origin, replica_ip),
-        )
-        return HttpRecord(
-            replica_ip=replica_ip,
-            domain=domain,
-            resolver_kind=resolver_kind,
-            ttfb_ms=ttfb,
-        )
+            if delivery.retryable and retries < policy.http_retries:
+                retries += 1
+                transport.note_retry()
+                now += policy.backoff_s
+                continue
+            return HttpRecord(
+                replica_ip=replica_ip,
+                domain=domain,
+                resolver_kind=resolver_kind,
+                ttfb_ms=delivery.rtt_ms,
+                outcome=delivery.outcome if delivery.fault_induced else None,
+                retries=retries,
+            )
 
     def identify_resolver(
         self, kind: str, now: float, token: str

@@ -37,6 +37,19 @@ RESOLVER_GOOGLE = "google"
 RESOLVER_OPENDNS = "opendns"
 RESOLVER_KINDS = (RESOLVER_LOCAL, RESOLVER_GOOGLE, RESOLVER_OPENDNS)
 
+#: Delivery outcomes (mirrors repro.core.transport — records must not
+#: import the simulation layer, so the strings are restated here).
+OUTCOME_DELIVERED = "delivered"
+OUTCOME_FILTERED = "filtered"
+OUTCOME_TIMED_OUT = "timed_out"
+OUTCOME_LOST = "lost"
+
+# ``outcome`` and ``retries`` are recorded only when a fault scenario
+# produced them (outcome is None / retries is 0 otherwise), and the
+# emitters skip default values entirely — so fault-free campaigns write
+# byte-identical lines to the pre-transport engine, and old archives
+# load unchanged.
+
 
 # -- fast JSON emission --------------------------------------------------------
 #
@@ -110,10 +123,31 @@ class ResolutionRecord:
     #: Which attempt in a back-to-back pair (1 or 2); Fig 7's cache probe.
     attempt: int = 1
     rcode: str = "NOERROR"
+    #: Fault-induced delivery outcome; None on fault-free campaigns.
+    outcome: Optional[str] = None
+    #: Retransmissions the client performed before this answer/failure.
+    retries: int = 0
+
+    @property
+    def delivery_outcome(self) -> str:
+        """The transport outcome, inferred for legacy records.
+
+        Records written before the transport layer (or on fault-free
+        runs) carry no explicit outcome; the client-visible evidence
+        stands in: an UNREACHABLE rcode meant the query never came back
+        (lost), TIMEOUT meant silence until the timer fired.
+        """
+        if self.outcome is not None:
+            return self.outcome
+        if self.rcode == "UNREACHABLE":
+            return OUTCOME_LOST
+        if self.rcode == "TIMEOUT":
+            return OUTCOME_TIMED_OUT
+        return OUTCOME_DELIVERED
 
     def to_json_fragment(self) -> str:
         """This record as a JSON object, stdlib-identical."""
-        return (
+        fragment = (
             '{"domain":' + _qstr(self.domain)
             + ',"resolver_kind":' + _qstr(self.resolver_kind)
             + ',"resolution_ms":' + _num(self.resolution_ms)
@@ -121,8 +155,12 @@ class ResolutionRecord:
             + ',"cname_chain":' + _str_list(self.cname_chain)
             + ',"attempt":' + _num(self.attempt)
             + ',"rcode":' + _qstr(self.rcode)
-            + "}"
         )
+        if self.outcome is not None:
+            fragment += ',"outcome":' + _qstr(self.outcome)
+        if self.retries:
+            fragment += ',"retries":' + _num(self.retries)
+        return fragment + "}"
 
 
 @dataclass(slots=True)
@@ -132,20 +170,42 @@ class PingRecord:
     target_ip: str
     target_kind: str
     rtt_ms: Optional[float] = None
+    #: Fault-induced delivery outcome; None on fault-free campaigns.
+    outcome: Optional[str] = None
+    #: Retransmissions the client performed before this answer/failure.
+    retries: int = 0
 
     @property
     def responded(self) -> bool:
         """Whether the target answered."""
         return self.rtt_ms is not None
 
+    @property
+    def delivery_outcome(self) -> str:
+        """The transport outcome, inferred for legacy records.
+
+        Without an explicit outcome, silence is all the client saw — a
+        legacy unanswered ping reads as timed out (firewalled targets
+        and genuinely silent hosts are indistinguishable on the wire).
+        """
+        if self.outcome is not None:
+            return self.outcome
+        if self.rtt_ms is not None:
+            return OUTCOME_DELIVERED
+        return OUTCOME_TIMED_OUT
+
     def to_json_fragment(self) -> str:
         """This record as a JSON object, stdlib-identical."""
-        return (
+        fragment = (
             '{"target_ip":' + _qstr(self.target_ip)
             + ',"target_kind":' + _qstr(self.target_kind)
             + ',"rtt_ms":' + _num(self.rtt_ms)
-            + "}"
         )
+        if self.outcome is not None:
+            fragment += ',"outcome":' + _qstr(self.outcome)
+        if self.retries:
+            fragment += ',"retries":' + _num(self.retries)
+        return fragment + "}"
 
 
 @dataclass(slots=True)
@@ -156,10 +216,21 @@ class TracerouteRecord:
     target_kind: str
     hops: List[List[object]] = field(default_factory=list)
     reached: bool = False
+    #: Fault-induced delivery outcome; None on fault-free campaigns.
+    outcome: Optional[str] = None
 
     def hop_ips(self) -> List[str]:
         """Responding hop addresses in path order."""
         return [hop[1] for hop in self.hops if hop[1] is not None]
+
+    @property
+    def delivery_outcome(self) -> str:
+        """The transport outcome, inferred for legacy records."""
+        if self.outcome is not None:
+            return self.outcome
+        if self.reached:
+            return OUTCOME_DELIVERED
+        return OUTCOME_TIMED_OUT
 
     def to_json_fragment(self) -> str:
         """This record as a JSON object, stdlib-identical."""
@@ -167,13 +238,15 @@ class TracerouteRecord:
             "[" + ",".join(_scalar(value) for value in hop) + "]"
             for hop in self.hops
         )
-        return (
+        fragment = (
             '{"target_ip":' + _qstr(self.target_ip)
             + ',"target_kind":' + _qstr(self.target_kind)
             + ',"hops":[' + hops + "]"
             + ',"reached":' + ("true" if self.reached else "false")
-            + "}"
         )
+        if self.outcome is not None:
+            fragment += ',"outcome":' + _qstr(self.outcome)
+        return fragment + "}"
 
 
 @dataclass(slots=True)
@@ -184,21 +257,38 @@ class HttpRecord:
     domain: str
     resolver_kind: str
     ttfb_ms: Optional[float] = None
+    #: Fault-induced delivery outcome; None on fault-free campaigns.
+    outcome: Optional[str] = None
+    #: Retransmissions the client performed before this answer/failure.
+    retries: int = 0
 
     @property
     def succeeded(self) -> bool:
         """Whether the GET completed."""
         return self.ttfb_ms is not None
 
+    @property
+    def delivery_outcome(self) -> str:
+        """The transport outcome, inferred for legacy records."""
+        if self.outcome is not None:
+            return self.outcome
+        if self.ttfb_ms is not None:
+            return OUTCOME_DELIVERED
+        return OUTCOME_TIMED_OUT
+
     def to_json_fragment(self) -> str:
         """This record as a JSON object, stdlib-identical."""
-        return (
+        fragment = (
             '{"replica_ip":' + _qstr(self.replica_ip)
             + ',"domain":' + _qstr(self.domain)
             + ',"resolver_kind":' + _qstr(self.resolver_kind)
             + ',"ttfb_ms":' + _num(self.ttfb_ms)
-            + "}"
         )
+        if self.outcome is not None:
+            fragment += ',"outcome":' + _qstr(self.outcome)
+        if self.retries:
+            fragment += ',"retries":' + _num(self.retries)
+        return fragment + "}"
 
 
 @dataclass(slots=True)
@@ -290,8 +380,32 @@ class ExperimentRecord:
         )
 
     def to_json_line_reference(self) -> str:
-        """The original ``asdict``-based serialisation (the oracle)."""
-        return json.dumps(asdict(self), separators=(",", ":"))
+        """The original ``asdict``-based serialisation (the oracle).
+
+        ``outcome``/``retries`` are wire-optional — present only when a
+        fault scenario set them — so the oracle prunes their default
+        values before dumping, matching the conditional emitters.
+        """
+        payload = asdict(self)
+        for item in payload["resolutions"]:
+            if item["outcome"] is None:
+                del item["outcome"]
+            if not item["retries"]:
+                del item["retries"]
+        for item in payload["pings"]:
+            if item["outcome"] is None:
+                del item["outcome"]
+            if not item["retries"]:
+                del item["retries"]
+        for item in payload["traceroutes"]:
+            if item["outcome"] is None:
+                del item["outcome"]
+        for item in payload["http_gets"]:
+            if item["outcome"] is None:
+                del item["outcome"]
+            if not item["retries"]:
+                del item["retries"]
+        return json.dumps(payload, separators=(",", ":"))
 
     def to_json(self) -> str:
         """One-line JSON form."""
@@ -370,6 +484,8 @@ def _decode_resolution(item: dict) -> ResolutionRecord:
     record.cname_chain = item["cname_chain"]
     record.attempt = item["attempt"]
     record.rcode = sys.intern(item["rcode"])
+    record.outcome = None
+    record.retries = 0
     return record
 
 
@@ -380,6 +496,8 @@ def _decode_ping(item: dict) -> PingRecord:
     record.target_ip = item["target_ip"]
     record.target_kind = sys.intern(item["target_kind"])
     record.rtt_ms = item["rtt_ms"]
+    record.outcome = None
+    record.retries = 0
     return record
 
 
@@ -391,6 +509,7 @@ def _decode_traceroute(item: dict) -> TracerouteRecord:
     record.target_kind = sys.intern(item["target_kind"])
     record.hops = item["hops"]
     record.reached = item["reached"]
+    record.outcome = None
     return record
 
 
@@ -402,6 +521,8 @@ def _decode_http(item: dict) -> HttpRecord:
     record.domain = sys.intern(item["domain"])
     record.resolver_kind = sys.intern(item["resolver_kind"])
     record.ttfb_ms = item["ttfb_ms"]
+    record.outcome = None
+    record.retries = 0
     return record
 
 

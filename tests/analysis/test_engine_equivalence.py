@@ -385,7 +385,8 @@ class TestSessionScaleEquivalence:
                 )
             elif name in ("per_domain_miss_rates", "ldns_pair_table",
                           "unique_resolver_counts",
-                          "observed_external_resolvers"):
+                          "observed_external_resolvers",
+                          "failure_accounting"):
                 assert_same(fused_fn(dataset), reference_fn(dataset), name)
             else:  # per-carrier primitives
                 for carrier in carriers:

@@ -1,0 +1,205 @@
+"""Declarative fault scenarios: schema, windows, runtime compilation."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.cellnet.radio import RadioTechnology
+from repro.core.faults import (
+    BASELINE,
+    BUNDLED_SCENARIOS,
+    DAY_S,
+    DegradedEpoch,
+    EgressFailover,
+    FaultScenario,
+    LossRule,
+    ProbePolicy,
+    ResolverOutage,
+    Window,
+    load_scenario,
+)
+from repro.core.transport import FaultRuntime
+
+
+class TestWindow:
+    def test_half_open(self):
+        window = Window(10.0, 20.0)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+        assert not window.contains(9.999)
+
+    def test_from_value_forms(self):
+        assert Window.from_value([1, 2]) == Window(1.0, 2.0)
+        assert Window.from_value((1, 2)) == Window(1.0, 2.0)
+        assert Window.from_value({"start_s": 1, "end_s": 2}) == Window(1.0, 2.0)
+        window = Window(3.0, 4.0)
+        assert Window.from_value(window) is window
+
+
+class TestLossRule:
+    def test_carrier_and_probe_scoping(self):
+        rule = LossRule(rate=0.5, carrier="att", probes=("ping",))
+        assert rule.applies("att", "ping", 0.0)
+        assert not rule.applies("tmobile", "ping", 0.0)
+        assert not rule.applies("att", "dns", 0.0)
+
+    def test_wildcard_carrier_and_window(self):
+        rule = LossRule(rate=0.5, window=Window(0.0, 10.0))
+        assert rule.applies("anyone", "dns", 5.0)
+        assert not rule.applies("anyone", "dns", 10.0)
+
+
+class TestScenarioSchema:
+    def test_baseline_is_fault_free(self):
+        assert not BASELINE.has_faults
+        assert BASELINE.policy == ProbePolicy()
+
+    def test_bundled_names(self):
+        assert set(BUNDLED_SCENARIOS) == {
+            "baseline", "resolver-outage", "lossy-2g", "egress-failover",
+        }
+        for name, scenario in BUNDLED_SCENARIOS.items():
+            assert scenario.name == name
+        assert BUNDLED_SCENARIOS["resolver-outage"].has_faults
+        assert BUNDLED_SCENARIOS["lossy-2g"].has_faults
+        assert BUNDLED_SCENARIOS["egress-failover"].has_faults
+
+    def test_from_dict_full_schema(self):
+        scenario = FaultScenario.from_dict({
+            "name": "kitchen-sink",
+            "description": "everything at once",
+            "policy": {"dns_retries": 5, "backoff_s": 0.5},
+            "loss": [
+                {"rate": 0.1, "carrier": "att", "probes": ["ping"],
+                 "window": [0, 86400]},
+                {"rate": 0.05},
+            ],
+            "resolver_outages": [
+                {"resolver_kind": "local", "carrier": "att",
+                 "window": [86400, 172800]},
+            ],
+            "degraded_epochs": [
+                {"carrier": "tmobile", "technology": "EDGE",
+                 "window": [0, 43200]},
+            ],
+            "egress_failovers": [
+                {"carrier": "verizon", "egress_index": 0,
+                 "window": [0, 86400]},
+            ],
+        })
+        assert scenario.name == "kitchen-sink"
+        assert scenario.policy.dns_retries == 5
+        assert scenario.policy.backoff_s == 0.5
+        assert scenario.loss_rules[0] == LossRule(
+            rate=0.1, carrier="att", probes=("ping",), window=Window(0, DAY_S)
+        )
+        assert scenario.loss_rules[1].window is None
+        assert scenario.resolver_outages[0].resolver_kind == "local"
+        assert scenario.degraded_epochs[0].technology == "EDGE"
+        assert scenario.egress_failovers[0].egress_index == 0
+        assert scenario.has_faults
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({
+            "name": "from-disk",
+            "loss": [{"rate": 0.2}],
+        }))
+        scenario = FaultScenario.from_file(str(path))
+        assert scenario.name == "from-disk"
+        assert scenario.loss_rules[0].rate == 0.2
+
+    def test_scenarios_pickle(self):
+        # Parallel campaign shards rebuild worlds from a pickled
+        # WorldConfig; every bundled scenario must survive the trip.
+        for scenario in BUNDLED_SCENARIOS.values():
+            assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+
+class TestLoadScenario:
+    def test_instance_passthrough(self):
+        assert load_scenario(BASELINE) is BASELINE
+
+    def test_bundled_name(self):
+        assert load_scenario("lossy-2g") is BUNDLED_SCENARIOS["lossy-2g"]
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(json.dumps({"name": "custom"}))
+        assert load_scenario(str(path)).name == "custom"
+
+    def test_unknown_reference(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            load_scenario("no-such-scenario")
+
+
+class TestFaultRuntime:
+    @pytest.fixture()
+    def runtime(self):
+        return FaultRuntime(FaultScenario(
+            name="runtime",
+            loss_rules=(
+                LossRule(rate=1.0, carrier="att", window=Window(DAY_S, 2 * DAY_S)),
+            ),
+            resolver_outages=(
+                ResolverOutage(
+                    resolver_kind="local", window=Window(2 * DAY_S, 3 * DAY_S)
+                ),
+            ),
+            degraded_epochs=(
+                DegradedEpoch(
+                    carrier="tmobile",
+                    technology="EDGE",
+                    window=Window(0.0, DAY_S),
+                ),
+            ),
+            egress_failovers=(
+                EgressFailover(
+                    carrier="verizon",
+                    egress_index=0,
+                    window=Window(DAY_S, 4 * DAY_S),
+                ),
+            ),
+        ))
+
+    def test_drop_only_inside_the_window(self, runtime, stream):
+        assert not runtime.drop("att", "ping", 0.0, stream)
+        assert runtime.drop("att", "ping", 1.5 * DAY_S, stream)  # rate 1.0
+        assert not runtime.drop("att", "ping", 2.5 * DAY_S, stream)
+
+    def test_outage_wildcard_carrier(self, runtime):
+        assert runtime.outage_active("local", "att", 2.5 * DAY_S)
+        assert runtime.outage_active("local", "sprint", 2.5 * DAY_S)
+        assert not runtime.outage_active("google", "att", 2.5 * DAY_S)
+        assert not runtime.outage_active("local", "att", 3.5 * DAY_S)
+
+    def test_rat_override(self, runtime):
+        override = runtime.rat_override("tmobile", 0.5 * DAY_S)
+        assert override is RadioTechnology("EDGE")
+        # Memoised: the same enum member comes back.
+        assert runtime.rat_override("tmobile", 0.6 * DAY_S) is override
+        assert runtime.rat_override("tmobile", 1.5 * DAY_S) is None
+        assert runtime.rat_override("att", 0.5 * DAY_S) is None
+
+    def test_failed_egress(self, runtime):
+        assert runtime.failed_egress("verizon", 2 * DAY_S) == 0
+        assert runtime.failed_egress("verizon", 5 * DAY_S) is None
+        assert runtime.failed_egress("att", 2 * DAY_S) is None
+
+    def test_phase_changes_at_each_boundary(self, runtime):
+        phases = [
+            runtime.phase(now)
+            for now in (0.5 * DAY_S, 1.5 * DAY_S, 2.5 * DAY_S, 3.5 * DAY_S, 5 * DAY_S)
+        ]
+        assert phases == sorted(phases)
+        assert len(set(phases)) == len(phases)
+
+    def test_span_brackets_now(self, runtime):
+        lower, upper = runtime.span(1.5 * DAY_S)
+        assert lower == DAY_S and upper == 2 * DAY_S
+        lower, upper = runtime.span(100 * DAY_S)
+        assert upper == float("inf")
+        lower, upper = runtime.span(-1.0)
+        assert lower == float("-inf")

@@ -1,0 +1,186 @@
+"""Fault scenarios end to end, and the byte-identity contract.
+
+Two commitments from the transport refactor, pinned here:
+
+* **Byte identity** — a fault-free campaign (no scenario, or the
+  bundled ``baseline``) hashes byte-identically to the pre-transport
+  engine; the tiny-scale goldens below were recorded against it.
+* **Scenarios bite** — each bundled fault scenario shifts the dataset
+  and leaves the documented artifacts (fault outcomes on the wire,
+  retry counters, degraded radio epochs).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CellularDNSStudy, StudyConfig
+from repro.core.faults import BUNDLED_SCENARIOS, load_scenario
+from repro.core.world import WorldConfig
+
+#: Tiny-scale campaign goldens (device_scale=0.05, 4 days, 24 h
+#: interval), recorded on the pre-transport engine.  A fault-free
+#: campaign must keep reproducing them byte for byte.
+TINY_GOLDEN_HASHES = {
+    2014: "999d0e75bbaeddd5e98482fc45cb038f86a656070aea46e32ebeac332ecd6196",
+    7: "6a272ae6d07a34961638c8fe7f8dc37d100b2d42a2b5fe4af5f72e739c8ffc4d",
+    99: "9068ca0d5f97d82df9e8b841bbe3a12617987234566df095600f5c599847706c",
+}
+
+
+def _tiny_study(seed: int, scenario=None) -> CellularDNSStudy:
+    world = WorldConfig(seed=seed)
+    if scenario is not None:
+        world.scenario = load_scenario(scenario)
+    return CellularDNSStudy(
+        StudyConfig(
+            seed=seed,
+            device_scale=0.05,
+            duration_days=4.0,
+            interval_hours=24.0,
+            world=world,
+        )
+    )
+
+
+def _tiny_hash(seed: int, scenario=None) -> str:
+    return _tiny_study(seed, scenario).dataset.content_hash()
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("seed", sorted(TINY_GOLDEN_HASHES))
+    def test_fault_free_matches_the_pre_transport_golden(self, seed):
+        assert _tiny_hash(seed) == TINY_GOLDEN_HASHES[seed]
+
+    def test_baseline_scenario_is_the_fault_free_engine(self):
+        assert _tiny_hash(2014, "baseline") == TINY_GOLDEN_HASHES[2014]
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_baseline_equals_no_scenario_for_any_seed(self, seed):
+        # The policy-only baseline scenario must never perturb a draw.
+        assert _tiny_hash(seed, "baseline") == _tiny_hash(seed)
+
+
+@pytest.fixture(scope="module")
+def baseline_hash():
+    return _tiny_hash(2014)
+
+
+class TestBundledScenariosShiftTheDataset:
+    @pytest.fixture(scope="class")
+    def outage_study(self):
+        return _tiny_study(2014, "resolver-outage")
+
+    @pytest.fixture(scope="class")
+    def lossy_study(self):
+        return _tiny_study(2014, "lossy-2g")
+
+    def test_resolver_outage(self, outage_study, baseline_hash):
+        dataset = outage_study.dataset
+        assert dataset.content_hash() != baseline_hash
+        window = BUNDLED_SCENARIOS["resolver-outage"].resolver_outages[0].window
+        faulted = [
+            resolution
+            for record in dataset
+            if record.carrier == "att" and window.contains(record.started_at)
+            for resolution in record.resolutions
+            if resolution.resolver_kind == "local"
+        ]
+        assert faulted
+        # Local lookups inside the outage window time out after
+        # exhausting the retry budget; the failure reaches the wire.
+        policy = outage_study.config.world.scenario.policy
+        assert all(r.delivery_outcome == "timed_out" for r in faulted)
+        assert all(r.rcode == "TIMEOUT" for r in faulted)
+        assert all(r.retries == policy.dns_retries for r in faulted)
+        counters = outage_study.campaign.world.transport.counters
+        assert counters.timed_out > 0
+        assert counters.retries > 0
+
+    def test_resolver_outage_spares_other_carriers(
+        self, outage_study, baseline_hash
+    ):
+        dataset = outage_study.dataset
+        others = [
+            resolution
+            for record in dataset
+            if record.carrier != "att"
+            for resolution in record.resolutions
+        ]
+        assert all(r.delivery_outcome != "timed_out" for r in others)
+
+    def test_lossy_2g(self, lossy_study, baseline_hash):
+        dataset = lossy_study.dataset
+        assert dataset.content_hash() != baseline_hash
+        window = BUNDLED_SCENARIOS["lossy-2g"].degraded_epochs[0].window
+        in_window = [
+            record
+            for record in dataset
+            if record.carrier == "tmobile" and window.contains(record.started_at)
+        ]
+        assert in_window
+        # The degraded epoch pins every in-window T-Mobile session to EDGE.
+        assert all(record.technology == "EDGE" for record in in_window)
+        counters = lossy_study.campaign.world.transport.counters
+        assert counters.lost > 0
+        assert counters.retries > 0
+
+    def test_egress_failover(self, baseline_hash):
+        assert _tiny_hash(2014, "egress-failover") != baseline_hash
+
+    def test_fault_free_counters_record_no_faults(self):
+        study = _tiny_study(2014)
+        study.dataset
+        counters = study.campaign.world.transport.counters
+        assert counters.lost == 0
+        assert counters.retries == 0
+        assert counters.delivered > 0
+
+
+class TestScenarioCli:
+    def test_run_with_bundled_scenario(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "campaign.jsonl"
+        status = main([
+            "run",
+            "--scenario", "lossy-2g",
+            "--scale", "0.05",
+            "--days", "4",
+            "--interval-hours", "24",
+            "--output", str(output),
+        ])
+        assert status == 0
+        assert output.exists()
+        text = output.read_text()
+        # Fault outcomes ride the wire only when a fault actually hit.
+        assert '"outcome":"lost"' in text
+        assert '"retries":' in text
+
+    def test_run_fault_free_emits_legacy_wire(self, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "campaign.jsonl"
+        status = main([
+            "run",
+            "--scale", "0.05",
+            "--days", "4",
+            "--interval-hours", "24",
+            "--output", str(output),
+        ])
+        assert status == 0
+        text = output.read_text()
+        assert '"outcome"' not in text
+        assert '"retries"' not in text
+
+    def test_unknown_scenario_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(ValueError, match="unknown scenario"):
+            main([
+                "run",
+                "--scenario", "no-such-scenario",
+                "--scale", "0.05",
+                "--days", "4",
+            ])

@@ -87,6 +87,42 @@ class TestExperimentRecord:
         with pytest.raises(DatasetError):
             ExperimentRecord.from_json('{"device_id": "x"}')
 
+    def test_fault_fields_roundtrip(self):
+        record = _record()
+        record.resolutions[0].outcome = "timed_out"
+        record.resolutions[0].retries = 2
+        record.pings[0].outcome = "lost"
+        record.pings[0].retries = 1
+        record.traceroutes[0].outcome = "lost"
+        record.http_gets[0].outcome = "timed_out"
+        clone = ExperimentRecord.from_json(record.to_json())
+        assert clone == record
+        # The fast loader takes the from_json fallback for fault lines.
+        loaded = Dataset.load_jsonl([record.to_json_line()])
+        assert loaded.experiments[0] == record
+
+    def test_fault_free_wire_has_no_fault_keys(self):
+        # Default-valued outcome/retries are pruned from the wire, so a
+        # fault-free campaign's bytes match the pre-transport engine.
+        line = _record().to_json_line()
+        assert '"outcome"' not in line
+        assert '"retries"' not in line
+        assert _record().to_json_line_reference() == line
+
+    def test_delivery_outcome_inference(self):
+        record = _record()
+        # Explicit outcome wins; otherwise inferred from the legacy fields.
+        assert record.resolutions[0].delivery_outcome == "delivered"
+        assert record.pings[0].delivery_outcome == "delivered"
+        record.pings[0].rtt_ms = None
+        assert record.pings[0].delivery_outcome == "timed_out"
+        record.pings[0].outcome = "lost"
+        assert record.pings[0].delivery_outcome == "lost"
+        record.resolutions[0].rcode = "UNREACHABLE"
+        assert record.resolutions[0].delivery_outcome == "lost"
+        record.resolutions[0].rcode = "TIMEOUT"
+        assert record.resolutions[0].delivery_outcome == "timed_out"
+
     def test_traceroute_hop_ips(self):
         record = _record()
         assert record.traceroutes[0].hop_ips() == ["16.2.1.1"]
@@ -99,6 +135,13 @@ class TestExperimentRecord:
 _text = st.text(max_size=20)
 _any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
 _opt_float = st.none() | _any_float
+# Fault fields ride the wire only when set (None / 0 are pruned by the
+# emitters); the strategies cover both shapes so the fast serializer is
+# held to the oracle on legacy and fault lines alike.
+_outcome = st.none() | st.sampled_from(
+    ["delivered", "filtered", "timed_out", "lost"]
+)
+_retries = st.integers(0, 3)
 
 _resolutions = st.builds(
     ResolutionRecord,
@@ -109,9 +152,16 @@ _resolutions = st.builds(
     cname_chain=st.lists(_text, max_size=3),
     attempt=st.integers(-10, 10),
     rcode=_text,
+    outcome=_outcome,
+    retries=_retries,
 )
 _pings = st.builds(
-    PingRecord, target_ip=_text, target_kind=_text, rtt_ms=_opt_float
+    PingRecord,
+    target_ip=_text,
+    target_kind=_text,
+    rtt_ms=_opt_float,
+    outcome=_outcome,
+    retries=_retries,
 )
 _hops = st.lists(
     st.lists(
@@ -125,6 +175,7 @@ _traceroutes = st.builds(
     target_kind=_text,
     hops=_hops,
     reached=st.booleans(),
+    outcome=_outcome,
 )
 _http_gets = st.builds(
     HttpRecord,
@@ -132,6 +183,8 @@ _http_gets = st.builds(
     domain=_text,
     resolver_kind=_text,
     ttfb_ms=_opt_float,
+    outcome=_outcome,
+    retries=_retries,
 )
 _resolver_ids = st.builds(
     ResolverIdRecord,
