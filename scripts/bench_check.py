@@ -11,11 +11,16 @@ Runs, in order:
    byte-identity contract) — and, on a multi-core box, if the parallel
    campaign is *slower* than the serial one (an executor-selection
    regression; single-core boxes only note the expected slowdown);
-3. the DNS fast-path gate: a stage-breakdown smoke whose
-   ``dns_us_per_call`` must stay within 25% of the committed
-   ``BENCH_campaign.json`` figure (guards the compiled-plan /
-   tuple-key resolution fast path against silent regression; the
-   25% headroom absorbs box noise);
+3. the probe fast-path gates: one stage-breakdown smoke whose
+   ``dns_us_per_call`` must stay within 25% — and ``ping_us_per_call``
+   / ``http_us_per_call`` within 50% — of the committed
+   ``BENCH_campaign.json`` figures (guards the compiled-plan and
+   vectorized draw-pool fast paths against silent regression; the
+   headroom absorbs box noise, wider for the shorter stages, and a
+   stage reading over its limit is re-measured up to three times —
+   steal-noise is additive, so the per-stage minimum is what gates), and
+   whose sampler pool counters must show at least one refill (the
+   block-sampling layer is actually in play);
 4. the analysis fast-path gate: the fused table+figure regeneration
    must render **byte-identical** to the reference per-function walks
    (hard failure — correctness, not speed), and its steady-state
@@ -108,46 +113,123 @@ def run_bench_smoke() -> int:
     return 0
 
 
-#: Allowed dns_us_per_call slack over the committed benchmark before the
-#: gate fails (1.25 == a ≥25% regression fails).
-DNS_REGRESSION_LIMIT = 1.25
+#: Allowed us-per-call slack over the committed benchmark before the
+#: gate fails, per probe stage (1.25 == a ≥25% regression fails).  The
+#: dns stage runs the longest interval so its figure is the most
+#: stable; ping and http intervals are a few hundred milliseconds, so
+#: proportionally more box noise is absorbed before failing.
+STAGE_REGRESSION_LIMITS = {
+    "dns": 1.25,
+    "ping": 1.5,
+    "http": 1.5,
+}
 
 
-def run_dns_gate() -> int:
-    """DNS fast path must stay within 25% of the committed benchmark."""
+#: Stage-breakdown attempts before a pace gate may fail.  Timing noise
+#: on a shared box (CPU steal) is strictly additive — a spike can only
+#: make a stage *look* slower — so the minimum over attempts is the
+#: robust statistic: one quiet reading proves the code path's pace, and
+#: only a stage that stays over its limit across every attempt fails.
+STAGE_GATE_ATTEMPTS = 3
+
+
+def run_stage_gates() -> int:
+    """Probe fast paths must stay near the committed benchmark, and the
+    vectorized sampler must actually be in play.
+
+    One stage-breakdown smoke feeds every check: per-stage us-per-call
+    regression gates for dns/ping/http (re-measured up to
+    ``STAGE_GATE_ATTEMPTS`` times, keeping per-stage minimums, so an
+    unlucky CPU-steal window doesn't fail a healthy path), plus a
+    sampler sanity gate — the campaign must have refilled draw pools at
+    least once (pool counters all zero would mean the block-sampling
+    layer silently stopped being exercised, e.g. every probe fell back
+    to the scalar path).
+    """
     sys.path.insert(0, SRC)
     from repro.measure.bench import bench_stage_breakdown
 
     committed_path = os.path.join(REPO_ROOT, "BENCH_campaign.json")
     if not os.path.exists(committed_path):
-        print("note: no committed BENCH_campaign.json; skipping dns gate")
+        print("note: no committed BENCH_campaign.json; skipping stage gates")
         return 0
     with open(committed_path) as handle:
         committed = json.load(handle)
-    baseline = committed.get("stages", {}).get("dns_us_per_call")
-    if not baseline:
-        print("note: committed benchmark lacks dns_us_per_call; skipping dns gate")
-        return 0
-    print("== dns fast-path gate ==", flush=True)
+    stages = committed.get("stages", {})
+    print("== probe fast-path gates ==", flush=True)
     report = bench_stage_breakdown()
-    measured = report["dns_us_per_call"]
-    limit = baseline * DNS_REGRESSION_LIMIT
     print(
-        f"dns {measured} us/call over {report['dns_calls']} calls | "
-        f"committed {baseline} us/call | limit {round(limit, 1)} "
-        f"(split: cache-hit {report['dns_cache_hit_s']}s, "
+        f"(dns split: cache-hit {report['dns_cache_hit_s']}s, "
         f"walk {report['dns_walk_s']}s, "
         f"cdn-select {report['dns_cdn_select_s']}s)",
         flush=True,
     )
-    if measured >= limit:
+    best = {
+        stage: report[f"{stage}_us_per_call"]
+        for stage in STAGE_REGRESSION_LIMITS
+    }
+    limits = {}
+    for stage, slack in STAGE_REGRESSION_LIMITS.items():
+        baseline = stages.get(f"{stage}_us_per_call")
+        if not baseline:
+            print(
+                f"note: committed benchmark lacks {stage}_us_per_call; "
+                f"skipping {stage} gate"
+            )
+            continue
+        limits[stage] = baseline * slack
+    attempts = 1
+    while (
+        any(best[stage] >= limit for stage, limit in limits.items())
+        and attempts < STAGE_GATE_ATTEMPTS
+    ):
+        over = [s for s, lim in limits.items() if best[s] >= lim]
         print(
-            f"FAIL: dns_us_per_call {measured} regressed >=25% over the "
-            f"committed {baseline} (limit {round(limit, 1)})",
+            f"note: {', '.join(over)} over limit on attempt {attempts} — "
+            f"re-measuring (box noise is additive; the minimum counts)",
+            flush=True,
+        )
+        retry = bench_stage_breakdown()
+        for stage in best:
+            value = retry[f"{stage}_us_per_call"]
+            if value < best[stage]:
+                best[stage] = value
+        attempts += 1
+    failed = False
+    for stage, limit in limits.items():
+        baseline = stages[f"{stage}_us_per_call"]
+        measured = best[stage]
+        print(
+            f"{stage} {measured} us/call (best of {attempts}) | "
+            f"committed {baseline} us/call | limit {round(limit, 1)}",
+            flush=True,
+        )
+        if measured >= limit:
+            slack = STAGE_REGRESSION_LIMITS[stage]
+            print(
+                f"FAIL: {stage}_us_per_call {measured} regressed "
+                f">={round((slack - 1) * 100)}% over the committed "
+                f"{baseline} (limit {round(limit, 1)}) across "
+                f"{attempts} attempts",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    sampler = report.get("sampler")
+    if not sampler or sampler.get("pool_refills", 0) <= 0:
+        print(
+            "FAIL: sampler pool counters report zero refills — the "
+            "vectorized draw-pool layer was never exercised",
             file=sys.stderr,
         )
         return 1
-    print("dns gate: OK")
+    print(
+        f"sampler: {sampler['pool_hits']} pool hits over "
+        f"{sampler['pool_refills']} refills "
+        f"({sampler['pool_realignments']} realignments)"
+    )
+    print("stage gates: OK")
     return 0
 
 
@@ -220,7 +302,7 @@ def main() -> int:
     status = run_bench_smoke()
     if status != 0:
         return status
-    status = run_dns_gate()
+    status = run_stage_gates()
     if status != 0:
         return status
     return run_analysis_gate()

@@ -9,6 +9,7 @@ server processing time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -32,6 +33,22 @@ class ReplicaServer:
         """The replica's public address."""
         return self.host.ip
 
+    @property
+    def log_service_ms(self) -> float:
+        """``ln(service_ms)``, memoised for the per-GET sampling path.
+
+        Feeds :meth:`RandomStream.lognormal_from_log`, which is
+        bit-identical to ``lognormal_ms(service_ms, sigma)`` — the log
+        (and the positivity check) are hoisted out of every sample.
+        """
+        cached = self.__dict__.get("_log_service_ms")
+        if cached is None:
+            if self.service_ms <= 0:
+                raise ValueError("median_ms must be positive")
+            cached = math.log(self.service_ms)
+            self.__dict__["_log_service_ms"] = cached
+        return cached
+
 
 def http_ttfb_ms(
     internet: VirtualInternet,
@@ -52,7 +69,7 @@ def http_ttfb_ms(
     request = internet.flow_rtt(origin, replica.ip, stream, route=route)
     if request is None:
         return None
-    service = stream.lognormal_ms(replica.service_ms, 0.5)
+    service = stream.lognormal_from_log(replica.log_service_ms, 0.5)
     return handshake + request + service
 
 

@@ -359,11 +359,12 @@ class CellularOperator:
         log_access, sigma_access, log_core, sigma_core, hops = _ORIGIN_PARAMS[
             technology
         ]
-        # lognormal_from_log inlined around the raw Gaussian source
-        # (same expression, bit-identical draws).
-        gauss = stream._rng.gauss
-        access = math.exp(log_access + sigma_access * gauss(0.0, 1.0))
-        access += math.exp(log_core + sigma_core * gauss(0.0, 1.0))
+        # lognormal_from_log inlined around the pooled Gaussian source
+        # (same expression, bit-identical draws); one block fetch covers
+        # both the radio and the core leg.
+        z_access, z_core = stream.gauss_block(2)
+        access = math.exp(log_access + sigma_access * z_access)
+        access += math.exp(log_core + sigma_core * z_core)
         if pay_promotion:
             access += promotion_cost_ms(technology, device.rrc, now)
         else:
@@ -446,7 +447,7 @@ class CellularOperator:
         sigma = intra.jitter_sigma
         if sigma <= 0:
             return base
-        return math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+        return math.exp(log_base + sigma * stream.std_gauss())
 
     def _tier_gap_ms(
         self, site, external: ExternalResolver, stream: RandomStream

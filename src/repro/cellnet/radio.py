@@ -180,10 +180,14 @@ class RadioProfile:
             self.weights = [1.0] * len(self.technologies)
         if len(self.weights) != len(self.technologies):
             raise ConfigError("weights must match technologies")
+        # Frozen weights for the per-experiment draw: tuple(t) on a
+        # tuple is the same object, so the weighted_choice memo key
+        # costs nothing per call.
+        self._weights_tuple = tuple(self.weights)
 
     def draw(self, stream: RandomStream) -> RadioTechnology:
         """The active technology for one experiment."""
-        return stream.weighted_choice(self.technologies, self.weights)
+        return stream.weighted_choice(self.technologies, self._weights_tuple)
 
     def access_rtt_ms(
         self, technology: RadioTechnology, stream: RandomStream

@@ -108,6 +108,11 @@ class VirtualInternet:
         self._lpm_generation: Tuple[int, int] = (-1, -1)
         #: Memo of the nearest transit router per exact coordinate pair.
         self._transit_near_memo: Dict[Tuple[float, float], Optional[Host]] = {}
+        #: World-level route-view memo.  ``route_view`` is pure in
+        #: ``(origin.asys, destination_ip)`` and topology is static once
+        #: built, so one entry serves every device on an AS for the whole
+        #: campaign (cleared if registration mutates the topology).
+        self._route_memo: Dict[Tuple[int, str], RouteView] = {}
         #: Memo of the ingress router per (asn, destination coordinates).
         self._ingress_memo: Dict[Tuple[int, float, float], Optional[Host]] = {}
 
@@ -121,6 +126,7 @@ class VirtualInternet:
                 raise TopologyError(f"ASN {asys.asn} registered twice")
             return existing
         self._systems[asys.asn] = asys
+        self._route_memo.clear()
         return asys
 
     def register_host(self, host: Host) -> Host:
@@ -134,6 +140,7 @@ class VirtualInternet:
                 f"{host.ip} not inside any prefix announced by {host.asys}"
             )
         self._hosts[host.ip] = host
+        self._route_memo.clear()
         if host.role == ROLE_EGRESS:
             self._egress_hosts.setdefault(host.asys.asn, []).append(host)
             self._ingress_memo.clear()
@@ -251,27 +258,49 @@ class VirtualInternet:
         :meth:`measure_rtt`/:meth:`flow_rtt` perform inline; only
         ``origin.asys`` participates, so one view is valid for every
         probe a device issues during an experiment (topology is static
-        over a campaign).
+        over a campaign).  Memoised world-wide on ``(asn, ip)`` — every
+        device behind one AS shares the entry across sessions.
         """
+        return self.route_view_for(origin.asys, destination_ip)
+
+    def route_view_for(
+        self, asys: AutonomousSystem, destination_ip: str
+    ) -> RouteView:
+        """:meth:`route_view` keyed directly by the origin AS.
+
+        The view depends on the origin only through its AS, so callers
+        that have not sampled a :class:`ProbeOrigin` yet (the fused
+        probe paths) skip constructing a throwaway one.
+        """
+        key = (asys.asn, destination_ip)
+        memo = self._route_memo
+        view = memo.get(key)
+        if view is not None:
+            return view
         destination = self._hosts.get(destination_ip)
         if destination is None:
-            return RouteView(destination=None)
-        same_operator = (
-            destination.asys.operator_key is not None
-            and destination.asys.operator_key == origin.asys.operator_key
-        )
-        admits = self.admits_flow(origin, destination)
-        answers_ping = (
-            destination.responds_to_ping
-            and destination.ping_policy.answers(same_operator)
-            and admits
-        )
-        return RouteView(
-            destination=destination,
-            same_operator=same_operator,
-            admits=admits,
-            answers_ping=answers_ping,
-        )
+            view = RouteView(destination=None)
+        else:
+            same_operator = (
+                destination.asys.operator_key is not None
+                and destination.asys.operator_key == asys.operator_key
+            )
+            admits = same_operator or destination.asys.firewall.admits(
+                asys.asn, destination.asys.asn, destination.externally_open
+            )
+            answers_ping = (
+                destination.responds_to_ping
+                and destination.ping_policy.answers(same_operator)
+                and admits
+            )
+            view = RouteView(
+                destination=destination,
+                same_operator=same_operator,
+                admits=admits,
+                answers_ping=answers_ping,
+            )
+        memo[key] = view
+        return view
 
     # -- timing ---------------------------------------------------------------
 
@@ -299,7 +328,7 @@ class VirtualInternet:
             )
             sigma = intra.jitter_sigma
             interior = (
-                math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+                math.exp(log_base + sigma * stream.std_gauss())
                 if sigma > 0
                 else base
             )
@@ -309,7 +338,7 @@ class VirtualInternet:
         base, log_base = intra.leg_params(origin.location, egress_location)
         sigma = intra.jitter_sigma
         core = (
-            math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+            math.exp(log_base + sigma * stream.std_gauss())
             if sigma > 0
             else base
         )
@@ -319,7 +348,7 @@ class VirtualInternet:
         )
         sigma = wan_model.jitter_sigma
         wan = (
-            math.exp(log_base + sigma * stream._rng.gauss(0.0, 1.0))
+            math.exp(log_base + sigma * stream.std_gauss())
             if sigma > 0
             else base
         )
@@ -383,8 +412,8 @@ class VirtualInternet:
                 _s1=intra.jitter_sigma, _m2=log_wan, _s2=wan.jitter_sigma,
                 _p=penalty, _s=stack, _exp=math.exp: (
                     _a
-                    + _exp(_m1 + _s1 * stream._rng.gauss(0.0, 1.0))
-                    + _exp(_m2 + _s2 * stream._rng.gauss(0.0, 1.0))
+                    + _exp(_m1 + _s1 * stream.std_gauss())
+                    + _exp(_m2 + _s2 * stream.std_gauss())
                     + _p
                     + _s
                 )
@@ -397,6 +426,62 @@ class VirtualInternet:
                 _a + _l1(stream) + _l2(stream) + _p + _s
             )
         )
+
+    def flow_program(
+        self,
+        origin: ProbeOrigin,
+        destination_ip: str,
+        route: Optional[RouteView] = None,
+    ):
+        """Declarative form of :meth:`flow_sampler`: ``(c0, terms, trail, n)``.
+
+        ``None`` when unreachable.  Evaluating::
+
+            v = c0
+            for (log_base, sigma) in terms:   # n == len(terms) draws
+                v += exp(log_base + sigma * z)
+            for const in trail:
+                v += const
+
+        with ``z`` values from ``stream.gauss_block(n)`` reproduces the
+        closure's sum bit for bit: float addition is left-associated in
+        both forms, jitter-free *leading* legs fold into ``c0`` at
+        compile time (same operands, same order), jitter-free *trailing*
+        legs join the penalty/stack constants in ``trail``.  Because the
+        draw count is static, callers replaying a chain of programs can
+        pre-count every Gaussian and consume one contiguous pool slice
+        instead of one closure call per hop.
+        """
+        if route is None:
+            route = self.route_view(origin, destination_ip)
+        destination = route.destination
+        if destination is None or not route.admits:
+            return None
+        c0 = origin.access_rtt_ms
+        terms = []
+        trail = []
+        penalty = destination.interior_penalty_ms
+        stack = destination.stack_latency_ms
+        intra = self.intra_model
+        if route.same_operator:
+            legs = (intra.leg_program(origin.location, destination.location),)
+        else:
+            legs = (
+                intra.leg_program(origin.location, origin.egress_location),
+                self.wan_model.leg_program(
+                    origin.egress_location, destination.location
+                ),
+            )
+        for leg in legs:
+            if leg[1] > 0:
+                terms.append(leg)
+            elif terms:
+                trail.append(leg[0])
+            else:
+                c0 += leg[0]
+        trail.append(penalty)
+        trail.append(stack)
+        return (c0, tuple(terms), tuple(trail), len(terms))
 
     def flow_rtt(
         self,

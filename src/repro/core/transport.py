@@ -484,6 +484,19 @@ class Transport:
 
         return unreachable
 
+    def authority_program(
+        self, origin: ProbeOrigin, destination_ip: str
+    ) -> Optional[tuple]:
+        """The declarative counterpart of :meth:`authority_link`.
+
+        Returns the substrate's ``(c0, terms, trail, draw_count)`` flow
+        program for a reachable authority, or ``None`` when unreachable.
+        Compiled resolution plans store these instead of closures so a
+        whole chain's Gaussian draws can be pre-counted and consumed as
+        one contiguous pool slice.
+        """
+        return self.internet.flow_program(origin, destination_ip)
+
     def _filter_hop(self, destination: Host) -> Optional[str]:
         """The border router that dropped a filtered probe, when known."""
         ingress = self.internet._ingress_router_for(destination)

@@ -133,9 +133,19 @@ class PublicDnsService:
         self, origin: ProbeOrigin, device_key: str, now: float
     ) -> PublicDnsCluster:
         """The cluster an origin's packets reach at virtual ``now``."""
+        return self._serving_cluster_at(origin.egress_location, device_key, now)
+
+    def _serving_cluster_at(
+        self, anchor, device_key: str, now: float
+    ) -> PublicDnsCluster:
+        """:meth:`serving_cluster` keyed directly by the egress anchor.
+
+        Anycast routing depends on the origin only through its egress
+        position, so callers that have not built a ``ProbeOrigin`` (the
+        fused probe paths) pass the attachment's egress location.
+        """
         if not self.clusters:
             raise ValueError(f"{self.name} has no clusters")
-        anchor = origin.egress_location
         ranking_key = self._anchor_key_memo.get(anchor)
         if ranking_key is None:
             ranking_key = (round(anchor.latitude, 1), round(anchor.longitude, 1))
@@ -174,7 +184,10 @@ class PublicDnsService:
         pure in quantised inputs — memoised under one key so resolve and
         ping pay a single lookup.
         """
-        anchor = origin.egress_location
+        return self._serve_at(origin.egress_location, device_key, now)
+
+    def _serve_at(self, anchor, device_key: str, now: float) -> tuple:
+        """:meth:`_serve` keyed directly by the egress anchor."""
         ranking_key = self._anchor_key_memo.get(anchor)
         if ranking_key is None:
             ranking_key = (round(anchor.latitude, 1), round(anchor.longitude, 1))
@@ -187,7 +200,7 @@ class PublicDnsService:
         )
         pair = self._serve_memo.get(key)
         if pair is None:
-            cluster = self.serving_cluster(origin, device_key, now)
+            cluster = self._serving_cluster_at(anchor, device_key, now)
             machine = cluster.machine_for(device_key, self.seed, now)
             pair = (cluster, machine)
             self._serve_memo[key] = pair

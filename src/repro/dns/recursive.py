@@ -89,6 +89,8 @@ class RecursiveResult:
         "_records",
         "_raw",
         "_remaining",
+        "_addresses",
+        "_cnames",
     )
 
     def __init__(
@@ -104,6 +106,8 @@ class RecursiveResult:
         raw_records: Optional[Tuple[ResourceRecord, ...]] = None,
         ttl_remaining: int = 0,
         min_ttl: Optional[int] = None,
+        addresses: Optional[Tuple[str, ...]] = None,
+        cnames: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.qname = qname
         self.qtype = qtype
@@ -121,6 +125,10 @@ class RecursiveResult:
         self._records = records
         self._raw = raw_records
         self._remaining = ttl_remaining
+        #: Pre-extracted answer views (compiled-plan replays hand these
+        #: in from the plan's memo); None means "scan the records".
+        self._addresses = addresses
+        self._cnames = cnames
 
     @property
     def records(self) -> List[ResourceRecord]:
@@ -138,6 +146,9 @@ class RecursiveResult:
 
     def addresses(self) -> List[str]:
         """A-record addresses in the final answer."""
+        pre = self._addresses
+        if pre is not None:
+            return list(pre)
         return [
             record.data
             for record in self._template_records()
@@ -146,6 +157,9 @@ class RecursiveResult:
 
     def cname_chain(self) -> List[str]:
         """CNAME targets in the answer, in chain order."""
+        pre = self._cnames
+        if pre is not None:
+            return list(pre)
         return [
             record.data
             for record in self._template_records()
@@ -158,7 +172,8 @@ class _Plan:
 
     __slots__ = (
         "hops",
-        "hop_samplers",
+        "hop_programs",
+        "draw_count",
         "static_records",
         "static_min_ttl",
         "rcode",
@@ -169,12 +184,13 @@ class _Plan:
         "directory_version",
         "zone_checks",
         "cdn_memo",
+        "answer_memo",
     )
 
     def __init__(
         self,
         hops: Tuple[str, ...],
-        hop_samplers: Tuple,
+        hop_programs: Tuple,
         static_records: Tuple[ResourceRecord, ...],
         rcode: RCode,
         terminal_kind: Optional[str],
@@ -184,12 +200,16 @@ class _Plan:
         directory_version: int,
         zone_checks: Tuple[tuple, ...],
     ) -> None:
-        #: Authority-host IPs in query order (one RTT draw each).
+        #: Authority-host IPs in query order.
         self.hops = hops
-        #: The resolved RTT sampler per hop, in the same order — the
-        #: exact closures ``_hop_rtt`` would fetch, stored so a replay
-        #: skips the per-hop sampler-table lookup.
-        self.hop_samplers = hop_samplers
+        #: Per-hop flow programs ``(c0, terms, trail)`` in the same
+        #: order (see ``VirtualInternet.flow_program``): the closures
+        #: ``_hop_rtt`` would call, as data.  Storing programs instead
+        #: of samplers lets a replay pre-count the whole chain's
+        #: Gaussian draws and consume one contiguous pool slice.
+        self.hop_programs = hop_programs
+        #: Total Gaussian draws across the chain (static per plan).
+        self.draw_count = sum(len(terms) for _, terms, _ in hop_programs)
         #: Accumulated answers of the static NOERROR hops (whole chain
         #: when the plan is fully static, the prefix otherwise).
         self.static_records = static_records
@@ -211,9 +231,32 @@ class _Plan:
         self.directory_version = directory_version
         #: (authority, zone, version) per static hop.
         self.zone_checks = zone_checks
-        #: (epoch, rcode, records) of the last CDN answer; re-derived on
+        #: ``(addresses, cnames)`` extracted from the static records once
+        #: at compile time, so replays and cache hits on fully static
+        #: chains never re-scan the answer tuple.
+        self.answer_memo = (
+            tuple(r.data for r in static_records if r.rtype is RRType.A),
+            tuple(r.data for r in static_records if r.rtype is RRType.CNAME),
+        )
+        #: ``(epoch, rcode, records, min_ttl, addresses, cnames)`` of the
+        #: last CDN answer merged with the static prefix; re-derived on
         #: rotation (the per-/24 replica windows may move).
         self.cdn_memo: Optional[tuple] = None
+
+    def combined_memo(self, epoch, rcode, cdn_records) -> tuple:
+        """Build one epoch's ``cdn_memo``: the full answer set (static
+        prefix plus CDN terminal) with its TTL floor and pre-extracted
+        address/CNAME views, so replays within the epoch touch nothing
+        but this tuple."""
+        records = self.static_records + cdn_records
+        return (
+            epoch,
+            rcode,
+            records,
+            min(record.ttl for record in records) if records else None,
+            tuple(r.data for r in records if r.rtype is RRType.A),
+            tuple(r.data for r in records if r.rtype is RRType.CNAME),
+        )
 
 
 class RecursiveEngine:
@@ -260,6 +303,10 @@ class RecursiveEngine:
         #: origin never moves, so each upstream leg's deterministic parts
         #: fold into one closure (see VirtualInternet.flow_sampler).
         self._hop_samplers: dict = {}
+        #: Declarative flow programs per authority address (None for
+        #: unreachable hops) — the plan compiler's counterpart of
+        #: ``_hop_samplers``.
+        self._hop_programs: dict = {}
         #: Compiled plans per (qname, qtype, client_subnet); None marks a
         #: chain that cannot be compiled (an authority of unknown type).
         self._plans: Dict[tuple, Optional[_Plan]] = {}
@@ -300,6 +347,15 @@ class RecursiveEngine:
             )
             self._hop_samplers[ip] = sampler
         return sampler(stream)
+
+    def _hop_program(self, ip: str, stream: RandomStream):
+        """The declarative flow program toward an authority address
+        (None when unreachable), memoised like ``_hop_samplers``."""
+        program = self._hop_programs.get(ip, False)
+        if program is False:
+            program = self.transport.authority_program(self._origin(stream), ip)
+            self._hop_programs[ip] = program
+        return program
 
     def _query_authority(
         self,
@@ -458,13 +514,18 @@ class RecursiveEngine:
             raise ResolutionError(f"CNAME chain too long resolving {qname}")
 
         if plannable:
-            samplers = self._hop_samplers
+            # Every contacted hop was reachable (the walk queried it),
+            # so its flow program exists; the None check is defensive.
+            programs = tuple(
+                (program[0], program[1], program[2])
+                for ip in contacted
+                if (program := self._hop_program(ip, stream)) is not None
+            )
+            plannable = len(programs) == len(contacted)
+        if plannable:
             plan = _Plan(
                 hops=tuple(contacted),
-                # Every contacted hop was reachable (the walk queried it),
-                # so its memoised link is a real sampler, never the
-                # raising unreachable callable.
-                hop_samplers=tuple(samplers[ip] for ip in contacted),
+                hop_programs=programs,
                 # Static hops' answers only: a CDN terminal hop's
                 # (epoch-varying) answers live in the cdn_memo instead.
                 static_records=tuple(static_records),
@@ -480,13 +541,8 @@ class RecursiveEngine:
                 cdn_records = (
                     tuple(response.answers) if rcode is RCode.NOERROR else ()
                 )
-                plan.cdn_memo = (
-                    terminal_authority.rotation_epoch(now),
-                    rcode,
-                    cdn_records,
-                    min(record.ttl for record in cdn_records)
-                    if cdn_records
-                    else None,
+                plan.cdn_memo = plan.combined_memo(
+                    terminal_authority.rotation_epoch(now), rcode, cdn_records
                 )
             if len(self._plans) < MAX_COMPILED_PLANS or plan_key in self._plans:
                 self._plans[plan_key] = plan
@@ -512,16 +568,33 @@ class RecursiveEngine:
         now: float,
         stream: RandomStream,
     ) -> RecursiveResult:
-        """Re-run a compiled chain: fresh RTT draws, memoised answers."""
+        """Re-run a compiled chain: fresh RTT draws, memoised answers.
+
+        The chain's Gaussian draw count is static (stored on the plan),
+        so the whole chain is sampled from one contiguous
+        :meth:`~repro.core.rng.RandomStream.gauss_block` slice — the
+        same deviates, in the same order, the per-hop closures would
+        have drawn one call at a time.
+        """
         upstream_ms = 0.0
-        for sampler in plan.hop_samplers:
-            upstream_ms += sampler(stream)
-        rcode = plan.rcode
-        min_ttl = plan.static_min_ttl
+        zs = stream.gauss_block(plan.draw_count) if plan.draw_count else ()
+        index = 0
+        _exp = math.exp
+        for c0, terms, trail in plan.hop_programs:
+            value = c0
+            for log_base, sigma in terms:
+                value += _exp(log_base + sigma * zs[index])
+                index += 1
+            for const in trail:
+                value += const
+            upstream_ms += value
         if plan.terminal_kind is None:
             # The shared immutable tuple: every consumer (address/CNAME
             # extraction, TTL scan, cache insert) only iterates it.
+            rcode = plan.rcode
             records = plan.static_records
+            min_ttl = plan.static_min_ttl
+            addresses, cnames = plan.answer_memo
         else:  # "cdn"
             authority = plan.terminal_authority
             epoch = authority.rotation_epoch(now)
@@ -538,23 +611,9 @@ class RecursiveEngine:
                     if response.rcode is RCode.NOERROR
                     else ()
                 )
-                memo = (
-                    epoch,
-                    response.rcode,
-                    cdn_records,
-                    min(record.ttl for record in cdn_records)
-                    if cdn_records
-                    else None,
-                )
+                memo = plan.combined_memo(epoch, response.rcode, cdn_records)
                 plan.cdn_memo = memo
-            rcode = memo[1]
-            records = list(plan.static_records)
-            records.extend(memo[2])
-            cdn_min = memo[3]
-            if min_ttl is None:
-                min_ttl = cdn_min
-            elif cdn_min is not None and cdn_min < min_ttl:
-                min_ttl = cdn_min
+            _, rcode, records, min_ttl, addresses, cnames = memo
         return RecursiveResult(
             qname,
             qtype,
@@ -567,6 +626,8 @@ class RecursiveEngine:
             None,
             0,
             min_ttl,
+            addresses,
+            cnames,
         )
 
     def _resolve_upstream(

@@ -114,6 +114,22 @@ class WanLatencyModel:
             _m, _s
         )
 
+    def leg_program(self, src: GeoPoint, dst: GeoPoint) -> tuple:
+        """Declarative sampler for one leg: ``(value, sigma)``.
+
+        ``sigma > 0`` means the leg draws one Gaussian and contributes
+        ``exp(value + sigma * z)`` (``value`` is ``ln(base)``); ``sigma
+        <= 0`` means it contributes the constant ``value`` (the base)
+        with no draw.  This is :meth:`leg_sampler` as data instead of a
+        closure, so flow compilers can count draws statically and fuse
+        whole chains into one ``gauss_block`` consumption.
+        """
+        base, log_base = self.leg_params(src, dst)
+        sigma = self.jitter_sigma
+        if sigma <= 0:
+            return (base, 0.0)
+        return (log_base, sigma)
+
     def hop_count(self, distance_km: float) -> int:
         """Inferred router hop count for a path of the given length.
 

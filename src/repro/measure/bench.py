@@ -282,9 +282,12 @@ def bench_stage_breakdown(
     # the previous benchmark's garbage.
     gc.collect()
 
+    from repro.core.rng import derived_seed_cache_info
+
     scale = scale or smoke_scale()
     totals: Dict[str, float] = {stage: 0.0 for stage in STAGES}
     counts: Dict[str, int] = {stage: 0 for stage in STAGES}
+    derived_before = derived_seed_cache_info()
     campaign = Campaign(
         build_world(WorldConfig(seed=scale.seed)),
         CampaignConfig(
@@ -333,6 +336,20 @@ def bench_stage_breakdown(
     )
     report["dns_cdn_select_s"] = round(dns_totals["cdn"], 3)
     report["dns_cdn_select_calls"] = dns_counts["cdn"]
+    # Draw-pool counters for the campaign just timed, plus the
+    # _derived_from_parts memo's hit/miss delta over the run (the cache
+    # is process-global, so only the delta describes this campaign).
+    # run_benchmarks lifts this into the report's top-level ``sampler``
+    # section.
+    derived_after = derived_seed_cache_info()
+    report["sampler"] = {
+        **campaign.world.rng.pool_stats(),
+        "derived_seed_cache": {
+            "hits": derived_after["hits"] - derived_before["hits"],
+            "misses": derived_after["misses"] - derived_before["misses"],
+            "currsize": derived_after["currsize"],
+        },
+    }
     return report
 
 
@@ -612,10 +629,14 @@ def run_benchmarks(
     # The campaign's delivery-outcome tally rides in the transport
     # section next to the per-outcome microbenchmark figures.
     transport["campaign"] = campaign.pop("transport_counters")
+    stages = bench_stage_breakdown()
+    # The stage campaign's draw-pool counters become their own section.
+    sampler = stages.pop("sampler")
     report: Dict[str, object] = {
         "cpu_count": os.cpu_count(),
         "campaign": campaign,
-        "stages": bench_stage_breakdown(),
+        "stages": stages,
+        "sampler": sampler,
         "analysis": bench_analysis(),
         "transport": transport,
         "asn_lookup": bench_asn_lookup(),
@@ -632,6 +653,7 @@ def format_report(report: Dict[str, object]) -> str:
     """Human-readable summary of a benchmark report."""
     campaign = report["campaign"]
     stages = report.get("stages")
+    sampler = report.get("sampler")
     analysis = report.get("analysis")
     transport = report.get("transport")
     asn = report["asn_lookup"]
@@ -680,6 +702,16 @@ def format_report(report: Dict[str, object]) -> str:
             f"byte identical: {analysis['byte_identical']}"
             if analysis
             else "analysis: skipped"
+        ),
+        (
+            f"sampler: {sampler['pool_hits']} pool hits over "
+            f"{sampler['pool_refills']} refills "
+            f"({sampler['pool_realignments']} realignments, "
+            f"{sampler['streams']} streams) | seed cache "
+            f"{sampler['derived_seed_cache']['hits']} hits / "
+            f"{sampler['derived_seed_cache']['misses']} misses"
+            if sampler
+            else "sampler: skipped"
         ),
         (
             f"transport: ping {transport['ping_delivered_us']}us delivered / "

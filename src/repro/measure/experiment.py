@@ -138,6 +138,12 @@ class ExperimentRunner:
         addresses = list(by_address)
         if options.max_replica_probes:
             addresses = addresses[: options.max_replica_probes]
+        # One pool refill covers the whole replica sweep: each ping+GET
+        # pair consumes at most 13 uniforms (2 stability draws plus up
+        # to 11 Gaussian-pair/service uniforms).  Purely a batching
+        # hint; draw values and order are unchanged.
+        if addresses:
+            session.stream.prefill(13 * len(addresses))
         for address in addresses:
             domain, kind = by_address[address]
             record.pings.append(session.ping_ip(address, "replica", now))

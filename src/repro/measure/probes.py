@@ -21,9 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import math
+
 from repro.cellnet.device import MobileDevice
-from repro.cellnet.operator import Attachment, CellularOperator
-from repro.cellnet.radio import RadioTechnology
+from repro.cellnet.operator import _ORIGIN_PARAMS, Attachment, CellularOperator
+from repro.cellnet.radio import RadioTechnology, promotion_cost_ms
+from repro.core.addressing import prefix24
 from repro.core.internet import RouteView
 from repro.core.node import ProbeOrigin
 from repro.core.rng import RandomStream
@@ -64,6 +67,14 @@ class DeviceProbeSession:
     _att_until: float = field(default=-1.0, repr=False)
     #: Replica-server lookup per replica IP (ping → HTTP share it).
     _replica_memo: Dict[str, object] = field(default_factory=dict, repr=False)
+    #: Per-target leg programs for the fused fault-free probe paths,
+    #: keyed (ip, device location, egress ip) — everything the leg
+    #: decomposition depends on.  The key is session-independent
+    #: (locations hash by value, egress IPs imply the operator), so
+    #: ``begin`` rebinds this to one world-level dict: mobility anchors
+    #: recur across experiments, and a target's legs survive the session
+    #: that first computed them.
+    _leg_memo: Dict[tuple, tuple] = field(default_factory=dict, repr=False)
 
     @classmethod
     def begin(
@@ -92,6 +103,11 @@ class DeviceProbeSession:
             attachment=operator.attachment(device, now),
             stream=stream,
         )
+        internet = world.internet
+        leg_memo = getattr(internet, "_probe_leg_memo", None)
+        if leg_memo is None:
+            leg_memo = internet._probe_leg_memo = {}
+        session._leg_memo = leg_memo
         session._attachment_memo[
             operator.attachment_epoch_key(device, now)
         ] = session.attachment
@@ -170,8 +186,8 @@ class DeviceProbeSession:
         """
         technology = self.technology
         profile = self.operator.radio_profile
-        # stream.bernoulli, inlined (same single uniform draw).
-        if self.stream._rng.random() >= profile.stability:
+        # stream.bernoulli, inlined (same single pooled uniform draw).
+        if self.stream.random() >= profile.stability:
             technology = profile.draw(self.stream)
         faults = self.world.transport.faults
         if faults is not None:
@@ -205,6 +221,8 @@ class DeviceProbeSession:
     def dns_local(self, qname: str, now: float, attempt: int = 1) -> ResolutionRecord:
         """Resolve through the operator-configured resolver."""
         transport = self.world.transport
+        if transport.faults is None:
+            return self._fast_dns_local(qname, now, attempt)
         policy = transport.policy
         retries = 0
         while True:
@@ -244,8 +262,10 @@ class DeviceProbeSession:
     ) -> ResolutionRecord:
         """Resolve through Google DNS or OpenDNS."""
         transport = self.world.transport
-        policy = transport.policy
         service = self.world.public_service(kind)
+        if transport.faults is None:
+            return self._fast_dns_public(service, kind, qname, now, attempt)
+        policy = transport.policy
         retries = 0
         while True:
             verdict = transport.dns_gate(self.operator.key, kind, now, self.stream)
@@ -293,11 +313,368 @@ class DeviceProbeSession:
             transport.note_retry()
             now += policy.backoff_s
 
+    # -- fused fault-free fast paths ---------------------------------------
+    #
+    # With no fault scenario active, a probe's whole stochastic body is
+    # known up front: one stability uniform, two origin Gaussians, then
+    # the delivered path's leg/service Gaussians.  The fast paths below
+    # draw that set as one contiguous ``gauss_block`` slice and apply
+    # the transform arithmetic inline — the same draws, in the same
+    # order, with the same float association as the layered path, so
+    # the dataset hash cannot move (asserted by the tier-1 goldens).
+    # Fault scenarios take the layered path, whose per-attempt retries
+    # interleave draws dynamically.
+
+    # The stability draw + optional handoff re-draw of the probe origin
+    # is inlined at each fast path (one uniform, then ``profile.draw``
+    # on the rare handoff), matching the layered path's draw order.
+
+    def _target_legs(self, ip: str, route, location, egress) -> tuple:
+        """``(legs, jitter_draws, penalty, stack)`` for one delivered
+        target, memoised per (ip, location, egress)."""
+        egress_location = egress.location if egress is not None else location
+        # The egress IP pins the operator (egress hosts are per-carrier),
+        # so the key stays valid in the shared world-level memo; without
+        # an egress the operator key disambiguates same_operator.
+        key = (ip, location, egress.ip if egress is not None else self.operator.key)
+        cached = self._leg_memo.get(key)
+        if cached is None:
+            internet = self.world.internet
+            intra = internet.intra_model
+            destination = route.destination
+            # Inlined leg_program: (base, ln(base)) comes straight from
+            # leg_params and the jitter count is explicit arithmetic, so
+            # a miss costs two memo probes instead of four frames and a
+            # generator.
+            intra_sigma = intra.jitter_sigma
+            if route.same_operator:
+                base, log_base = intra.leg_params(location, destination.location)
+                if intra_sigma > 0:
+                    legs = ((log_base, intra_sigma),)
+                    draws = 1
+                else:
+                    legs = ((base, 0.0),)
+                    draws = 0
+            else:
+                wan = internet.wan_model
+                wan_sigma = wan.jitter_sigma
+                base, log_base = intra.leg_params(location, egress_location)
+                wbase, wlog = wan.leg_params(egress_location, destination.location)
+                first = (log_base, intra_sigma) if intra_sigma > 0 else (base, 0.0)
+                second = (wlog, wan_sigma) if wan_sigma > 0 else (wbase, 0.0)
+                legs = (first, second)
+                draws = (1 if intra_sigma > 0 else 0) + (1 if wan_sigma > 0 else 0)
+            cached = (
+                legs,
+                draws,
+                destination.interior_penalty_ms,
+                destination.stack_latency_ms,
+            )
+            if len(self._leg_memo) < 1_000_000:
+                self._leg_memo[key] = cached
+        return cached
+
+    def _fast_dns_local(
+        self, qname: str, now: float, attempt: int
+    ) -> ResolutionRecord:
+        """Fault-free local resolution with the front drawn as one block.
+
+        The resolver front's whole stochastic shape is known before any
+        Gaussian is drawn: serving site, external resolver and the
+        tier-gap condition are all pure in (attachment, time), so the
+        two origin draws, the device->front intra leg and the optional
+        front->external leg fuse into one ``gauss_block``.  The engine
+        then consumes its own (compiled-plan) block as usual — same
+        draws, same order, same float association as the layered path.
+        """
+        stream = self.stream
+        technology = self.technology
+        profile = self.operator.radio_profile
+        if stream.random() >= profile.stability:
+            technology = profile.draw(stream)
+        attachment = self.attachment_at(now)
+        device = self.device
+        operator = self.operator
+        location = device.location(now)
+        self.world.transport.counters.delivered += 1
+        client_address = operator._client_address_of(attachment)
+        site_hint = operator._nearest_site_index(attachment.egress)
+        deployment = operator.deployment
+        site = deployment.serving_site(client_address, site_hint)
+        external = deployment.external_for(
+            client_address, device.device_id, site_hint, now
+        )
+        intra = operator.internet.intra_model
+        sigma_intra = intra.jitter_sigma
+        front_base, front_log = intra.leg_params(location, site.location)
+        gap_leg = external.site.index != site.index
+        log_access, sigma_access, log_core, sigma_core, _ = _ORIGIN_PARAMS[
+            technology
+        ]
+        if sigma_intra > 0:
+            zs = stream.gauss_block(4 if gap_leg else 3)
+        else:
+            zs = stream.gauss_block(2)
+        access = math.exp(log_access + sigma_access * zs[0])
+        access += math.exp(log_core + sigma_core * zs[1])
+        device.rrc.touch(now)
+        if sigma_intra > 0:
+            front_leg = math.exp(front_log + sigma_intra * zs[2])
+        else:
+            front_leg = front_base
+        front_rtt = access + front_leg + operator.front_stack_ms
+        gap_ms = deployment.tier_gap_ms
+        if gap_leg:
+            gap_base, gap_log = intra.leg_params(
+                site.location, external.site.location
+            )
+            if sigma_intra > 0:
+                gap_ms += math.exp(gap_log + sigma_intra * zs[3])
+            else:
+                gap_ms += gap_base
+        client_subnet = None
+        if operator.ecs_enabled:
+            client_subnet = prefix24(attachment.client_ip)
+        result = external.engine.resolve(
+            qname, RRType.A, now, stream, client_subnet=client_subnet
+        )
+        return ResolutionRecord(
+            domain=qname,
+            resolver_kind="local",
+            resolution_ms=front_rtt + gap_ms + result.upstream_ms,
+            addresses=result.addresses(),
+            cname_chain=result.cname_chain(),
+            attempt=attempt,
+            retries=0,
+        )
+
+    def _fast_dns_public(
+        self, service, kind: str, qname: str, now: float, attempt: int
+    ) -> ResolutionRecord:
+        """Fault-free public resolution with origin + flow draws fused.
+
+        Anycast cluster choice and the route verdict are pure in the
+        attachment, so the two origin draws and the flow's leg draws
+        (device->egress intra, egress->cluster WAN) collapse into one
+        ``gauss_block`` before the engine consumes its own block —
+        exactly the layered ``origin()`` + ``transport.flow`` sequence.
+        """
+        stream = self.stream
+        technology = self.technology
+        profile = self.operator.radio_profile
+        if stream.random() >= profile.stability:
+            technology = profile.draw(stream)
+        attachment = self.attachment_at(now)
+        device = self.device
+        location = device.location(now)
+        self.world.transport.counters.delivered += 1
+        cluster, machine = service._serve_at(
+            attachment.egress.location, device.device_id, now
+        )
+        internet = cluster.engine.internet
+        asys = self.operator.system
+        route_key = (asys.asn, machine.ip)
+        route = service._route_memo.get(route_key)
+        if route is None:
+            route = internet.route_view_for(asys, machine.ip)
+            service._route_memo[route_key] = route
+        log_access, sigma_access, log_core, sigma_core, _ = _ORIGIN_PARAMS[
+            technology
+        ]
+        counters = service._delivery_layer(internet).counters
+        destination = route.destination
+        if destination is not None and route.admits:
+            legs, jitter_draws, penalty, stack = self._target_legs(
+                machine.ip, route, location, attachment.egress
+            )
+            zs = stream.gauss_block(2 + jitter_draws)
+            value = math.exp(log_access + sigma_access * zs[0])
+            value += math.exp(log_core + sigma_core * zs[1])
+            device.rrc.touch(now)
+            index = 2
+            for leg_value, sigma in legs:
+                if sigma > 0:
+                    value += math.exp(leg_value + sigma * zs[index])
+                    index += 1
+                else:
+                    value += leg_value
+            value += penalty
+            value += stack
+            counters.delivered += 1
+            client_subnet = None
+            if service.ecs_enabled:
+                client_subnet = prefix24(attachment.client_ip)
+            result = cluster.engine.resolve(
+                qname,
+                RRType.A,
+                now,
+                stream,
+                client_subnet=client_subnet,
+                cache_scope=asys.operator_key,
+            )
+            return ResolutionRecord(
+                domain=qname,
+                resolver_kind=kind,
+                resolution_ms=value + service.peering_penalty_ms + result.upstream_ms,
+                addresses=result.addresses(),
+                cname_chain=result.cname_chain(),
+                attempt=attempt,
+                retries=0,
+            )
+        stream.gauss_block(2)
+        device.rrc.touch(now)
+        if destination is None:
+            counters.lost += 1
+        else:
+            counters.filtered += 1
+        return ResolutionRecord(
+            domain=qname,
+            resolver_kind=kind,
+            resolution_ms=float("nan"),
+            rcode="UNREACHABLE",
+            attempt=attempt,
+            retries=0,
+        )
+
+    def _fast_ping(
+        self, ip: str, kind: str, now: float, pay_promotion: bool = False
+    ) -> PingRecord:
+        """Fault-free ping with the attempt's draws fused into one block."""
+        stream = self.stream
+        technology = self.technology
+        profile = self.operator.radio_profile
+        if stream.random() >= profile.stability:
+            technology = profile.draw(stream)
+        attachment = self.attachment_at(now)
+        device = self.device
+        location = device.location(now)
+        route = self._route_memo.get(ip)
+        if route is None:
+            route = self.world.internet.route_view_for(self.operator.system, ip)
+            self._route_memo[ip] = route
+        log_access, sigma_access, log_core, sigma_core, _ = _ORIGIN_PARAMS[
+            technology
+        ]
+        counters = self.world.transport.counters
+        destination = route.destination
+        rtt: Optional[float] = None
+        if destination is not None and route.answers_ping:
+            legs, jitter_draws, penalty, stack = self._target_legs(
+                ip, route, location, attachment.egress
+            )
+            zs = stream.gauss_block(2 + jitter_draws)
+            value = math.exp(log_access + sigma_access * zs[0])
+            value += math.exp(log_core + sigma_core * zs[1])
+            if pay_promotion:
+                value += promotion_cost_ms(technology, device.rrc, now)
+            else:
+                device.rrc.touch(now)
+            index = 2
+            for leg_value, sigma in legs:
+                if sigma > 0:
+                    value += math.exp(leg_value + sigma * zs[index])
+                    index += 1
+                else:
+                    value += leg_value
+            value += penalty
+            value += stack
+            rtt = value
+            counters.delivered += 1
+        else:
+            # Origin radio draws (and RRC side effects) precede the
+            # transport verdict on the layered path; keep them.
+            stream.gauss_block(2)
+            if pay_promotion:
+                promotion_cost_ms(technology, device.rrc, now)
+            else:
+                device.rrc.touch(now)
+            if destination is None:
+                counters.lost += 1
+            elif not route.admits:
+                counters.filtered += 1
+            else:
+                counters.timed_out += 1
+        return PingRecord(
+            target_ip=ip, target_kind=kind, rtt_ms=rtt, outcome=None, retries=0
+        )
+
+    def _fast_http(
+        self, replica_ip: str, domain: str, resolver_kind: str, now: float
+    ) -> HttpRecord:
+        """Fault-free HTTP GET with handshake/request/service draws fused."""
+        stream = self.stream
+        technology = self.technology
+        profile = self.operator.radio_profile
+        if stream.random() >= profile.stability:
+            technology = profile.draw(stream)
+        attachment = self.attachment_at(now)
+        device = self.device
+        location = device.location(now)
+        log_access, sigma_access, log_core, sigma_core, _ = _ORIGIN_PARAMS[
+            technology
+        ]
+        replica = self._replica_at(replica_ip)
+        if replica is None:
+            stream.gauss_block(2)
+            device.rrc.touch(now)
+            return HttpRecord(
+                replica_ip=replica_ip, domain=domain, resolver_kind=resolver_kind
+            )
+        route = self._route_memo.get(replica_ip)
+        if route is None:
+            route = self.world.internet.route_view_for(
+                self.operator.system, replica_ip
+            )
+            self._route_memo[replica_ip] = route
+        counters = self.world.transport.counters
+        destination = route.destination
+        ttfb: Optional[float] = None
+        if destination is not None and route.admits:
+            legs, jitter_draws, penalty, stack = self._target_legs(
+                replica_ip, route, location, attachment.egress
+            )
+            zs = stream.gauss_block(3 + 2 * jitter_draws)
+            access = math.exp(log_access + sigma_access * zs[0])
+            access += math.exp(log_core + sigma_core * zs[1])
+            device.rrc.touch(now)
+            index = 2
+            ttfb = 0.0
+            for _ in range(2):  # handshake RTT, then request RTT
+                flow = access
+                for leg_value, sigma in legs:
+                    if sigma > 0:
+                        flow += math.exp(leg_value + sigma * zs[index])
+                        index += 1
+                    else:
+                        flow += leg_value
+                flow += penalty
+                flow += stack
+                ttfb = ttfb + flow if ttfb else flow
+            ttfb += math.exp(replica.log_service_ms + 0.5 * zs[index])
+            counters.delivered += 1
+        else:
+            stream.gauss_block(2)
+            device.rrc.touch(now)
+            if destination is None:
+                counters.lost += 1
+            else:
+                counters.filtered += 1
+        return HttpRecord(
+            replica_ip=replica_ip,
+            domain=domain,
+            resolver_kind=resolver_kind,
+            ttfb_ms=ttfb,
+            outcome=None,
+            retries=0,
+        )
+
     def _ping_probe(
         self, ip: str, kind: str, now: float, pay_promotion: bool = False
     ) -> PingRecord:
         """One ping train: send, retry fault drops, record the verdict."""
         transport = self.world.transport
+        if transport.faults is None:
+            return self._fast_ping(ip, kind, now, pay_promotion)
         policy = transport.policy
         carrier = self.operator.key
         retries = 0
@@ -425,6 +802,8 @@ class DeviceProbeSession:
     ) -> HttpRecord:
         """HTTP GET (TTFB) against one replica address."""
         transport = self.world.transport
+        if transport.faults is None:
+            return self._fast_http(replica_ip, domain, resolver_kind, now)
         policy = transport.policy
         retries = 0
         while True:

@@ -1,0 +1,359 @@
+"""Byte-identity property tests for the vectorized draw-pool layer.
+
+The contract under test: a :class:`RandomStream` served from block-refilled
+uniform pools produces *bit-identical* values, in the same order, as the
+scalar ``random.Random`` implementation — for every distribution, across
+pool-refill boundaries, and under arbitrary interleavings of pooled calls,
+block calls, and realigning (``getrandbits``-family) calls.
+
+The scalar side of every comparison is a second stream with the same seed
+driven purely through the ``*_reference`` oracles, which delegate straight
+to ``random.Random``.  Tiny pool blocks (2–5) force refills and
+pair-spanning mid-sequence so the boundary logic is exercised constantly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import POOL_BLOCK, RandomStream, RngRegistry, derive_seed
+
+SEED = 20140414  # IMC'14 submission era; any constant works.
+
+
+def pooled_and_reference(seed=SEED, name="pair", pool_block=3):
+    """Two same-seed streams: one pooled (tiny block), one scalar oracle."""
+    pooled = RandomStream(seed, name, pool_block=pool_block)
+    reference = RandomStream(seed, name)
+    return pooled, reference
+
+
+# -- per-distribution identity --------------------------------------------
+
+
+@pytest.mark.parametrize("block", [2, 3, 7, POOL_BLOCK])
+def test_random_identity_across_refills(block):
+    pooled, reference = pooled_and_reference(pool_block=block)
+    for _ in range(4 * block + 3):
+        assert pooled.random() == reference.random_reference()
+
+
+def test_uniform_identity():
+    pooled, reference = pooled_and_reference()
+    for index in range(50):
+        low, high = -5.0 + index, 3.0 * index + 0.25
+        assert pooled.uniform(low, high) == reference.uniform_reference(low, high)
+
+
+def test_gauss_identity_including_pending_slot():
+    # Odd draw counts leave a pending sin-deviate; 101 draws crosses many
+    # pool boundaries with block=3 and ends mid-pair.
+    pooled, reference = pooled_and_reference()
+    for _ in range(101):
+        assert pooled.gauss(3.5, 2.25) == reference.gauss_reference(3.5, 2.25)
+
+
+def test_std_gauss_is_gauss_0_1():
+    pooled, reference = pooled_and_reference()
+    for _ in range(17):
+        assert pooled.std_gauss() == reference.gauss_reference(0.0, 1.0)
+
+
+def test_expovariate_identity():
+    pooled, reference = pooled_and_reference()
+    for _ in range(20):
+        assert pooled.expovariate(0.37) == reference.expovariate_reference(0.37)
+
+
+def test_lognormal_identity():
+    pooled, reference = pooled_and_reference()
+    for _ in range(20):
+        assert pooled.lognormal_ms(12.0, 0.4) == reference.lognormal_ms_reference(
+            12.0, 0.4
+        )
+        assert pooled.lognormal_from_log(
+            math.log(12.0), 0.4
+        ) == reference.lognormal_from_log_reference(math.log(12.0), 0.4)
+
+
+def test_bounded_gauss_and_bernoulli_identity():
+    pooled, reference = pooled_and_reference()
+    for _ in range(40):
+        assert pooled.bounded_gauss(10.0, 5.0, 2.0, 18.0) == (
+            reference.bounded_gauss_reference(10.0, 5.0, 2.0, 18.0)
+        )
+        assert pooled.bernoulli(0.3) == reference.bernoulli_reference(0.3)
+
+
+def test_weighted_choice_identity_and_memo():
+    pooled, reference = pooled_and_reference()
+    options = ["lte", "hspa", "umts", "edge"]
+    weights = [5.0, 2.0, 1.5, 0.5]
+    for _ in range(60):
+        assert pooled.weighted_choice(options, weights) == (
+            reference.weighted_choice_reference(options, weights)
+        )
+    # One memo entry despite 60 calls with a fresh list each call.
+    assert len(pooled._cum_memo) == 1
+    pooled.weighted_choice(options, list(weights))
+    assert len(pooled._cum_memo) == 1
+
+
+def test_weighted_choice_error_parity():
+    pooled, reference = pooled_and_reference()
+    with pytest.raises(ValueError):
+        pooled.weighted_choice(["a", "b"], [1.0])
+    with pytest.raises(ValueError):
+        pooled.weighted_choice(["a", "b"], [0.0, 0.0])
+    with pytest.raises(ValueError):
+        reference.weighted_choice_reference(["a", "b"], [0.0, 0.0])
+    with pytest.raises(ValueError):
+        pooled.weighted_choice(["a", "b"], [1.0, math.inf])
+
+
+# -- block draws -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("sizes", [(1,), (2,), (5, 3), (1, 4, 1, 6), (0, 3)])
+def test_gauss_block_matches_scalar_sequence(sizes):
+    pooled, reference = pooled_and_reference()
+    for n in sizes:
+        block = pooled.gauss_block(n)
+        assert len(block) == n
+        for z in block:
+            assert z == reference.gauss_reference(0.0, 1.0)
+
+
+def test_gauss_block_interleaved_with_singles():
+    pooled, reference = pooled_and_reference()
+    assert pooled.gauss(0.0, 1.0) == reference.gauss_reference(0.0, 1.0)
+    # Pending deviate from the single must lead the block.
+    for z in pooled.gauss_block(5):
+        assert z == reference.gauss_reference(0.0, 1.0)
+    assert pooled.gauss(2.0, 0.5) == reference.gauss_reference(2.0, 0.5)
+
+
+def test_uniform_block_matches_scalar_sequence():
+    pooled, reference = pooled_and_reference()
+    for n in (1, 4, 9):
+        block = pooled.uniform_block(n)
+        assert len(block) == n
+        for u in block:
+            assert u == reference.random_reference()
+
+
+def test_prefill_changes_nothing_but_batching():
+    plain = RandomStream(SEED, "pf", pool_block=4)
+    hinted = RandomStream(SEED, "pf", pool_block=4)
+    hinted.prefill(40)
+    a = [plain.random() for _ in range(45)]
+    b = [hinted.random() for _ in range(45)]
+    assert a == b
+    assert hinted.pool_refills < plain.pool_refills
+
+
+# -- realignment (getrandbits family) --------------------------------------
+
+
+def test_realign_after_pooled_draws_matches_scalar():
+    pooled, reference = pooled_and_reference(pool_block=5)
+    for _ in range(3):  # partially consume a pool
+        assert pooled.random() == reference.random_reference()
+    assert pooled.randint(0, 10**9) == reference._rng.randint(0, 10**9)
+    assert pooled.choice("abcdef") == reference._rng.choice("abcdef")
+    items_a, items_b = list(range(20)), list(range(20))
+    pooled.shuffle(items_a)
+    reference._rng.shuffle(items_b)
+    assert items_a == items_b
+    assert pooled.sample(range(50), 7) == reference._rng.sample(range(50), 7)
+    # ...and pooled draws resume in lockstep afterwards.
+    for _ in range(11):
+        assert pooled.gauss(1.0, 2.0) == reference.gauss_reference(1.0, 2.0)
+
+
+def test_realign_preserves_pending_gauss():
+    # Scalar gauss_next survives randint; the pool's pending slot must too.
+    pooled, reference = pooled_and_reference()
+    assert pooled.gauss(0.0, 1.0) == reference.gauss_reference(0.0, 1.0)
+    assert pooled.randint(0, 99) == reference._rng.randint(0, 99)
+    assert pooled.gauss(0.0, 1.0) == reference.gauss_reference(0.0, 1.0)
+
+
+# -- hypothesis: arbitrary interleavings -----------------------------------
+
+_OPS = st.sampled_from(
+    [
+        "random",
+        "uniform",
+        "gauss",
+        "std_gauss",
+        "expovariate",
+        "lognormal_ms",
+        "lognormal_from_log",
+        "bounded_gauss",
+        "bernoulli",
+        "weighted",
+        "randint",
+        "choice",
+        "gauss_block",
+        "uniform_block",
+        "prefill",
+    ]
+)
+
+
+def _apply(op: str, pooled: RandomStream, reference: RandomStream):
+    """Run one op on both streams; return the two results for comparison."""
+    if op == "random":
+        return pooled.random(), reference.random_reference()
+    if op == "uniform":
+        return pooled.uniform(-2.0, 9.5), reference.uniform_reference(-2.0, 9.5)
+    if op == "gauss":
+        return pooled.gauss(4.0, 1.5), reference.gauss_reference(4.0, 1.5)
+    if op == "std_gauss":
+        return pooled.std_gauss(), reference.gauss_reference(0.0, 1.0)
+    if op == "expovariate":
+        return pooled.expovariate(2.5), reference.expovariate_reference(2.5)
+    if op == "lognormal_ms":
+        return (
+            pooled.lognormal_ms(30.0, 0.25),
+            reference.lognormal_ms_reference(30.0, 0.25),
+        )
+    if op == "lognormal_from_log":
+        return (
+            pooled.lognormal_from_log(2.3, 0.4),
+            reference.lognormal_from_log_reference(2.3, 0.4),
+        )
+    if op == "bounded_gauss":
+        return (
+            pooled.bounded_gauss(5.0, 3.0, 0.0, 9.0),
+            reference.bounded_gauss_reference(5.0, 3.0, 0.0, 9.0),
+        )
+    if op == "bernoulli":
+        return pooled.bernoulli(0.4), reference.bernoulli_reference(0.4)
+    if op == "weighted":
+        opts, w = ("a", "b", "c"), (1.0, 2.0, 3.0)
+        return (
+            pooled.weighted_choice(opts, w),
+            reference.weighted_choice_reference(opts, w),
+        )
+    if op == "randint":
+        reference._realign()
+        return pooled.randint(0, 1 << 30), reference._rng.randint(0, 1 << 30)
+    if op == "choice":
+        reference._realign()
+        return pooled.choice("xyzw"), reference._rng.choice("xyzw")
+    if op == "gauss_block":
+        return (
+            tuple(pooled.gauss_block(3)),
+            tuple(reference.gauss_reference(0.0, 1.0) for _ in range(3)),
+        )
+    if op == "uniform_block":
+        return (
+            tuple(pooled.uniform_block(4)),
+            tuple(reference.random_reference() for _ in range(4)),
+        )
+    if op == "prefill":
+        pooled.prefill(13)
+        return None, None
+    raise AssertionError(op)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(_OPS, min_size=1, max_size=60),
+    block=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_interleaved_ops_are_byte_identical(ops, block, seed):
+    pooled = RandomStream(seed, "hyp", pool_block=block)
+    reference = RandomStream(seed, "hyp")
+    for op in ops:
+        got, want = _apply(op, pooled, reference)
+        assert got == want, op
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(_OPS, min_size=1, max_size=40),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_pooled_stream_matches_pure_python_random(ops, seed):
+    """Cross-check the oracle itself: a reference-driven stream tracks a
+    bare ``random.Random`` with the derived seed (no wrapper drift)."""
+    reference = RandomStream(seed, "bare")
+    bare = random.Random(derive_seed(seed, "bare"))
+    for op in ops:
+        if op in ("random", "bernoulli", "uniform_block"):
+            assert reference.random_reference() == bare.random()
+        elif op in ("gauss", "std_gauss", "gauss_block", "bounded_gauss"):
+            assert reference.gauss_reference(0.0, 1.0) == bare.gauss(0.0, 1.0)
+        elif op == "expovariate":
+            assert reference.expovariate_reference(1.7) == bare.expovariate(1.7)
+        elif op == "weighted":
+            assert reference.weighted_choice_reference(
+                ("a", "b"), (1.0, 3.0)
+            ) == bare.choices(("a", "b"), weights=(1.0, 3.0), k=1)[0]
+        elif op == "randint":
+            assert reference._rng.randint(0, 999) == bare.randint(0, 999)
+
+
+# -- pooled sampling under fault scenarios ---------------------------------
+
+
+def test_pooled_sampling_composes_with_transport_retries():
+    """A lossy campaign rides the pools too: retries interleave extra
+    gate/origin draws mid-experiment, and the run must stay
+    deterministic (same seed → same bytes) with the pools engaged."""
+    from repro import CellularDNSStudy, StudyConfig
+    from repro.core.faults import load_scenario
+    from repro.core.world import WorldConfig
+
+    def build():
+        world = WorldConfig(seed=2014)
+        world.scenario = load_scenario("lossy-2g")
+        return CellularDNSStudy(
+            StudyConfig(
+                seed=2014,
+                device_scale=0.05,
+                duration_days=2.0,
+                interval_hours=24.0,
+                world=world,
+            )
+        )
+
+    first = build()
+    hash_one = first.dataset.content_hash()
+    counters = first.world.transport.counters
+    assert counters.retries > 0  # the scenario actually exercised retries
+    stats = first.world.rng.pool_stats()
+    assert stats["pool_refills"] > 0
+    assert stats["pool_hits"] > 0
+    assert build().dataset.content_hash() == hash_one
+
+
+# -- counters --------------------------------------------------------------
+
+
+def test_pool_counters_and_registry_stats():
+    registry = RngRegistry(SEED)
+    stream = registry.stream("probe", "d1")
+    assert stream.pool_refills == 0
+    stream.gauss_block(10)
+    assert stream.pool_refills == 1
+    assert stream.pool_generated == POOL_BLOCK
+    assert stream.pool_hits == 10
+    stream.randint(0, 5)  # realign discards the unconsumed tail
+    assert stream.pool_realignments == 1
+    assert stream.pool_generated == 10  # only consumed uniforms remain counted
+    assert stream.pool_hits == 10
+    stats = registry.pool_stats()
+    assert stats["streams"] == 1
+    assert stats["pool_refills"] == 1
+    assert stats["pool_realignments"] == 1
+    assert stats["pool_hits"] == 10
