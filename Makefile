@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src
 
-.PHONY: test lint bench bench-smoke bench-analysis check
+.PHONY: test lint bench bench-smoke bench-analysis bench-scale check
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -33,6 +33,12 @@ bench-smoke:
 # reference per-function walks; fails if output is not byte-identical.
 bench-analysis:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench --analysis
+
+# Streaming-scale smoke (~30 s): a device_scale=10 campaign (10x the
+# paper's population) through the sharded executor's streaming merge,
+# asserting the parent packages it under a fixed memory bound.
+bench-scale:
+	$(PYTHONPATH_SRC) $(PYTHON) scripts/bench_scale.py
 
 # The pre-merge gate: determinism + analysis smokes via the CLI, then
 # the bench_check script (tier-1 suite + campaign smoke + parallel

@@ -5,12 +5,14 @@ Runs, in order:
 
 1. the tier-1 test suite (``pytest -x -q`` with ``src`` on the path);
 2. a ~30 s benchmark smoke at ``device_scale=0.05`` over 14 days,
-   failing hard if the parallel campaign's dataset hash differs from
-   the serial one, if the fault-free dataset hash drifts from the
-   pinned ``SMOKE_DATASET_SHA256`` golden (the transport layer's
-   byte-identity contract) — and, on a multi-core box, if the parallel
-   campaign is *slower* than the serial one (an executor-selection
-   regression; single-core boxes only note the expected slowdown);
+   failing hard if the per-carrier parallel or sub-carrier sharded
+   campaign's dataset hash differs from the serial one, if the
+   fault-free dataset hash drifts from the pinned
+   ``SMOKE_DATASET_SHA256`` golden (the transport layer's
+   byte-identity contract) — and, on a multi-core box, if both
+   multiprocess executors are *slower* than the serial one (an
+   executor-selection regression; single-core boxes only note the
+   expected slowdown — ``--executor auto`` runs serial there);
 3. the probe fast-path gates: one stage-breakdown smoke whose
    ``dns_us_per_call`` must stay within 25% — and ``ping_us_per_call``
    / ``http_us_per_call`` within 50% — of the committed
@@ -62,7 +64,7 @@ def run_tier1() -> int:
 
 
 def run_bench_smoke() -> int:
-    """Small campaign, serial and parallel, hashes must match."""
+    """Small campaign, serial/parallel/sharded, hashes must match."""
     sys.path.insert(0, SRC)
     from repro.measure.bench import (
         SMOKE_DATASET_SHA256,
@@ -78,13 +80,19 @@ def run_bench_smoke() -> int:
         f"{report['experiments']} experiments | "
         f"serial {report['serial_exp_per_s']}/s | "
         f"parallel(x{report['workers']}) {report['parallel_exp_per_s']}/s | "
+        f"sharded(x{report['workers']}/{report['shards']}) "
+        f"{report['sharded_exp_per_s']}/s | "
         f"hash {report['dataset_hash'][:16]}…",
         flush=True,
     )
     if not report["hash_match"]:
-        print("FAIL: parallel dataset hash differs from serial", file=sys.stderr)
+        print(
+            "FAIL: a multiprocess dataset hash differs from serial "
+            "(parallel and/or sharded)",
+            file=sys.stderr,
+        )
         return 1
-    print("determinism: OK")
+    print("determinism: OK (serial == parallel == sharded)")
     if report["dataset_hash"] != SMOKE_DATASET_SHA256:
         print(
             f"FAIL: fault-free smoke hash {report['dataset_hash'][:16]}… "
@@ -96,20 +104,26 @@ def run_bench_smoke() -> int:
         return 1
     print("fault-free golden hash: OK")
     cores = os.cpu_count() or 1
-    if report["parallel_s"] > report["serial_s"]:
+    fastest_multiprocess = min(report["parallel_s"], report["sharded_s"])
+    if fastest_multiprocess > report["serial_s"]:
         if cores >= 2:
             print(
-                f"FAIL: parallel ({report['parallel_s']}s) slower than serial "
+                f"FAIL: parallel ({report['parallel_s']}s) and sharded "
+                f"({report['sharded_s']}s) both slower than serial "
                 f"({report['serial_s']}s) on a {cores}-core box",
                 file=sys.stderr,
             )
             return 1
         print(
-            f"note: parallel slower than serial on 1 core (expected; "
-            f"`--executor auto` runs serial here)"
+            "note: multiprocess executors slower than serial on 1 core "
+            "(expected; `--executor auto` runs serial here)"
         )
     else:
-        print(f"parallel speedup: {report['parallel_speedup']}x on {cores} cores")
+        print(
+            f"speedups on {cores} cores: "
+            f"parallel {report['parallel_speedup']}x, "
+            f"sharded {report['sharded_speedup']}x"
+        )
     return 0
 
 

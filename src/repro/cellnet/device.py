@@ -26,6 +26,14 @@ class MobileDevice:
     #: Technology active during the current experiment (set by the
     #: experiment runner when it draws from the carrier's radio profile).
     active_technology: Optional[RadioTechnology] = None
+    #: Position within the carrier's device population (the numeric
+    #: suffix of ``device_id`` for campaign-built devices).  Part of the
+    #: global probe-event key ``(timestamp, carrier, device_index, seq)``.
+    device_index: int = 0
+    #: DNS-cache partition label for this device's range of the carrier
+    #: population (``"<carrier>/r<N>"``); None for devices built outside
+    #: a campaign, where engines fall back to their legacy scoping.
+    cache_scope: Optional[str] = None
 
     def location(self, now: float) -> GeoPoint:
         """Where the device is at virtual ``now``."""

@@ -410,7 +410,14 @@ class CellularOperator:
 
             client_subnet = prefix24(attachment.client_ip)
         result = external.engine.resolve(
-            qname, qtype, now, stream, client_subnet=client_subnet
+            qname,
+            qtype,
+            now,
+            stream,
+            client_subnet=client_subnet,
+            # Range-scoped cache partition (None for non-campaign
+            # devices) — the sub-carrier shard isolation contract.
+            cache_scope=device.cache_scope,
         )
         total = front_rtt + gap_ms + result.upstream_ms
         return LocalResolution(

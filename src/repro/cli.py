@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro import CellularDNSStudy, StudyConfig
 from repro.analysis.export import export_study_figures
+from repro.measure.campaign import EXECUTOR_CHOICES
 from repro.measure.records import Dataset
 from repro.measure.validate import validate_dataset
 
@@ -40,6 +41,7 @@ def _study_from_args(args) -> CellularDNSStudy:
         duration_days=args.days,
         interval_hours=args.interval_hours,
         workers=getattr(args, "workers", 0),
+        shards=getattr(args, "shards", 0),
         executor=getattr(args, "executor", "auto"),
         world=world,
     )
@@ -195,12 +197,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output", "-o", default="campaign.jsonl")
     run.add_argument(
         "--workers", type=int, default=0,
-        help="parallel pool size when the parallel path runs (0 = auto)",
+        help="worker pool size when a multiprocess path runs (0 = auto)",
     )
     run.add_argument(
-        "--executor", choices=["auto", "serial", "parallel"], default="auto",
-        help="execution strategy; auto never picks parallel on one core "
-             "(output identical either way)",
+        "--shards", type=int, default=0,
+        help="sub-carrier shard tasks for the sharded executor "
+             "(0 = one task per device range; output identical at any "
+             "value)",
+    )
+    run.add_argument(
+        "--executor", choices=list(EXECUTOR_CHOICES), default="auto",
+        help="execution strategy; auto never goes multiprocess on one "
+             "core (output identical either way)",
     )
     run.set_defaults(handler=_cmd_run)
 

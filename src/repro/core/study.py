@@ -52,6 +52,7 @@ from repro.measure.campaign import (
     Campaign,
     CampaignConfig,
     ParallelCampaign,
+    ShardedCampaign,
     select_executor,
 )
 from repro.measure.records import Dataset
@@ -76,12 +77,19 @@ class StudyConfig:
     interval_hours: float = 12.0
     duty_cycle: float = 0.9
     #: Campaign worker processes: 0 lets the executor decide, N > 0
-    #: sizes the parallel pool when the parallel path runs (same output
+    #: sizes the pool when a multiprocess path runs (same output
     #: either way — see repro.measure.campaign).
     workers: int = 0
-    #: Execution strategy: ``auto`` (serial unless multiple cores *and*
-    #: multiple carrier shards are available), ``serial`` or
-    #: ``parallel``.  Output is bit-identical across all three.
+    #: Sub-carrier shard tasks for the ``sharded`` executor: 0 uses one
+    #: task per device range; N groups ranges into N tasks.  Output is
+    #: bit-identical at any value.
+    shards: int = 0
+    #: Devices per sub-carrier range (the cache-scope partition
+    #: granularity — see CampaignConfig.range_size).
+    range_size: int = 32
+    #: Execution strategy: ``auto`` (serial on one core, sub-carrier
+    #: ``sharded`` otherwise), ``serial``, per-carrier ``parallel`` or
+    #: ``sharded``.  Output is bit-identical across all of them.
     executor: str = "auto"
     world: WorldConfig = field(default_factory=WorldConfig)
 
@@ -110,6 +118,7 @@ class StudyConfig:
             duration_days=self.duration_days,
             interval_hours=self.interval_hours,
             duty_cycle=self.duty_cycle,
+            range_size=self.range_size,
         )
 
 
@@ -121,18 +130,31 @@ class CellularDNSStudy:
         world_config = self.config.world
         world_config.seed = self.config.seed
         self.world: World = build_world(world_config)
-        #: The resolved execution strategy ("serial" or "parallel").
+        campaign_config = self.config.campaign_config()
+        #: The resolved execution strategy ("serial", "parallel" or
+        #: "sharded").  ``auto`` sizes against the *device-range* count
+        #: (sub-carrier shards), not the carrier count.
         self.executor: str = select_executor(
-            self.config.executor, shard_count=len(self.world.operators)
+            self.config.executor,
+            shard_count=len(
+                campaign_config.device_ranges(list(self.world.operators))
+            ),
         )
-        if self.executor == "parallel":
-            self.campaign: Campaign = ParallelCampaign(
+        if self.executor == "sharded":
+            self.campaign: Campaign = ShardedCampaign(
                 self.world,
-                self.config.campaign_config(),
+                campaign_config,
+                workers=self.config.workers or None,
+                shards=self.config.shards or None,
+            )
+        elif self.executor == "parallel":
+            self.campaign = ParallelCampaign(
+                self.world,
+                campaign_config,
                 workers=self.config.workers or None,
             )
         else:
-            self.campaign = Campaign(self.world, self.config.campaign_config())
+            self.campaign = Campaign(self.world, campaign_config)
         self._dataset: Optional[Dataset] = None
 
     @property

@@ -6,9 +6,16 @@ queries even for very popular names).  The cache is therefore a
 first-class, instrumented component.
 
 Entries are keyed by the structured tuple ``(scope, subnet, qname,
-qtype)``.  ``scope`` partitions the cache by an opaque label (engines
-shared across carriers scope per operator), ``subnet`` by the EDNS
-Client Subnet a query carried.  Earlier revisions flattened scope and
+qtype)``.  ``scope`` partitions the cache by an opaque label, ``subnet``
+by the EDNS Client Subnet a query carried.  The campaign layer uses the
+scope to enforce its *shard isolation contract*: every device carries a
+``cache_scope`` naming its sub-carrier device range (``att/r0``,
+``att/r1``, ...), and every executor — serial, per-carrier parallel or
+sub-carrier sharded — applies the same partition, so cache warmth never
+flows between ranges and the dataset bytes cannot depend on how devices
+were divided across workers.  Engines shared across carriers (public DNS
+clusters) fall back to an operator-keyed scope for non-campaign devices.
+Earlier revisions flattened scope and
 subnet into the query name with sentinel substrings, which an
 adversarial qname containing the sentinel could collide with; tuple keys
 make collisions structurally impossible — and skip the per-lookup string

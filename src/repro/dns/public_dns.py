@@ -216,6 +216,7 @@ class PublicDnsService:
         now: float,
         stream: RandomStream,
         device_key: str = "",
+        cache_scope: Optional[str] = None,
     ) -> Optional[PublicResolution]:
         """Resolve a name via the anycast address from ``origin``.
 
@@ -247,9 +248,16 @@ class PublicDnsService:
             stream,
             client_subnet=client_subnet,
             # Clusters serve every carrier whose egress routes to them;
-            # scoping the cache per operator keeps carriers independent
-            # (the shard isolation contract — see RecursiveEngine.resolve).
-            cache_scope=origin.asys.operator_key,
+            # the cache is partitioned by the caller's scope — a
+            # device-range label for campaign devices (its operator-key
+            # prefix keeps carriers independent), falling back to the
+            # per-operator scope (the original shard isolation contract
+            # — see RecursiveEngine.resolve) for everything else.
+            cache_scope=(
+                cache_scope
+                if cache_scope is not None
+                else origin.asys.operator_key
+            ),
         )
         return PublicResolution(
             result=result,

@@ -546,8 +546,27 @@ class RecursiveEngine:
                 )
             if len(self._plans) < MAX_COMPILED_PLANS or plan_key in self._plans:
                 self._plans[plan_key] = plan
-        elif len(self._plans) < MAX_COMPILED_PLANS or plan_key in self._plans:
-            self._plans[plan_key] = None
+            # Publish the engine-independent part of the plan so sibling
+            # engines (fresh shards, other resolvers) can rebuild their
+            # own plan without repeating this walk.
+            chain_memo = self.directory.chain_memo
+            if len(chain_memo) < MAX_COMPILED_PLANS or plan_key in chain_memo:
+                chain_memo[plan_key] = (
+                    directory_version,
+                    plan.hops,
+                    plan.static_records,
+                    rcode,
+                    terminal_kind,
+                    terminal_authority,
+                    terminal_qname,
+                    plan.zone_checks,
+                )
+        else:
+            if len(self._plans) < MAX_COMPILED_PLANS or plan_key in self._plans:
+                self._plans[plan_key] = None
+            chain_memo = self.directory.chain_memo
+            if len(chain_memo) < MAX_COMPILED_PLANS or plan_key in chain_memo:
+                chain_memo[plan_key] = None
 
         return RecursiveResult(
             qname=qname,
@@ -558,6 +577,50 @@ class RecursiveEngine:
             cache_hit=False,
             resolver_ip=self.host.ip,
             authorities=contacted,
+        )
+
+    def _plan_from_skeleton(
+        self, skeleton: tuple, plan_key: tuple, stream: RandomStream
+    ) -> Optional[_Plan]:
+        """Rebuild a private plan from a shared chain skeleton.
+
+        The skeleton carries everything engine-independent (the hop
+        sequence, static answers, terminal descriptor, version stamps);
+        only the per-hop flow programs are looked up locally.  Returns
+        None when the skeleton is stale or some hop is unreachable from
+        this engine — the caller falls back to the generic walk, which
+        will either refresh the shared memo or raise the same
+        unreachable error the walk always raised.
+        """
+        (
+            directory_version,
+            hops,
+            static_records,
+            rcode,
+            terminal_kind,
+            terminal_authority,
+            terminal_qname,
+            zone_checks,
+        ) = skeleton
+        if directory_version != self.directory.version:
+            return None
+        programs = []
+        for ip in hops:
+            program = self._hop_program(ip, stream)
+            if program is None:
+                return None
+            programs.append((program[0], program[1], program[2]))
+        return _Plan(
+            hops=hops,
+            hop_programs=tuple(programs),
+            static_records=static_records,
+            rcode=rcode,
+            terminal_kind=terminal_kind,
+            terminal_authority=terminal_authority,
+            terminal_qname=terminal_qname,
+            client_subnet=plan_key[2],
+            directory_version=directory_version,
+            zone_checks=zone_checks,
         )
 
     def _replay_plan(
@@ -651,6 +714,26 @@ class RecursiveEngine:
                         break
                 else:
                     return self._replay_plan(plan, qname, qtype, now, stream)
+        elif plan is False:
+            # First touch on this engine: another engine resolving
+            # through the same directory may already have walked this
+            # chain and published its skeleton — rebuild a private plan
+            # from it instead of paying the full compile walk.  Replay
+            # is byte-identical to the walk (same Gaussian deviates via
+            # the pooled block, same answer content), so which engine
+            # compiled first can never change a record.
+            skeleton = self.directory.chain_memo.get(plan_key, False)
+            if skeleton is None:
+                plan = None  # proven uncompilable: walk generically
+            elif skeleton is not False:
+                built = self._plan_from_skeleton(skeleton, plan_key, stream)
+                if built is not None and self._plan_valid(built):
+                    if (
+                        len(self._plans) < MAX_COMPILED_PLANS
+                        or plan_key in self._plans
+                    ):
+                        self._plans[plan_key] = built
+                    return self._replay_plan(built, qname, qtype, now, stream)
         authority = self.directory.authority_for(qname)
         if type(authority) is ResolverEchoAuthority:
             # Inline echo fast path: the chain is always the single echo

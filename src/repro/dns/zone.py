@@ -135,6 +135,16 @@ class ZoneDirectory:
 
     zones: Dict[str, object] = field(default_factory=dict)
     _lookup_memo: Dict[str, Optional[object]] = field(default_factory=dict)
+    #: Shared compile-walk skeletons, keyed (qname, qtype, client_subnet):
+    #: the authority chain one engine discovered, published for every
+    #: other engine resolving through this directory.  The chain (which
+    #: authorities answer, in what order, with which static records) is a
+    #: property of the zone data — engine-independent — so a first-touch
+    #: engine can rebuild its private compiled plan from the skeleton and
+    #: skip the generic walk.  ``None`` marks a chain proven uncompilable.
+    #: Entries are version-stamped and re-validated by readers; writers in
+    #: ``repro.dns.recursive`` cap the population.
+    chain_memo: Dict[tuple, Optional[tuple]] = field(default_factory=dict)
     #: Bumped whenever the zone set changes; resolution plans compiled
     #: against an older directory layout are discarded on mismatch.
     version: int = 0
@@ -146,6 +156,7 @@ class ZoneDirectory:
             raise ZoneError(f"zone {apex} already registered")
         self.zones[apex] = authority
         self._lookup_memo.clear()
+        self.chain_memo.clear()
         self.version += 1
 
     def authority_for(self, qname: str) -> Optional[object]:

@@ -68,11 +68,12 @@ def smoke_scale(seed: int = 2014, workers: int = 0) -> BenchScale:
 
 
 def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
-    """Serial vs parallel campaign throughput, with the identity check."""
+    """Serial vs parallel vs sharded throughput, with the identity check."""
     from repro.measure.campaign import (
         Campaign,
         CampaignConfig,
         ParallelCampaign,
+        ShardedCampaign,
         select_executor,
     )
 
@@ -99,8 +100,16 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     parallel = parallel_campaign.run()
     parallel_s = time.perf_counter() - started
 
+    sharded_campaign = ShardedCampaign(
+        build_world(world_config), campaign_config, workers=workers
+    )
+    started = time.perf_counter()
+    sharded = sharded_campaign.run()
+    sharded_s = time.perf_counter() - started
+
     serial_hash = serial.content_hash()
     parallel_hash = parallel.content_hash()
+    sharded_hash = sharded.content_hash()
     experiments = len(serial)
     return {
         # Delivery-outcome tally of every send the serial campaign made;
@@ -114,17 +123,23 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
         "devices": len(serial_campaign.devices),
         "experiments": experiments,
         "workers": workers,
-        # What an `--executor auto` run would pick on this box.
+        "shards": sharded_campaign.shards,
+        "device_ranges": len(sharded_campaign.ranges),
+        # What an `--executor auto` run would pick on this box (sized
+        # against the sub-carrier device-range count, not carriers).
         "executor": select_executor(
-            "auto", shard_count=len(serial_campaign.world.operators)
+            "auto", shard_count=len(sharded_campaign.ranges)
         ),
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
+        "sharded_s": round(sharded_s, 3),
         "serial_exp_per_s": round(experiments / serial_s, 1),
         "parallel_exp_per_s": round(experiments / parallel_s, 1),
+        "sharded_exp_per_s": round(experiments / sharded_s, 1),
         "parallel_speedup": round(serial_s / parallel_s, 2),
+        "sharded_speedup": round(serial_s / sharded_s, 2),
         "dataset_hash": serial_hash,
-        "hash_match": serial_hash == parallel_hash,
+        "hash_match": serial_hash == parallel_hash == sharded_hash,
     }
 
 
@@ -351,6 +366,136 @@ def bench_stage_breakdown(
         },
     }
     return report
+
+
+# -- event scheduler and shard merge ------------------------------------------
+
+
+def bench_scheduler(scale: Optional[BenchScale] = None) -> Dict[str, object]:
+    """Event-queue throughput and shard-merge memory, in one section.
+
+    Two measurements:
+
+    * **queue drain** — events/s through :class:`ProbeEventQueue` driven
+      exactly the way ``Campaign._iter_execute`` drives it (push one
+      event per device, pop-then-push-next until empty), with the probe
+      work stubbed out, so the number is the scheduling machinery alone;
+    * **shard merge** — peak traced allocation of packaging one campaign
+      from spilled shard JSONL, both ways the sharded executor's parent
+      can do it: the in-memory path (parse every shard back to records,
+      ``Dataset.from_shard_streams``, hash — what ``run()`` holds) vs
+      the streaming path (``merge_shard_jsonl`` over the files, holding
+      one line block — what ``run_streaming()`` holds).  Both must land
+      on the serial content hash; the streaming peak is the number that
+      makes million-experiment campaigns packageable on a laptop.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.measure.campaign import Campaign, CampaignConfig
+    from repro.measure.records import (
+        Dataset,
+        merge_shard_jsonl,
+        record_event_key,
+    )
+    from repro.measure.scheduler import ExperimentSchedule, ProbeEventQueue
+
+    gc.collect()
+    scale = scale or smoke_scale()
+
+    # Queue drain: a synthetic month-long hourly population, no probes.
+    schedule = ExperimentSchedule(
+        start=0.0, end=30 * 86400.0, seed=scale.seed, interval_s=3600.0
+    )
+    queue = ProbeEventQueue()
+    started = time.perf_counter()
+    for index in range(256):
+        times = schedule.iter_times(f"bench-{index:03d}")
+        first = next(times, None)
+        if first is not None:
+            queue.push(first, "bench", index, 0, times)
+    events = 0
+    while queue:
+        _, carrier, index, sequence, times = queue.pop()
+        events += 1
+        following = next(times, None)
+        if following is not None:
+            queue.push(following, carrier, index, sequence + 1, times)
+    drain_s = time.perf_counter() - started
+
+    # Shard merge: one smoke campaign, split into four event-ordered
+    # shards (the executor's output shape), packaged both ways.
+    campaign = Campaign(
+        build_world(WorldConfig(seed=scale.seed)),
+        CampaignConfig(
+            device_scale=scale.device_scale,
+            duration_days=scale.duration_days,
+            interval_hours=scale.interval_hours,
+        ),
+    )
+    dataset = campaign.run()
+    serial_hash = dataset.content_hash()
+    shard_count = 4
+    shards = [
+        sorted(list(dataset)[index::shard_count], key=record_event_key)
+        for index in range(shard_count)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-merge-") as tmp:
+        paths = []
+        for index, shard in enumerate(shards):
+            path = os.path.join(tmp, f"shard-{index}.jsonl")
+            with open(path, "w", encoding="utf-8") as handle:
+                for record in shard:
+                    handle.write(record.to_json_line() + "\n")
+            paths.append(path)
+        del shards, dataset, campaign
+
+        def lines_of(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        yield line
+
+        # In-memory packaging: what run()'s parent holds — every shard's
+        # records as objects, the merged dataset, and the hash pass.
+        gc.collect()
+        tracemalloc.start()
+        shard_datasets = [Dataset.load(path) for path in paths]
+        merged = Dataset.from_shard_streams(
+            iter(shard.experiments) for shard in shard_datasets
+        )
+        in_memory_hash = merged.content_hash()
+        in_memory_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        del merged, shard_datasets
+
+        # Streaming packaging: what run_streaming()'s parent holds — one
+        # pending line per shard plus the write block.
+        output = os.path.join(tmp, "merged.jsonl")
+        gc.collect()
+        tracemalloc.start()
+        with open(output, "w", encoding="utf-8") as handle:
+            count, streaming_hash = merge_shard_jsonl(
+                (lines_of(path) for path in paths), handle
+            )
+        streaming_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+    return {
+        "queue_events": events,
+        "queue_drain_s": round(drain_s, 4),
+        "queue_events_per_s": round(events / drain_s),
+        "merge_experiments": count,
+        "merge_shards": shard_count,
+        "in_memory_peak_kb": round(in_memory_peak / 1024, 1),
+        "streaming_peak_kb": round(streaming_peak / 1024, 1),
+        "streaming_memory_ratio": round(
+            in_memory_peak / streaming_peak, 1
+        ) if streaming_peak else 0.0,
+        "hash_match": serial_hash == in_memory_hash == streaming_hash,
+    }
 
 
 # -- analysis fast path -------------------------------------------------------
@@ -637,6 +782,7 @@ def run_benchmarks(
         "campaign": campaign,
         "stages": stages,
         "sampler": sampler,
+        "scheduler": bench_scheduler(),
         "analysis": bench_analysis(),
         "transport": transport,
         "asn_lookup": bench_asn_lookup(),
@@ -654,19 +800,28 @@ def format_report(report: Dict[str, object]) -> str:
     campaign = report["campaign"]
     stages = report.get("stages")
     sampler = report.get("sampler")
+    scheduler = report.get("scheduler")
     analysis = report.get("analysis")
     transport = report.get("transport")
     asn = report["asn_lookup"]
     primitives = report["primitives"]
+    sharded_part = (
+        f"sharded(x{campaign['workers']}/{campaign.get('shards', '?')}) "
+        f"{campaign['sharded_exp_per_s']}/s "
+        f"({campaign['sharded_speedup']}x) | "
+        if "sharded_exp_per_s" in campaign
+        else ""
+    )
     lines = [
         f"cpus: {report['cpu_count']}",
         (
             f"campaign: {campaign['experiments']} experiments | "
             f"serial {campaign['serial_exp_per_s']}/s | "
             f"parallel(x{campaign['workers']}) "
-            f"{campaign['parallel_exp_per_s']}/s | "
-            f"speedup {campaign['parallel_speedup']}x | "
-            f"auto executor: {campaign['executor']} | "
+            f"{campaign['parallel_exp_per_s']}/s "
+            f"({campaign['parallel_speedup']}x) | "
+            + sharded_part
+            + f"auto executor: {campaign['executor']} | "
             f"hash match: {campaign['hash_match']}"
         ),
         (
@@ -688,6 +843,18 @@ def format_report(report: Dict[str, object]) -> str:
             f"{stages['dns_resolve_calls']} resolves)"
             if stages and "dns_cache_hit_s" in stages
             else "dns split: skipped"
+        ),
+        (
+            f"scheduler: {scheduler['queue_events_per_s']} events/s "
+            f"({scheduler['queue_events']} drained) | merge peak "
+            f"{scheduler['streaming_peak_kb']}kb streaming vs "
+            f"{scheduler['in_memory_peak_kb']}kb in-memory "
+            f"({scheduler['streaming_memory_ratio']}x) over "
+            f"{scheduler['merge_experiments']} experiments / "
+            f"{scheduler['merge_shards']} shards | "
+            f"hash match: {scheduler['hash_match']}"
+            if scheduler
+            else "scheduler: skipped"
         ),
         (
             f"analysis: regen {analysis['tables_s'] + analysis['figures_s']:.3f}s "

@@ -2,20 +2,36 @@
 
 A campaign instantiates the volunteer population (Table 1's per-carrier
 client counts, scaled if asked), schedules each device's experiments
-over the study window, runs them in timestamp order and collects an
+over the study window, runs them in probe-event order and collects an
 analysable :class:`~repro.measure.records.Dataset`.
 
-Two execution strategies produce *bit-identical* datasets:
+Three execution strategies produce *bit-identical* datasets:
 
-* :class:`Campaign` runs everything in one process, merging per-device
-  schedules lazily into global ``(time, device_id)`` order.
-* :class:`ParallelCampaign` exploits the simulation's shard structure:
-  carriers never share mutable state (operator plumbing is per-carrier,
-  shared caches are operator-scoped, every random stream is derived from
-  stable names), so each carrier can run in its own worker process
-  against a freshly built world and the shard outputs merge back into
-  exactly the order the serial loop would have produced.  The identity
-  is asserted in tests via :meth:`Dataset.content_hash`.
+* :class:`Campaign` runs everything in one process, draining one
+  :class:`~repro.measure.scheduler.ProbeEventQueue` keyed
+  ``(timestamp, carrier_key, device_index, sequence)``.
+* :class:`ParallelCampaign` runs one worker process per carrier shard
+  (the legacy executor, capped at six shards).
+* :class:`ShardedCampaign` shards by *device range within* a carrier:
+  the population is cut into deterministic ranges of
+  :attr:`CampaignConfig.range_size` consecutive devices, any number of
+  ranges can be grouped into ``--shards N`` worker tasks, and shard
+  outputs re-merge by the global event key.
+
+What makes sub-carrier sharding exact rather than approximate is the
+cache-scope policy: the only mutable state devices share is DNS cache
+contents, and every campaign resolution is scoped by the device's
+range label (``MobileDevice.cache_scope``), applied identically by the
+serial executor.  Range boundaries depend only on the campaign config —
+never on the shard count or worker count — so the cache partition, and
+therefore every record byte, is invariant across executors and any
+``--shards N``.  The identity is asserted in tests via
+:meth:`Dataset.content_hash`.
+
+For campaigns too large to materialise, :meth:`ShardedCampaign.run_streaming`
+spills each shard's records to JSONL as they are produced and k-way
+merges the spill files by event key straight to the output path, so
+peak memory is O(shards), not O(campaign).
 """
 
 from __future__ import annotations
@@ -23,6 +39,8 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import shutil
+import tempfile
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -34,8 +52,13 @@ from repro.core.errors import ConfigError
 from repro.core.world import World, WorldConfig, build_world
 from repro.geo.regions import cities_for, city_weights
 from repro.measure.experiment import ExperimentOptions, ExperimentRunner
-from repro.measure.records import Dataset, ExperimentRecord
-from repro.measure.scheduler import ExperimentSchedule
+from repro.measure.records import (
+    Dataset,
+    ExperimentRecord,
+    merge_shard_jsonl,
+    record_event_key,
+)
+from repro.measure.scheduler import ExperimentSchedule, ProbeEventQueue
 
 #: Per-carrier client counts from Table 1 of the paper.
 PAPER_CLIENT_COUNTS: Dict[str, int] = {
@@ -48,7 +71,7 @@ PAPER_CLIENT_COUNTS: Dict[str, int] = {
 }
 
 #: Valid ``--executor`` choices.
-EXECUTOR_CHOICES = ("auto", "serial", "parallel")
+EXECUTOR_CHOICES = ("auto", "serial", "parallel", "sharded")
 
 
 def select_executor(
@@ -56,16 +79,19 @@ def select_executor(
     cpu_count: Optional[int] = None,
     shard_count: Optional[int] = None,
 ) -> str:
-    """Resolve an executor request to ``"serial"`` or ``"parallel"``.
+    """Resolve an executor request to a concrete strategy.
 
-    ``auto`` picks the parallel sharded runner only when it can win:
-    at least two cores to run workers on *and* at least two carrier
-    shards to spread across them.  On a single-core box the spawn +
-    world-rebuild overhead makes the parallel path strictly slower
-    (the benchmark's ``parallel_speedup`` < 1), so ``auto`` never
-    chooses it there.  Explicit requests are honoured as stated —
-    the benchmark forces ``parallel`` to assert hash identity even
-    where ``auto`` would not use it.
+    ``auto`` picks the sub-carrier ``sharded`` runner whenever it can
+    win: at least two cores to run workers on *and* at least two device
+    ranges to spread across them (``shard_count`` is the number of
+    device ranges, not carriers — sub-carrier sharding scales with the
+    population, so worker counts size as ``min(cores, device_ranges)``
+    rather than being capped at six carriers).  On a single-core box the
+    spawn + world-rebuild overhead makes any multiprocess path strictly
+    slower, so ``auto`` falls back to serial there — and only there.
+    Explicit requests are honoured as stated — the benchmark forces the
+    parallel executors to assert hash identity even where ``auto``
+    would not use them.
     """
     if requested not in EXECUTOR_CHOICES:
         raise ConfigError(
@@ -77,7 +103,33 @@ def select_executor(
     shards = shard_count if shard_count is not None else len(PAPER_CLIENT_COUNTS)
     if cores < 2 or shards < 2:
         return "serial"
-    return "parallel"
+    return "sharded"
+
+
+@dataclass(frozen=True)
+class DeviceRange:
+    """A contiguous run of device indices within one carrier.
+
+    Ranges are the unit of sub-carrier sharding *and* of DNS cache
+    scoping: every device in ``[start, stop)`` carries the cache scope
+    ``"<carrier_key>/r<index>"``.  The range list is a pure function of
+    the campaign config (``range_size`` and the resolved per-carrier
+    counts) — shard and worker counts only decide how ranges are
+    grouped onto processes, never where their boundaries fall.
+    """
+
+    carrier_key: str
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def device_count(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def scope(self) -> str:
+        return f"{self.carrier_key}/r{self.index}"
 
 
 @dataclass
@@ -94,6 +146,11 @@ class CampaignConfig:
     duration_days: float = 153.0  # 2014-03-01 .. 2014-08-01
     interval_hours: float = 1.0
     duty_cycle: float = 0.9
+    #: Devices per sub-carrier shard range (the cache-scope partition
+    #: granularity).  At the default, every carrier of the paper's
+    #: Table 1 population fits one range until ``device_scale`` exceeds
+    #: 1.0 on Verizon, so historical datasets hash unchanged.
+    range_size: int = 32
     options: ExperimentOptions = field(default_factory=ExperimentOptions)
 
     def resolved_counts(self, carrier_keys: Sequence[str]) -> Dict[str, int]:
@@ -105,6 +162,19 @@ class CampaignConfig:
                 raise ConfigError(f"no device count for carrier {key!r}")
             counts[key] = max(self.min_devices, round(base[key] * self.device_scale))
         return counts
+
+    def device_ranges(self, carrier_keys: Sequence[str]) -> List[DeviceRange]:
+        """The deterministic device-range list for this config."""
+        counts = self.resolved_counts(carrier_keys)
+        size = max(1, self.range_size)
+        ranges: List[DeviceRange] = []
+        for key in carrier_keys:
+            count = counts[key]
+            for start in range(0, count, size):
+                ranges.append(
+                    DeviceRange(key, start // size, start, min(start + size, count))
+                )
+        return ranges
 
 
 class Campaign:
@@ -121,6 +191,7 @@ class Campaign:
     def _build_devices(self) -> List[MobileDevice]:
         devices: List[MobileDevice] = []
         counts = self.config.resolved_counts(list(self.world.operators))
+        range_size = max(1, self.config.range_size)
         for carrier_key, count in counts.items():
             operator = self.world.operators[carrier_key]
             cities = cities_for(operator.country)
@@ -140,6 +211,8 @@ class Campaign:
                         device_id=device_id,
                         carrier_key=carrier_key,
                         mobility=mobility,
+                        device_index=index,
+                        cache_scope=f"{carrier_key}/r{index // range_size}",
                     )
                 )
         return devices
@@ -149,6 +222,19 @@ class Campaign:
         return [
             device for device in self.devices if device.carrier_key == carrier_key
         ]
+
+    def devices_in_ranges(
+        self, ranges: Sequence[DeviceRange]
+    ) -> List[MobileDevice]:
+        """The devices covered by the given ranges, in range order."""
+        by_carrier: Dict[str, List[MobileDevice]] = {}
+        for device in self.devices:
+            by_carrier.setdefault(device.carrier_key, []).append(device)
+        selected: List[MobileDevice] = []
+        for shard_range in ranges:
+            carrier_devices = by_carrier.get(shard_range.carrier_key, [])
+            selected.extend(carrier_devices[shard_range.start: shard_range.stop])
+        return selected
 
     # -- execution ------------------------------------------------------------
 
@@ -162,57 +248,76 @@ class Campaign:
             duty_cycle=config.duty_cycle,
         )
 
-    @staticmethod
-    def _device_slots(
-        device: MobileDevice, schedule: ExperimentSchedule
-    ) -> Iterator[Tuple[float, MobileDevice, int]]:
-        for sequence, at in enumerate(schedule.iter_times(device.device_id)):
-            yield at, device, sequence
+    def _iter_execute(
+        self, devices: Sequence[MobileDevice]
+    ) -> Iterator[ExperimentRecord]:
+        """Yield the devices' experiment records in global event order.
 
-    def _execute(self, devices: Sequence[MobileDevice]) -> List[ExperimentRecord]:
-        """Run the given devices' experiments in ``(time, device)`` order.
-
-        Per-device schedules are already time-sorted (jitter never
-        reorders slots), so an N-way lazy merge replaces materialising
-        and sorting the whole campaign queue.  Device ids are unique,
-        hence keys are distinct and the merged order is exactly the old
-        globally sorted order.
+        One :class:`ProbeEventQueue` drives the whole run: each device
+        holds a single pending event keyed ``(timestamp, carrier_key,
+        device_index, sequence)``; popping the earliest event runs that
+        experiment and pushes the device's next scheduled time.  The
+        key is globally comparable, so running any *subset* of devices
+        yields exactly the serial stream restricted to that subset —
+        the property sub-carrier shards rely on to re-merge exactly.
         """
         schedule = self._schedule()
-        slots = heapq.merge(
-            *(self._device_slots(device, schedule) for device in devices),
-            key=lambda slot: (slot[0], slot[1].device_id),
-        )
-        return [
-            self.runner.run(device, at, sequence) for at, device, sequence in slots
-        ]
+        queue = ProbeEventQueue()
+        for device in devices:
+            times = schedule.iter_times(device.device_id)
+            first = next(times, None)
+            if first is not None:
+                queue.push(
+                    first,
+                    device.carrier_key,
+                    device.device_index,
+                    0,
+                    (device, times),
+                )
+        run = self.runner.run
+        while queue:
+            at, carrier_key, device_index, sequence, payload = queue.pop()
+            device, times = payload
+            yield run(device, at, sequence)
+            following = next(times, None)
+            if following is not None:
+                queue.push(
+                    following, carrier_key, device_index, sequence + 1, payload
+                )
+
+    def _execute(self, devices: Sequence[MobileDevice]) -> List[ExperimentRecord]:
+        """Run the given devices' experiments in global event order."""
+        return list(self._iter_execute(devices))
 
     def run_shard(self, carrier_key: str) -> List[ExperimentRecord]:
         """Run only one carrier's devices, in shard-local order.
 
-        Restricted to a single carrier, global ``(time, device_id)``
-        order and shard-local order coincide — the property that makes
+        Restricted to a single carrier, global event order and
+        shard-local order coincide — the property that makes
         per-carrier parallelism exact rather than approximate.
         """
         return self._execute(self.devices_of(carrier_key))
 
     def run(self) -> Dataset:
-        """Run every scheduled experiment, globally time-ordered."""
+        """Run every scheduled experiment, globally event-ordered."""
         records = self._execute(self.devices)
         return self._package(records)
 
     def _package(self, records: List[ExperimentRecord]) -> Dataset:
         dataset = Dataset(
             experiments=records,
-            metadata={
-                "seed": self.world.rng.master_seed,
-                "devices": len(self.devices),
-                "duration_days": self.config.duration_days,
-                "interval_hours": self.config.interval_hours,
-                "experiments": len(records),
-            },
+            metadata=self._metadata(len(records)),
         )
         return dataset
+
+    def _metadata(self, experiments: int) -> Dict[str, object]:
+        return {
+            "seed": self.world.rng.master_seed,
+            "devices": len(self.devices),
+            "duration_days": self.config.duration_days,
+            "interval_hours": self.config.interval_hours,
+            "experiments": experiments,
+        }
 
 
 def _run_carrier_shard(
@@ -231,13 +336,70 @@ def _run_carrier_shard(
     return campaign.run_shard(carrier_key)
 
 
+#: Per-process campaign for sub-carrier shard workers, built once by
+#: the pool initializer.  One world serves every range task the worker
+#: receives: ranges never share cache scope, so state left by one range
+#: cannot perturb another (and compiled plans/memos are content-pure —
+#: warm or cold, they produce identical bytes).
+_WORKER_CAMPAIGN: Optional[Campaign] = None
+
+
+def _init_shard_worker(world_config: WorldConfig, config: CampaignConfig) -> None:
+    """Pool initializer: build the worker's world + campaign once."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = Campaign(build_world(world_config), config)
+
+
+def _run_shard_ranges(ranges: Sequence[DeviceRange]) -> List[ExperimentRecord]:
+    """Worker task: run one group of device ranges, records in memory."""
+    campaign = _WORKER_CAMPAIGN
+    return campaign._execute(campaign.devices_in_ranges(ranges))
+
+
+#: Serialized lines buffered per write while spilling shard output.
+_SPILL_BLOCK_LINES = 256
+
+
+def _spill_shard_ranges(ranges: Sequence[DeviceRange], path: str) -> int:
+    """Worker task: run one group of ranges, spilling JSONL to ``path``.
+
+    Records are serialised and written as they are produced, so worker
+    memory stays O(1) records regardless of shard size — the streaming
+    half of the O(shards) packaging bound.
+    """
+    campaign = _WORKER_CAMPAIGN
+    count = 0
+    buffer: List[str] = []
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in campaign._iter_execute(campaign.devices_in_ranges(ranges)):
+            buffer.append(record.to_json_line())
+            count += 1
+            if len(buffer) >= _SPILL_BLOCK_LINES:
+                handle.write("\n".join(buffer) + "\n")
+                buffer.clear()
+        if buffer:
+            handle.write("\n".join(buffer) + "\n")
+    return count
+
+
+def _iter_jsonl_lines(path: str) -> Iterator[str]:
+    """Yield non-empty lines of a spill file, newline-stripped."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if line:
+                yield line
+
+
 class ParallelCampaign(Campaign):
     """Campaign that runs one worker process per carrier shard.
 
-    Carriers are independent shards of the simulation (see the module
-    docstring), so their experiment streams can run concurrently and be
-    merged back into global timestamp order.  Output is bit-identical to
-    :meth:`Campaign.run` for the same world config and campaign config.
+    The legacy executor: carriers are independent shards of the
+    simulation, so their experiment streams can run concurrently and be
+    merged back into global event order.  Output is bit-identical to
+    :meth:`Campaign.run` for the same world config and campaign config,
+    but parallelism is capped at the carrier count — prefer
+    :class:`ShardedCampaign`, which splits ranges *within* carriers.
 
     ``workers=0`` falls back to the serial loop; ``workers=None`` uses
     ``min(carrier count, cpu count)``.
@@ -262,7 +424,7 @@ class ParallelCampaign(Campaign):
         merged = list(
             heapq.merge(
                 *(shards[key] for key in carrier_keys),
-                key=lambda record: (record.started_at, record.device_id),
+                key=record_event_key,
             )
         )
         dataset = self._package(merged)
@@ -292,3 +454,169 @@ class ParallelCampaign(Campaign):
             for future in done:
                 shards[futures[future]] = future.result()
         return shards
+
+
+class ShardedCampaign(Campaign):
+    """Campaign sharded by device range *within* carriers.
+
+    The device population is cut into deterministic
+    :class:`DeviceRange` units (see :meth:`CampaignConfig.device_ranges`);
+    ``shards`` groups consecutive ranges into that many worker tasks
+    (default: one task per range), and ``workers`` caps the process
+    pool at ``min(cpu count, shards)``.  Each worker builds its world
+    once (pool initializer) and runs its tasks' ranges through the same
+    event queue the serial loop uses, so a shard's record stream is the
+    serial stream restricted to its devices; the parent k-way merges
+    shard streams by the global event key.  Output is bit-identical to
+    :meth:`Campaign.run` for *any* shard and worker count.
+
+    ``workers=0`` falls back to the serial loop.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        config: Optional[CampaignConfig] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+    ):
+        super().__init__(world, config)
+        self.ranges: List[DeviceRange] = self.config.device_ranges(
+            list(world.operators)
+        )
+        if shards is None or shards <= 0:
+            shards = len(self.ranges)
+        self.shards = max(1, min(shards, len(self.ranges)))
+        if workers is None:
+            workers = min(os.cpu_count() or 1, self.shards)
+        self.workers = workers
+
+    def shard_tasks(self) -> List[List[DeviceRange]]:
+        """Group consecutive ranges into ``shards`` balanced tasks.
+
+        Greedy fair-share packing by device count; deterministic in the
+        config alone.  Grouping affects only which process runs which
+        ranges — the merged output is invariant because every record
+        stream re-merges by the global event key.
+        """
+        ranges = self.ranges
+        shard_count = self.shards
+        total = sum(item.device_count for item in ranges)
+        tasks: List[List[DeviceRange]] = []
+        index = 0
+        assigned = 0
+        for shard in range(shard_count):
+            remaining_shards = shard_count - shard
+            target = (total - assigned) / remaining_shards
+            task: List[DeviceRange] = []
+            size = 0
+            while index < len(ranges):
+                if task:
+                    if (len(ranges) - index) <= (remaining_shards - 1):
+                        break  # leave at least one range per later shard
+                    if size + ranges[index].device_count > target:
+                        break
+                task.append(ranges[index])
+                size += ranges[index].device_count
+                index += 1
+            assigned += size
+            tasks.append(task)
+        return tasks
+
+    def run(self) -> Dataset:
+        """Run all shards and merge records in memory."""
+        if self.workers <= 0 or self.shards <= 1:
+            return super().run()
+        shard_records = self._run_tasks_collect(self.shard_tasks())
+        merged = list(heapq.merge(*shard_records, key=record_event_key))
+        dataset = self._package(merged)
+        dataset.metadata["workers"] = self.workers
+        dataset.metadata["shards"] = self.shards
+        return dataset
+
+    def run_streaming(self, output_path: str) -> Dict[str, object]:
+        """Run all shards and stream the merged dataset to a file.
+
+        Workers spill event-ordered JSONL per shard; the parent k-way
+        merges the spill files straight to ``output_path``, hashing
+        record lines as they pass — peak parent memory is O(shards)
+        (one pending line per spill file), never O(campaign).  The
+        metadata line is appended after the records (loaders accept it
+        at any position); record bytes — and therefore
+        :meth:`Dataset.content_hash` — are identical to :meth:`run`.
+
+        Returns ``{"experiments", "content_hash", "path"}``.
+        """
+        tasks = self.shard_tasks()
+        if self.workers <= 0 or self.shards <= 1:
+            lines = (
+                record.to_json_line()
+                for record in self._iter_execute(self.devices)
+            )
+            with open(output_path, "w", encoding="utf-8") as out:
+                count, digest = merge_shard_jsonl(
+                    [lines], out, metadata=self._streaming_metadata()
+                )
+            return {
+                "experiments": count,
+                "content_hash": digest,
+                "path": output_path,
+            }
+        tmpdir = tempfile.mkdtemp(prefix="repro-shards-")
+        try:
+            paths = [
+                os.path.join(tmpdir, f"shard-{i:04d}.jsonl")
+                for i in range(len(tasks))
+            ]
+            self._run_tasks_spill(tasks, paths)
+            with open(output_path, "w", encoding="utf-8") as out:
+                count, digest = merge_shard_jsonl(
+                    (_iter_jsonl_lines(path) for path in paths),
+                    out,
+                    metadata=self._streaming_metadata(),
+                )
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+        return {
+            "experiments": count,
+            "content_hash": digest,
+            "path": output_path,
+        }
+
+    def _streaming_metadata(self) -> Dict[str, object]:
+        metadata = self._metadata(None)
+        # The streaming writer cannot know the record count up front;
+        # merge_shard_jsonl fills it in as it writes the metadata line.
+        del metadata["experiments"]
+        metadata["workers"] = self.workers
+        metadata["shards"] = self.shards
+        return metadata
+
+    def _pool(self, context) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(self.workers, len(self.ranges)) or 1,
+            mp_context=context,
+            initializer=_init_shard_worker,
+            initargs=(self.world.config, self.config),
+        )
+
+    def _run_tasks_collect(
+        self, tasks: List[List[DeviceRange]]
+    ) -> List[List[ExperimentRecord]]:
+        context = multiprocessing.get_context("spawn")
+        with self._pool(context) as pool:
+            futures = [pool.submit(_run_shard_ranges, task) for task in tasks]
+            wait(futures, return_when=FIRST_EXCEPTION)
+            return [future.result() for future in futures]
+
+    def _run_tasks_spill(
+        self, tasks: List[List[DeviceRange]], paths: List[str]
+    ) -> List[int]:
+        context = multiprocessing.get_context("spawn")
+        with self._pool(context) as pool:
+            futures = [
+                pool.submit(_spill_shard_ranges, task, path)
+                for task, path in zip(tasks, paths)
+            ]
+            wait(futures, return_when=FIRST_EXCEPTION)
+            return [future.result() for future in futures]

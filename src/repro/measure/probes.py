@@ -278,6 +278,7 @@ class DeviceProbeSession:
                     now,
                     self.stream,
                     device_key=self.device.device_id,
+                    cache_scope=self.device.cache_scope,
                 )
                 if outcome is None:
                     return ResolutionRecord(
@@ -436,7 +437,15 @@ class DeviceProbeSession:
         if operator.ecs_enabled:
             client_subnet = prefix24(attachment.client_ip)
         result = external.engine.resolve(
-            qname, RRType.A, now, stream, client_subnet=client_subnet
+            qname,
+            RRType.A,
+            now,
+            stream,
+            client_subnet=client_subnet,
+            # Range-scoped cache partition (None for non-campaign
+            # devices): the sub-carrier shard isolation contract — see
+            # RecursiveEngine.resolve and repro.measure.campaign.
+            cache_scope=device.cache_scope,
         )
         return ResolutionRecord(
             domain=qname,
@@ -510,7 +519,10 @@ class DeviceProbeSession:
                 now,
                 stream,
                 client_subnet=client_subnet,
-                cache_scope=asys.operator_key,
+                # Device-range scope when campaign-built (operator key
+                # is its prefix, so carriers stay isolated); legacy
+                # per-operator scope otherwise.
+                cache_scope=device.cache_scope or asys.operator_key,
             )
             return ResolutionRecord(
                 domain=qname,

@@ -21,13 +21,14 @@ byte.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import re
 import sys
 from array import array
 from dataclasses import asdict, dataclass, field
 from operator import attrgetter
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
 
 from repro.core.errors import DatasetError
 
@@ -692,6 +693,114 @@ class DatasetColumns:
 _STARTED_AT = attrgetter("started_at")
 
 
+# -- probe-event ordering ------------------------------------------------------
+#
+# Campaign executors order records by the global probe-event key
+# ``(started_at, carrier, device_index, sequence)`` (see
+# repro.measure.scheduler.ProbeEventQueue).  The helpers below derive
+# that key from a record object or from its canonical JSON line, so
+# shard outputs — in-memory record lists or spilled JSONL files — can
+# be k-way merged back into exactly the serial stream.
+
+
+def _device_index_of(device_id: str) -> int:
+    """The numeric suffix of a campaign device id (``"att-003"`` -> 3).
+
+    Non-campaign ids (no numeric suffix) sort first as -1; they can
+    only tie with each other on an exact timestamp collision, which the
+    continuous jitter makes a non-event.
+    """
+    try:
+        return int(device_id.rsplit("-", 1)[1])
+    except (IndexError, ValueError):
+        return -1
+
+
+def record_event_key(record: "ExperimentRecord") -> Tuple[float, str, int, int]:
+    """The global probe-event key of one experiment record."""
+    return (
+        record.started_at,
+        record.carrier,
+        _device_index_of(record.device_id),
+        record.sequence,
+    )
+
+
+#: Prefix matcher for the canonical line shape ``to_json_line`` emits:
+#: the first five fields in declaration order, unescaped strings.  Any
+#: line that deviates (exotic ids, hand-edited archives) falls back to
+#: a full ``json.loads``.
+_LINE_KEY = re.compile(
+    r'\{"device_id":"([^"\\]*)","carrier":"([^"\\]*)","country":"[^"\\]*",'
+    r'"sequence":(-?\d+),"started_at":(-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?'
+    r'|Infinity|NaN)),'
+).match
+
+
+def jsonl_event_key(line: str) -> Tuple[float, str, int, int]:
+    """The probe-event key of one serialised record line.
+
+    Parses only the canonical five-field prefix — O(prefix), not
+    O(line) — so the streaming shard merge never deserialises whole
+    records in the parent process.
+    """
+    matched = _LINE_KEY(line)
+    if matched is not None:
+        device_id, carrier, sequence, started_at = matched.groups()
+        return (
+            float(started_at),
+            sys.intern(carrier),
+            _device_index_of(device_id),
+            int(sequence),
+        )
+    payload = json.loads(line)
+    return (
+        payload["started_at"],
+        payload["carrier"],
+        _device_index_of(payload["device_id"]),
+        payload["sequence"],
+    )
+
+
+def merge_shard_jsonl(
+    line_streams: Iterable[Iterator[str]],
+    output: TextIO,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Tuple[int, str]:
+    """K-way merge shard JSONL streams into ``output`` by event key.
+
+    Each stream must yield newline-stripped record lines already in
+    event-key order (every shard executor produces exactly that).  The
+    merged lines are written one at a time and SHA-256-hashed as they
+    pass — the digest is byte-identical to :meth:`Dataset.content_hash`
+    of the equivalent in-memory merge.  Record lines run tens of
+    kilobytes, so no block buffer is kept here: the handle's own write
+    buffering is enough, and parent peak memory stays at one pending
+    line per stream, never the whole campaign.
+
+    When ``metadata`` is given, a ``{"_metadata": ...}`` line (with the
+    final record count filled in as ``experiments``) is appended after
+    the records; loaders accept the metadata line at any position.
+
+    Returns ``(record_count, content_hash_hexdigest)``.
+    """
+    digest = hashlib.sha256()
+    update = digest.update
+    write = output.write
+    count = 0
+    for line in heapq.merge(*line_streams, key=jsonl_event_key):
+        update(line.encode("utf-8"))
+        update(b"\n")
+        count += 1
+        write(line)
+        write("\n")
+    if metadata is not None:
+        payload = dict(metadata)
+        payload["experiments"] = count
+        write(json.dumps({"_metadata": payload}, separators=(",", ":")) + "\n")
+    return count, digest.hexdigest()
+
+
 @dataclass(slots=True)
 class Dataset:
     """An ordered collection of experiment records plus campaign metadata.
@@ -879,6 +988,26 @@ class Dataset:
         if buffer:
             stream.write("\n".join(buffer) + "\n")
         return count
+
+    @classmethod
+    def from_shard_streams(
+        cls,
+        streams: Iterable[Iterable["ExperimentRecord"]],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "Dataset":
+        """Merge per-shard record streams into one ordered dataset.
+
+        Each stream must already be in probe-event-key order (any
+        shard executor's output is); the k-way merge interleaves them
+        into the exact global order the serial campaign produces, so
+        the resulting :meth:`content_hash` equals the serial run's.
+        Streams may be lazy iterators — only one pending record per
+        stream is held beyond the output list itself.
+        """
+        return cls(
+            experiments=list(heapq.merge(*streams, key=record_event_key)),
+            metadata=dict(metadata or {}),
+        )
 
     @classmethod
     def load_jsonl(cls, lines: Iterable[str]) -> "Dataset":

@@ -1,0 +1,139 @@
+"""Property-based equivalence of the event-driven probe scheduler.
+
+The campaign used to walk one ``heapq.merge`` over per-device time
+generators ordered by ``(time, device_id)``.  The event-driven core
+replaces that with a single :class:`ProbeEventQueue` keyed
+``(timestamp, carrier_key, device_index, sequence)``, pushing each
+device's next event as its current one is popped.  These tests assert
+the two produce the same global probe order for arbitrary populations
+and schedules — the invariant the dataset byte-identity rests on.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measure.scheduler import ExperimentSchedule, ProbeEventQueue
+
+CARRIERS = ["att", "sprint", "tmobile", "verizon", "skt", "lgu"]
+
+populations = st.dictionaries(
+    st.sampled_from(CARRIERS),
+    st.integers(min_value=1, max_value=5),
+    min_size=1,
+    max_size=6,
+)
+windows = st.tuples(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=1.0, max_value=30.0, allow_nan=False),
+)
+intervals = st.floats(min_value=3600.0, max_value=86400.0, allow_nan=False)
+duties = st.floats(min_value=0.3, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def _devices(population):
+    """(carrier, index, device_id) triples, campaign naming scheme."""
+    return [
+        (carrier, index, f"{carrier}-{index:03d}")
+        for carrier in sorted(population)
+        for index in range(population[carrier])
+    ]
+
+
+def _legacy_order(schedule, devices):
+    """The old executor: one merged walk keyed (time, device_id)."""
+
+    def stream(carrier, index, device_id):
+        for sequence, at in enumerate(schedule.iter_times(device_id)):
+            yield (at, device_id, carrier, index, sequence)
+
+    return [
+        (at, carrier, index, sequence)
+        for at, device_id, carrier, index, sequence in heapq.merge(
+            *(stream(*device) for device in devices),
+            key=lambda event: (event[0], event[1]),
+        )
+    ]
+
+
+def _event_order(schedule, devices):
+    """The event-driven executor: incremental push/pop on one queue."""
+    queue = ProbeEventQueue()
+    for carrier, index, device_id in devices:
+        times = schedule.iter_times(device_id)
+        first = next(times, None)
+        if first is not None:
+            queue.push(first, carrier, index, 0, times)
+    drained = []
+    while queue:
+        at, carrier, index, sequence, times = queue.pop()
+        drained.append((at, carrier, index, sequence))
+        following = next(times, None)
+        if following is not None:
+            queue.push(following, carrier, index, sequence + 1, times)
+    return drained
+
+
+class TestEventQueueEquivalence:
+    @given(populations, windows, intervals, duties, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_merged_generator_order(
+        self, population, window, interval, duty, seed
+    ):
+        start, days = window
+        schedule = ExperimentSchedule(
+            start=start,
+            end=start + days * 86400.0,
+            seed=seed,
+            interval_s=interval,
+            duty_cycle=duty,
+        )
+        devices = _devices(population)
+        assert _event_order(schedule, devices) == _legacy_order(
+            schedule, devices
+        )
+
+    @given(populations, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_sequences_per_device_are_contiguous(self, population, seed):
+        schedule = ExperimentSchedule(
+            start=0.0, end=10 * 86400.0, seed=seed
+        )
+        devices = _devices(population)
+        seen = {}
+        for at, carrier, index, sequence in _event_order(schedule, devices):
+            key = (carrier, index)
+            assert sequence == seen.get(key, -1) + 1
+            seen[key] = sequence
+
+
+class TestProbeEventQueue:
+    def test_orders_by_time_then_carrier_then_index_then_sequence(self):
+        queue = ProbeEventQueue()
+        queue.push(2.0, "att", 0, 0)
+        queue.push(1.0, "verizon", 9, 3)
+        queue.push(1.0, "att", 1, 0)
+        queue.push(1.0, "att", 0, 1)
+        queue.push(1.0, "att", 0, 0)
+        drained = []
+        while queue:
+            drained.append(queue.pop()[:4])
+        assert drained == [
+            (1.0, "att", 0, 0),
+            (1.0, "att", 0, 1),
+            (1.0, "att", 1, 0),
+            (1.0, "verizon", 9, 3),
+            (2.0, "att", 0, 0),
+        ]
+
+    def test_peek_and_len(self):
+        queue = ProbeEventQueue()
+        assert not queue
+        assert queue.peek() is None
+        queue.push(5.0, "skt", 0, 0)
+        assert len(queue) == 1
+        assert queue.peek()[0] == 5.0
+        queue.pop()
+        assert not queue

@@ -1,4 +1,4 @@
-"""Adaptive executor selection (serial vs parallel sharding)."""
+"""Adaptive executor selection (serial vs parallel vs sharded)."""
 
 import pytest
 
@@ -10,24 +10,29 @@ class TestSelectExecutor:
     def test_explicit_requests_are_honoured(self):
         assert select_executor("serial", cpu_count=32, shard_count=6) == "serial"
         assert select_executor("parallel", cpu_count=1, shard_count=6) == "parallel"
+        assert select_executor("sharded", cpu_count=1, shard_count=1) == "sharded"
 
-    def test_auto_never_parallel_on_one_core(self):
+    def test_auto_never_multiprocess_on_one_core(self):
         for shards in (1, 2, 6, 100):
             assert (
                 select_executor("auto", cpu_count=1, shard_count=shards)
                 == "serial"
             )
 
-    def test_auto_never_parallel_with_one_shard(self):
+    def test_auto_never_multiprocess_with_one_range(self):
         for cores in (1, 2, 64):
             assert (
                 select_executor("auto", cpu_count=cores, shard_count=1)
                 == "serial"
             )
 
-    def test_auto_parallel_needs_cores_and_shards(self):
-        assert select_executor("auto", cpu_count=2, shard_count=2) == "parallel"
-        assert select_executor("auto", cpu_count=8, shard_count=6) == "parallel"
+    def test_auto_shards_with_cores_and_ranges(self):
+        # Sub-carrier sharding replaced the per-carrier pick: two cores
+        # and two device ranges are enough, and more cores keep scaling
+        # (workers size as min(cores, device_ranges), not carriers).
+        assert select_executor("auto", cpu_count=2, shard_count=2) == "sharded"
+        assert select_executor("auto", cpu_count=8, shard_count=6) == "sharded"
+        assert select_executor("auto", cpu_count=64, shard_count=200) == "sharded"
 
     def test_zero_cpu_count_reported_as_serial(self):
         # os.cpu_count() can return None; callers pass it straight through.
@@ -38,7 +43,33 @@ class TestSelectExecutor:
             select_executor("turbo")
 
     def test_choices_constant_matches_cli(self):
-        assert EXECUTOR_CHOICES == ("auto", "serial", "parallel")
+        assert EXECUTOR_CHOICES == ("auto", "serial", "parallel", "sharded")
+
+
+class TestDeviceRanges:
+    def test_ranges_partition_population(self):
+        from repro.measure.campaign import CampaignConfig
+
+        config = CampaignConfig(
+            devices_per_carrier={"att": 5, "verizon": 7}, range_size=3
+        )
+        ranges = config.device_ranges(["att", "verizon"])
+        assert [(r.carrier_key, r.index, r.start, r.stop) for r in ranges] == [
+            ("att", 0, 0, 3),
+            ("att", 1, 3, 5),
+            ("verizon", 0, 0, 3),
+            ("verizon", 1, 3, 6),
+            ("verizon", 2, 6, 7),
+        ]
+        assert [r.scope for r in ranges[:2]] == ["att/r0", "att/r1"]
+
+    def test_ranges_independent_of_shard_count(self):
+        # Shards only group ranges; boundaries come from the config.
+        from repro.measure.campaign import CampaignConfig
+
+        config = CampaignConfig(device_scale=1.0, range_size=32)
+        keys = ["att", "sprint", "tmobile", "verizon", "skt", "lgu"]
+        assert config.device_ranges(keys) == config.device_ranges(keys)
 
 
 class TestStudyExecutor:
@@ -61,6 +92,18 @@ class TestStudyExecutor:
         study = CellularDNSStudy(config)
         assert study.executor == "serial"
 
+    def test_study_auto_shards_on_multi_core(self, monkeypatch):
+        import repro.measure.campaign as campaign_module
+        from repro import CellularDNSStudy, StudyConfig
+        from repro.measure.campaign import ShardedCampaign
+
+        monkeypatch.setattr(campaign_module.os, "cpu_count", lambda: 4)
+        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        assert study.executor == "sharded"
+        assert isinstance(study.campaign, ShardedCampaign)
+        # Workers size from cores and ranges, not the carrier count.
+        assert study.campaign.workers == min(4, len(study.campaign.ranges))
+
     def test_study_explicit_serial(self):
         from repro import CellularDNSStudy, StudyConfig
 
@@ -81,6 +124,20 @@ class TestStudyExecutor:
         assert isinstance(study.campaign, ParallelCampaign)
         assert study.campaign.workers == 2
 
+    def test_study_explicit_sharded_with_shards(self):
+        from repro import CellularDNSStudy, StudyConfig
+        from repro.measure.campaign import ShardedCampaign
+
+        config = StudyConfig.smoke_scale()
+        config.executor = "sharded"
+        config.workers = 2
+        config.shards = 3
+        study = CellularDNSStudy(config)
+        assert study.executor == "sharded"
+        assert isinstance(study.campaign, ShardedCampaign)
+        assert study.campaign.workers == 2
+        assert study.campaign.shards == min(3, len(study.campaign.ranges))
+
 
 class TestCliExecutorFlag:
     def test_run_parser_accepts_executor(self):
@@ -90,6 +147,15 @@ class TestCliExecutorFlag:
             ["run", "--executor", "serial", "-o", "x.jsonl"]
         )
         assert args.executor == "serial"
+
+    def test_run_parser_accepts_sharded_executor_and_shards(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "--executor", "sharded", "--shards", "7", "-o", "x.jsonl"]
+        )
+        assert args.executor == "sharded"
+        assert args.shards == 7
 
     def test_run_parser_rejects_unknown_executor(self):
         from repro.cli import build_parser

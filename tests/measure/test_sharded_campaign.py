@@ -1,0 +1,147 @@
+"""Byte-identity of sub-carrier sharded execution.
+
+The contract under test extends ``test_parallel_campaign``: with
+range-scoped DNS caches, :class:`ShardedCampaign` may split a carrier's
+device population *mid-carrier* across worker tasks and still archive
+the exact bytes the serial walk produces — at any shard count, via the
+in-memory merge or the streaming JSONL spill.  The config here forces
+mid-carrier splits (``range_size=2`` over carriers of up to 5 devices)
+so every shard count exercises the cross-shard merge policy.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.core.world import WorldConfig, build_world
+from repro.measure.campaign import (
+    Campaign,
+    CampaignConfig,
+    ShardedCampaign,
+)
+from repro.measure.records import Dataset, record_event_key
+
+#: Mixed odd/even populations with range_size=2: nine device ranges,
+#: several of which split a carrier, so shard counts that are not
+#: carrier-aligned (3, 7, 13) cut inside carriers.
+SMOKE = dict(
+    devices_per_carrier={
+        "att": 3,
+        "sprint": 1,
+        "tmobile": 2,
+        "verizon": 5,
+        "skt": 1,
+        "lgu": 1,
+    },
+    duration_days=6.0,
+    interval_hours=24.0,
+    range_size=2,
+)
+SEED = 977
+
+
+def _world():
+    return build_world(WorldConfig(seed=SEED))
+
+
+def _config():
+    return CampaignConfig(**SMOKE)
+
+
+@pytest.fixture(scope="module")
+def serial_dataset():
+    return Campaign(_world(), _config()).run()
+
+
+class TestShardTasks:
+    def test_tasks_partition_ranges_in_order(self):
+        sharded = ShardedCampaign(_world(), _config(), workers=2, shards=4)
+        tasks = sharded.shard_tasks()
+        flattened = [r for task in tasks for r in task]
+        assert flattened == sharded.ranges
+        assert all(task for task in tasks)
+        assert len(tasks) == 4
+
+    def test_shard_count_capped_by_range_count(self):
+        sharded = ShardedCampaign(_world(), _config(), workers=2, shards=99)
+        assert sharded.shards == len(sharded.ranges)
+        assert len(sharded.shard_tasks()) == len(sharded.ranges)
+
+    def test_devices_in_ranges_restores_population(self):
+        campaign = Campaign(_world(), _config())
+        sharded_config = _config()
+        ranges = sharded_config.device_ranges(
+            sorted({d.carrier_key for d in campaign.devices})
+        )
+        regrouped = campaign.devices_in_ranges(ranges)
+        assert {d.device_id for d in regrouped} == {
+            d.device_id for d in campaign.devices
+        }
+
+    def test_every_device_carries_its_range_scope(self):
+        campaign = Campaign(_world(), _config())
+        for device in campaign.devices:
+            expected = f"{device.carrier_key}/r{device.device_index // 2}"
+            assert device.cache_scope == expected
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7, 13])
+    def test_any_shard_count_matches_serial_hash(
+        self, serial_dataset, shards
+    ):
+        sharded = ShardedCampaign(
+            _world(), _config(), workers=2, shards=shards
+        ).run()
+        assert sharded.content_hash() == serial_dataset.content_hash()
+        assert len(sharded) == len(serial_dataset)
+
+    def test_metadata_records_workers_and_shards(self):
+        dataset = ShardedCampaign(
+            _world(), _config(), workers=2, shards=3
+        ).run()
+        assert dataset.metadata["workers"] == 2
+        assert dataset.metadata["shards"] == 3
+
+    def test_workers_zero_falls_back_to_serial(self, serial_dataset):
+        fallback = ShardedCampaign(
+            _world(), _config(), workers=0, shards=3
+        ).run()
+        assert fallback.content_hash() == serial_dataset.content_hash()
+        assert "workers" not in fallback.metadata
+
+
+class TestStreamingMerge:
+    def test_streaming_spill_matches_serial_bytes(self, serial_dataset):
+        sharded = ShardedCampaign(_world(), _config(), workers=2, shards=3)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "campaign.jsonl")
+            result = sharded.run_streaming(path)
+            assert result["content_hash"] == serial_dataset.content_hash()
+            assert result["experiments"] == len(serial_dataset)
+            loaded = Dataset.load(path)
+        assert loaded.content_hash() == serial_dataset.content_hash()
+        assert loaded.metadata["shards"] == 3
+
+    def test_streaming_serial_fallback_matches(self, serial_dataset):
+        sharded = ShardedCampaign(_world(), _config(), workers=0, shards=1)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "campaign.jsonl")
+            result = sharded.run_streaming(path)
+            assert result["content_hash"] == serial_dataset.content_hash()
+            loaded = Dataset.load(path)
+        assert loaded.content_hash() == serial_dataset.content_hash()
+
+
+class TestFromShardStreams:
+    def test_merges_presorted_shards(self, serial_dataset):
+        records = list(serial_dataset)
+        shards = [records[0::3], records[1::3], records[2::3]]
+        for shard in shards:
+            shard.sort(key=record_event_key)
+        merged = Dataset.from_shard_streams(
+            (iter(shard) for shard in shards), metadata={"seed": SEED}
+        )
+        assert merged.content_hash() == serial_dataset.content_hash()
+        assert merged.metadata == {"seed": SEED}
