@@ -34,15 +34,20 @@ bench-smoke:
 bench-analysis:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli bench --analysis
 
-# Streaming-scale smoke (~30 s): a device_scale=10 campaign (10x the
+# Streaming-scale smoke (~60 s): a device_scale=10 campaign (10x the
 # paper's population) through the sharded executor's streaming merge,
-# asserting the parent packages it under a fixed memory bound.
+# asserting the parent packages it under a fixed memory bound — then
+# the same campaign with the analysis accumulator riding the merge
+# (the pipelined campaign→report path), under its own aggregate-domain
+# bound, hash-checked against the merge-only run and rendering the
+# full report with zero archive re-read.
 bench-scale:
 	$(PYTHONPATH_SRC) $(PYTHON) scripts/bench_scale.py
 
 # The pre-merge gate: determinism + analysis smokes via the CLI, then
 # the bench_check script (tier-1 suite + campaign smoke + parallel
-# regression + the DNS and analysis fast-path gates against the
-# committed BENCH_campaign.json).
+# regression + the DNS/serializer and analysis fast-path gates + the
+# pipelined campaign→report gate against the committed
+# BENCH_campaign.json).
 check: bench-smoke bench-analysis
 	$(PYTHON) scripts/bench_check.py

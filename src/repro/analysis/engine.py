@@ -8,22 +8,33 @@ function.  At campaign-merge scale that re-scan dominates analysis cost —
 the same shared-scan problem columnar analytics engines solve with loop
 fusion.
 
-:class:`AnalysisEngine` is that fusion: one scan over the dataset's
-columnar projections (:meth:`~repro.measure.records.Dataset.columns`)
-accumulates every per-carrier aggregate the analysis modules need — ECDF
-input vectors, cache-pair deltas, resolver-identification streams,
-replica maps, egress traceroute rows.  The public analysis functions
-consume these aggregates while keeping their signatures and
-**byte-identical** output; the original walks survive as
-``*_reference`` oracles, and the property tests in
-``tests/analysis/test_engine_equivalence.py`` hold the two paths
-together over randomised datasets.
+:class:`AnalysisEngine` holds that fusion's output: every per-carrier
+aggregate the analysis modules need — ECDF input vectors, cache-pair
+deltas, resolver-identification streams, replica maps, egress traceroute
+rows.  Two provably-equal builders fill it:
+
+* :class:`ProjectionAccumulator` — the production path.  An incremental
+  ``ingest(record)``/``finalize()`` fold that needs each record exactly
+  once, so the engine can be built *while the campaign streams out*
+  (``ShardedCampaign.run_streaming``'s merge sink) just as well as from
+  a loaded dataset (:func:`get_engine`).
+* ``AnalysisEngine(dataset)`` — the reference oracle: the original
+  whole-dataset scan over the columnar projections
+  (:meth:`~repro.measure.records.Dataset.columns`).  The property tests
+  in ``tests/analysis/test_projection_accumulator.py`` hold the two
+  builders to identical engine state over randomised record streams.
+
+The public analysis functions consume these aggregates while keeping
+their signatures and **byte-identical** output; the original walks
+survive as ``*_reference`` oracles, and the property tests in
+``tests/analysis/test_engine_equivalence.py`` hold those paths together
+over randomised datasets.
 
 The engine attaches to the dataset (``dataset._engine``) under the same
 length-based invalidation contract as the grouping indices: appending
 experiments invalidates it, and the next analysis call rebuilds.
 
-Ordering contracts the scan preserves (all load-bearing for byte
+Ordering contracts both builders preserve (all load-bearing for byte
 identity):
 
 * sample lists accumulate in dataset order, so sorted ECDFs and
@@ -38,9 +49,18 @@ identity):
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.measure.records import Dataset
+from repro.core.errors import DatasetError
+from repro.measure.records import (
+    OUTCOME_DELIVERED,
+    OUTCOME_LOST,
+    OUTCOME_TIMED_OUT,
+    Dataset,
+    ExperimentRecord,
+    _decode_experiment,
+)
 
 #: ``{attempt: [ms, ...]}`` per (carrier, resolver_kind) key.
 _ByAttempt = Dict[int, List[float]]
@@ -52,13 +72,79 @@ def get_engine(dataset: Dataset) -> "AnalysisEngine":
         dataset._invalidate()
     engine = dataset._engine
     if engine is None:
-        engine = AnalysisEngine(dataset)
+        accumulator = ProjectionAccumulator()
+        ingest = accumulator.ingest
+        for record in dataset.experiments:
+            ingest(record)
+        engine = accumulator.finalize()
         dataset._engine = engine
     return engine
 
 
+def _tally_record_failures(record: ExperimentRecord, counters: List[int]) -> None:
+    """Fold one record into a carrier's failure ledger (in place).
+
+    ``counters`` is the nine :class:`~repro.analysis.failures.FailureRow`
+    tallies in field order: resolutions, resolution_failures,
+    fault_timeouts, fault_losses, pings, pings_unanswered, http_gets,
+    http_failures, retries.  Semantics mirror
+    ``failure_accounting_reference`` exactly: the failure columns read
+    the (possibly inferred) ``delivery_outcome``, the fault columns only
+    the explicit ``outcome`` field, and traceroutes are not counted.
+    """
+    for resolution in record.resolutions:
+        counters[0] += 1
+        counters[8] += resolution.retries
+        outcome = resolution.outcome
+        if outcome is None:
+            rcode = resolution.rcode
+            if rcode == "UNREACHABLE" or rcode == "TIMEOUT":
+                counters[1] += 1
+        else:
+            if outcome != OUTCOME_DELIVERED:
+                counters[1] += 1
+            if outcome == OUTCOME_TIMED_OUT:
+                counters[2] += 1
+            elif outcome == OUTCOME_LOST:
+                counters[3] += 1
+    for ping in record.pings:
+        counters[4] += 1
+        counters[8] += ping.retries
+        outcome = ping.outcome
+        if outcome is None:
+            if ping.rtt_ms is None:
+                counters[5] += 1
+        else:
+            if outcome != OUTCOME_DELIVERED:
+                counters[5] += 1
+            if outcome == OUTCOME_TIMED_OUT:
+                counters[2] += 1
+            elif outcome == OUTCOME_LOST:
+                counters[3] += 1
+    for get in record.http_gets:
+        counters[6] += 1
+        counters[8] += get.retries
+        outcome = get.outcome
+        if outcome is None:
+            if get.ttfb_ms is None:
+                counters[7] += 1
+        else:
+            if outcome != OUTCOME_DELIVERED:
+                counters[7] += 1
+            if outcome == OUTCOME_TIMED_OUT:
+                counters[2] += 1
+            elif outcome == OUTCOME_LOST:
+                counters[3] += 1
+
+
 class AnalysisEngine:
-    """Every per-carrier analysis aggregate, from one columnar scan.
+    """Every per-carrier analysis aggregate, from one fused build.
+
+    Constructed empty (``AnalysisEngine()``) for a
+    :class:`ProjectionAccumulator` to fill incrementally — the
+    production path — or with a dataset (``AnalysisEngine(dataset)``)
+    to run the original whole-dataset columnar scan, kept as the
+    reference oracle the accumulator is property-tested against.
 
     All attributes are read-only shared state: consumers must copy
     before mutating (the rewired analysis functions do).
@@ -84,11 +170,10 @@ class AnalysisEngine:
         "fig14_rows",
         "egress_rows",
         "egress_stream",
+        "failure_counts",
     )
 
-    def __init__(self, dataset: Dataset) -> None:
-        columns = dataset.columns()
-
+    def __init__(self, dataset: Optional[Dataset] = None) -> None:
         #: Memoised analysis-function results, keyed ``(name, *args)``.
         #: Pure in the dataset, so appending experiments (which rebuilds
         #: the engine) is the only invalidation needed.  This is what
@@ -157,8 +242,18 @@ class AnalysisEngine:
         self.egress_rows: List[Tuple[str, List[List[object]]]] = []
         #: ``carrier -> [(started_at, hops)]`` (egress discovery curves).
         self.egress_stream: Dict[str, List[Tuple[float, List[List[object]]]]] = {}
+        #: ``carrier -> [nine FailureRow tallies]`` in first-seen record
+        #: order (failure accounting; see :func:`_tally_record_failures`).
+        self.failure_counts: Dict[str, List[int]] = {}
 
-        self._scan_resolver_ids(columns)
+        if dataset is not None:
+            self._scan_resolver_ids(dataset.columns())
+            failure_counts = self.failure_counts
+            for record in dataset.experiments:
+                counters = failure_counts.get(record.carrier)
+                if counters is None:
+                    counters = failure_counts[record.carrier] = [0] * 9
+                _tally_record_failures(record, counters)
 
     # -- the scan ----------------------------------------------------------
 
@@ -364,10 +459,14 @@ class AnalysisEngine:
             self._flush_record(current, key, pending,
                                fig14_domains, domain_deltas)
 
-    def _flush_record(
-        self, exp: int, key: str, pending, fig14_domains, domain_deltas
-    ) -> None:
-        """Close one experiment: cache pairs and Fig 14 rows."""
+    def _flush_pairs(self, exp: int, key: str, pending, domain_deltas) -> None:
+        """Close one experiment's back-to-back pairs (cache chunks).
+
+        Shared by both builders: the columnar reference scan flushes
+        through :meth:`_flush_record`, the incremental accumulator calls
+        this directly and appends its own Fig 14 row (with the TTFB map
+        already joined).
+        """
         for kind, pairs in pending.items():
             firsts: List[float] = []
             seconds: List[float] = []
@@ -392,6 +491,12 @@ class AnalysisEngine:
             if chunks is None:
                 chunks = self.cache_chunks[chunk_key] = []
             chunks.append((exp, firsts, seconds, deltas))
+
+    def _flush_record(
+        self, exp: int, key: str, pending, fig14_domains, domain_deltas
+    ) -> None:
+        """Close one experiment: cache pairs and Fig 14 rows."""
+        self._flush_pairs(exp, key, pending, domain_deltas)
         if fig14_domains:
             rows = self.fig14_rows.get(key)
             if rows is None:
@@ -528,3 +633,349 @@ class AnalysisEngine:
         for samples in parts:
             merged.extend(samples)
         return merged
+
+
+class ProjectionAccumulator:
+    """Incremental builder of :class:`AnalysisEngine` state.
+
+    The fused whole-dataset scan, split into a per-record fold: feed
+    every experiment exactly once — as an object via :meth:`ingest`
+    (the serial streaming path and :func:`get_engine`) or as a merged
+    JSONL line via :meth:`ingest_line` (the sharded streaming merge) —
+    then :meth:`finalize` returns an engine whose state is equal,
+    aggregate for aggregate, to ``AnalysisEngine(dataset)`` over the
+    same records in the same order.  Records must arrive in dataset
+    order: the experiment index tags cache chunks, and first-seen
+    insertion orders are load-bearing for byte-identical rendering.
+
+    State held beyond the engine's own aggregates is O(distinct
+    carriers + distinct domains): a per-carrier technology-seen set and
+    the whoami-domain memo.  Per-record working state (cache pairs, the
+    Fig 14 domain map, the TTFB map) lives and dies inside one
+    :meth:`ingest` call, so accumulator memory tracks the *aggregates*,
+    never the raw record stream.
+    """
+
+    __slots__ = ("engine", "count", "_tech_seen", "_whoami_memo",
+                 "_fig14_empty")
+
+    def __init__(self) -> None:
+        self.engine = AnalysisEngine()
+        #: Records folded so far == the next record's experiment index.
+        self.count = 0
+        self._tech_seen: Dict[str, Set[str]] = {}
+        self._whoami_memo: Dict[str, bool] = {}
+        #: Shared empty TTFB map for Fig 14 rows of experiments with no
+        #: answered GET (the reference scan shares one dict likewise).
+        self._fig14_empty: Dict[str, List[float]] = {}
+
+    def ingest(self, record: ExperimentRecord) -> None:
+        """Fold one experiment into the engine's aggregates."""
+        engine = self.engine
+        exp = self.count
+        self.count = exp + 1
+        key = record.carrier
+        started_at = record.started_at
+
+        # Resolver identifications: first record per kind.
+        ids: Dict[str, Tuple[str, Optional[str]]] = {}
+        for rid in record.resolver_ids:
+            if rid.resolver_kind not in ids:
+                ids[rid.resolver_kind] = (
+                    rid.configured_ip, rid.observed_external_ip
+                )
+
+        # Experiment-level aggregates (technology order, device
+        # timelines, identification sets/streams, LDNS pairs).
+        seen = self._tech_seen.get(key)
+        if seen is None:
+            seen = self._tech_seen[key] = set()
+            engine.tech_order[key] = []
+        tech = record.technology
+        if tech not in seen:
+            seen.add(tech)
+            engine.tech_order[key].append(tech)
+
+        externals = {
+            kind: external for kind, (_, external) in ids.items() if external
+        }
+        obs_rows = engine.device_obs.get(record.device_id)
+        if obs_rows is None:
+            obs_rows = engine.device_obs[record.device_id] = []
+        obs_rows.append(
+            (started_at, record.latitude, record.longitude, externals, key)
+        )
+
+        id_sets = engine.id_sets
+        id_stream = engine.id_stream
+        for kind, (configured, external) in ids.items():
+            if not external:
+                continue
+            id_key = (key, kind)
+            seen_set = id_sets.get(id_key)
+            if seen_set is None:
+                seen_set = id_sets[id_key] = set()
+            seen_set.add(external)
+            stream = id_stream.get(id_key)
+            if stream is None:
+                stream = id_stream[id_key] = []
+            stream.append((started_at, configured, external))
+            if kind == "local":
+                # Aliases the id_sets set (reference semantics).
+                engine.observed_externals.setdefault(key, seen_set)
+                pair_counts = engine.ldns_pairs.get(key)
+                if pair_counts is None:
+                    pair_counts = engine.ldns_pairs[key] = {}
+                pair = (configured, external)
+                pair_counts[pair] = pair_counts.get(pair, 0) + 1
+
+        # Resolutions: latency buckets, technology samples, back-to-back
+        # pairs, replica maps, Fig 14 domain maps.
+        resolutions = record.resolutions
+        if resolutions:
+            pending: Dict[str, Dict[str, Dict[int, float]]] = {}
+            fig14_domains: Dict[str, Dict[str, List[str]]] = {}
+            resolver_k: Dict[str, str] = {}
+            for id_kind, (_, external) in ids.items():
+                # ``is not None``: the similarity join keeps
+                # empty-string externals (reference semantics).
+                if external is not None:
+                    resolver_k[id_kind] = external
+            whoami_memo = self._whoami_memo
+            res_clean = engine.res_clean
+            res_whoami = engine.res_whoami
+            tech_samples = engine.tech_samples
+            replica_maps = engine.replica_maps
+            for resolution in resolutions:
+                domain = resolution.domain
+                kind = resolution.resolver_kind
+                ms = resolution.resolution_ms
+                attempt = resolution.attempt
+                addresses = resolution.addresses
+                whoami = whoami_memo.get(domain)
+                if whoami is None:
+                    whoami = whoami_memo[domain] = (
+                        domain.endswith(".net") and "whoami" in domain
+                    )
+                bucket = res_whoami if whoami else res_clean
+                by_attempt = bucket.get((key, kind))
+                if by_attempt is None:
+                    by_attempt = bucket[(key, kind)] = {}
+                samples = by_attempt.get(attempt)
+                if samples is None:
+                    samples = by_attempt[attempt] = []
+                samples.append(ms)
+
+                if attempt == 1:
+                    tech_key = (key, tech, kind)
+                    tech_bucket = tech_samples.get(tech_key)
+                    if tech_bucket is None:
+                        tech_bucket = tech_samples[tech_key] = []
+                    tech_bucket.append(ms)
+                    if addresses:
+                        fig14_domains.setdefault(domain, {})[kind] = addresses
+
+                pairs = pending.get(kind)
+                if pairs is None:
+                    pairs = pending[kind] = {}
+                pairs.setdefault(domain, {})[attempt] = ms
+
+                resolver_ip = resolver_k.get(kind)
+                if resolver_ip is not None:
+                    for scope in ((key, kind), (None, kind)):
+                        by_domain = replica_maps.get(scope)
+                        if by_domain is None:
+                            by_domain = replica_maps[scope] = {}
+                        by_resolver = by_domain.get(domain)
+                        if by_resolver is None:
+                            by_resolver = by_domain[domain] = {}
+                        counts = by_resolver.get(resolver_ip)
+                        if counts is None:
+                            counts = by_resolver[resolver_ip] = {}
+                        for address in addresses:
+                            counts[address] = counts.get(address, 0) + 1
+
+        # Pings.
+        ping_samples = engine.ping_samples
+        for ping in record.pings:
+            rtt = ping.rtt_ms
+            if rtt is None:
+                continue
+            ping_key = (key, ping.target_kind)
+            samples = ping_samples.get(ping_key)
+            if samples is None:
+                samples = ping_samples[ping_key] = []
+            samples.append(rtt)
+
+        # HTTP GETs.  Buckets (and the record's TTFB map) are created on
+        # the first *answered* GET only — reference semantics: the
+        # columnar scan ``continue``s on None before touching state.
+        exp_ttfb: Optional[Dict[str, List[float]]] = None
+        http_samples = None
+        http_rows = None
+        device = record.device_id
+        for get in record.http_gets:
+            ttfb = get.ttfb_ms
+            if ttfb is None:
+                continue
+            if exp_ttfb is None:
+                exp_ttfb = {}
+                http_samples = engine.http_samples.get(key)
+                if http_samples is None:
+                    http_samples = engine.http_samples[key] = {}
+                http_rows = engine.http_rows.get(key)
+                if http_rows is None:
+                    http_rows = engine.http_rows[key] = []
+            http_samples.setdefault((device, get.domain), {}).setdefault(
+                get.replica_ip, []
+            ).append(ttfb)
+            http_rows.append(
+                (device, get.domain, get.resolver_kind, get.replica_ip, ttfb)
+            )
+            exp_ttfb.setdefault(get.replica_ip, []).append(ttfb)
+
+        # Close the experiment: cache pairs, then the Fig 14 row with
+        # the TTFB map already joined on (the reference scan joins all
+        # rows after its HTTP pass; per-carrier row order is identical).
+        if resolutions:
+            engine._flush_pairs(exp, key, pending, engine.domain_deltas)
+            if fig14_domains:
+                fig14 = engine.fig14_rows.get(key)
+                if fig14 is None:
+                    fig14 = engine.fig14_rows[key] = []
+                fig14.append((
+                    exp_ttfb if exp_ttfb is not None else self._fig14_empty,
+                    fig14_domains,
+                ))
+
+        # Traceroutes (egress-eligible kinds only).
+        egress_stream = engine.egress_stream
+        for trace in record.traceroutes:
+            if trace.target_kind not in ("egress-discovery", "replica"):
+                continue
+            engine.egress_rows.append((key, trace.hops))
+            stream = egress_stream.get(key)
+            if stream is None:
+                stream = egress_stream[key] = []
+            stream.append((started_at, trace.hops))
+
+        # Failure ledger.
+        counters = engine.failure_counts.get(key)
+        if counters is None:
+            counters = engine.failure_counts[key] = [0] * 9
+        _tally_record_failures(record, counters)
+
+    def ingest_line(self, line: str) -> None:
+        """Fold one merged JSONL line (decoded exactly once).
+
+        Blank and ``_metadata`` lines are skipped; canonical lines take
+        the slot-assigning fast decoder, anything else falls back to
+        :meth:`ExperimentRecord.from_json` — the same ladder
+        :meth:`Dataset.load_jsonl` runs, so a streamed engine sees the
+        records a post-hoc load would.
+        """
+        line = line.strip()
+        if not line or line.startswith('{"_metadata"'):
+            return
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"bad dataset line: {exc}") from exc
+        record = _decode_experiment(payload)
+        if record is None:
+            record = ExperimentRecord.from_json(line)
+        self.ingest(record)
+
+    def finalize(self) -> AnalysisEngine:
+        """Seal and return the engine (call once, after the last record).
+
+        Mirrors the reference scan's epilogue: device timelines get the
+        conditional stable time-sort ``by_device()`` applies.
+        """
+        for rows in self.engine.device_obs.values():
+            if any(
+                earlier[0] > later[0]
+                for earlier, later in zip(rows, rows[1:])
+            ):
+                rows.sort(key=lambda row: row[0])
+        return self.engine
+
+
+class StreamedDataset(Dataset):
+    """The analysis-facing stand-in a streamed campaign produces.
+
+    Holds **no records**: just the finalized engine, the content hash
+    the streaming merge digested, and the experiment count — everything
+    report rendering actually consumes.  The full analysis suite renders
+    byte-identically from this object because every fused primitive
+    reads engine aggregates; any code path that would need the raw
+    records raises :class:`DatasetError` loudly instead of silently
+    rendering from nothing.
+    """
+
+    __slots__ = ("pinned_hash", "experiment_count")
+
+    def __init__(
+        self,
+        engine: AnalysisEngine,
+        content_hash: str,
+        experiments: int,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        super().__init__(metadata=dict(metadata or {}))
+        self.pinned_hash = content_hash
+        self.experiment_count = experiments
+        # The empty record list is "fresh" (indexed at length 0), so
+        # get_engine serves the attached engine without a rebuild.
+        self._indexed_len = 0
+        self._engine = engine
+
+    def content_hash(self) -> str:
+        """The hash the streaming merge computed, byte-equal to the
+        post-hoc hash of the written file."""
+        return self.pinned_hash
+
+    def __len__(self) -> int:
+        return self.experiment_count
+
+    def carriers(self) -> List[str]:
+        """Carrier keys in first-seen order (engine-backed)."""
+        return list(self._engine.tech_order)
+
+    def device_ids(self) -> List[str]:
+        """Distinct device ids, sorted (engine-backed)."""
+        return sorted(self._engine.device_obs)
+
+    def _no_records(self, method: str):
+        raise DatasetError(
+            f"Dataset.{method} needs raw experiment records, but this "
+            f"dataset was streamed: only engine aggregates were kept. "
+            f"Load the written JSONL for record-level access."
+        )
+
+    def add(self, record) -> None:
+        self._no_records("add")
+
+    def __iter__(self):
+        self._no_records("__iter__")
+
+    def by_carrier(self):
+        self._no_records("by_carrier")
+
+    def by_device(self):
+        self._no_records("by_device")
+
+    def experiments_for(self, carrier: str):
+        self._no_records("experiments_for")
+
+    def resolutions_by_domain(self):
+        self._no_records("resolutions_by_domain")
+
+    def columns(self):
+        self._no_records("columns")
+
+    def filter(self, predicate):
+        self._no_records("filter")
+
+    def dump_jsonl(self, stream):
+        self._no_records("dump_jsonl")

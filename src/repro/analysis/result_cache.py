@@ -16,6 +16,12 @@ also works across processes::
 
     cache = AnalysisResultCache("analysis-cache.json")
     report = cache.get_or_render(dataset_hash, "full-report", render)
+
+Growth is bounded: the store keeps at most ``max_entries`` dataset
+hashes, evicting the least-recently-used hash (every artifact under
+it) when a new dataset would exceed the cap.  Long-lived caches fed by
+ever-changing datasets therefore stay a fixed size instead of
+accreting one entry per content hash forever.
 """
 
 from __future__ import annotations
@@ -23,6 +29,11 @@ from __future__ import annotations
 import json
 import os
 from typing import Callable, Dict, Optional
+
+#: Default bound on distinct dataset hashes a cache retains.  Each
+#: entry holds one full rendered report (tens of KB), so a handful of
+#: recent datasets is plenty for the replay use case.
+DEFAULT_MAX_ENTRIES = 8
 
 
 class AnalysisResultCache:
@@ -32,12 +43,24 @@ class AnalysisResultCache:
     loads the JSON store on construction and rewrites it on
     :meth:`save`.  A corrupt or missing store file degrades to an empty
     cache — the cache is an accelerator, never a correctness dependency.
+
+    ``max_entries`` caps the number of distinct dataset hashes held;
+    the least-recently-used hash is dropped when a new one would push
+    the cache over the cap (a hit refreshes recency).
     """
 
-    def __init__(self, path: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
         self.path = path
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        # Insertion order doubles as recency order: oldest hash first.
         self._entries: Dict[str, Dict[str, str]] = {}
         if path and os.path.exists(path):
             try:
@@ -55,19 +78,38 @@ class AnalysisResultCache:
                     }
             except (OSError, ValueError):
                 self._entries = {}
+            # A store written under a larger cap (or by an older
+            # version) may exceed this cache's bound: drop the oldest
+            # hashes until it fits.
+            while len(self._entries) > self.max_entries:
+                self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        oldest = next(iter(self._entries))
+        del self._entries[oldest]
 
     def get(self, dataset_hash: str, key: str) -> Optional[str]:
         """The stored text for one artifact, or None."""
-        text = self._entries.get(dataset_hash, {}).get(key)
+        artifacts = self._entries.get(dataset_hash)
+        text = None if artifacts is None else artifacts.get(key)
         if text is None:
             self.misses += 1
         else:
             self.hits += 1
+            # Refresh recency: move the hit hash to the newest slot.
+            self._entries[dataset_hash] = self._entries.pop(dataset_hash)
         return text
 
     def put(self, dataset_hash: str, key: str, text: str) -> None:
-        """Store one artifact's rendered text."""
-        self._entries.setdefault(dataset_hash, {})[key] = text
+        """Store one artifact's rendered text (may evict the LRU hash)."""
+        artifacts = self._entries.get(dataset_hash)
+        if artifacts is None:
+            if len(self._entries) >= self.max_entries:
+                self._evict_oldest()
+            artifacts = self._entries[dataset_hash] = {}
+        else:
+            self._entries[dataset_hash] = self._entries.pop(dataset_hash)
+        artifacts[key] = text
 
     def get_or_render(
         self, dataset_hash: str, key: str, render: Callable[[], str]

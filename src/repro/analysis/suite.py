@@ -94,9 +94,7 @@ _REFERENCE: Dict[str, Callable] = {
         longitudinal.resolver_discovery_curve_reference,
     "observed_external_resolvers":
         reachability.observed_external_resolvers_reference,
-    # Outcome accounting walks the records directly either way; the same
-    # function serves both paths (identity is then structural).
-    "failure_accounting": failures.failure_accounting,
+    "failure_accounting": failures.failure_accounting_reference,
 }
 
 US_CARRIERS = ("att", "sprint", "tmobile", "verizon")

@@ -18,6 +18,7 @@ from __future__ import annotations
 import gc
 import json
 import os
+import shutil
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -626,6 +627,121 @@ def bench_analysis(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     }
 
 
+def bench_pipeline(scale: Optional[BenchScale] = None) -> Dict[str, object]:
+    """Pipelined campaign→report vs the post-hoc two-pass flow.
+
+    Two end-to-end legs over the same campaign scale:
+
+    * **post-hoc** — stream the campaign to JSONL, then load the file
+      back and render the full report (the pre-pipeline flow: archive
+      bytes are decoded a second time and scanned into the engine);
+    * **streaming** — stream the campaign with a
+      :class:`~repro.analysis.engine.ProjectionAccumulator` riding the
+      merge, then render from the finalized engine.  The archive is
+      written identically but never re-read.
+
+    ``pipeline_advantage_s`` is the wall-clock the streaming leg saves;
+    ``bench_check`` gates it against the committed analysis ingest +
+    scan cost it is supposed to absorb.  ``byte_identical`` asserts the
+    two rendered reports and the archive hashes agree.  The serializer
+    pace and the accumulator's peak footprint (tracemalloc, aggregates
+    only — never the record stream) ride along.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.analysis.engine import ProjectionAccumulator, StreamedDataset
+    from repro.core.study import CellularDNSStudy, StudyConfig
+    from repro.measure.records import Dataset
+
+    gc.collect()
+    scale = scale or BenchScale()
+
+    def fresh_study() -> CellularDNSStudy:
+        return CellularDNSStudy(
+            StudyConfig(
+                seed=scale.seed,
+                device_scale=scale.device_scale,
+                duration_days=scale.duration_days,
+                interval_hours=scale.interval_hours,
+                executor="serial",
+            )
+        )
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-pipeline-")
+    posthoc_path = os.path.join(tmpdir, "posthoc.jsonl")
+    streamed_path = os.path.join(tmpdir, "streamed.jsonl")
+    try:
+        # Post-hoc leg: archive, then load + scan + render from the file.
+        study = fresh_study()
+        started = time.perf_counter()
+        posthoc_run = study.campaign.run_streaming(posthoc_path)
+        posthoc_campaign_s = time.perf_counter() - started
+        started = time.perf_counter()
+        study.use_dataset(Dataset.load(posthoc_path))
+        posthoc_text = study.regenerate_report().text
+        posthoc_report_s = time.perf_counter() - started
+
+        # Streaming leg: the accumulator folds each record as its line
+        # is written; the report renders with zero re-read.
+        study = fresh_study()
+        sink = ProjectionAccumulator()
+        started = time.perf_counter()
+        streamed_run = study.campaign.run_streaming(streamed_path, sink=sink)
+        study.use_dataset(
+            StreamedDataset(
+                sink.finalize(),
+                streamed_run["content_hash"],
+                streamed_run["experiments"],
+                metadata=streamed_run["metadata"],
+            )
+        )
+        streaming_text = study.regenerate_report().text
+        streaming_total_s = time.perf_counter() - started
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    experiments = posthoc_run["experiments"]
+    byte_identical = (
+        streaming_text == posthoc_text
+        and streamed_run["content_hash"] == posthoc_run["content_hash"]
+    )
+
+    # Serializer pace: the batch emitter over every record of the run.
+    dataset = fresh_study().dataset
+    started = time.perf_counter()
+    for record in dataset.experiments:
+        record.to_json_line()
+    serialize_s = time.perf_counter() - started
+
+    # Accumulator footprint: peak engine-aggregate memory while folding
+    # the whole campaign (the records already exist, so the delta is
+    # the accumulator's own state).
+    gc.collect()
+    tracemalloc.start()
+    sink = ProjectionAccumulator()
+    for record in dataset.experiments:
+        sink.ingest(record)
+    sink.finalize()
+    _, accumulator_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    posthoc_total_s = posthoc_campaign_s + posthoc_report_s
+    return {
+        "experiments": experiments,
+        "posthoc_campaign_s": round(posthoc_campaign_s, 4),
+        "posthoc_report_s": round(posthoc_report_s, 4),
+        "posthoc_total_s": round(posthoc_total_s, 4),
+        "streaming_total_s": round(streaming_total_s, 4),
+        "pipeline_advantage_s": round(posthoc_total_s - streaming_total_s, 4),
+        "serialize_us_per_experiment": round(
+            serialize_s / max(experiments, 1) * 1e6, 1
+        ),
+        "accumulator_peak_kb": round(accumulator_peak / 1024.0, 1),
+        "byte_identical": byte_identical,
+    }
+
+
 # -- substrate microbenchmarks ------------------------------------------------
 
 
@@ -784,6 +900,7 @@ def run_benchmarks(
         "sampler": sampler,
         "scheduler": bench_scheduler(),
         "analysis": bench_analysis(),
+        "pipeline": bench_pipeline(scale),
         "transport": transport,
         "asn_lookup": bench_asn_lookup(),
         "primitives": bench_primitives(),
@@ -802,6 +919,7 @@ def format_report(report: Dict[str, object]) -> str:
     sampler = report.get("sampler")
     scheduler = report.get("scheduler")
     analysis = report.get("analysis")
+    pipeline = report.get("pipeline")
     transport = report.get("transport")
     asn = report["asn_lookup"]
     primitives = report["primitives"]
@@ -869,6 +987,18 @@ def format_report(report: Dict[str, object]) -> str:
             f"byte identical: {analysis['byte_identical']}"
             if analysis
             else "analysis: skipped"
+        ),
+        (
+            f"pipeline: streaming {pipeline['streaming_total_s']}s vs "
+            f"post-hoc {pipeline['posthoc_total_s']}s "
+            f"(campaign {pipeline['posthoc_campaign_s']}s + report "
+            f"{pipeline['posthoc_report_s']}s) | "
+            f"advantage {pipeline['pipeline_advantage_s']}s | "
+            f"serialize {pipeline['serialize_us_per_experiment']}us/exp | "
+            f"accumulator peak {pipeline['accumulator_peak_kb']}kb | "
+            f"byte identical: {pipeline['byte_identical']}"
+            if pipeline
+            else "pipeline: skipped"
         ),
         (
             f"sampler: {sampler['pool_hits']} pool hits over "

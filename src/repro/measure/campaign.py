@@ -319,6 +319,59 @@ class Campaign:
             "experiments": experiments,
         }
 
+    def _streaming_metadata(self) -> Dict[str, object]:
+        metadata = self._metadata(None)
+        # The streaming writer cannot know the record count up front;
+        # merge_shard_jsonl fills it in as it writes the metadata line.
+        del metadata["experiments"]
+        return metadata
+
+    def run_streaming(self, output_path: str, sink=None) -> Dict[str, object]:
+        """Run serially, streaming records straight to ``output_path``.
+
+        Each record is serialised as it is produced and never held
+        beyond the write; record bytes — and therefore
+        :meth:`Dataset.content_hash` — are identical to :meth:`run`
+        followed by :meth:`Dataset.save`.
+
+        ``sink`` is the pipelined-analysis hook: an object with an
+        ``ingest(record)`` method (e.g.
+        :class:`repro.analysis.engine.ProjectionAccumulator`) that is
+        fed every record, in stream order, before it is serialised — on
+        this serial path the analysis fold costs **zero decodes**, the
+        record object itself is folded.
+
+        Returns ``{"experiments", "content_hash", "path", "metadata"}``
+        where ``metadata`` is the metadata dict the output file carries
+        (record count included).
+        """
+        if sink is None:
+            lines = (
+                record.to_json_line()
+                for record in self._iter_execute(self.devices)
+            )
+        else:
+            ingest = sink.ingest
+
+            def _fold_and_serialise():
+                for record in self._iter_execute(self.devices):
+                    ingest(record)
+                    yield record.to_json_line()
+
+            lines = _fold_and_serialise()
+        with open(output_path, "w", encoding="utf-8") as out:
+            count, digest = merge_shard_jsonl(
+                [lines], out, metadata=self._streaming_metadata()
+            )
+        metadata = self._streaming_metadata()
+        metadata["experiments"] = count
+        return {
+            "experiments": count,
+            "content_hash": digest,
+            "path": output_path,
+            "metadata": metadata,
+        }
+
 
 def _run_carrier_shard(
     world_config: WorldConfig, config: CampaignConfig, carrier_key: str
@@ -534,7 +587,7 @@ class ShardedCampaign(Campaign):
         dataset.metadata["shards"] = self.shards
         return dataset
 
-    def run_streaming(self, output_path: str) -> Dict[str, object]:
+    def run_streaming(self, output_path: str, sink=None) -> Dict[str, object]:
         """Run all shards and stream the merged dataset to a file.
 
         Workers spill event-ordered JSONL per shard; the parent k-way
@@ -545,23 +598,19 @@ class ShardedCampaign(Campaign):
         at any position); record bytes — and therefore
         :meth:`Dataset.content_hash` — are identical to :meth:`run`.
 
-        Returns ``{"experiments", "content_hash", "path"}``.
+        ``sink`` is the pipelined-analysis hook: on this sharded path
+        its ``ingest_line(line)`` method is fed every merged line as it
+        is written (each line decoded exactly once, in the parent),
+        building the analysis projections with zero re-read of
+        ``output_path``.  On the serial fallback the sink folds record
+        objects directly — zero decodes (see
+        :meth:`Campaign.run_streaming`).
+
+        Returns ``{"experiments", "content_hash", "path", "metadata"}``.
         """
-        tasks = self.shard_tasks()
         if self.workers <= 0 or self.shards <= 1:
-            lines = (
-                record.to_json_line()
-                for record in self._iter_execute(self.devices)
-            )
-            with open(output_path, "w", encoding="utf-8") as out:
-                count, digest = merge_shard_jsonl(
-                    [lines], out, metadata=self._streaming_metadata()
-                )
-            return {
-                "experiments": count,
-                "content_hash": digest,
-                "path": output_path,
-            }
+            return super().run_streaming(output_path, sink)
+        tasks = self.shard_tasks()
         tmpdir = tempfile.mkdtemp(prefix="repro-shards-")
         try:
             paths = [
@@ -574,20 +623,21 @@ class ShardedCampaign(Campaign):
                     (_iter_jsonl_lines(path) for path in paths),
                     out,
                     metadata=self._streaming_metadata(),
+                    sink=sink.ingest_line if sink is not None else None,
                 )
         finally:
             shutil.rmtree(tmpdir, ignore_errors=True)
+        metadata = self._streaming_metadata()
+        metadata["experiments"] = count
         return {
             "experiments": count,
             "content_hash": digest,
             "path": output_path,
+            "metadata": metadata,
         }
 
     def _streaming_metadata(self) -> Dict[str, object]:
-        metadata = self._metadata(None)
-        # The streaming writer cannot know the record count up front;
-        # merge_shard_jsonl fills it in as it writes the metadata line.
-        del metadata["experiments"]
+        metadata = super()._streaming_metadata()
         metadata["workers"] = self.workers
         metadata["shards"] = self.shards
         return metadata

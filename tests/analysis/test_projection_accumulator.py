@@ -1,0 +1,304 @@
+"""Incremental ``ProjectionAccumulator`` vs the whole-dataset scan.
+
+The pipelined campaign→report path folds every record into the analysis
+aggregates as its line leaves the streaming merge.  These tests pin the
+core contract: feeding records one at a time through
+:meth:`ProjectionAccumulator.ingest` (or their serialized lines through
+``ingest_line``) yields an engine whose state equals
+``AnalysisEngine(dataset)`` — the original columnar scan, kept as the
+reference oracle — slot for slot, over randomized interleavings of
+fault records, metadata-only lines, NaN/inf floats and unicode
+payloads.  A streaming-report golden at smoke scale pins the rendered
+text (and the archived bytes) to the post-hoc path end to end.
+
+Slot equality is compared through ``repr``: aggregate dicts embed NaN
+samples and per-record sets, and both builds insert into any given
+aggregate in the same record order, so equal reprs mean equal
+structures *and* equal (render-load-bearing) insertion orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.engine import (
+    AnalysisEngine,
+    ProjectionAccumulator,
+    StreamedDataset,
+)
+from repro.core.errors import DatasetError
+from repro.measure.records import (
+    OUTCOME_DELIVERED,
+    OUTCOME_LOST,
+    OUTCOME_TIMED_OUT,
+    Dataset,
+    ExperimentRecord,
+    HttpRecord,
+    PingRecord,
+    ResolutionRecord,
+    ResolverIdRecord,
+    TracerouteRecord,
+)
+
+# -- randomized datasets ------------------------------------------------------
+
+_CARRIERS = ["att", "skt", "zz-mystery", "ünïcarrier-中"]
+_DOMAINS = [
+    "m.yelp.com",
+    "www.buzzfeed.com",
+    "cdn.example.org",
+    "whoami.akamai.net",  # whoami probe: excluded from latency figures
+]
+_KINDS = ["local", "google", "opendns"]
+_IPS = ["16.0.7.1", "16.0.7.9", "16.1.8.3", "17.4.4.4", "18.0.0.9"]
+_PING_KINDS = [
+    "replica",
+    "resolver-client-facing",
+    "resolver-external-facing",
+    "resolver-public-google",
+    "resolver-public-opendns",
+]
+_TRACE_KINDS = ["replica", "egress-discovery", "resolver-external"]
+_OUTCOMES = [None, OUTCOME_DELIVERED, OUTCOME_TIMED_OUT, OUTCOME_LOST]
+# Latency values mix plain magnitudes with NaN/inf — the accumulator
+# must carry them exactly as the columnar scan does.
+_ms = st.floats(0.0, 5000.0, allow_nan=False) | st.sampled_from(
+    [float("nan"), float("inf")]
+)
+
+_resolutions = st.builds(
+    ResolutionRecord,
+    domain=st.sampled_from(_DOMAINS),
+    resolver_kind=st.sampled_from(_KINDS),
+    resolution_ms=_ms,
+    addresses=st.lists(st.sampled_from(_IPS), max_size=3),
+    cname_chain=st.lists(st.sampled_from(["edge-a", "edge-b"]), max_size=1),
+    attempt=st.sampled_from([1, 2]),
+    outcome=st.sampled_from(_OUTCOMES),
+    retries=st.integers(0, 3),
+)
+_pings = st.builds(
+    PingRecord,
+    target_ip=st.sampled_from(_IPS),
+    target_kind=st.sampled_from(_PING_KINDS),
+    rtt_ms=st.none() | _ms,
+    outcome=st.sampled_from(_OUTCOMES),
+    retries=st.integers(0, 3),
+)
+_traceroutes = st.builds(
+    TracerouteRecord,
+    target_ip=st.sampled_from(_IPS),
+    target_kind=st.sampled_from(_TRACE_KINDS),
+    hops=st.lists(
+        st.tuples(
+            st.integers(1, 4),
+            st.none() | st.sampled_from(_IPS),
+            st.none() | _ms,
+        ).map(list),
+        max_size=4,
+    ),
+    reached=st.booleans(),
+    outcome=st.sampled_from(_OUTCOMES),
+)
+_http_gets = st.builds(
+    HttpRecord,
+    replica_ip=st.sampled_from(_IPS),
+    domain=st.sampled_from(_DOMAINS[:3]),
+    resolver_kind=st.sampled_from(_KINDS),
+    ttfb_ms=st.none() | _ms,
+    outcome=st.sampled_from(_OUTCOMES),
+    retries=st.integers(0, 3),
+)
+_resolver_ids = st.builds(
+    ResolverIdRecord,
+    resolver_kind=st.sampled_from(_KINDS),
+    configured_ip=st.sampled_from(_IPS),
+    observed_external_ip=st.none() | st.sampled_from(_IPS + [""]),
+    resolution_ms=st.none() | _ms,
+)
+
+
+@st.composite
+def _datasets(draw):
+    count = draw(st.integers(0, 6))
+    records = []
+    for index in range(count):
+        records.append(
+            ExperimentRecord(
+                device_id=f"dev-{draw(st.integers(0, 2))}",
+                carrier=draw(st.sampled_from(_CARRIERS)),
+                country="US",
+                sequence=index,
+                started_at=float(index) * 1800.0,
+                latitude=41.9 + draw(st.floats(-0.5, 0.5, allow_nan=False)),
+                longitude=-87.6,
+                technology=draw(st.sampled_from(["LTE", "eHRPD", "", "5G·중"])),
+                generation="4G",
+                client_ip=draw(st.sampled_from(_IPS)),
+                resolutions=draw(st.lists(_resolutions, max_size=5)),
+                pings=draw(st.lists(_pings, max_size=4)),
+                traceroutes=draw(st.lists(_traceroutes, max_size=2)),
+                http_gets=draw(st.lists(_http_gets, max_size=4)),
+                resolver_ids=draw(st.lists(_resolver_ids, max_size=3)),
+            )
+        )
+    return Dataset(experiments=records)
+
+
+def assert_engines_equal(streamed: AnalysisEngine, scanned: AnalysisEngine):
+    for slot in AnalysisEngine.__slots__:
+        assert repr(getattr(streamed, slot)) == repr(
+            getattr(scanned, slot)
+        ), slot
+
+
+@settings(max_examples=60, deadline=None)
+@given(_datasets())
+def test_incremental_fold_equals_full_scan(dataset):
+    """ingest() record-by-record == the columnar whole-dataset scan."""
+    accumulator = ProjectionAccumulator()
+    for record in dataset.experiments:
+        accumulator.ingest(record)
+    assert accumulator.count == len(dataset.experiments)
+    assert_engines_equal(accumulator.finalize(), AnalysisEngine(dataset))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_datasets(), st.randoms(use_true_random=False))
+def test_line_fold_equals_full_scan(dataset, rng):
+    """ingest_line() over serialized records, with metadata/blank noise.
+
+    The sharded streaming merge feeds the accumulator whole JSONL lines
+    — including, at the file level, a metadata line and (tolerated)
+    blank lines.  Interleaving those must not perturb the fold.
+    """
+    lines = [record.to_json_line() for record in dataset.experiments]
+    noise = ['{"_metadata": {"experiments": 0}}', "", "   ", "\n"]
+    for chaff in noise:
+        lines.insert(rng.randint(0, len(lines)), chaff)
+    accumulator = ProjectionAccumulator()
+    for line in lines:
+        accumulator.ingest_line(line)
+    assert accumulator.count == len(dataset.experiments)
+    assert_engines_equal(accumulator.finalize(), AnalysisEngine(dataset))
+
+
+def test_empty_fold_equals_empty_scan():
+    accumulator = ProjectionAccumulator()
+    assert_engines_equal(
+        accumulator.finalize(), AnalysisEngine(Dataset(experiments=[]))
+    )
+
+
+def test_ingest_line_rejects_malformed_json():
+    with pytest.raises(DatasetError):
+        ProjectionAccumulator().ingest_line('{"device_id": unterminated')
+
+
+def test_unsorted_timelines_get_the_stable_time_sort():
+    """finalize() mirrors by_device()'s conditional stable sort."""
+    base = dict(
+        device_id="dev-0", carrier="att", country="US", generation="4G",
+        latitude=41.9, longitude=-87.6, technology="LTE",
+        client_ip=_IPS[0],
+    )
+    records = [
+        ExperimentRecord(sequence=0, started_at=3600.0, **base),
+        ExperimentRecord(sequence=1, started_at=0.0, **base),
+        ExperimentRecord(sequence=2, started_at=1800.0, **base),
+    ]
+    accumulator = ProjectionAccumulator()
+    for record in records:
+        accumulator.ingest(record)
+    engine = accumulator.finalize()
+    times = [row[0] for row in engine.device_obs["dev-0"]]
+    assert times == [0.0, 1800.0, 3600.0]
+    assert_engines_equal(engine, AnalysisEngine(Dataset(experiments=records)))
+
+
+# -- streaming-report golden --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def smoke_stream(tmp_path_factory):
+    """One streamed smoke-scale campaign: (run_streaming result, engine,
+    archive path)."""
+    from repro import CellularDNSStudy, StudyConfig
+    from repro.measure.bench import smoke_scale
+
+    scale = smoke_scale()
+    config = StudyConfig(
+        seed=scale.seed,
+        device_scale=scale.device_scale,
+        duration_days=scale.duration_days,
+        interval_hours=scale.interval_hours,
+        executor="serial",
+    )
+    study = CellularDNSStudy(config)
+    sink = ProjectionAccumulator()
+    path = tmp_path_factory.mktemp("stream") / "campaign.jsonl"
+    result = study.campaign.run_streaming(str(path), sink=sink)
+    return config, result, sink.finalize(), path
+
+
+class TestStreamingReportGolden:
+    def test_archive_bytes_pinned(self, smoke_stream):
+        from repro.measure.bench import SMOKE_DATASET_SHA256
+
+        _, result, _, path = smoke_stream
+        assert result["content_hash"] == SMOKE_DATASET_SHA256
+        assert Dataset.load(str(path)).content_hash() == SMOKE_DATASET_SHA256
+
+    def test_streamed_report_matches_posthoc(self, smoke_stream):
+        from repro import CellularDNSStudy
+
+        config, result, engine, path = smoke_stream
+        streamed_study = CellularDNSStudy(config)
+        streamed_study.use_dataset(
+            StreamedDataset(
+                engine,
+                result["content_hash"],
+                result["experiments"],
+                metadata=result["metadata"],
+            )
+        )
+        streamed = streamed_study.regenerate_report()
+
+        posthoc_study = CellularDNSStudy(config)
+        posthoc_study.use_dataset(Dataset.load(str(path)))
+        posthoc = posthoc_study.regenerate_report()
+
+        assert streamed.text == posthoc.text
+        assert streamed.dataset_hash == posthoc.dataset_hash
+        assert "Table 1" in streamed.text and "Fig 14" in streamed.text
+
+
+# -- streamed dataset guard rails --------------------------------------------
+
+
+def test_streamed_dataset_serves_engine_and_raises_on_records():
+    accumulator = ProjectionAccumulator()
+    accumulator.ingest(
+        ExperimentRecord(
+            device_id="dev-0", carrier="att", country="US", sequence=0,
+            started_at=0.0, latitude=41.9, longitude=-87.6,
+            technology="LTE", generation="4G", client_ip=_IPS[0],
+        )
+    )
+    streamed = StreamedDataset(
+        accumulator.finalize(), "f" * 64, 1, metadata={"experiments": 1}
+    )
+    assert streamed.content_hash() == "f" * 64
+    assert len(streamed) == 1
+    assert streamed.carriers() == ["att"]
+    assert streamed.device_ids() == ["dev-0"]
+    for poke in (
+        lambda: list(streamed),
+        streamed.by_carrier,
+        streamed.by_device,
+        streamed.columns,
+    ):
+        with pytest.raises(DatasetError):
+            poke()

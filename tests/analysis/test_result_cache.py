@@ -59,6 +59,56 @@ class TestAnalysisResultCache:
     def test_in_memory_save_is_noop(self):
         AnalysisResultCache().save()  # must not raise
 
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnalysisResultCache(max_entries=0)
+
+    def test_put_evicts_least_recently_used_hash(self):
+        cache = AnalysisResultCache(max_entries=2)
+        cache.put("hash-a", "k", "a")
+        cache.put("hash-b", "k", "b")
+        # Touch hash-a so hash-b becomes the LRU entry.
+        assert cache.get("hash-a", "k") == "a"
+        cache.put("hash-c", "k", "c")
+        assert cache.get("hash-b", "k") is None
+        assert cache.get("hash-a", "k") == "a"
+        assert cache.get("hash-c", "k") == "c"
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency_of_existing_hash(self):
+        cache = AnalysisResultCache(max_entries=2)
+        cache.put("hash-a", "k", "a")
+        cache.put("hash-b", "k", "b")
+        # Writing another artifact under hash-a makes hash-b the LRU.
+        cache.put("hash-a", "k2", "a2")
+        cache.put("hash-c", "k", "c")
+        assert cache.get("hash-b", "k") is None
+        assert cache.get("hash-a", "k") == "a"
+        assert cache.get("hash-a", "k2") == "a2"
+
+    def test_eviction_order_is_insertion_order_without_hits(self):
+        cache = AnalysisResultCache(max_entries=3)
+        for name in ("hash-a", "hash-b", "hash-c", "hash-d", "hash-e"):
+            cache.put(name, "k", name)
+        assert cache.get("hash-a", "k") is None
+        assert cache.get("hash-b", "k") is None
+        for name in ("hash-c", "hash-d", "hash-e"):
+            assert cache.get(name, "k") == name
+
+    def test_oversized_store_truncated_on_load(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        big = AnalysisResultCache(path, max_entries=10)
+        for index in range(5):
+            big.put(f"hash-{index}", "k", str(index))
+        big.save()
+        small = AnalysisResultCache(path, max_entries=2)
+        assert len(small) == 2
+        # Oldest stored hashes go first.
+        assert small.get("hash-0", "k") is None
+        assert small.get("hash-2", "k") is None
+        assert small.get("hash-3", "k") == "3"
+        assert small.get("hash-4", "k") == "4"
+
 
 class TestRegenerateReport:
     @pytest.fixture(scope="class")

@@ -61,6 +61,26 @@ class TestCommands:
         assert "Table 1" in captured.out
         assert "Fig 7" in captured.out
 
+    def test_run_report_streams_report_and_identical_archive(
+        self, archived_dataset, tmp_path, capsys
+    ):
+        """``run --report`` prints the post-hoc report without re-reading
+        the archive, and writes byte-identical dataset lines."""
+        from repro.measure.records import Dataset
+
+        main(["report", *SMALL, "--dataset", str(archived_dataset)])
+        posthoc = capsys.readouterr().out
+
+        streamed_path = tmp_path / "streamed.jsonl"
+        code = main(["run", *SMALL, "--report", "-o", str(streamed_path)])
+        streamed = capsys.readouterr().out
+        assert code == 0
+        assert streamed == posthoc
+        assert (
+            Dataset.load(str(streamed_path)).content_hash()
+            == Dataset.load(str(archived_dataset)).content_hash()
+        )
+
     def test_export_from_dataset(self, archived_dataset, tmp_path, capsys):
         out_dir = tmp_path / "figures"
         code = main([
