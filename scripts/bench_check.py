@@ -9,11 +9,16 @@ Runs, in order:
    campaign's dataset hash differs from the serial one, if the
    fault-free dataset hash drifts from the pinned
    ``SMOKE_DATASET_SHA256`` golden (the transport layer's
-   byte-identity contract) — and, on a multi-core box, if both
-   multiprocess executors are *slower* than the serial one (an
-   executor-selection regression; single-core boxes only note the
-   expected slowdown — ``--executor auto`` runs serial there);
-3. the probe fast-path gates: one stage-breakdown smoke whose
+   byte-identity contract) — and, on a multi-core box, if the sharded
+   executor stays *slower* than the serial one across three attempts
+   (an executor regression; noise only slows a leg down, so the best
+   attempt gates; single-core boxes only note the expected slowdown —
+   ``--executor auto`` runs serial there);
+3. the warm worker-pool gate: snapshot boots must beat world rebuilds
+   (best-of-3 each), a repeat run must reuse the live pool, and the
+   overlapped tailing merge must hash identically to the
+   wait-then-merge reference path;
+4. the probe fast-path gates: one stage-breakdown smoke whose
    ``dns_us_per_call`` must stay within 25% — and ``ping_us_per_call``
    / ``http_us_per_call`` / ``serialize_us_per_call`` within 50% — of
    the committed ``BENCH_campaign.json`` figures (guards the
@@ -24,13 +29,13 @@ Runs, in order:
    per-stage minimum is what gates), and whose sampler pool counters
    must show at least one refill (the block-sampling layer is actually
    in play);
-4. the analysis fast-path gate: the fused table+figure regeneration
+5. the analysis fast-path gate: the fused table+figure regeneration
    must render **byte-identical** to the reference per-function walks
    (hard failure — correctness, not speed), and its steady-state
    ``us_per_record`` must stay within 50% of the committed figure
    (more headroom than the DNS gate: the measured interval is
    shorter, so box noise is proportionally larger);
-5. the pipelined campaign→report gate: the streaming-merge report must
+6. the pipelined campaign→report gate: the streaming-merge report must
    render byte-identical to the post-hoc path (hard failure), and the
    streaming leg must beat campaign-then-report wall-clock by at least
    the committed ``analysis.load_s + engine_scan_s`` — the archive
@@ -111,26 +116,124 @@ def run_bench_smoke() -> int:
         return 1
     print("fault-free golden hash: OK")
     cores = os.cpu_count() or 1
-    fastest_multiprocess = min(report["parallel_s"], report["sharded_s"])
-    if fastest_multiprocess > report["serial_s"]:
+    if report["sharded_s"] > report["serial_s"]:
         if cores >= 2:
+            # Timing noise can only slow a leg down, so the best of a
+            # few attempts is the honest reading: one clean win proves
+            # the warm-pool executor earns its keep on this box.
+            best = report
+            for attempt in range(2, SHARDED_GATE_ATTEMPTS + 1):
+                print(
+                    f"note: sharded ({best['sharded_s']}s) slower than "
+                    f"serial ({best['serial_s']}s) — re-measuring "
+                    f"(attempt {attempt}/{SHARDED_GATE_ATTEMPTS})",
+                    flush=True,
+                )
+                retry = bench_campaign(
+                    BenchScale(
+                        device_scale=0.05,
+                        duration_days=14.0,
+                        interval_hours=12.0,
+                    )
+                )
+                if retry["sharded_speedup"] > best["sharded_speedup"]:
+                    best = retry
+                if best["sharded_s"] <= best["serial_s"]:
+                    break
+            if best["sharded_s"] > best["serial_s"]:
+                print(
+                    f"FAIL: sharded ({best['sharded_s']}s) stayed slower "
+                    f"than serial ({best['serial_s']}s) on a {cores}-core "
+                    f"box across {SHARDED_GATE_ATTEMPTS} attempts",
+                    file=sys.stderr,
+                )
+                return 1
+            report = best
+        else:
             print(
-                f"FAIL: parallel ({report['parallel_s']}s) and sharded "
-                f"({report['sharded_s']}s) both slower than serial "
-                f"({report['serial_s']}s) on a {cores}-core box",
-                file=sys.stderr,
+                "note: multiprocess executors slower than serial on 1 core "
+                "(expected; `--executor auto` runs serial here)"
             )
-            return 1
+            return 0
+    print(
+        f"speedups on {cores} cores: "
+        f"parallel {report['parallel_speedup']}x, "
+        f"sharded {report['sharded_speedup']}x"
+    )
+    return 0
+
+
+#: Multi-core sharded-vs-serial attempts before the smoke may fail.
+#: Noise only ever slows a leg down, so the best attempt is what gates.
+SHARDED_GATE_ATTEMPTS = 3
+
+
+def run_workers_gate() -> int:
+    """The warm worker-pool mechanics must actually pay off.
+
+    Runs :func:`~repro.measure.bench.bench_workers` at the smoke scale
+    and requires:
+
+    * **snapshot beats rebuild** (hard failure): booting a worker world
+      from the parent's snapshot must be faster than re-running
+      ``build_world`` (both best-of-3) — otherwise the snapshot
+      machinery is pure overhead;
+    * **pool reuse** (hard failure): the second streaming run must have
+      reused the first run's live pool;
+    * **byte identity** (hard failure): the overlapped tailing merge
+      and the wait-then-merge reference path must hash identically.
+
+    The overlap advantage is reported but not gated — on small smokes
+    it sits inside timer noise; ``BENCH_campaign.json`` carries the
+    full-scale figure.
+    """
+    sys.path.insert(0, SRC)
+    from repro.measure.bench import BenchScale, bench_workers
+
+    print("== warm worker-pool gate ==", flush=True)
+    report = bench_workers(
+        BenchScale(device_scale=0.05, duration_days=14.0, interval_hours=12.0)
+    )
+    print(
+        f"snapshot boot {report['snapshot_boot_us']}us vs rebuild "
+        f"{report['rebuild_boot_us']}us ({report['snapshot_speedup']}x) | "
+        f"ctx {report['mp_context']} | pools created "
+        f"{report['pools_created']}, reused {report['pool_reuse_hits']} | "
+        f"overlap advantage {report['overlap_advantage_s']}s | "
+        f"hash match: {report['hash_match']}",
+        flush=True,
+    )
+    if report["snapshot_bytes"] <= 0:
         print(
-            "note: multiprocess executors slower than serial on 1 core "
-            "(expected; `--executor auto` runs serial here)"
+            "FAIL: no world snapshot was produced for a pristine world — "
+            "workers are paying full rebuilds",
+            file=sys.stderr,
         )
-    else:
+        return 1
+    if report["snapshot_boot_us"] >= report["rebuild_boot_us"]:
         print(
-            f"speedups on {cores} cores: "
-            f"parallel {report['parallel_speedup']}x, "
-            f"sharded {report['sharded_speedup']}x"
+            f"FAIL: snapshot boot ({report['snapshot_boot_us']}us) did not "
+            f"beat world rebuild ({report['rebuild_boot_us']}us); the "
+            f"snapshot bootstrap is pure overhead",
+            file=sys.stderr,
         )
+        return 1
+    if report["pool_reuse_hits"] < 1:
+        print(
+            "FAIL: the second streaming run did not reuse the warm pool "
+            f"(created {report['pools_created']}, reused "
+            f"{report['pool_reuse_hits']})",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["hash_match"]:
+        print(
+            "FAIL: overlapped tailing merge hashed differently from the "
+            "wait-then-merge reference path",
+            file=sys.stderr,
+        )
+        return 1
+    print("workers gate: OK")
     return 0
 
 
@@ -402,6 +505,9 @@ def main() -> int:
         if status != 0:
             return status
     status = run_bench_smoke()
+    if status != 0:
+        return status
+    status = run_workers_gate()
     if status != 0:
         return status
     status = run_stage_gates()

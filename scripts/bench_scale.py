@@ -111,27 +111,35 @@ def main(argv=None) -> int:
         return 1
     print(f"OK: parent stayed under the {args.limit_mb:.0f}MB bound")
 
-    # Second leg: an identically-configured fresh campaign with a
+    # Second leg: the *same* campaign object re-runs with a
     # ProjectionAccumulator riding the merge (the pipelined
-    # campaign→report path).  The fold's aggregates are real state, so
-    # the bound is higher — but still in the aggregate domain, never
-    # the record stream — and the archive hash must not move by a byte.
+    # campaign→report path) — run tokens keep repeated runs idempotent
+    # and the warm pool carries over, so this leg doubles as the
+    # repeated-run determinism check at scale.  The fold's aggregates
+    # are real state, so the bound is higher — but still in the
+    # aggregate domain, never the record stream — and the archive hash
+    # must not move by a byte.
     from repro.analysis.engine import ProjectionAccumulator, StreamedDataset
     from repro.core.study import CellularDNSStudy, StudyConfig
 
-    sink_campaign = ShardedCampaign(
-        build_world(WorldConfig(seed=args.seed)), config, workers=args.workers
-    )
     with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
         output = os.path.join(tmp, "campaign.jsonl")
         sink = ProjectionAccumulator()
         tracemalloc.start()
         started = time.perf_counter()
-        streamed = sink_campaign.run_streaming(output, sink=sink)
+        streamed = campaign.run_streaming(output, sink=sink)
         engine = sink.finalize()
         sink_elapsed = time.perf_counter() - started
         sink_peak_mb = tracemalloc.get_traced_memory()[1] / (1024 * 1024)
         tracemalloc.stop()
+    campaign.close()
+    if campaign.pool_stats["reused"] < 1:
+        print(
+            "FAIL: the accumulator leg did not reuse the first leg's "
+            f"warm worker pool (stats {campaign.pool_stats})",
+            file=sys.stderr,
+        )
+        return 1
 
     print(
         f"bench-scale: accumulator leg {streamed['experiments']} "

@@ -57,6 +57,15 @@ class MappingPolicy:
     #: accuracy approaches the wired case even inside cellular space.
     ecs_error_km: float = 80.0
 
+    #: Canonicalises a resolver address to its /24's representative
+    #: member before localisation.  The CDN measures a resolver block
+    #: *once* — its estimate is a property of the /24, not of whichever
+    #: member happened to query first — so without this a block housing
+    #: resolvers in different cities would be pinned by query order,
+    #: breaking the shard-isolation contract (device ranges executed in
+    #: any order, on any worker, must observe identical mappings).
+    anchor_canon: Optional[Callable[[str], str]] = None
+
     def cluster_for(
         self, resolver_ip: str, now: float, is_client_subnet: bool = False
     ) -> int:
@@ -74,6 +83,11 @@ class MappingPolicy:
     def _decide(
         self, block: str, epoch: int, anchor_ip: str, is_client_subnet: bool
     ) -> int:
+        if not is_client_subnet and self.anchor_canon is not None:
+            # Client-subnet anchors are already block-pure (a client /24
+            # NATs through one egress region); resolver anchors must be
+            # canonicalised so the decision is order-independent.
+            anchor_ip = self.anchor_canon(anchor_ip)
         located = self.locator(anchor_ip)
         if located is None:
             # Unknown space: arbitrary but stable assignment.

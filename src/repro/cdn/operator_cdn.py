@@ -147,6 +147,7 @@ def build_operator_cdn(
         wired_error_km=0.0,
         cellular_error_km=0.0,
         cellular_blunder_prob=0.0,
+        anchor_canon=world.canonical_resolver_anchor,
     )
     authority = CdnAuthority(host=adns_host, zone_apex=f"{key}-sim.net")
     provider = OperatorCDN(

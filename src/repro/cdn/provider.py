@@ -236,6 +236,7 @@ def build_cdn(
     seed: int,
     mapping_overrides: Optional[dict] = None,
     a_ttl_override: Optional[int] = None,
+    anchor_canon=None,
 ) -> CDNProvider:
     """Create, register and wire one provider from its footprint."""
     system = AutonomousSystem(
@@ -280,6 +281,7 @@ def build_cdn(
         locator=locator,
         cluster_locations=[cluster.location for cluster in clusters],
         seed=seed,
+        anchor_canon=anchor_canon,
     )
     mapping_kwargs.update(mapping_overrides or {})
     mapping = MappingPolicy(**mapping_kwargs)

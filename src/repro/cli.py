@@ -66,6 +66,10 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _cmd_run(args) -> int:
     study = _study_from_args(args)
+    if getattr(args, "executor", "auto") == "auto":
+        # Surface why auto picked what it picked (and the measured
+        # bootstrap/simulate estimates it weighed).
+        print(study.executor_decision.describe(), file=sys.stderr)
     print(f"Simulating {len(study.campaign.devices)} devices for "
           f"{args.days:.0f} days...", file=sys.stderr)
     if args.report:

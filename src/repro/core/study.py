@@ -131,15 +131,19 @@ class CellularDNSStudy:
         world_config.seed = self.config.seed
         self.world: World = build_world(world_config)
         campaign_config = self.config.campaign_config()
-        #: The resolved execution strategy ("serial", "parallel" or
-        #: "sharded").  ``auto`` sizes against the *device-range* count
-        #: (sub-carrier shards), not the carrier count.
-        self.executor: str = select_executor(
+        carrier_keys = list(self.world.operators)
+        #: The full executor decision: why the strategy was chosen and
+        #: the bootstrap/simulate estimates it weighed (``auto`` sizes
+        #: against the *device-range* count — sub-carrier shards — and
+        #: the estimated campaign size).
+        self.executor_decision = select_executor(
             self.config.executor,
-            shard_count=len(
-                campaign_config.device_ranges(list(self.world.operators))
-            ),
+            shard_count=len(campaign_config.device_ranges(carrier_keys)),
+            experiments=campaign_config.estimated_experiments(carrier_keys),
         )
+        #: The resolved execution strategy ("serial", "parallel" or
+        #: "sharded"), as a string-comparable value.
+        self.executor: str = self.executor_decision
         if self.executor == "sharded":
             self.campaign: Campaign = ShardedCampaign(
                 self.world,

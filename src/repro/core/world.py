@@ -8,6 +8,9 @@ services, and the six carrier networks.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -87,6 +90,17 @@ class WorldConfig:
     #: that parallel campaign shards rebuild their worlds from.
     scenario: Optional[FaultScenario] = None
 
+    def content_hash(self) -> str:
+        """Stable digest of the configuration's content.
+
+        Keys the world-snapshot cache: two configs with equal content
+        hash build byte-identical worlds, so their workers can share one
+        serialized snapshot.  Dataclass ``repr`` is deterministic over
+        the field types a config holds (scalars, lists/dicts of frozen
+        dataclasses), which keeps the key readable in debuggers.
+        """
+        return hashlib.sha256(repr(self).encode("utf-8")).hexdigest()
+
 
 @dataclass
 class World:
@@ -109,6 +123,10 @@ class World:
     #: The address allocator, kept so extensions (operator CDNs, extra
     #: vantage points) can claim further prefixes after construction.
     allocator: Optional[PrefixAllocator] = None
+    #: Memoised /24 -> representative member address (see
+    #: :meth:`canonical_resolver_anchor`); pure over the static host
+    #: registry, so the memo can never make two lookups disagree.
+    _block_anchors: Dict[str, str] = field(default_factory=dict, repr=False)
 
     def operator(self, key: str) -> CellularOperator:
         """Look a carrier up by key."""
@@ -146,6 +164,32 @@ class World:
             if location is not None:
                 return location, True
         return None
+
+    def canonical_resolver_anchor(self, ip: str) -> str:
+        """The /24's representative member — the CDN's measurement unit.
+
+        CDN mapping policies group resolvers by /24 and measure each
+        block once (Sec 5.1), so the block's location estimate must be a
+        property of the block itself, never of whichever member queried
+        first.  The representative is the numerically lowest registered
+        host inside the /24 (deterministic over the static registry);
+        addresses with no registered blockmates canonicalise to
+        themselves.
+        """
+        from repro.core.addressing import ip_to_int, prefix24
+
+        block = prefix24(ip)
+        anchors = self._block_anchors
+        representative = anchors.get(block)
+        if representative is None:
+            members = [
+                host.ip
+                for host in self.internet.hosts()
+                if prefix24(host.ip) == block
+            ]
+            representative = min(members, key=ip_to_int) if members else ip
+            anchors[block] = representative
+        return representative
 
 
 def _echo_authority(
@@ -224,6 +268,7 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
             seed=rng.stream("cdn", key).randint(0, 2**31),
             mapping_overrides=dict(config.cdn_mapping_overrides),
             a_ttl_override=config.cdn_a_ttl_override,
+            anchor_canon=world.canonical_resolver_anchor,
         )
 
     world.google_dns = build_public_dns(
@@ -268,3 +313,107 @@ def build_world(config: Optional[WorldConfig] = None) -> World:
         world.google_dns.ecs_enabled = True
         world.opendns.ecs_enabled = True
     return world
+
+
+# -- world snapshots ---------------------------------------------------------
+#
+# Multiprocess campaign workers used to re-run :func:`build_world` per
+# worker process.  A *snapshot* amortizes that: the parent serializes a
+# pristine world once, ships the bytes to pool initializers, and each
+# worker materialises its world with one ``pickle.loads`` — several
+# times cheaper than a rebuild, and (under fork contexts) inherited
+# copy-on-write instead of being re-shipped.  Snapshots only exist for
+# *pristine* worlds: once resolution runs, lazy memo caches hold
+# compiled closures that cannot (and should not) be serialized, and
+# :func:`snapshot_world` returns None — callers then fall back to
+# shipping the config and rebuilding, exactly the old behaviour.
+
+#: Serialized pristine worlds per :meth:`WorldConfig.content_hash`.
+_SNAPSHOT_CACHE: Dict[str, bytes] = {}
+
+#: Most recent measured bootstrap costs in seconds, fed to
+#: ``select_executor``'s amortization estimate: ``snapshot_boot_s`` is
+#: one ``pickle.loads`` of a world snapshot, ``rebuild_boot_s`` one
+#: ``build_world`` — whichever a worker would actually pay.
+SNAPSHOT_TIMINGS: Dict[str, float] = {}
+
+#: RNG stream prefixes :func:`build_world` itself creates.  Any other
+#: stream on the registry means someone has drawn from the world since
+#: it was built — it is no longer the pristine state a snapshot must
+#: capture.
+_BUILD_STREAM_PREFIXES = ("cdn.", "public.", "carrier.")
+
+
+def _is_pristine(world: World) -> bool:
+    """True while nothing has drawn from the world since build.
+
+    Keyed off the RNG registry: every consumer (population build,
+    experiment runner, analysis, benches) opens streams outside the
+    build-time namespaces, so a registry holding only build-time
+    streams is an exact pristineness witness.
+    """
+    streams = getattr(world.rng, "_streams", {})
+    return all(name.startswith(_BUILD_STREAM_PREFIXES) for name in streams)
+
+
+def snapshot_world(world: World) -> Optional[bytes]:
+    """Serialize a pristine world, or None when it cannot be.
+
+    The result is cached per config content hash, so every campaign
+    (and every benchmark pool) over the same config shares one
+    serialization.  Used worlds are refused outright — a snapshot must
+    reproduce first-run state, and a world that has served draws is
+    past it (heavily-used worlds also hold unpicklable
+    compiled-sampler closures, which would fail the dump anyway) — and
+    the caller ships the config instead, exactly the old behaviour.
+    """
+    key = world.config.content_hash()
+    cached = _SNAPSHOT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if not _is_pristine(world):
+        return None
+    try:
+        started = time.perf_counter()
+        data = pickle.dumps(world, protocol=pickle.HIGHEST_PROTOCOL)
+        SNAPSHOT_TIMINGS["serialize_s"] = time.perf_counter() - started
+    except Exception:
+        return None
+    _SNAPSHOT_CACHE[key] = data
+    return data
+
+
+def boot_world(
+    snapshot: Optional[bytes], config: WorldConfig
+) -> Tuple[World, str]:
+    """Materialise a worker's world: snapshot if possible, else rebuild.
+
+    Returns ``(world, mode)`` with ``mode`` one of ``"snapshot"`` /
+    ``"rebuild"``.  Both paths produce byte-identical campaign output
+    (asserted by the worker-pool test suite); the snapshot path is just
+    cheaper.  Timings land in :data:`SNAPSHOT_TIMINGS` so executor
+    selection can reason about *measured* bootstrap cost.
+    """
+    if snapshot is not None:
+        try:
+            started = time.perf_counter()
+            world = pickle.loads(snapshot)
+            SNAPSHOT_TIMINGS["snapshot_boot_s"] = time.perf_counter() - started
+            return world, "snapshot"
+        except Exception:
+            pass
+    started = time.perf_counter()
+    world = build_world(config)
+    SNAPSHOT_TIMINGS["rebuild_boot_s"] = time.perf_counter() - started
+    return world, "rebuild"
+
+
+def measured_bootstrap_s() -> Optional[float]:
+    """Best current estimate of one worker's world-bootstrap seconds.
+
+    Prefers the snapshot-boot measurement (what a warm pool actually
+    pays per run) and falls back to the rebuild measurement; None until
+    either has been observed in this process.
+    """
+    timings = SNAPSHOT_TIMINGS
+    return timings.get("snapshot_boot_s", timings.get("rebuild_boot_s"))

@@ -37,9 +37,12 @@ BENCH_OUTPUT = "BENCH_campaign.json"
 #: 0.05, 14 days, 12 h interval) under the fault-free scenario.  The
 #: transport layer's byte-identity contract pins it: ``bench_check``
 #: and the determinism tests fail if a fault-free campaign ever drifts
-#: from the pre-transport engine's bytes.
+#: from the pre-transport engine's bytes.  Re-pinned when CDN mapping
+#: decisions became order-independent (per-/24 canonical anchors): the
+#: previous bytes encoded whichever resolver happened to query each /24
+#: first, which is exactly the order-dependence the fix removed.
 SMOKE_DATASET_SHA256 = (
-    "e71650347ce321f48978b0858ebdc95127a1abc81ca69c8e24edfcac69f88411"
+    "42b940625b2c4b19a61f3adc369eac4c1fc888edf11be3266330dca2ec281d1a"
 )
 
 
@@ -94,19 +97,19 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     workers = scale.workers or min(
         len(serial_campaign.world.operators), os.cpu_count() or 1
     )
-    parallel_campaign = ParallelCampaign(
+    with ParallelCampaign(
         build_world(world_config), campaign_config, workers=workers
-    )
-    started = time.perf_counter()
-    parallel = parallel_campaign.run()
-    parallel_s = time.perf_counter() - started
+    ) as parallel_campaign:
+        started = time.perf_counter()
+        parallel = parallel_campaign.run()
+        parallel_s = time.perf_counter() - started
 
-    sharded_campaign = ShardedCampaign(
+    with ShardedCampaign(
         build_world(world_config), campaign_config, workers=workers
-    )
-    started = time.perf_counter()
-    sharded = sharded_campaign.run()
-    sharded_s = time.perf_counter() - started
+    ) as sharded_campaign:
+        started = time.perf_counter()
+        sharded = sharded_campaign.run()
+        sharded_s = time.perf_counter() - started
 
     serial_hash = serial.content_hash()
     parallel_hash = parallel.content_hash()
@@ -141,6 +144,99 @@ def bench_campaign(scale: Optional[BenchScale] = None) -> Dict[str, object]:
         "sharded_speedup": round(serial_s / sharded_s, 2),
         "dataset_hash": serial_hash,
         "hash_match": serial_hash == parallel_hash == sharded_hash,
+    }
+
+
+# -- warm worker-pool economics -----------------------------------------------
+
+
+def bench_workers(scale: Optional[BenchScale] = None) -> Dict[str, object]:
+    """Worker-pool economics: snapshot boots, pool reuse, merge overlap.
+
+    Three measurements behind the warm-pool executor design:
+
+    * **snapshot vs rebuild bootstrap** — one ``pickle.loads`` of the
+      parent's pristine world snapshot vs one ``build_world``, best of
+      three, in microseconds.  This is the per-worker cost a pool
+      initializer pays under each boot mode.
+    * **pool reuse** — two streaming runs on one
+      :class:`~repro.measure.campaign.ShardedCampaign`; the second must
+      reuse the first's live pool (``pool_stats``), paying zero
+      interpreter spawns.
+    * **overlap advantage** — ``run_streaming`` with the tailing merge
+      (fold/serialize/hash advances while shards still execute) vs the
+      wait-then-merge reference path, in seconds.  The overlapped run
+      goes *first*, on the cold pool, so the advantage reported here is
+      the conservative bound; byte identity between the two runs is
+      asserted alongside.
+    """
+    import tempfile
+
+    from repro.core.world import boot_world, snapshot_world
+    from repro.measure.campaign import (
+        CampaignConfig,
+        ShardedCampaign,
+        resolve_mp_context,
+    )
+
+    scale = scale or BenchScale()
+    world_config = WorldConfig(seed=scale.seed)
+    campaign_config = CampaignConfig(
+        device_scale=scale.device_scale,
+        duration_days=scale.duration_days,
+        interval_hours=scale.interval_hours,
+    )
+
+    world = build_world(world_config)
+    snapshot = snapshot_world(world)
+    snapshot_boots: List[float] = []
+    rebuild_boots: List[float] = []
+    for _ in range(3):
+        started = time.perf_counter()
+        _, mode = boot_world(snapshot, world_config)
+        snapshot_boots.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        boot_world(None, world_config)
+        rebuild_boots.append(time.perf_counter() - started)
+
+    workers = scale.workers or min(os.cpu_count() or 1, 4)
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-workers-")
+    try:
+        with ShardedCampaign(
+            build_world(world_config), campaign_config, workers=workers
+        ) as campaign:
+            started = time.perf_counter()
+            overlapped = campaign.run_streaming(
+                os.path.join(tmpdir, "overlapped.jsonl"), overlap=True
+            )
+            overlapped_s = time.perf_counter() - started
+            started = time.perf_counter()
+            reference = campaign.run_streaming(
+                os.path.join(tmpdir, "reference.jsonl"), overlap=False
+            )
+            reference_s = time.perf_counter() - started
+            pool_stats = dict(campaign.pool_stats)
+            shards = campaign.shards
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    snapshot_boot = min(snapshot_boots)
+    rebuild_boot = min(rebuild_boots)
+    return {
+        "snapshot_bytes": len(snapshot or b""),
+        "snapshot_boot_mode": mode,
+        "snapshot_boot_us": round(snapshot_boot * 1e6, 1),
+        "rebuild_boot_us": round(rebuild_boot * 1e6, 1),
+        "snapshot_speedup": round(rebuild_boot / max(snapshot_boot, 1e-9), 2),
+        "mp_context": resolve_mp_context("auto"),
+        "workers": workers,
+        "shards": shards,
+        "pools_created": pool_stats["created"],
+        "pool_reuse_hits": pool_stats["reused"],
+        "overlapped_s": round(overlapped_s, 3),
+        "reference_s": round(reference_s, 3),
+        "overlap_advantage_s": round(reference_s - overlapped_s, 3),
+        "hash_match": overlapped["content_hash"] == reference["content_hash"],
     }
 
 
@@ -896,6 +992,7 @@ def run_benchmarks(
     report: Dict[str, object] = {
         "cpu_count": os.cpu_count(),
         "campaign": campaign,
+        "workers": bench_workers(scale),
         "stages": stages,
         "sampler": sampler,
         "scheduler": bench_scheduler(),
@@ -915,6 +1012,7 @@ def run_benchmarks(
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable summary of a benchmark report."""
     campaign = report["campaign"]
+    workers = report.get("workers")
     stages = report.get("stages")
     sampler = report.get("sampler")
     scheduler = report.get("scheduler")
@@ -941,6 +1039,21 @@ def format_report(report: Dict[str, object]) -> str:
             + sharded_part
             + f"auto executor: {campaign['executor']} | "
             f"hash match: {campaign['hash_match']}"
+        ),
+        (
+            f"workers: snapshot boot {workers['snapshot_boot_us']}us vs "
+            f"rebuild {workers['rebuild_boot_us']}us "
+            f"({workers['snapshot_speedup']}x, "
+            f"{workers['snapshot_bytes']}b snapshot) | "
+            f"ctx {workers['mp_context']} | pools created "
+            f"{workers['pools_created']}, reused "
+            f"{workers['pool_reuse_hits']} | overlap advantage "
+            f"{workers['overlap_advantage_s']}s "
+            f"(overlapped {workers['overlapped_s']}s vs reference "
+            f"{workers['reference_s']}s) | "
+            f"hash match: {workers['hash_match']}"
+            if workers
+            else "workers: skipped"
         ),
         (
             "stages: "

@@ -19,12 +19,15 @@ from repro.core.faults import BUNDLED_SCENARIOS, load_scenario
 from repro.core.world import WorldConfig
 
 #: Tiny-scale campaign goldens (device_scale=0.05, 4 days, 24 h
-#: interval), recorded on the pre-transport engine.  A fault-free
-#: campaign must keep reproducing them byte for byte.
+#: interval).  A fault-free campaign must keep reproducing them byte
+#: for byte.  Re-recorded (seeds 2014, 99) when CDN /24 mapping
+#: decisions became order-independent: the old bytes encoded whichever
+#: resolver queried each /24 first, the order-dependence that made
+#: shard-order a hash hazard.
 TINY_GOLDEN_HASHES = {
-    2014: "999d0e75bbaeddd5e98482fc45cb038f86a656070aea46e32ebeac332ecd6196",
+    2014: "f572f84c1dab854d4183ef48fe62930684ff40a437784ef62a6e0cb897a5b5bf",
     7: "6a272ae6d07a34961638c8fe7f8dc37d100b2d42a2b5fe4af5f72e739c8ffc4d",
-    99: "9068ca0d5f97d82df9e8b841bbe3a12617987234566df095600f5c599847706c",
+    99: "d247105c1b5868fe403354aee2be8e37c4f3102486dfd899332298e339392750",
 }
 
 

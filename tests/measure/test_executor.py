@@ -3,7 +3,11 @@
 import pytest
 
 from repro.core.errors import ConfigError
-from repro.measure.campaign import EXECUTOR_CHOICES, select_executor
+from repro.measure.campaign import (
+    EXECUTOR_CHOICES,
+    ExecutorDecision,
+    select_executor,
+)
 
 
 class TestSelectExecutor:
@@ -30,6 +34,8 @@ class TestSelectExecutor:
         # Sub-carrier sharding replaced the per-carrier pick: two cores
         # and two device ranges are enough, and more cores keep scaling
         # (workers size as min(cores, device_ranges), not carriers).
+        # Without a campaign-size estimate auto assumes the campaign is
+        # large enough to amortize worker bootstrap.
         assert select_executor("auto", cpu_count=2, shard_count=2) == "sharded"
         assert select_executor("auto", cpu_count=8, shard_count=6) == "sharded"
         assert select_executor("auto", cpu_count=64, shard_count=200) == "sharded"
@@ -44,6 +50,74 @@ class TestSelectExecutor:
 
     def test_choices_constant_matches_cli(self):
         assert EXECUTOR_CHOICES == ("auto", "serial", "parallel", "sharded")
+
+
+class TestAmortizationDecisionTable:
+    """The auto policy across core counts and campaign sizes.
+
+    Explicit ``bootstrap_s``/``per_experiment_s`` pin the estimates so
+    the table does not depend on what this process happened to measure.
+    """
+
+    COSTS = dict(bootstrap_s=1.0, per_experiment_s=0.001)
+
+    @pytest.mark.parametrize("experiments", [10, 10_000, 10_000_000])
+    def test_one_core_is_always_serial(self, experiments):
+        decision = select_executor(
+            "auto", cpu_count=1, shard_count=8,
+            experiments=experiments, **self.COSTS,
+        )
+        assert decision == "serial"
+        assert "single core" in decision.reason
+
+    @pytest.mark.parametrize("cpu_count", [2, 8])
+    def test_small_campaigns_stay_serial_on_any_core_count(self, cpu_count):
+        # 10 experiments ≈ 0.01s of simulate vs 1s per-worker bootstrap:
+        # going multiprocess can only lose.
+        decision = select_executor(
+            "auto", cpu_count=cpu_count, shard_count=8,
+            experiments=10, **self.COSTS,
+        )
+        assert decision == "serial"
+        assert "amortize" in decision.reason
+
+    @pytest.mark.parametrize("cpu_count", [2, 8])
+    def test_large_campaigns_shard_on_multi_core(self, cpu_count):
+        # 10k experiments ≈ 10s of simulate clears the 2x bootstrap bar.
+        decision = select_executor(
+            "auto", cpu_count=cpu_count, shard_count=8,
+            experiments=10_000, **self.COSTS,
+        )
+        assert decision == "sharded"
+
+    def test_threshold_scales_with_bootstrap_cost(self):
+        # The same campaign flips to serial when bootstrap is pricier —
+        # the measured-bootstrap recalibration in action.
+        base = dict(cpu_count=8, shard_count=8, experiments=3_000,
+                    per_experiment_s=0.001)
+        assert select_executor("auto", bootstrap_s=1.0, **base) == "sharded"
+        assert select_executor("auto", bootstrap_s=2.0, **base) == "serial"
+
+    def test_decision_reports_its_inputs(self):
+        decision = select_executor(
+            "auto", cpu_count=8, shard_count=4,
+            experiments=10_000, **self.COSTS,
+        )
+        assert isinstance(decision, ExecutorDecision)
+        assert decision.executor == "sharded"
+        assert decision.cpu_count == 8
+        assert decision.shard_count == 4
+        assert decision.bootstrap_s == 1.0
+        assert decision.simulate_s == pytest.approx(10.0)
+        described = decision.describe()
+        assert described.startswith("executor sharded:")
+        assert "bootstrap" in described
+
+    def test_decision_is_a_plain_string_value(self):
+        decision = select_executor("serial", cpu_count=1, shard_count=1)
+        assert decision == "serial"
+        assert str(decision) == "serial"
+        assert decision.reason == "explicit request"
 
 
 class TestDeviceRanges:
@@ -98,11 +172,26 @@ class TestStudyExecutor:
         from repro.measure.campaign import ShardedCampaign
 
         monkeypatch.setattr(campaign_module.os, "cpu_count", lambda: 4)
-        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        # The default study scale (~5k experiments) is big enough to
+        # amortize worker bootstrap; smoke scale is not (tested below).
+        study = CellularDNSStudy(StudyConfig())
         assert study.executor == "sharded"
         assert isinstance(study.campaign, ShardedCampaign)
         # Workers size from cores and ranges, not the carrier count.
         assert study.campaign.workers == min(4, len(study.campaign.ranges))
+
+    def test_study_auto_keeps_tiny_campaigns_serial_on_multi_core(
+        self, monkeypatch
+    ):
+        import repro.measure.campaign as campaign_module
+        from repro import CellularDNSStudy, StudyConfig
+
+        monkeypatch.setattr(campaign_module.os, "cpu_count", lambda: 4)
+        study = CellularDNSStudy(StudyConfig.smoke_scale())
+        # Cores are available, but a smoke campaign finishes serially
+        # faster than the workers could even boot.
+        assert study.executor == "serial"
+        assert "amortize" in study.executor_decision.reason
 
     def test_study_explicit_serial(self):
         from repro import CellularDNSStudy, StudyConfig
