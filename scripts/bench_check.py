@@ -35,7 +35,12 @@ Runs, in order:
    ``us_per_record`` must stay within 50% of the committed figure
    (more headroom than the DNS gate: the measured interval is
    shorter, so box noise is proportionally larger);
-6. the pipelined campaign→report gate: the streaming-merge report must
+6. the dataset backends gate: every storage backend (JSONL, SQLite,
+   columnar) must roundtrip the smoke dataset hash-identically (hard
+   failure — a backend that changes bytes corrupts archives), and the
+   JSONL reference writer's append/load us-per-record must stay within
+   50% of the committed ``bench_backends`` figures;
+7. the pipelined campaign→report gate: the streaming-merge report must
    render byte-identical to the post-hoc path (hard failure), and the
    streaming leg must beat campaign-then-report wall-clock by at least
    the committed ``analysis.load_s + engine_scan_s`` — the archive
@@ -413,6 +418,121 @@ def run_analysis_gate() -> int:
     return 0
 
 
+#: Allowed backend append/load us-per-record slack over the committed
+#: ``bench_backends`` figures (1.5 == a ≥50% regression fails).  Only
+#: the JSONL backend gates — it is the byte reference and the format
+#: every existing golden pins; the alternate backends' figures are
+#: informational until they grow goldens of their own.
+BACKENDS_REGRESSION_LIMIT = 1.5
+
+#: Backend-gate attempts: CPU-steal noise is additive, so per-metric
+#: minimums over attempts are the robust statistic (same reasoning as
+#: the stage gates).
+BACKENDS_GATE_ATTEMPTS = 3
+
+
+def run_backends_gate() -> int:
+    """Storage backends must roundtrip hash-identically, and the JSONL
+    reference writer must stay near its committed pace.
+
+    Runs :func:`~repro.measure.bench.bench_backends` at the smoke scale
+    and requires:
+
+    * **hash identity** (hard failure): the dataset loaded back from
+      every backend must reproduce the in-memory
+      ``Dataset.content_hash`` — a backend that changes bytes is
+      corrupting archives, whatever its speed;
+    * **JSONL pace**: append and load us-per-record must stay within
+      ``BACKENDS_REGRESSION_LIMIT`` of the committed ``bench_backends``
+      figures (best-of-``BACKENDS_GATE_ATTEMPTS``), so the backend
+      refactor can never quietly tax the historical serialize path.
+    """
+    sys.path.insert(0, SRC)
+    from repro.measure.bench import bench_backends
+
+    committed_path = os.path.join(REPO_ROOT, "BENCH_campaign.json")
+    if not os.path.exists(committed_path):
+        print("note: no committed BENCH_campaign.json; skipping backends gate")
+        return 0
+    with open(committed_path) as handle:
+        committed = json.load(handle)
+    baselines = committed.get("bench_backends", {}).get("jsonl", {})
+    print("== dataset backends gate ==", flush=True)
+    report = bench_backends()
+    print(
+        " | ".join(
+            f"{name} append {report[name]['append_us_per_record']}us/rec, "
+            f"load {report[name]['load_us_per_record']}us/rec"
+            for name in ("jsonl", "sqlite", "columnar")
+            if name in report
+        )
+        + f" | hash match: {report['hash_match']}",
+        flush=True,
+    )
+    if not report["hash_match"]:
+        print(
+            "FAIL: a backend roundtrip changed Dataset.content_hash — "
+            "storage is corrupting archives",
+            file=sys.stderr,
+        )
+        return 1
+    limits = {}
+    for metric in ("append_us_per_record", "load_us_per_record"):
+        baseline = baselines.get(metric)
+        if not baseline:
+            print(
+                f"note: committed benchmark lacks bench_backends.jsonl."
+                f"{metric}; skipping its gate"
+            )
+            continue
+        limits[metric] = baseline * BACKENDS_REGRESSION_LIMIT
+    best = {metric: report["jsonl"][metric] for metric in limits}
+    attempts = 1
+    while (
+        any(best[metric] >= limit for metric, limit in limits.items())
+        and attempts < BACKENDS_GATE_ATTEMPTS
+    ):
+        over = [m for m, lim in limits.items() if best[m] >= lim]
+        print(
+            f"note: jsonl {', '.join(over)} over limit on attempt "
+            f"{attempts} — re-measuring (noise is additive; the minimum "
+            f"counts)",
+            flush=True,
+        )
+        retry = bench_backends()
+        if not retry["hash_match"]:
+            print(
+                "FAIL: a backend roundtrip changed Dataset.content_hash "
+                "on re-measure",
+                file=sys.stderr,
+            )
+            return 1
+        for metric in best:
+            best[metric] = min(best[metric], retry["jsonl"][metric])
+        attempts += 1
+    failed = False
+    for metric, limit in limits.items():
+        baseline = baselines[metric]
+        measured = best[metric]
+        print(
+            f"jsonl {metric} {measured} (best of {attempts}) | "
+            f"committed {baseline} | limit {round(limit, 1)}",
+            flush=True,
+        )
+        if measured >= limit:
+            print(
+                f"FAIL: jsonl {metric} {measured} regressed >=50% over "
+                f"the committed {baseline} (limit {round(limit, 1)}) "
+                f"across {attempts} attempts",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
+        return 1
+    print("backends gate: OK")
+    return 0
+
+
 #: Pipeline-gate attempts before the advantage check may fail.  Box
 #: noise can deflate the measured advantage (a steal spike in the
 #: streaming leg), so the *maximum* over attempts is the robust
@@ -514,6 +634,9 @@ def main() -> int:
     if status != 0:
         return status
     status = run_analysis_gate()
+    if status != 0:
+        return status
+    status = run_backends_gate()
     if status != 0:
         return status
     return run_pipeline_gate()

@@ -18,6 +18,13 @@ stream.  The run must reproduce the merge-only content hash exactly and
 its :class:`~repro.analysis.engine.StreamedDataset` must render the
 full report without touching the output file.
 
+A third leg exercises crash-safe resume at scale: the same campaign
+runs checkpointed (per-shard durable commits, see
+:mod:`repro.measure.checkpoint`), is interrupted after a third of its
+shards have committed, and a fresh campaign object resumes it — the
+resumed archive's content hash must be byte-identical to the first
+leg's uninterrupted streaming hash.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_scale.py [--scale 10] [--days 2]
@@ -188,6 +195,73 @@ def main(argv=None) -> int:
         f"OK: accumulator stayed under the "
         f"{args.accumulator_limit_mb:.0f}MB bound; streamed report "
         f"rendered ({len(report_text)} chars) with zero archive re-read"
+    )
+
+    # Third leg: crash-safe resume at scale.  A checkpointed run of the
+    # same campaign is interrupted after a third of its shards have
+    # durably committed; a *fresh* campaign object (new process state,
+    # new pool) resumes from the manifests and must reproduce the first
+    # leg's content hash byte for byte.
+    from repro.measure.checkpoint import CampaignInterrupted, run_checkpointed
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+        output = os.path.join(tmp, "campaign.jsonl")
+        interrupted = ShardedCampaign(
+            build_world(WorldConfig(seed=args.seed)), config,
+            workers=args.workers,
+        )
+        stop_after = max(1, interrupted.shards // 3)
+        started = time.perf_counter()
+        try:
+            run_checkpointed(interrupted, output, stop_after_shards=stop_after)
+            print(
+                f"FAIL: checkpointed run was not interrupted after "
+                f"{stop_after} shards",
+                file=sys.stderr,
+            )
+            return 1
+        except CampaignInterrupted as exc:
+            first_elapsed = time.perf_counter() - started
+            print(
+                f"bench-scale: resume leg interrupted after "
+                f"{exc.committed}/{interrupted.shards} shard commits "
+                f"({first_elapsed:.1f}s)"
+            )
+        finally:
+            interrupted.close()
+        resumed_campaign = ShardedCampaign(
+            build_world(WorldConfig(seed=args.seed)), config,
+            workers=args.workers,
+        )
+        started = time.perf_counter()
+        resumed = run_checkpointed(resumed_campaign, output, resume=True)
+        resume_elapsed = time.perf_counter() - started
+        resumed_campaign.close()
+    print(
+        f"bench-scale: resumed {resumed['resumed_shards']} committed "
+        f"shards, executed {resumed['executed_shards']} of "
+        f"{resumed['total_shards']} in {resume_elapsed:.1f}s | hash "
+        f"{resumed['content_hash'][:12]}"
+    )
+    if resumed["content_hash"] != result["content_hash"]:
+        print(
+            "FAIL: resumed archive hash diverged from the uninterrupted "
+            f"run ({resumed['content_hash'][:12]} != "
+            f"{result['content_hash'][:12]})",
+            file=sys.stderr,
+        )
+        return 1
+    if resumed["resumed_shards"] < stop_after:
+        print(
+            f"FAIL: resume replayed only {resumed['resumed_shards']} "
+            f"committed shards (expected >= {stop_after}) — the "
+            f"checkpoints were not trusted",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "OK: interrupted + resumed archive is byte-identical to the "
+        "uninterrupted run"
     )
     return 0
 

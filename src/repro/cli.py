@@ -1,13 +1,20 @@
 """Command-line interface.
 
-Four subcommands cover the lifecycle of a study:
+Five subcommands cover the lifecycle of a study:
 
 * ``repro-study run`` — simulate a campaign and archive the dataset
   (``--report`` also prints the report, folded incrementally from the
-  streaming merge without re-reading the archive);
+  streaming merge without re-reading the archive; ``--backend``
+  selects the storage layout, ``--checkpoint``/``--resume`` make the
+  run durable and crash-resumable via per-shard manifests);
 * ``repro-study report`` — print the paper's tables/figures from a
   dataset (or re-simulate when none is given);
-* ``repro-study validate`` — integrity-check an archived dataset;
+* ``repro-study validate`` — integrity-check an archived dataset
+  (``--manifests`` also verifies per-shard checkpoint manifests
+  against the bytes on disk);
+* ``repro-study reconcile`` — heal a checkpointed campaign: verify
+  every shard against its manifest, quarantine and re-run anything
+  missing/truncated/corrupt, re-merge the archive;
 * ``repro-study export`` — dump every figure's series as CSV.
 
 Plus ``verify`` (check paper claims against a fresh campaign) and
@@ -23,9 +30,11 @@ from typing import List, Optional
 
 from repro import CellularDNSStudy, StudyConfig
 from repro.analysis.export import export_study_figures
+from repro.core.errors import DatasetError
+from repro.measure.backends import BACKEND_CHOICES
 from repro.measure.campaign import EXECUTOR_CHOICES
 from repro.measure.records import Dataset
-from repro.measure.validate import validate_dataset
+from repro.measure.validate import validate_dataset, verify_manifests
 
 
 def _study_from_args(args) -> CellularDNSStudy:
@@ -72,16 +81,61 @@ def _cmd_run(args) -> int:
         print(study.executor_decision.describe(), file=sys.stderr)
     print(f"Simulating {len(study.campaign.devices)} devices for "
           f"{args.days:.0f} days...", file=sys.stderr)
+    backend = args.backend
+    checkpointed = args.checkpoint or args.resume or args.checkpoint_dir
+    sink = None
     if args.report:
         # Pipelined campaign→report: the analysis accumulator rides the
         # streaming merge, folding each record as its line is written.
         # The report renders from the accumulated projections with zero
         # re-read of the output file; the archived bytes (and content
         # hash) are identical to the plain run.
-        from repro.analysis.engine import ProjectionAccumulator, StreamedDataset
+        from repro.analysis.engine import ProjectionAccumulator
 
         sink = ProjectionAccumulator()
-        result = study.campaign.run_streaming(args.output, sink=sink)
+    if checkpointed:
+        # Durable mode: per-shard commits with manifest sidecars, so a
+        # crash loses at most one uncommitted shard and --resume
+        # finishes the run byte-identically.
+        from repro.measure.checkpoint import (
+            CampaignInterrupted, run_checkpointed,
+        )
+
+        try:
+            result = run_checkpointed(
+                study.campaign,
+                args.output,
+                backend=backend or "jsonl",
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                sink=sink,
+            )
+        except CampaignInterrupted as exc:
+            print(f"INTERRUPTED: {exc} — re-run with --resume to finish",
+                  file=sys.stderr)
+            return 1
+        except DatasetError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 1
+        if result["resumed_shards"]:
+            print(
+                f"Resumed {result['resumed_shards']} committed shards, "
+                f"executed {result['executed_shards']} of "
+                f"{result['total_shards']}",
+                file=sys.stderr,
+            )
+    elif args.report or backend:
+        result = study.campaign.run_streaming(
+            args.output, sink=sink, backend=backend
+        )
+    else:
+        dataset = study.dataset
+        written = dataset.save(args.output)
+        print(f"Wrote {written} experiments to {args.output}")
+        return 0
+    if sink is not None:
+        from repro.analysis.engine import StreamedDataset
+
         study.use_dataset(
             StreamedDataset(
                 sink.finalize(),
@@ -91,12 +145,8 @@ def _cmd_run(args) -> int:
             )
         )
         print(study.regenerate_report().text)
-        print(f"Wrote {result['experiments']} experiments to {args.output}",
-              file=sys.stderr)
-        return 0
-    dataset = study.dataset
-    written = dataset.save(args.output)
-    print(f"Wrote {written} experiments to {args.output}")
+    print(f"Wrote {result['experiments']} experiments to {args.output}",
+          file=sys.stderr)
     return 0
 
 
@@ -123,6 +173,8 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_validate(args) -> int:
+    import os
+
     dataset = Dataset.load(args.dataset)
     report = validate_dataset(dataset)
     print(report.summary())
@@ -130,7 +182,41 @@ def _cmd_validate(args) -> int:
         print(f"  {finding}")
     if len(report.findings) > args.max_findings:
         print(f"  ... and {len(report.findings) - args.max_findings} more")
-    return 0 if report.ok else 1
+    manifests_ok = True
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.manifests:
+        from repro.measure.checkpoint import default_checkpoint_dir
+
+        checkpoint_dir = default_checkpoint_dir(args.dataset)
+    if checkpoint_dir is None:
+        # Auto-detect: a sibling .shards directory means the archive was
+        # written by a checkpointed run — verify it without being asked.
+        from repro.measure.checkpoint import default_checkpoint_dir
+
+        candidate = default_checkpoint_dir(args.dataset)
+        if os.path.isdir(candidate):
+            checkpoint_dir = candidate
+    if checkpoint_dir is not None:
+        verification = verify_manifests(args.dataset, checkpoint_dir)
+        print(f"checkpoint manifests ({verification.checkpoint_dir}):")
+        print(verification.table())
+        manifests_ok = verification.ok
+    return 0 if report.ok and manifests_ok else 1
+
+
+def _cmd_reconcile(args) -> int:
+    from repro.measure.checkpoint import reconcile
+
+    study = _study_from_args(args)
+    report = reconcile(
+        study.campaign,
+        args.output,
+        backend=args.backend or "jsonl",
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    print(report.table())
+    print(report.summary())
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -245,6 +331,28 @@ def build_parser() -> argparse.ArgumentParser:
              "the output file is never re-read); archived bytes are "
              "identical to a plain run",
     )
+    run.add_argument(
+        "--backend", choices=list(BACKEND_CHOICES), default=None,
+        help="dataset storage backend; default infers from the output "
+             "extension with JSONL (the byte reference) as fallback — "
+             "the content hash is identical under every backend",
+    )
+    run.add_argument(
+        "--checkpoint", action="store_true",
+        help="run durably: commit each shard with a fsync'd manifest "
+             "sidecar under <output>.shards/, so a crash loses at most "
+             "the uncommitted shards and --resume finishes the run",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="resume a checkpointed run: replay committed shards from "
+             "their manifests, execute only the missing ones; the "
+             "finished archive is byte-identical to an uninterrupted run",
+    )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint directory (default: <output>.shards)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser("report", help="print the paper's artifacts")
@@ -261,7 +369,47 @@ def build_parser() -> argparse.ArgumentParser:
     validate = commands.add_parser("validate", help="integrity-check a dataset")
     validate.add_argument("dataset")
     validate.add_argument("--max-findings", type=int, default=20)
+    validate.add_argument(
+        "--manifests", action="store_true",
+        help="also verify per-shard checkpoint manifests against the "
+             "shard bytes and the archive (auto-detected when a "
+             "<dataset>.shards directory exists)",
+    )
+    validate.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint directory to verify (default: <dataset>.shards)",
+    )
     validate.set_defaults(handler=_cmd_validate)
+
+    reconcile = commands.add_parser(
+        "reconcile",
+        help="heal a checkpointed campaign: verify every shard against "
+             "its manifest, quarantine + re-run anything missing or "
+             "corrupt (evidence is never deleted), re-merge the archive",
+    )
+    _add_scale_arguments(reconcile)
+    reconcile.add_argument("--output", "-o", default="campaign.jsonl",
+                           help="the checkpointed campaign's archive path")
+    reconcile.add_argument(
+        "--workers", type=int, default=0,
+        help="worker pool size for re-running shards (0 = auto)",
+    )
+    reconcile.add_argument(
+        "--shards", type=int, default=0,
+        help="shard plan of the original run (must match its manifest)",
+    )
+    reconcile.add_argument(
+        "--executor", choices=list(EXECUTOR_CHOICES), default="auto",
+    )
+    reconcile.add_argument(
+        "--backend", choices=list(BACKEND_CHOICES), default=None,
+        help="storage backend of the checkpointed run (default jsonl)",
+    )
+    reconcile.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint directory (default: <output>.shards)",
+    )
+    reconcile.set_defaults(handler=_cmd_reconcile)
 
     export = commands.add_parser("export", help="export figure series as CSV")
     _add_scale_arguments(export)

@@ -49,3 +49,20 @@ class ConfigError(ReproError, ValueError):
 
 class DatasetError(ReproError, ValueError):
     """A measurement dataset could not be read, written or validated."""
+
+
+class TruncatedDatasetError(DatasetError):
+    """An archive or shard ends in a partial record (crash mid-write).
+
+    Carries what a resume/reconcile pass needs to treat the file as an
+    *incomplete prefix* rather than garbage: how many clean records
+    precede the torn tail, and the tail itself.
+    """
+
+    def __init__(self, message: str, clean_records: int = 0,
+                 partial_line: str = ""):
+        super().__init__(message)
+        #: Records that parsed cleanly before the torn tail.
+        self.clean_records = clean_records
+        #: The partial final line (may be long; kept for diagnostics).
+        self.partial_line = partial_line

@@ -723,6 +723,71 @@ def bench_analysis(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     }
 
 
+def bench_backends(scale: Optional[BenchScale] = None) -> Dict[str, object]:
+    """Per-backend archive append/load throughput, hash-checked.
+
+    One smoke-scale campaign dataset is written and re-read through
+    every registered storage backend (see
+    :mod:`repro.measure.backends`), best-of-3 on both directions.
+    ``append_us_per_record`` covers serialisation plus the backend's
+    write path — for JSONL that is exactly the historical
+    ``Dataset.save`` path, so this number is the regression gate for
+    the archive writer.  ``hash_match`` asserts the roundtripped
+    dataset's :meth:`Dataset.content_hash` is identical under every
+    backend — a backend that got faster by changing the bytes is a
+    regression, same rule as the campaign benchmark.
+    """
+    import tempfile
+
+    from repro.core.study import CellularDNSStudy, StudyConfig
+    from repro.measure.backends import BACKEND_CHOICES, get_backend
+    from repro.measure.records import Dataset
+
+    gc.collect()
+    scale = scale or smoke_scale()
+    study = CellularDNSStudy(
+        StudyConfig(
+            seed=scale.seed,
+            device_scale=scale.device_scale,
+            duration_days=scale.duration_days,
+            interval_hours=scale.interval_hours,
+            executor="serial",
+        )
+    )
+    dataset = study.dataset
+    experiments = len(dataset)
+    dataset_hash = dataset.content_hash()
+    report: Dict[str, object] = {
+        "experiments": experiments,
+        "dataset_hash": dataset_hash,
+        "hash_match": True,
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench-backends-") as tmp:
+        for name in BACKEND_CHOICES:
+            backend = get_backend(name)
+            path = os.path.join(tmp, f"archive{backend.shard_extension}")
+            append_s = float("inf")
+            for _ in range(3):
+                started = time.perf_counter()
+                dataset.save(path, backend=name)
+                append_s = min(append_s, time.perf_counter() - started)
+            load_s = float("inf")
+            loaded = None
+            for _ in range(3):
+                started = time.perf_counter()
+                loaded = Dataset.load(path, backend=name)
+                load_s = min(load_s, time.perf_counter() - started)
+            hash_match = loaded.content_hash() == dataset_hash
+            report["hash_match"] = report["hash_match"] and hash_match
+            report[name] = {
+                "append_us_per_record": round(append_s / experiments * 1e6, 1),
+                "load_us_per_record": round(load_s / experiments * 1e6, 1),
+                "archive_bytes": os.path.getsize(path),
+                "hash_match": hash_match,
+            }
+    return report
+
+
 def bench_pipeline(scale: Optional[BenchScale] = None) -> Dict[str, object]:
     """Pipelined campaign→report vs the post-hoc two-pass flow.
 
@@ -997,6 +1062,7 @@ def run_benchmarks(
         "sampler": sampler,
         "scheduler": bench_scheduler(),
         "analysis": bench_analysis(),
+        "bench_backends": bench_backends(),
         "pipeline": bench_pipeline(scale),
         "transport": transport,
         "asn_lookup": bench_asn_lookup(),
@@ -1017,6 +1083,7 @@ def format_report(report: Dict[str, object]) -> str:
     sampler = report.get("sampler")
     scheduler = report.get("scheduler")
     analysis = report.get("analysis")
+    backends = report.get("bench_backends")
     pipeline = report.get("pipeline")
     transport = report.get("transport")
     asn = report["asn_lookup"]
@@ -1100,6 +1167,18 @@ def format_report(report: Dict[str, object]) -> str:
             f"byte identical: {analysis['byte_identical']}"
             if analysis
             else "analysis: skipped"
+        ),
+        (
+            "backends: "
+            + " | ".join(
+                f"{name} append {backends[name]['append_us_per_record']}"
+                f"us/rec, load {backends[name]['load_us_per_record']}us/rec"
+                for name in ("jsonl", "sqlite", "columnar")
+                if name in backends
+            )
+            + f" | hash match: {backends['hash_match']}"
+            if backends
+            else "backends: skipped"
         ),
         (
             f"pipeline: streaming {pipeline['streaming_total_s']}s vs "

@@ -87,7 +87,6 @@ from repro.measure.experiment import ExperimentOptions, ExperimentRunner
 from repro.measure.records import (
     Dataset,
     ExperimentRecord,
-    merge_shard_jsonl,
     record_event_key,
 )
 from repro.measure.scheduler import ExperimentSchedule, ProbeEventQueue
@@ -549,7 +548,9 @@ class Campaign:
         del metadata["experiments"]
         return metadata
 
-    def run_streaming(self, output_path: str, sink=None) -> Dict[str, object]:
+    def run_streaming(
+        self, output_path: str, sink=None, backend: Optional[str] = None
+    ) -> Dict[str, object]:
         """Run serially, streaming records straight to ``output_path``.
 
         Each record is serialised as it is produced and never held
@@ -564,10 +565,17 @@ class Campaign:
         this serial path the analysis fold costs **zero decodes**, the
         record object itself is folded.
 
+        ``backend`` selects the on-disk layout (see
+        :mod:`repro.measure.backends`); the default resolves from the
+        output path's extension with JSONL — the byte reference — as
+        the fallback.  The content hash is backend-independent.
+
         Returns ``{"experiments", "content_hash", "path", "metadata"}``
         where ``metadata`` is the metadata dict the output file carries
         (record count included).
         """
+        from repro.measure.backends import resolve_backend
+
         self._prepare_serial_run()
         if sink is None:
             lines = (
@@ -583,10 +591,9 @@ class Campaign:
                     yield record.to_json_line()
 
             lines = _fold_and_serialise()
-        with open(output_path, "w", encoding="utf-8") as out:
-            count, digest = merge_shard_jsonl(
-                [lines], out, metadata=self._streaming_metadata()
-            )
+        count, digest = resolve_backend(backend, output_path).write_archive_lines(
+            output_path, [lines], metadata=self._streaming_metadata()
+        )
         metadata = self._streaming_metadata()
         metadata["experiments"] = count
         return {
@@ -975,7 +982,11 @@ class ShardedCampaign(_WarmPoolMixin, Campaign):
         return dataset
 
     def run_streaming(
-        self, output_path: str, sink=None, overlap: bool = True
+        self,
+        output_path: str,
+        sink=None,
+        overlap: bool = True,
+        backend: Optional[str] = None,
     ) -> Dict[str, object]:
         """Run all shards and stream the merged dataset to a file.
 
@@ -1002,10 +1013,17 @@ class ShardedCampaign(_WarmPoolMixin, Campaign):
         objects directly — zero decodes (see
         :meth:`Campaign.run_streaming`).
 
+        ``backend`` selects the final archive's on-disk layout (see
+        :mod:`repro.measure.backends`); shard spill files stay JSONL —
+        they are transient merge inputs, not archives — and the content
+        hash is backend-independent.
+
         Returns ``{"experiments", "content_hash", "path", "metadata"}``.
         """
+        from repro.measure.backends import resolve_backend
+
         if self.workers <= 0 or self.shards <= 1:
-            return super().run_streaming(output_path, sink)
+            return super().run_streaming(output_path, sink, backend=backend)
         tasks = self.shard_tasks()
         tmpdir = tempfile.mkdtemp(prefix="repro-shards-")
         try:
@@ -1029,13 +1047,14 @@ class ShardedCampaign(_WarmPoolMixin, Campaign):
                 for future in futures:
                     future.result()
                 streams = (_iter_jsonl_lines(path) for path in paths)
-            with open(output_path, "w", encoding="utf-8") as out:
-                count, digest = merge_shard_jsonl(
-                    streams,
-                    out,
-                    metadata=self._streaming_metadata(),
-                    sink=sink.ingest_line if sink is not None else None,
-                )
+            count, digest = resolve_backend(
+                backend, output_path
+            ).write_archive_lines(
+                output_path,
+                streams,
+                metadata=self._streaming_metadata(),
+                sink=sink.ingest_line if sink is not None else None,
+            )
         finally:
             shutil.rmtree(tmpdir, ignore_errors=True)
         metadata = self._streaming_metadata()

@@ -1,0 +1,704 @@
+"""Per-shard checkpoints, crash-safe resume, and the reconciler.
+
+The paper's campaigns ran continuously for months; a production-scale
+reproduction cannot lose hour six of a long simulated campaign to a
+crash at hour seven.  This module turns a campaign run into a sequence
+of *durable shard commits* against a :class:`CheckpointStore`:
+
+* each shard task's records stream through the selected backend's
+  :class:`~repro.measure.backends.ShardWriter` into ``shard-NNNN.<ext>.tmp``;
+* on completion the file is fsync'd, atomically renamed into place and
+  a **manifest sidecar** (shard ranges, record count, incremental
+  SHA-256 over the canonical lines) is written with the same
+  fsync+rename discipline;
+* :func:`run_checkpointed` with ``resume=True`` replays committed
+  shards straight from their manifests and re-executes only the
+  missing ranges — the merged archive is byte-identical to an
+  uninterrupted run because shard streams are deterministic functions
+  of the config and ranges never share cache scope;
+* :func:`reconcile` is the healing pass: it deep-verifies every shard
+  against its manifest, **quarantines** (never deletes) anything
+  missing/truncated/corrupt/mismatched, re-runs exactly those shards
+  and re-merges.
+
+State machine of one shard, as resume/reconcile see it::
+
+            ┌────────── no file, no manifest ──────────┐
+            ▼                                          │
+        MISSING ──run──▶ SEALED(tmp) ──rename+manifest──▶ COMMITTED
+            ▲                │                             │
+            │              crash                      scan != manifest
+            │                ▼                             ▼
+            └──re-run── UNCOMMITTED(tmp)              SUSPECT ──quarantine──▶ re-run
+
+The shard hash domain is the backend-independent one — SHA-256 over
+``line + "\\n"`` per canonical record line — so manifests written under
+one backend remain meaningful evidence about the *records*, and the
+final archive hash equals :meth:`Dataset.content_hash` regardless of
+layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import DatasetError, ReproError
+from repro.measure.backends import DatasetBackend, get_backend, write_atomic
+from repro.measure.campaign import (
+    Campaign,
+    DeviceRange,
+    ShardedCampaign,
+    _worker_campaign,
+)
+
+#: Manifest schema version (campaign manifest and shard sidecars).
+MANIFEST_VERSION = 1
+
+
+class CampaignInterrupted(ReproError):
+    """A checkpointed run stopped before every shard committed.
+
+    Raised for injected crashes (:class:`CrashPoint`), dead worker
+    processes, and ``stop_after_shards`` interrupts.  Everything
+    committed so far is durable; re-run with ``resume=True`` to finish.
+    """
+
+    def __init__(self, message: str, committed: int = 0, total: int = 0):
+        super().__init__(message)
+        self.committed = committed
+        self.total = total
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Deterministic crash injection for crash/resume tests and benches.
+
+    The shard task running ``shard`` stops after ``after_records``
+    appended records: with ``hard_kill`` the worker process flushes its
+    partial spill and dies with ``os._exit`` (no cleanup, no exception
+    propagation — the honest simulation of a killed worker, leaving a
+    partial shard on disk); without it the runner raises
+    :class:`CampaignInterrupted` in-process after flushing.
+    """
+
+    shard: int
+    after_records: int
+    hard_kill: bool = False
+
+
+def _range_descriptor(item: DeviceRange) -> List[object]:
+    return [item.carrier_key, item.index, item.start, item.stop]
+
+
+def task_descriptors(tasks: Sequence[Sequence[DeviceRange]]) -> List[List[List[object]]]:
+    """JSON-serialisable description of the shard→ranges assignment."""
+    return [[_range_descriptor(item) for item in task] for task in tasks]
+
+
+def campaign_fingerprint(
+    campaign: Campaign,
+    tasks: Sequence[Sequence[DeviceRange]],
+    backend: DatasetBackend,
+) -> str:
+    """Identity of a checkpointed run: world + config + plan + layout.
+
+    Resume refuses to mix manifests across fingerprints — a committed
+    shard is only evidence about *this* world config, campaign config,
+    shard plan and storage backend.
+    """
+    payload = json.dumps(
+        {
+            "world": campaign.world.config.content_hash(),
+            "config": repr(campaign.config),
+            "tasks": task_descriptors(tasks),
+            "backend": backend.name,
+        },
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def campaign_shard_tasks(campaign: Campaign) -> List[List[DeviceRange]]:
+    """The campaign's shard plan: its own for sharded executors, one
+    all-ranges task for serial/parallel campaigns (still checkpointable —
+    a single durable unit)."""
+    if isinstance(campaign, ShardedCampaign):
+        return campaign.shard_tasks()
+    ranges = campaign.config.device_ranges(list(campaign.world.operators))
+    return [ranges]
+
+
+class ShardState:
+    """One shard's reconciliation row: manifest vs bytes on disk."""
+
+    __slots__ = ("shard", "status", "records", "detail", "action")
+
+    def __init__(self, shard: int, status: str, records: int = 0,
+                 detail: str = "", action: str = ""):
+        self.shard = shard
+        self.status = status
+        self.records = records
+        self.detail = detail
+        #: What the pass did about it: ``kept`` / ``quarantined+rerun`` /
+        #: ``rerun``.
+        self.action = action
+
+
+class CheckpointStore:
+    """The durable shard directory beside a campaign archive.
+
+    Layout (``<output>.shards/`` by default)::
+
+        manifest.json               campaign manifest (fingerprint, plan)
+        shard-0000.jsonl            committed shard (backend extension)
+        shard-0000.manifest.json    shard sidecar (ranges, records, sha256)
+        shard-0003.jsonl.tmp        torn spill of an uncommitted shard
+        shard-0001.jsonl.quarantined-0   evidence kept by the reconciler
+
+    Commit protocol: seal the writer (flush+fsync the tmp), atomically
+    rename it into place, fsync the directory, then write the sidecar
+    via the same atomic discipline.  A reader therefore never trusts a
+    shard without its sidecar, and a crash between the two steps leaves
+    a committed file that resume simply re-verifies or re-runs — never
+    a half-trusted manifest.
+    """
+
+    def __init__(self, directory: str, backend: DatasetBackend):
+        self.directory = directory
+        self.backend = backend
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, "manifest.json")
+
+    def shard_path(self, shard: int) -> str:
+        return os.path.join(
+            self.directory,
+            f"shard-{shard:04d}{self.backend.shard_extension}",
+        )
+
+    def shard_manifest_path(self, shard: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard:04d}.manifest.json")
+
+    # -- campaign manifest --------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.manifest_path)
+
+    def read_manifest(self) -> Dict[str, object]:
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def write_manifest(self, fingerprint: str,
+                       tasks: Sequence[Sequence[DeviceRange]]) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        write_atomic(
+            self.manifest_path,
+            json.dumps(
+                {
+                    "version": MANIFEST_VERSION,
+                    "fingerprint": fingerprint,
+                    "backend": self.backend.name,
+                    "shards": len(tasks),
+                    "tasks": task_descriptors(tasks),
+                },
+                indent=2,
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    # -- shard commits ------------------------------------------------------
+
+    def commit_shard(
+        self,
+        shard: int,
+        task: Sequence[DeviceRange],
+        records: int,
+        sha256: str,
+    ) -> None:
+        """Atomically promote a sealed ``*.tmp`` spill to committed."""
+        path = self.shard_path(shard)
+        os.replace(path + ".tmp", path)
+        _fsync_parent(path)
+        write_atomic(
+            self.shard_manifest_path(shard),
+            json.dumps(
+                {
+                    "version": MANIFEST_VERSION,
+                    "shard": shard,
+                    "file": os.path.basename(path),
+                    "backend": self.backend.name,
+                    "ranges": [_range_descriptor(item) for item in task],
+                    "records": records,
+                    "sha256": sha256,
+                },
+                indent=2,
+                sort_keys=True,
+            ).encode("utf-8"),
+        )
+
+    def read_shard_manifest(self, shard: int) -> Optional[Dict[str, object]]:
+        try:
+            with open(self.shard_manifest_path(shard), "r",
+                      encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def is_committed(self, shard: int) -> bool:
+        return (
+            self.read_shard_manifest(shard) is not None
+            and os.path.exists(self.shard_path(shard))
+        )
+
+    def verify_shard(self, shard: int) -> ShardState:
+        """Deep-verify one shard's bytes against its manifest sidecar."""
+        manifest = self.read_shard_manifest(shard)
+        path = self.shard_path(shard)
+        if manifest is None:
+            if os.path.exists(path + ".tmp"):
+                return ShardState(
+                    shard, "uncommitted", 0,
+                    "sealed or torn spill without a manifest",
+                )
+            if os.path.exists(path):
+                return ShardState(
+                    shard, "uncommitted", 0,
+                    "shard file without a manifest sidecar",
+                )
+            return ShardState(shard, "missing", 0, "never committed")
+        scan = self.backend.scan(path)
+        if scan.status != "ok":
+            return ShardState(shard, scan.status, scan.records, scan.detail)
+        if scan.records != manifest["records"] or scan.sha256 != manifest["sha256"]:
+            return ShardState(
+                shard, "mismatch", scan.records,
+                f"manifest promises {manifest['records']} records "
+                f"sha {str(manifest['sha256'])[:12]}, file holds "
+                f"{scan.records} records sha {scan.sha256[:12]}",
+            )
+        return ShardState(shard, "ok", scan.records)
+
+    def quarantine(self, shard: int) -> Optional[str]:
+        """Move a suspect shard file aside — evidence is never deleted."""
+        path = self.shard_path(shard)
+        if not os.path.exists(path):
+            return None
+        for attempt in range(1000):
+            target = f"{path}.quarantined-{attempt}"
+            if not os.path.exists(target):
+                os.replace(path, target)
+                _fsync_parent(path)
+                return target
+        raise DatasetError(f"quarantine namespace exhausted for {path}")
+
+
+def _fsync_parent(path: str) -> None:
+    try:
+        fd = os.open(os.path.dirname(os.path.abspath(path)) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# -- shard execution ----------------------------------------------------------
+
+
+def _spill_checkpoint_shard(
+    run_token: int,
+    shard: int,
+    ranges: Sequence[DeviceRange],
+    path: str,
+    backend_name: str,
+    crash: Optional[CrashPoint] = None,
+) -> Tuple[int, str]:
+    """Worker task: run one shard's ranges through a backend ShardWriter.
+
+    Streams records into ``path + '.tmp'`` and returns ``(records,
+    sha256)`` once sealed; the parent performs the commit (rename +
+    manifest) so a dying worker can never leave a committed-looking
+    file.  Runs in pool workers via the campaign's warm-pool machinery
+    and in-process for serial executors — the same code path, so crash
+    semantics and bytes are identical.
+    """
+    campaign = _worker_campaign(run_token)
+    return _spill_shard_with(campaign, shard, ranges, path, backend_name, crash)
+
+
+def _spill_shard_with(
+    campaign: Campaign,
+    shard: int,
+    ranges: Sequence[DeviceRange],
+    path: str,
+    backend_name: str,
+    crash: Optional[CrashPoint] = None,
+) -> Tuple[int, str]:
+    writer = get_backend(backend_name).open_shard(path)
+    crashing = crash is not None and crash.shard == shard
+    try:
+        for record in campaign._iter_execute(campaign.devices_in_ranges(ranges)):
+            writer.append(record.to_json_line())
+            if crashing and writer.records >= crash.after_records:
+                writer.flush()
+                if crash.hard_kill:
+                    # A killed worker: partial spill bytes are on disk,
+                    # no exception, no cleanup, no commit.
+                    os._exit(9)
+                raise CampaignInterrupted(
+                    f"injected crash in shard {shard} after "
+                    f"{writer.records} records",
+                )
+    except BaseException:
+        # Close without sealing: the tmp spill stays on disk exactly as
+        # a crash would leave it (resume re-runs the shard).
+        writer.abort()
+        raise
+    return writer.seal()
+
+
+def _run_missing_shards(
+    campaign: Campaign,
+    store: CheckpointStore,
+    tasks: Sequence[Sequence[DeviceRange]],
+    missing: Sequence[int],
+    crash: Optional[CrashPoint] = None,
+    stop_after_shards: Optional[int] = None,
+) -> int:
+    """Execute and commit the given shards; returns how many committed.
+
+    Pool mode (a :class:`ShardedCampaign` with workers) ships shards to
+    the campaign's warm worker pool and commits each as its future
+    completes; serial mode runs them in-process on one
+    pristine-prepared campaign (ranges never share cache scope, so any
+    subset reproduces the uninterrupted stream's bytes).  Either a
+    :class:`CrashPoint` firing or ``stop_after_shards`` raises
+    :class:`CampaignInterrupted` with everything already committed left
+    durable on disk.
+    """
+    if not missing:
+        return 0
+    budget = len(missing) if stop_after_shards is None else stop_after_shards
+    committed = 0
+    use_pool = isinstance(campaign, ShardedCampaign) and campaign.workers > 0
+    if not use_pool:
+        campaign._prepare_serial_run()
+        for shard in missing:
+            if committed >= budget:
+                raise CampaignInterrupted(
+                    f"stopped after {committed} shard commits",
+                    committed=committed, total=len(tasks),
+                )
+            records, sha = _spill_shard_with(
+                campaign, shard, tasks[shard], store.shard_path(shard),
+                store.backend.name, crash,
+            )
+            store.commit_shard(shard, tasks[shard], records, sha)
+            committed += 1
+        return committed
+
+    token = campaign._next_run_token()
+    pool = campaign._ensure_pool(
+        min(campaign.workers, len(campaign.ranges)) or 1
+    )
+    futures = {
+        pool.submit(
+            _spill_checkpoint_shard, token, shard, tasks[shard],
+            store.shard_path(shard), store.backend.name, crash,
+        ): shard
+        for shard in missing
+    }
+    pending = set(futures)
+    try:
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                shard = futures[future]
+                records, sha = future.result()
+                store.commit_shard(shard, tasks[shard], records, sha)
+                committed += 1
+            if committed >= budget and pending:
+                # Interrupt: drop queued shards, let running ones
+                # finish their (uncommitted, harmless) spills so the
+                # warm pool stays reusable for the resume run.
+                for future in pending:
+                    future.cancel()
+                wait(pending)
+                raise CampaignInterrupted(
+                    f"stopped after {committed} shard commits",
+                    committed=committed, total=len(tasks),
+                )
+    except BrokenProcessPool as exc:
+        # A worker died mid-spill (killed, OOM, injected os._exit):
+        # its partial shard is on disk, uncommitted.  The pool is
+        # unusable; close it so a resume boots a fresh one.
+        campaign.close(wait=False)
+        raise CampaignInterrupted(
+            f"worker process died after {committed} of {len(missing)} "
+            f"pending shards committed: {exc}",
+            committed=committed, total=len(tasks),
+        ) from exc
+    except CampaignInterrupted:
+        raise
+    except BaseException:
+        for future in pending:
+            future.cancel()
+        wait(pending)
+        raise
+    return committed
+
+
+def _merge_committed(
+    campaign: Campaign,
+    store: CheckpointStore,
+    output_path: str,
+    shard_count: int,
+    sink=None,
+) -> Tuple[int, str, Dict[str, object]]:
+    """K-way merge every committed shard into the final archive."""
+    backend = store.backend
+    streams = (
+        backend.iter_lines(store.shard_path(shard))
+        for shard in range(shard_count)
+    )
+    count, digest = backend.write_archive_lines(
+        output_path,
+        streams,
+        metadata=campaign._streaming_metadata(),
+        sink=sink.ingest_line if sink is not None else None,
+    )
+    expected = 0
+    for shard in range(shard_count):
+        manifest = store.read_shard_manifest(shard)
+        expected += int(manifest["records"]) if manifest else 0
+    if count != expected:
+        raise DatasetError(
+            f"merged archive holds {count} records but shard manifests "
+            f"promise {expected} — refusing to trust the merge"
+        )
+    metadata = campaign._streaming_metadata()
+    metadata["experiments"] = count
+    return count, digest, metadata
+
+
+def default_checkpoint_dir(output_path: str) -> str:
+    return output_path + ".shards"
+
+
+def run_checkpointed(
+    campaign: Campaign,
+    output_path: str,
+    backend: str = "jsonl",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    sink=None,
+    verify: bool = False,
+    stop_after_shards: Optional[int] = None,
+    crash: Optional[CrashPoint] = None,
+) -> Dict[str, object]:
+    """Run a campaign as durable per-shard commits, resumably.
+
+    Fresh runs execute every shard of the campaign's plan, committing
+    each with a manifest sidecar before merging the shards into
+    ``output_path``.  With ``resume=True`` an existing checkpoint
+    directory is replayed: committed shards are trusted from their
+    manifests (deep-verified when ``verify=True``; anything suspect is
+    quarantined and re-run) and only missing shards execute.  The
+    merged archive — and its content hash — is byte-identical to an
+    uninterrupted run, for every backend and shard plan, because shard
+    streams are pure functions of the config.
+
+    Refuses a *fresh* run over an existing checkpoint directory (that
+    is either an accident or a resume), and a resume whose fingerprint
+    (world config, campaign config, shard plan, backend) does not match
+    the manifest.
+
+    ``sink``, as on :meth:`ShardedCampaign.run_streaming`, receives
+    every merged line via ``ingest_line``.  ``stop_after_shards`` and
+    ``crash`` are the bench/test interrupt hooks; both leave a valid
+    checkpoint directory behind and raise :class:`CampaignInterrupted`.
+
+    Returns the ``run_streaming`` result dict plus ``"resumed_shards"``
+    / ``"executed_shards"`` / ``"total_shards"``.
+    """
+    store = CheckpointStore(
+        checkpoint_dir or default_checkpoint_dir(output_path),
+        get_backend(backend),
+    )
+    tasks = campaign_shard_tasks(campaign)
+    fingerprint = campaign_fingerprint(campaign, tasks, store.backend)
+
+    if store.exists():
+        if not resume:
+            raise DatasetError(
+                f"checkpoint directory {store.directory!r} already holds a "
+                f"campaign manifest; pass resume=True to continue it or "
+                f"remove the directory to start over"
+            )
+        manifest = store.read_manifest()
+        if manifest.get("fingerprint") != fingerprint:
+            raise DatasetError(
+                "checkpoint manifest was written by a different campaign "
+                f"(fingerprint {str(manifest.get('fingerprint'))[:12]} != "
+                f"{fingerprint[:12]}); refusing to mix shards across runs"
+            )
+    else:
+        store.write_manifest(fingerprint, tasks)
+
+    resumed: List[int] = []
+    missing: List[int] = []
+    for shard in range(len(tasks)):
+        if not store.is_committed(shard):
+            missing.append(shard)
+            continue
+        if verify:
+            state = store.verify_shard(shard)
+            if state.status != "ok":
+                store.quarantine(shard)
+                missing.append(shard)
+                continue
+        resumed.append(shard)
+
+    executed = _run_missing_shards(
+        campaign, store, tasks, missing,
+        crash=crash, stop_after_shards=stop_after_shards,
+    )
+    count, digest, metadata = _merge_committed(
+        campaign, store, output_path, len(tasks), sink=sink
+    )
+    return {
+        "experiments": count,
+        "content_hash": digest,
+        "path": output_path,
+        "metadata": metadata,
+        "resumed_shards": len(resumed),
+        "executed_shards": executed,
+        "total_shards": len(tasks),
+    }
+
+
+class ReconcileReport:
+    """What the healing pass found and did, shard by shard."""
+
+    def __init__(self, rows: List[ShardState], result: Dict[str, object]):
+        self.rows = rows
+        self.result = result
+
+    @property
+    def healed(self) -> List[ShardState]:
+        return [row for row in self.rows if row.status != "ok"]
+
+    def summary(self) -> str:
+        ok = sum(1 for row in self.rows if row.status == "ok")
+        return (
+            f"reconcile: {ok}/{len(self.rows)} shards verified clean, "
+            f"{len(self.healed)} healed; archive "
+            f"{self.result['experiments']} records, hash "
+            f"{self.result['content_hash'][:12]}"
+        )
+
+    def table(self) -> str:
+        lines = [f"{'shard':>5}  {'status':<12}{'records':>8}  action"]
+        for row in self.rows:
+            action = row.action or "kept"
+            detail = f"  ({row.detail})" if row.detail else ""
+            lines.append(
+                f"{row.shard:>5}  {row.status:<12}{row.records:>8}  "
+                f"{action}{detail}"
+            )
+        return "\n".join(lines)
+
+
+def reconcile(
+    campaign: Campaign,
+    output_path: str,
+    backend: str = "jsonl",
+    checkpoint_dir: Optional[str] = None,
+    sink=None,
+) -> ReconcileReport:
+    """Heal a checkpointed campaign: verify, quarantine, re-run, re-merge.
+
+    Every shard is deep-verified against its manifest sidecar
+    (:meth:`CheckpointStore.verify_shard`).  Shards that are missing,
+    truncated, corrupt, or that disagree with their manifest are
+    **quarantined** — moved aside with a ``.quarantined-N`` suffix,
+    never deleted, because a disagreement means *something* is wrong
+    and the evidence may be the only way to find out what — then
+    re-executed from the campaign plan and re-committed.  The final
+    archive is re-merged either way, so the pass always ends with
+    archive == manifests == bytes.
+    """
+    store = CheckpointStore(
+        checkpoint_dir or default_checkpoint_dir(output_path),
+        get_backend(backend),
+    )
+    if not store.exists():
+        raise DatasetError(
+            f"no campaign manifest under {store.directory!r}; nothing to "
+            f"reconcile (run with checkpoints first)"
+        )
+    tasks = campaign_shard_tasks(campaign)
+    fingerprint = campaign_fingerprint(campaign, tasks, store.backend)
+    manifest = store.read_manifest()
+    if manifest.get("fingerprint") != fingerprint:
+        raise DatasetError(
+            "checkpoint manifest was written by a different campaign "
+            f"(fingerprint {str(manifest.get('fingerprint'))[:12]} != "
+            f"{fingerprint[:12]}); refusing to reconcile across runs"
+        )
+
+    rows: List[ShardState] = []
+    bad: List[int] = []
+    for shard in range(len(tasks)):
+        state = store.verify_shard(shard)
+        if state.status == "ok":
+            state.action = "kept"
+        else:
+            target = store.quarantine(shard)
+            state.action = (
+                "quarantined+rerun" if target is not None else "rerun"
+            )
+            bad.append(shard)
+        rows.append(state)
+
+    _run_missing_shards(campaign, store, tasks, bad)
+    count, digest, metadata = _merge_committed(
+        campaign, store, output_path, len(tasks), sink=sink
+    )
+    return ReconcileReport(
+        rows,
+        {
+            "experiments": count,
+            "content_hash": digest,
+            "path": output_path,
+            "metadata": metadata,
+            "healed_shards": len(bad),
+            "total_shards": len(tasks),
+        },
+    )
+
+
+__all__ = [
+    "CampaignInterrupted",
+    "CheckpointStore",
+    "CrashPoint",
+    "ReconcileReport",
+    "ShardState",
+    "campaign_fingerprint",
+    "campaign_shard_tasks",
+    "default_checkpoint_dir",
+    "reconcile",
+    "run_checkpointed",
+    "task_descriptors",
+]

@@ -34,7 +34,7 @@ from dataclasses import asdict, dataclass, field
 from operator import attrgetter
 from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
 
-from repro.core.errors import DatasetError
+from repro.core.errors import DatasetError, TruncatedDatasetError
 
 #: Resolver kinds a client resolves through.
 RESOLVER_LOCAL = "local"
@@ -812,6 +812,55 @@ def _nonblank_lines(lines: Iterator[str]) -> Iterator[str]:
             yield line
 
 
+def merged_shard_lines(
+    line_streams: Iterable[Iterator[str]],
+) -> Iterator[str]:
+    """K-way merge shard line streams into global event-key order.
+
+    The shared core of every archive writer (see
+    :mod:`repro.measure.backends`): each stream must already be in
+    event-key order; blank lines are skipped.  A line whose event-key
+    prefix cannot be parsed — or that does not end in ``}`` — is the
+    signature of a crash mid-write (a *truncated partial final line*),
+    and raises :class:`~repro.core.errors.TruncatedDatasetError` carrying
+    the clean-record count instead of surfacing a bare
+    ``json.JSONDecodeError`` from deep inside the merge heap.  Resume
+    and reconcile passes pre-scan shards against their manifests, so a
+    healthy pipeline never reaches this error; it exists so a *direct*
+    merge over a torn shard fails loud and diagnosable.
+    """
+    count = 0
+    streams = [_nonblank_lines(stream) for stream in line_streams]
+
+    def checked_key(line: str) -> Tuple[float, str, int, int]:
+        try:
+            if not line.endswith("}"):
+                raise ValueError("line does not close its JSON object")
+            return jsonl_event_key(line)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TruncatedDatasetError(
+                f"shard stream holds a truncated or corrupt record line "
+                f"after {count} clean records "
+                f"({line[:80]!r}...): {exc}",
+                clean_records=count,
+                partial_line=line,
+            ) from exc
+
+    for line in heapq.merge(*streams, key=checked_key):
+        # heapq.merge stops calling the key once a single iterator
+        # remains, so the torn-line guard must also ride the yield loop
+        # or a one-stream merge would pass torn bytes through silently.
+        if not line.endswith("}"):
+            raise TruncatedDatasetError(
+                f"shard stream holds a truncated partial record line "
+                f"after {count} clean records ({line[:80]!r}...)",
+                clean_records=count,
+                partial_line=line,
+            )
+        count += 1
+        yield line
+
+
 def merge_shard_jsonl(
     line_streams: Iterable[Iterator[str]],
     output: TextIO,
@@ -844,10 +893,7 @@ def merge_shard_jsonl(
     update = digest.update
     write = output.write
     count = 0
-    merged = heapq.merge(
-        *(_nonblank_lines(stream) for stream in line_streams),
-        key=jsonl_event_key,
-    )
+    merged = merged_shard_lines(line_streams)
     if sink is None:
         for line in merged:
             update(line.encode("utf-8"))
@@ -900,6 +946,14 @@ class Dataset:
     )
     #: The fused analysis engine, attached by repro.analysis.engine.
     _engine: Optional[object] = field(default=None, repr=False, compare=False)
+    #: The partial final line a crash mid-write left behind, when the
+    #: archive was loaded with ``allow_truncated=True``; None for clean
+    #: archives.  Resume/reconcile treat a dataset with a torn tail as
+    #: an incomplete prefix — ``len(dataset)`` is the clean-record
+    #: count — never as analysable data.
+    truncated_tail: Optional[str] = field(
+        default=None, repr=False, compare=False
+    )
     _indexed_len: int = field(default=-1, repr=False, compare=False)
 
     def add(self, record: ExperimentRecord) -> None:
@@ -1079,7 +1133,9 @@ class Dataset:
         )
 
     @classmethod
-    def load_jsonl(cls, lines: Iterable[str]) -> "Dataset":
+    def load_jsonl(
+        cls, lines: Iterable[str], allow_truncated: bool = False
+    ) -> "Dataset":
         """Read a dataset written by :meth:`dump_jsonl`.
 
         Canonical lines (the shape :meth:`ExperimentRecord.to_json_line`
@@ -1087,25 +1143,55 @@ class Dataset:
         else falls back to :meth:`ExperimentRecord.from_json`, keeping
         defaulting and error behaviour identical to
         :meth:`load_jsonl_reference` — the property-tested oracle.
+
+        A *final* line that fails to decode is the signature of a crash
+        mid-write (a torn partial record), and is distinguished from
+        mid-archive corruption: it raises
+        :class:`~repro.core.errors.TruncatedDatasetError` reporting the
+        clean-record count — or, with ``allow_truncated=True``, the
+        clean prefix loads and the torn tail is kept on
+        :attr:`Dataset.truncated_tail` so a resume pass can treat the
+        shard as incomplete instead of dying mid-parse.  A bad line
+        *followed by more records* is corruption, not truncation, and
+        still raises :class:`~repro.core.errors.DatasetError`.
         """
         dataset = cls()
         append = dataset.experiments.append
         loads = json.loads
+        clean = 0
+        pending_error: Optional[Tuple[str, json.JSONDecodeError]] = None
         for line in lines:
             line = line.strip()
             if not line:
                 continue
+            if pending_error is not None:
+                # The bad line was not the final one: mid-archive
+                # corruption, reported exactly as before.
+                bad_line, exc = pending_error
+                raise DatasetError(f"bad dataset line: {exc}") from exc
             if line.startswith('{"_metadata"'):
                 dataset.metadata = loads(line)["_metadata"]
                 continue
             try:
                 payload = loads(line)
             except json.JSONDecodeError as exc:
-                raise DatasetError(f"bad dataset line: {exc}") from exc
+                pending_error = (line, exc)
+                continue
             record = _decode_experiment(payload)
             if record is None:
                 record = ExperimentRecord.from_json(line)
             append(record)
+            clean += 1
+        if pending_error is not None:
+            bad_line, exc = pending_error
+            if not allow_truncated:
+                raise TruncatedDatasetError(
+                    f"archive ends in a truncated partial record after "
+                    f"{clean} clean records (crash mid-write?): {exc}",
+                    clean_records=clean,
+                    partial_line=bad_line,
+                ) from exc
+            dataset.truncated_tail = bad_line
         return dataset
 
     @classmethod
@@ -1127,13 +1213,39 @@ class Dataset:
         """Read a dataset from one JSONL string (single-pass splitter)."""
         return cls.load_jsonl(text.split("\n"))
 
-    def save(self, path: str) -> int:
-        """Write the dataset to a file path."""
-        with open(path, "w", encoding="utf-8") as handle:
-            return self.dump_jsonl(handle)
+    def save(self, path: str, backend: Optional[str] = None) -> int:
+        """Write the dataset to a file path.
+
+        ``backend`` selects the storage backend by name (``jsonl``,
+        ``sqlite``, ``columnar``); None infers it from the path's
+        extension, defaulting to JSONL — whose bytes are unchanged from
+        the historical format (the reference the content hash pins).
+        """
+        from repro.measure.backends import resolve_backend
+
+        resolved = resolve_backend(backend, path)
+        if resolved.name == "jsonl":
+            with open(path, "w", encoding="utf-8") as handle:
+                return self.dump_jsonl(handle)
+        return resolved.write_dataset(path, self)
 
     @classmethod
-    def load(cls, path: str) -> "Dataset":
-        """Read a dataset from a file path."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.loads_jsonl(handle.read())
+    def load(cls, path: str, backend: Optional[str] = None) -> "Dataset":
+        """Read a dataset from a file path (any registered backend).
+
+        With ``backend=None`` the file's own bytes decide: archives are
+        sniffed by magic (SQLite header, columnar magic) with JSONL as
+        the fallback, so ``repro-study report --dataset`` works on any
+        backend's archive without being told which one wrote it.
+        """
+        from repro.measure.backends import sniff_backend
+
+        resolved = sniff_backend(path) if backend is None else None
+        if resolved is None:
+            from repro.measure.backends import get_backend
+
+            resolved = get_backend(backend or "jsonl")
+        if resolved.name == "jsonl":
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.loads_jsonl(handle.read())
+        return resolved.load(path)
